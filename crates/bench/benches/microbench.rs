@@ -1,0 +1,125 @@
+//! Criterion microbenchmarks for the building blocks: heaps, model
+//! evaluation, pager, disk model, range hash, and a small end-to-end
+//! simulated join per algorithm.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use mmjoin::{join, Algo, ExecMode, JoinSpec};
+use mmjoin_bench::{calibrated_machine, paper_workload, sim_env, PAGE};
+use mmjoin_env::SPtr;
+use mmjoin_model::{predict, Algorithm, JoinInputs};
+use mmjoin_relstore::build;
+use mmjoin_vmsim::{ContentionMode, Disk, DiskParams, PageKey, Pager, Policy};
+
+fn bench_heapsort(c: &mut Criterion) {
+    let entries: Vec<(SPtr, u32)> = (0..8192u64)
+        .map(|i| (SPtr(i.wrapping_mul(0x9E3779B97F4A7C15)), i as u32))
+        .collect();
+    c.bench_function("heapsort_8k_pointers", |b| {
+        b.iter_batched(
+            || entries.clone(),
+            |mut e| {
+                let ops = mmjoin::pheap::heapsort(&mut e);
+                black_box((e, ops));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_model(c: &mut Criterion) {
+    let m = calibrated_machine();
+    let w = JoinInputs {
+        r_objects: 102_400,
+        s_objects: 102_400,
+        r_size: 128,
+        s_size: 128,
+        sptr_size: 8,
+        d: 4,
+        skew: 1.0,
+        m_rproc: 64 * PAGE,
+        m_sproc: 64 * PAGE,
+        g_buffer: PAGE,
+    };
+    for alg in Algorithm::ALL {
+        c.bench_function(&format!("model_predict_{}", alg.name()), |b| {
+            b.iter(|| black_box(predict(alg, m, &w).total()))
+        });
+    }
+    c.bench_function("ylru_eval", |b| {
+        b.iter(|| {
+            black_box(mmjoin_model::ylru(
+                25_600.0, 800.0, 25_600.0, 64.0, 19_200.0,
+            ))
+        })
+    });
+    c.bench_function("urn_cdf_k24_n1000", |b| {
+        b.iter(|| black_box(mmjoin_model::urn::prob_empty_at_most(24, 1000, 12)))
+    });
+}
+
+fn bench_pager(c: &mut Criterion) {
+    c.bench_function("pager_lru_touch_seq", |b| {
+        b.iter_batched(
+            || Pager::new(256, Policy::Lru),
+            |mut p| {
+                for i in 0..4096u64 {
+                    black_box(p.touch(
+                        PageKey {
+                            file: 0,
+                            page: i % 512,
+                        },
+                        i % 3 == 0,
+                    ));
+                }
+                p
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_disk(c: &mut Criterion) {
+    c.bench_function("disk_random_reads", |b| {
+        b.iter_batched(
+            || Disk::new(DiskParams::waterloo96()),
+            |mut d| {
+                let mut acc = 0.0;
+                for i in 0..1024u64 {
+                    acc += d.read((i.wrapping_mul(7919)) % 100_000);
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_join_small(c: &mut Criterion) {
+    let mut w = paper_workload(2, 5);
+    w.rel.r_objects = 4_000;
+    w.rel.s_objects = 4_000;
+    for alg in [Algo::NestedLoops, Algo::SortMerge, Algo::Grace] {
+        c.bench_function(&format!("sim_join_4k_{}", alg.name()), |b| {
+            b.iter(|| {
+                let env = sim_env(2, 32, Policy::Lru, ContentionMode::Independent);
+                let rels = build(&env, &w).expect("workload");
+                let spec = JoinSpec::new(32 * PAGE, 32 * PAGE).with_mode(ExecMode::Sequential);
+                black_box(join(&env, &rels, alg, &spec).expect("join"))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // Keep the whole suite under a couple of minutes: these are
+    // smoke-level microbenches, not publication numbers.
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_heapsort, bench_model, bench_pager, bench_disk, bench_join_small
+}
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Run every figure and extension experiment, writing each output to
+//! `results/<name>.txt` — the one-command regeneration of
+//! EXPERIMENTS.md's evidence.
+//!
+//! ```sh
+//! cargo run --release -p mmjoin-bench --bin all_figures
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "fig1a",
+        "fig1b",
+        "fig5a",
+        "fig5b",
+        "fig5c",
+        "sync_ablation",
+        "speedup",
+        "scaleup",
+        "skew",
+        "crossover",
+        "replacement_ablation",
+        "hybrid",
+        "model_ablation",
+        "trace_stats",
+        "contention",
+        "ssd",
+        "msproc",
+        "gbuffer",
+    ];
+    let out_dir = std::path::Path::new("results");
+    std::fs::create_dir_all(out_dir).expect("create results/");
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let mut failures = 0;
+    for bin in bins {
+        print!("{bin:<22} ");
+        let started = std::time::Instant::now();
+        let output = Command::new(exe_dir.join(bin))
+            .output()
+            .unwrap_or_else(|e| panic!("launching {bin}: {e} (build with --release first)"));
+        let path = out_dir.join(format!("{bin}.txt"));
+        std::fs::write(&path, &output.stdout).expect("write result");
+        if output.status.success() {
+            println!("ok   {:>6.1?} -> {}", started.elapsed(), path.display());
+        } else {
+            failures += 1;
+            println!("FAILED ({})", output.status);
+            eprintln!("{}", String::from_utf8_lossy(&output.stderr));
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("\nall experiment outputs written to {}/", out_dir.display());
+}

@@ -1,0 +1,43 @@
+//! Extension E4: all three algorithms (plus the naive baseline) on one
+//! memory axis — who wins where (the comparative analysis §9 lists as
+//! future work).
+
+use mmjoin::{Algo, ExecMode};
+use mmjoin_bench::{one_sim_join, paper_workload, r_bytes, PAGE};
+use mmjoin_vmsim::{ContentionMode, Policy};
+
+fn main() {
+    let w = paper_workload(4, 600);
+    let fracs = [0.01, 0.02, 0.05, 0.1, 0.2, 0.4, 0.7];
+    println!("E4 algorithm crossover: Time/Rproc (s) vs M/|R|, D = 4");
+    print!("{:>8}", "M/|R|");
+    for alg in Algo::ALL {
+        print!(" {:>13}", alg.name());
+    }
+    println!(" {:>13}", "winner");
+    for frac in fracs {
+        let pages = ((frac * r_bytes(&w) as f64) as u64 / PAGE).max(4) as usize;
+        print!("{frac:>8.2}");
+        let mut best = (f64::INFINITY, "");
+        for alg in Algo::ALL {
+            let (t, _, _) = one_sim_join(
+                alg,
+                &w,
+                pages,
+                Policy::Lru,
+                ContentionMode::Independent,
+                ExecMode::Sequential,
+                false,
+            );
+            if t < best.0 {
+                best = (t, alg.name());
+            }
+            print!(" {t:>13.1}");
+        }
+        println!(" {:>13}", best.1);
+    }
+    println!();
+    println!("expected: Grace wins at small memory; the re-partitioned algorithms");
+    println!("always beat the naive baseline; nested loops catches up only once S");
+    println!("is effectively memory-resident.");
+}

@@ -1,0 +1,30 @@
+//! Figure 1(a): measured disk transfer time (ms per 4 KB block) as a
+//! function of band size, for random reads and deferred writes — the
+//! paper's banding measurement run against the simulated drive.
+
+use mmjoin_vmsim::{measure_dtt, CalibrationSpec, DiskParams};
+
+fn main() {
+    let disk = DiskParams::waterloo96();
+    let spec = CalibrationSpec::default();
+    println!("Fig 1(a): disk transfer time vs band size");
+    println!(
+        "disk: {} blocks/track, {} tracks/cyl, {} cylinders, {} rpm",
+        disk.blocks_per_track, disk.tracks_per_cyl, disk.cylinders, disk.rpm
+    );
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "band (blks)", "dttr (ms/blk)", "dttw (ms/blk)"
+    );
+    for s in measure_dtt(&disk, &spec) {
+        println!(
+            "{:>12} {:>14.2} {:>14.2}",
+            s.band,
+            s.read * 1e3,
+            s.write * 1e3
+        );
+    }
+    println!();
+    println!("paper (Fujitsu M2344K/M2372K): dttr 6..~20+ ms, dttw below dttr,");
+    println!("both rising with band size; compare the shapes above.");
+}

@@ -1,0 +1,48 @@
+//! Figure 1(b): memory-mapping setup time (newMap / openMap /
+//! deleteMap) as a function of map size — measured for real on this
+//! machine's mmap (mmjoin-mmstore), and shown against the linear cost
+//! model the simulator charges.
+
+use mmjoin_bench::calibrated_machine;
+use mmjoin_mmstore::measure_map_costs;
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("mmjoin-fig1b-{}", std::process::id()));
+    let blocks = [1600u64, 3200, 4800, 6400, 8000, 9600, 11200, 12800];
+    println!("Fig 1(b): mapping setup time vs map size (4 KB blocks)");
+    println!("measured on this machine's real mmap:");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "blocks", "newMap (s)", "openMap (s)", "deleteMap (s)"
+    );
+    match measure_map_costs(&dir, 4096, &blocks, 3) {
+        Ok(samples) => {
+            for s in &samples {
+                println!(
+                    "{:>12} {:>12.4} {:>12.4} {:>12.4}",
+                    s.blocks, s.new_map, s.open_map, s.delete_map
+                );
+            }
+        }
+        Err(e) => println!("  measurement failed: {e}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!();
+    println!("modelled 1996 machine (linear fits used by the simulator/model):");
+    let mc = calibrated_machine().map_cost;
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "blocks", "newMap (s)", "openMap (s)", "deleteMap (s)"
+    );
+    for b in blocks {
+        println!(
+            "{:>12} {:>12.2} {:>12.2} {:>12.2}",
+            b,
+            mc.new_map(b),
+            mc.open_map(b),
+            mc.delete_map(b)
+        );
+    }
+    println!();
+    println!("paper: all three linear in size; newMap > openMap > deleteMap.");
+}

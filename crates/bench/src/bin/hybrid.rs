@@ -1,0 +1,33 @@
+//! Extension E6: hybrid hash vs Grace — the "more modern hash-based
+//! join" the paper defers to future work (§7), on the Fig. 5(c) axis.
+//! Hybrid hash keeps bucket 0 memory-resident, so its advantage over
+//! Grace should grow with memory.
+
+use mmjoin::Algo;
+use mmjoin_bench::{fig5_sweep, paper_workload, render_fig5};
+use mmjoin_relstore::Relations;
+
+fn main() {
+    let w = paper_workload(4, 1996);
+    let fracs = [0.015, 0.02, 0.03, 0.04, 0.06, 0.08];
+    let grace = fig5_sweep(Algo::Grace, &fracs, &w, |_, _| String::new());
+    let hybrid = fig5_sweep(Algo::HybridHash, &fracs, &w, |rels: &Relations, spec| {
+        let plan = mmjoin::hybrid::plan_for(rels, spec);
+        format!("f0={:.2} K={}", plan.f0, plan.k)
+    });
+    println!("{}", render_fig5("E6 hybrid hash (extension)", &hybrid));
+    println!("Grace on the same axis, for comparison:");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "M/|R|", "grace mdl", "grace exp", "hybrid mdl", "hybrid exp"
+    );
+    for (g, h) in grace.iter().zip(&hybrid) {
+        println!(
+            "{:>8.3} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            g.frac, g.model, g.sim, h.model, h.sim
+        );
+    }
+    println!();
+    println!("expected: hybrid <= grace everywhere, with the gap widening as");
+    println!("memory (and with it bucket 0's share f0) grows.");
+}

@@ -1,0 +1,44 @@
+//! Extension E2 (paper §9 future work): scaleup — grow D and |R|
+//! together; flat curves mean perfect scaleup.
+
+use mmjoin::{Algo, ExecMode};
+use mmjoin_bench::{one_sim_join, paper_workload, r_bytes, PAGE};
+use mmjoin_vmsim::{ContentionMode, Policy};
+
+fn main() {
+    println!("E2 scaleup: |R| = 25,600 x D (per-disk share fixed), M/|R| = 0.05");
+    println!(
+        "{:>12} {:>4} {:>10} {:>12} {:>10}",
+        "algorithm", "D", "|R|", "time (s)", "vs D=1"
+    );
+    for alg in [Algo::NestedLoops, Algo::SortMerge, Algo::Grace] {
+        let mut base = None;
+        for d in [1u32, 2, 4, 8] {
+            let mut w = paper_workload(d, 400 + d as u64);
+            w.rel.r_objects = 25_600 * d as u64;
+            w.rel.s_objects = 25_600 * d as u64;
+            let pages = ((0.05 * r_bytes(&w) as f64 / d as f64) as u64 / PAGE).max(8) as usize;
+            let (t, _, _) = one_sim_join(
+                alg,
+                &w,
+                pages,
+                Policy::Lru,
+                ContentionMode::Independent,
+                ExecMode::Sequential,
+                false,
+            );
+            let b = *base.get_or_insert(t);
+            println!(
+                "{:>12} {d:>4} {:>10} {t:>12.1} {:>9.2}x",
+                alg.name(),
+                w.rel.r_objects,
+                t / b
+            );
+        }
+    }
+    println!();
+    println!("expected: ratios near 1.0x (flat) — the per-proc share is constant");
+    println!("and the staggered phases keep disks private. The residual growth in");
+    println!("sort-merge/Grace is the mapping-setup term: manipulating a mapping is");
+    println!("serial (charged xD, paper 5.3), an inherent scaleup limiter.");
+}

@@ -1,0 +1,66 @@
+//! Extension E10: do these algorithms still matter without seeks?
+//!
+//! The paper's entire design space — re-partitioning passes, pointer
+//! sorting, staggered phases — exists because *random disk access is
+//! expensive*. This experiment swaps the mechanistic 1996 drive for a
+//! flat-cost SSD-like device (no seek, no rotation), recalibrates, and
+//! re-runs a Fig.-5-style point for each algorithm. The expected
+//! collapse of the nested-loops penalty is the quantitative version of
+//! why this once-hot niche went quiet.
+
+use mmjoin::{join, verify, Algo, ExecMode, JoinSpec};
+use mmjoin_bench::{paper_workload, r_bytes, PAGE};
+use mmjoin_relstore::build;
+use mmjoin_vmsim::{calibrated_params, DiskParams, SimConfig, SimEnv};
+
+fn run(disk: &DiskParams, alg: Algo, pages: u64, w: &mmjoin_relstore::WorkloadSpec) -> f64 {
+    let mut cfg = SimConfig::waterloo96(4);
+    cfg.machine = calibrated_params(disk).expect("calibration");
+    cfg.disk = disk.clone();
+    cfg.rproc_pages = pages as usize;
+    cfg.sproc_pages = pages as usize;
+    let env = SimEnv::new(cfg).expect("config");
+    let rels = build(&env, w).expect("workload");
+    let spec = JoinSpec::new(pages * PAGE, pages * PAGE).with_mode(ExecMode::Sequential);
+    let out = join(&env, &rels, alg, &spec).expect("join");
+    verify(&out, &rels).expect("oracle");
+    out.elapsed
+}
+
+fn main() {
+    let w = paper_workload(4, 2000);
+    let pages = ((0.05 * r_bytes(&w) as f64) as u64 / PAGE).max(4);
+    let hdd = DiskParams::waterloo96();
+    let ssd = DiskParams::flat_ssd();
+    println!("E10 device ablation at M/|R| = 0.05 (seconds; ratio vs the best)");
+    println!(
+        "{:>14} {:>12} {:>8} {:>12} {:>8}",
+        "algorithm", "1996 disk", "ratio", "flat ssd", "ratio"
+    );
+    let mut rows = Vec::new();
+    for alg in [
+        Algo::NestedLoops,
+        Algo::SortMerge,
+        Algo::Grace,
+        Algo::HybridHash,
+    ] {
+        rows.push((alg, run(&hdd, alg, pages, &w), run(&ssd, alg, pages, &w)));
+    }
+    let best_hdd = rows.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
+    let best_ssd = rows.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
+    for (alg, h, s) in &rows {
+        println!(
+            "{:>14} {:>11.1}s {:>7.1}x {:>11.1}s {:>7.1}x",
+            alg.name(),
+            h,
+            h / best_hdd,
+            s,
+            s / best_ssd
+        );
+    }
+    println!();
+    println!("expected: on the seeking disk, nested loops pays several-fold for its");
+    println!("random S access; on the flat device the spread collapses toward CPU +");
+    println!("transfer costs — the re-partitioning machinery stops paying for itself,");
+    println!("which is why pointer-join re-partitioning faded with cheap random I/O.");
+}

@@ -1,0 +1,37 @@
+//! §5.1 claim: adding synchronization between the phases of nested
+//! loops' pass 1 changes I/O and total time by at most ~0.5% (best case
+//! a small decrease from reduced contention).
+
+use mmjoin::{Algo, ExecMode};
+use mmjoin_bench::{one_sim_join, paper_workload, r_bytes, PAGE};
+use mmjoin_vmsim::{ContentionMode, Policy};
+
+fn main() {
+    let w = paper_workload(4, 77);
+    let pages = ((0.3 * r_bytes(&w) as f64) as u64 / PAGE) as usize;
+    println!("Nested loops, pass-1 phase synchronization ablation (M/|R| = 0.3)");
+    println!(
+        "{:>22} {:>12} {:>10} {:>10}",
+        "variant", "time (s)", "faults-r", "faults-w"
+    );
+    for (name, contention, sync) in [
+        ("free-running", ContentionMode::Independent, false),
+        ("free-running+queued", ContentionMode::Queued, false),
+        ("synchronized+queued", ContentionMode::Queued, true),
+    ] {
+        // Threaded execution so phases can actually overlap.
+        let (t, fr, fw) = one_sim_join(
+            Algo::NestedLoops,
+            &w,
+            pages,
+            Policy::Lru,
+            contention,
+            ExecMode::Threaded,
+            sync,
+        );
+        println!("{name:>22} {t:>12.1} {fr:>10} {fw:>10}");
+    }
+    println!();
+    println!("paper: synchronization bought at most a 0.5% decrease in I/O and");
+    println!("total time; the offset scheme already removes nearly all contention.");
+}

@@ -1,0 +1,349 @@
+//! `mmjoin` — command-line driver for the reproduction.
+//!
+//! ```text
+//! mmjoin join  [--alg A] [--objects N] [--d D] [--mem-pages P] [--seed S]
+//!              [--dist uniform|zipf:T|cross] [--env sim|mmap] [--threads]
+//! mmjoin plan  [--objects N] [--d D] [--mem-pages P] [--skew X] [--explain A]
+//! mmjoin calibrate
+//! mmjoin help
+//! ```
+//!
+//! `join` runs one parallel pointer-based join and verifies it against
+//! the workload oracle; `plan` queries the analytical model the way a
+//! query optimizer would; `calibrate` prints the measured `dttr`/`dttw`
+//! curves of the simulated drive (Fig. 1a's procedure).
+
+use std::process::ExitCode;
+
+use mmjoin::{choose, explain, join, verify, Algo, ExecMode, JoinSpec};
+use mmjoin_relstore::{build, PointerDist, RelConfig, WorkloadSpec};
+use mmjoin_vmsim::{
+    calibrated_params, measure_dtt, CalibrationSpec, DiskParams, SimConfig, SimEnv,
+};
+
+/// Minimal `--key value` / `--flag` parser (keeps the dependency set to
+/// the workspace crates).
+struct Args {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut pairs = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let a = &argv[i];
+            let name = a
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected an option, got '{a}'"))?;
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                pairs.push((name.to_string(), argv[i + 1].clone()));
+                i += 2;
+            } else {
+                flags.push(name.to_string());
+                i += 1;
+            }
+        }
+        Ok(Args { pairs, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+fn parse_alg(s: &str) -> Result<Algo, String> {
+    Algo::ALL
+        .into_iter()
+        .find(|a| a.name() == s)
+        .ok_or_else(|| {
+            let names: Vec<&str> = Algo::ALL.iter().map(|a| a.name()).collect();
+            format!("unknown algorithm '{s}' (one of: {})", names.join(", "))
+        })
+}
+
+fn parse_dist(s: &str) -> Result<PointerDist, String> {
+    if s == "uniform" {
+        return Ok(PointerDist::Uniform);
+    }
+    if s == "cross" {
+        return Ok(PointerDist::CrossPartition);
+    }
+    if let Some(theta) = s.strip_prefix("zipf:") {
+        let theta: f64 = theta
+            .parse()
+            .map_err(|_| format!("bad zipf parameter in '{s}'"))?;
+        return Ok(PointerDist::Zipf { theta });
+    }
+    Err(format!(
+        "unknown distribution '{s}' (uniform | zipf:T | cross)"
+    ))
+}
+
+fn workload_from(args: &Args) -> Result<WorkloadSpec, String> {
+    let objects: u64 = args.get_or("objects", 40_000)?;
+    let d: u32 = args.get_or("d", 4)?;
+    let obj_size: u32 = args.get_or("obj-size", 128)?;
+    let seed: u64 = args.get_or("seed", 1996)?;
+    let dist = parse_dist(args.get("dist").unwrap_or("uniform"))?;
+    Ok(WorkloadSpec {
+        rel: RelConfig {
+            r_size: obj_size,
+            s_size: obj_size,
+            d,
+            r_objects: objects,
+            s_objects: objects,
+        },
+        dist,
+        seed,
+        prefix: String::new(),
+    })
+}
+
+fn cmd_join(args: &Args) -> Result<(), String> {
+    let w = workload_from(args)?;
+    let pages: u64 = args.get_or("mem-pages", 160)?;
+    let alg = parse_alg(args.get("alg").unwrap_or("grace"))?;
+    let mode = if args.flag("threads") {
+        ExecMode::Threaded
+    } else {
+        ExecMode::Sequential
+    };
+    let spec = JoinSpec::new(pages * 4096, pages * 4096).with_mode(mode);
+    let env_kind = args.get("env").unwrap_or("sim");
+
+    let out = match env_kind {
+        "sim" => {
+            let machine =
+                calibrated_params(&DiskParams::waterloo96()).map_err(|e| e.to_string())?;
+            let mut cfg = SimConfig::waterloo96(w.rel.d);
+            cfg.machine = machine;
+            cfg.rproc_pages = pages as usize;
+            cfg.sproc_pages = pages as usize;
+            let env = SimEnv::new(cfg).map_err(|e| e.to_string())?;
+            let rels = build(&env, &w).map_err(|e| e.to_string())?;
+            let out = join(&env, &rels, alg, &spec).map_err(|e| e.to_string())?;
+            verify(&out, &rels).map_err(|e| format!("verification failed: {e}"))?;
+            println!("environment: simulator (virtual 1996-like machine)");
+            out
+        }
+        "mmap" => {
+            let root = std::env::temp_dir().join(format!("mmjoin-cli-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&root);
+            let env = mmjoin_mmstore::MmapEnv::new(mmjoin_mmstore::MmapEnvConfig {
+                root: root.clone(),
+                num_disks: w.rel.d,
+                page_size: 4096,
+            })
+            .map_err(|e| e.to_string())?;
+            let rels = build(&env, &w).map_err(|e| e.to_string())?;
+            let out = join(&env, &rels, alg, &spec).map_err(|e| e.to_string())?;
+            verify(&out, &rels).map_err(|e| format!("verification failed: {e}"))?;
+            let _ = std::fs::remove_dir_all(&root);
+            println!("environment: real memory-mapped store ({})", root.display());
+            out
+        }
+        other => return Err(format!("unknown env '{other}' (sim | mmap)")),
+    };
+
+    println!("algorithm:   {}", alg.name());
+    println!(
+        "workload:    |R| = |S| = {} x {} B over D = {}",
+        w.rel.r_objects, w.rel.r_size, w.rel.d
+    );
+    println!("memory:      {pages} pages/process");
+    println!("result:      {} pairs, checksum verified", out.pairs);
+    println!("elapsed:     {:.3} s", out.elapsed);
+    println!(
+        "page faults: {} reads, {} write-backs",
+        out.stats.total_read_faults(),
+        out.stats.total_write_backs()
+    );
+    for (name, t) in &out.stage_times {
+        println!("  stage {name:<16} done at {t:>9.3} s");
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    let w = workload_from(args)?;
+    let pages: u64 = args.get_or("mem-pages", 160)?;
+    let skew: f64 = args.get_or("skew", 1.0)?;
+    let machine = calibrated_params(&DiskParams::waterloo96()).map_err(|e| e.to_string())?;
+    // Plan from statistics alone — no data is generated.
+    let inputs = mmjoin_model::JoinInputs {
+        r_objects: w.rel.r_objects,
+        s_objects: w.rel.s_objects,
+        r_size: w.rel.r_size,
+        s_size: w.rel.s_size,
+        sptr_size: mmjoin_relstore::SPTR_SIZE,
+        d: w.rel.d,
+        skew,
+        m_rproc: pages * 4096,
+        m_sproc: pages * 4096,
+        g_buffer: 4096,
+    };
+    let plan = choose(&machine, &inputs);
+    println!(
+        "plan for |R| = |S| = {} x {} B, D = {}, {} pages/proc, skew {skew}",
+        w.rel.r_objects, w.rel.r_size, w.rel.d, pages
+    );
+    for (alg, t) in &plan.ranking {
+        let marker = if *alg == plan.algorithm {
+            "  <== pick"
+        } else {
+            ""
+        };
+        println!("  {:<14} {t:>10.1} s{marker}", alg.name());
+    }
+    if let Some(name) = args.get("explain") {
+        let alg = mmjoin_model::Algorithm::ALL
+            .into_iter()
+            .find(|a| a.name() == name)
+            .ok_or_else(|| format!("unknown algorithm '{name}'"))?;
+        println!("\nitemized prediction for {}:", alg.name());
+        println!("{}", explain(&machine, &inputs, alg).table());
+    }
+    Ok(())
+}
+
+fn cmd_calibrate() -> Result<(), String> {
+    let disk = DiskParams::waterloo96();
+    println!("measuring dtt curves from the simulated drive (Fig. 1a procedure)");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "band (blks)", "dttr (ms/blk)", "dttw (ms/blk)"
+    );
+    for s in measure_dtt(&disk, &CalibrationSpec::default()) {
+        println!(
+            "{:>12} {:>14.2} {:>14.2}",
+            s.band,
+            s.read * 1e3,
+            s.write * 1e3
+        );
+    }
+    Ok(())
+}
+
+fn usage() {
+    println!("mmjoin — parallel pointer-based joins in memory-mapped environments");
+    println!();
+    println!("usage:");
+    println!("  mmjoin join  [--alg A] [--objects N] [--d D] [--obj-size B]");
+    println!("               [--mem-pages P] [--seed S] [--dist uniform|zipf:T|cross]");
+    println!("               [--env sim|mmap] [--threads]");
+    println!("  mmjoin plan  [--objects N] [--d D] [--obj-size B] [--mem-pages P]");
+    println!("               [--skew X] [--explain A]");
+    println!("  mmjoin calibrate");
+    let names: Vec<&str> = Algo::ALL.iter().map(|a| a.name()).collect();
+    println!();
+    println!("algorithms: {}", names.join(", "));
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let rest = match Args::parse(&argv[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "join" => cmd_join(&rest),
+        "plan" => cmd_plan(&rest),
+        "calibrate" => cmd_calibrate(),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown command '{other}' (join | plan | calibrate | help)"
+        )),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        let owned: Vec<String> = v.iter().map(|s| s.to_string()).collect();
+        Args::parse(&owned).expect("parse")
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = args(&["--alg", "grace", "--threads", "--objects", "100"]);
+        assert_eq!(a.get("alg"), Some("grace"));
+        assert!(a.flag("threads"));
+        assert_eq!(a.get_or("objects", 0u64).unwrap(), 100);
+        assert_eq!(a.get_or("missing", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_positional_and_bad_numbers() {
+        let owned: Vec<String> = vec!["oops".into()];
+        assert!(Args::parse(&owned).is_err());
+        let a = args(&["--objects", "not-a-number"]);
+        assert!(a.get_or("objects", 0u64).is_err());
+    }
+
+    #[test]
+    fn parses_every_algorithm_name() {
+        for alg in Algo::ALL {
+            assert_eq!(parse_alg(alg.name()).unwrap(), alg);
+        }
+        assert!(parse_alg("quantum").is_err());
+    }
+
+    #[test]
+    fn parses_distributions() {
+        assert_eq!(parse_dist("uniform").unwrap(), PointerDist::Uniform);
+        assert_eq!(parse_dist("cross").unwrap(), PointerDist::CrossPartition);
+        match parse_dist("zipf:0.8").unwrap() {
+            PointerDist::Zipf { theta } => assert!((theta - 0.8).abs() < 1e-12),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_dist("zipf:x").is_err());
+        assert!(parse_dist("normal").is_err());
+    }
+
+    #[test]
+    fn workload_defaults_are_valid() {
+        let w = workload_from(&args(&[])).unwrap();
+        w.rel.validate().unwrap();
+        let w = workload_from(&args(&["--d", "2", "--objects", "1000"])).unwrap();
+        assert_eq!(w.rel.d, 2);
+        assert_eq!(w.rel.r_objects, 1000);
+    }
+}

@@ -1,0 +1,562 @@
+//! Execution machinery shared by all join algorithms: the join
+//! specification, result accounting, the shared-buffer batcher, and the
+//! staged parallel driver.
+
+use std::sync::{Arc, Barrier, Mutex};
+
+use mmjoin_env::{Env, EnvError, EnvStats, ProcId, Result, SPtr};
+use mmjoin_relstore::{pair_digest, s_key, Relations};
+
+/// How the `D` Rprocs execute.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum ExecMode {
+    /// One OS thread per Rproc (the real parallel execution; virtual
+    /// clocks still keep per-process time in the simulator).
+    #[default]
+    Threaded,
+    /// Rprocs run one after another — fully deterministic; the natural
+    /// mode for simulator experiments, whose clocks are per-process
+    /// anyway.
+    Sequential,
+}
+
+/// Tunables of one join run.
+#[derive(Clone, Debug)]
+pub struct JoinSpec {
+    /// `M_Rproc_i` in bytes — drives IRUN/NRUN/K choices (and should
+    /// match the simulator's pager budget when running on `SimEnv`).
+    pub m_rproc: u64,
+    /// `M_Sproc_i` in bytes.
+    pub m_sproc: u64,
+    /// `G`: the shared request buffer size in bytes (§5.2 recommends one
+    /// page).
+    pub g_buffer: u64,
+    /// Thread-per-proc or sequential execution.
+    pub mode: ExecMode,
+    /// Synchronize the staggered phases of pass 1 (the ≤0.5% ablation of
+    /// §5.1). Only nested loops consults this.
+    pub sync_phases: bool,
+    /// Scope tag appended to temporary file names so several runs can
+    /// share one environment.
+    pub tag: String,
+}
+
+impl JoinSpec {
+    /// A spec with the given memory budgets and paper-default `G` = one
+    /// 4 KB page.
+    pub fn new(m_rproc: u64, m_sproc: u64) -> Self {
+        JoinSpec {
+            m_rproc,
+            m_sproc,
+            g_buffer: 4096,
+            mode: ExecMode::Threaded,
+            sync_phases: false,
+            tag: String::new(),
+        }
+    }
+
+    /// Same spec with a different scope tag.
+    pub fn with_tag(mut self, tag: &str) -> Self {
+        self.tag = tag.to_string();
+        self
+    }
+
+    /// Same spec with the given execution mode.
+    pub fn with_mode(mut self, mode: ExecMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Temporary-file name scoped to this run.
+    pub fn temp_name(&self, rels: &Relations, base: &str) -> String {
+        let scoped = mmjoin_relstore::names::scoped(&rels.prefix, base);
+        if self.tag.is_empty() {
+            scoped
+        } else {
+            format!("{scoped}#{}", self.tag)
+        }
+    }
+}
+
+/// Join-result accumulator: order-independent, so any production order
+/// verifies against the workload oracle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinAcc {
+    /// Pairs produced.
+    pub pairs: u64,
+    /// Wrapping sum of [`pair_digest`] over all pairs.
+    pub checksum: u64,
+}
+
+impl JoinAcc {
+    /// Record one joined pair.
+    pub fn add(&mut self, r_key: u64, s_key: u64) {
+        self.pairs += 1;
+        self.checksum = self.checksum.wrapping_add(pair_digest(r_key, s_key));
+    }
+
+    /// Merge another accumulator in.
+    pub fn merge(&mut self, other: JoinAcc) {
+        self.pairs += other.pairs;
+        self.checksum = self.checksum.wrapping_add(other.checksum);
+    }
+}
+
+/// Everything a finished join reports.
+#[derive(Clone, Debug)]
+pub struct JoinOutput {
+    /// Total joined pairs across all Rprocs.
+    pub pairs: u64,
+    /// Order-independent checksum (must equal the workload's
+    /// `expected_checksum`).
+    pub checksum: u64,
+    /// Elapsed time: max over Rproc clocks (virtual seconds on the
+    /// simulator, wall seconds on the real store).
+    pub elapsed: f64,
+    /// Full per-process counters.
+    pub stats: EnvStats,
+    /// Max-over-procs completion time of each stage boundary, in order.
+    pub stage_times: Vec<(String, f64)>,
+}
+
+/// The request batcher implementing §5.1's shared buffer of size `G`:
+/// `(R-object, sptr)` pairs accumulate until only room for the matching
+/// S-objects remains, then one exchange with the owning `Sproc` fetches
+/// and joins them.
+pub struct SBatcher<'e, E: Env> {
+    env: &'e E,
+    proc: ProcId,
+    spart: u32,
+    cap: usize,
+    req_bytes_each: u64,
+    pending: Vec<(u64, SPtr)>,
+    fetch_buf: Vec<u8>,
+    s_size: usize,
+}
+
+impl<'e, E: Env> SBatcher<'e, E> {
+    /// A batcher talking to `Sproc_{spart}`.
+    pub fn new(env: &'e E, proc: ProcId, spart: u32, rels: &Relations, g_buffer: u64) -> Self {
+        let r = rels.rel.r_size as u64;
+        let s = rels.rel.s_size as u64;
+        let sptr = mmjoin_relstore::SPTR_SIZE as u64;
+        let cap = (g_buffer / (r + sptr + s)).max(1) as usize;
+        SBatcher {
+            env,
+            proc,
+            spart,
+            cap,
+            req_bytes_each: r + sptr,
+            pending: Vec::with_capacity(cap),
+            fetch_buf: Vec::new(),
+            s_size: rels.rel.s_size as usize,
+        }
+    }
+
+    /// Objects per exchange.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Queue one R-object (by key) and its join pointer; joins the whole
+    /// batch into `acc` when the buffer fills.
+    pub fn add(&mut self, r_key: u64, ptr: SPtr, acc: &mut JoinAcc) -> Result<()> {
+        self.pending.push((r_key, ptr));
+        if self.pending.len() >= self.cap {
+            self.flush(acc)?;
+        }
+        Ok(())
+    }
+
+    /// Exchange any queued requests with the Sproc and join the results.
+    pub fn flush(&mut self, acc: &mut JoinAcc) -> Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        self.fetch_buf.clear();
+        let ptrs: Vec<SPtr> = self.pending.iter().map(|&(_, p)| p).collect();
+        self.env.s_fetch_batch(
+            self.proc,
+            self.spart,
+            &ptrs,
+            self.req_bytes_each,
+            &mut self.fetch_buf,
+        )?;
+        for (k, (r_key, _)) in self.pending.iter().enumerate() {
+            let obj = &self.fetch_buf[k * self.s_size..(k + 1) * self.s_size];
+            acc.add(*r_key, s_key(obj));
+        }
+        self.pending.clear();
+        Ok(())
+    }
+}
+
+/// Run `stages` staged steps across `d` Rprocs with barriers at stage
+/// boundaries. The closure receives `(stage, partition, state)` and runs
+/// either on `d` scoped threads or sequentially.
+///
+/// On error, the failing proc records it and keeps meeting barriers (so
+/// threaded peers cannot deadlock); the first error is returned.
+pub fn run_stages<E, S, I, F>(
+    env: &E,
+    d: u32,
+    mode: ExecMode,
+    stages: usize,
+    init: I,
+    stage_fn: F,
+) -> Result<(Vec<S>, Vec<Vec<f64>>)>
+where
+    E: Env,
+    S: Send,
+    I: Fn(u32) -> S + Sync,
+    F: Fn(usize, u32, &mut S) -> Result<()> + Sync,
+{
+    match mode {
+        ExecMode::Sequential => {
+            let mut states: Vec<S> = (0..d).map(&init).collect();
+            let mut times = vec![Vec::with_capacity(stages); d as usize];
+            for stage in 0..stages {
+                for (i, state) in states.iter_mut().enumerate() {
+                    stage_fn(stage, i as u32, state)?;
+                    times[i].push(env.now(ProcId(i as u32)));
+                }
+            }
+            Ok((states, times))
+        }
+        ExecMode::Threaded => {
+            let barrier = Barrier::new(d as usize);
+            let failure: Mutex<Option<EnvError>> = Mutex::new(None);
+            let mut out: Vec<Option<(S, Vec<f64>)>> = (0..d).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for i in 0..d {
+                    let init = &init;
+                    let stage_fn = &stage_fn;
+                    let barrier = &barrier;
+                    let failure = &failure;
+                    handles.push(scope.spawn(move || {
+                        let mut state = init(i);
+                        let mut times = Vec::with_capacity(stages);
+                        let mut dead = false;
+                        for stage in 0..stages {
+                            if !dead && failure.lock().expect("lock").is_none() {
+                                if let Err(e) = stage_fn(stage, i, &mut state) {
+                                    *failure.lock().expect("lock") = Some(e);
+                                    dead = true;
+                                }
+                            }
+                            times.push(env.now(ProcId(i)));
+                            barrier.wait();
+                        }
+                        (state, times)
+                    }));
+                }
+                for (i, h) in handles.into_iter().enumerate() {
+                    out[i] = Some(h.join().expect("rproc thread panicked"));
+                }
+            });
+            if let Some(e) = failure.into_inner().expect("lock") {
+                return Err(e);
+            }
+            let mut states = Vec::with_capacity(d as usize);
+            let mut times = Vec::with_capacity(d as usize);
+            for slot in out {
+                let (s, t) = slot.expect("all threads joined");
+                states.push(s);
+                times.push(t);
+            }
+            Ok((states, times))
+        }
+    }
+}
+
+/// Fold per-proc stage completion times into max-over-procs boundaries.
+pub fn stage_summary(names: &[&str], times: &[Vec<f64>]) -> Vec<(String, f64)> {
+    names
+        .iter()
+        .enumerate()
+        .map(|(s, name)| {
+            let t = times
+                .iter()
+                .map(|per_proc| per_proc.get(s).copied().unwrap_or(0.0))
+                .fold(0.0, f64::max);
+            (name.to_string(), t)
+        })
+        .collect()
+}
+
+/// Assemble the final output once all procs finished.
+pub fn finish<E: Env>(
+    env: &E,
+    d: u32,
+    accs: impl IntoIterator<Item = JoinAcc>,
+    stage_times: Vec<(String, f64)>,
+) -> JoinOutput {
+    let mut total = JoinAcc::default();
+    for acc in accs {
+        total.merge(acc);
+    }
+    let stats = env.stats();
+    JoinOutput {
+        pairs: total.pairs,
+        checksum: total.checksum,
+        elapsed: stats.elapsed_rprocs(d),
+        stats,
+        stage_times,
+    }
+}
+
+/// The pass-1 phase partner: paper §5.1's `offset(i, t) = ((i + t − 1)
+/// mod D) + 1` in 1-based indexing; 0-based it is `(i + t) mod D`.
+/// During phase `t`, each `S_j` is wanted by exactly one Rproc.
+pub fn phase_partner(i: u32, t: u32, d: u32) -> u32 {
+    debug_assert!(t >= 1 && t < d);
+    (i + t) % d
+}
+
+/// Shared slot registry: lets Rproc `i` publish a handle (e.g. the
+/// chunked `RS_i`) during setup, and every proc retrieve it after the
+/// setup barrier.
+pub struct SharedSlots<T> {
+    slots: Vec<Mutex<Option<T>>>,
+}
+
+impl<T: Clone> SharedSlots<T> {
+    /// `d` empty slots.
+    pub fn new(d: u32) -> Arc<Self> {
+        Arc::new(SharedSlots {
+            slots: (0..d).map(|_| Mutex::new(None)).collect(),
+        })
+    }
+
+    /// Publish slot `i`.
+    pub fn publish(&self, i: u32, value: T) {
+        *self.slots[i as usize].lock().expect("slot lock") = Some(value);
+    }
+
+    /// Retrieve slot `i` (must have been published).
+    pub fn get(&self, i: u32) -> T {
+        self.slots[i as usize]
+            .lock()
+            .expect("slot lock")
+            .clone()
+            .expect("slot published before use")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_partner_covers_all_without_collision() {
+        let d = 5;
+        for t in 1..d {
+            let partners: Vec<u32> = (0..d).map(|i| phase_partner(i, t, d)).collect();
+            let mut sorted = partners.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..d).collect::<Vec<_>>(), "phase {t}");
+            for (i, &j) in partners.iter().enumerate() {
+                assert_ne!(i as u32, j, "a proc never phases with itself");
+            }
+        }
+        // Across all phases, every proc meets every other partition
+        // exactly once.
+        for i in 0..d {
+            let mut seen: Vec<u32> = (1..d).map(|t| phase_partner(i, t, d)).collect();
+            seen.sort_unstable();
+            let expect: Vec<u32> = (0..d).filter(|&j| j != i).collect();
+            assert_eq!(seen, expect);
+        }
+    }
+
+    #[test]
+    fn join_acc_is_order_independent() {
+        let mut a = JoinAcc::default();
+        a.add(1, 10);
+        a.add(2, 20);
+        let mut b = JoinAcc::default();
+        b.add(2, 20);
+        b.add(1, 10);
+        assert_eq!(a, b);
+        let mut c = JoinAcc::default();
+        c.merge(a);
+        assert_eq!(c.pairs, 2);
+    }
+
+    #[test]
+    fn stage_summary_takes_max() {
+        let times = vec![vec![1.0, 5.0], vec![2.0, 3.0]];
+        let s = stage_summary(&["a", "b"], &times);
+        assert_eq!(s[0], ("a".to_string(), 2.0));
+        assert_eq!(s[1], ("b".to_string(), 5.0));
+    }
+
+    #[test]
+    fn shared_slots_roundtrip() {
+        let slots = SharedSlots::new(2);
+        slots.publish(1, "x");
+        assert_eq!(slots.get(1), "x");
+    }
+
+    use mmjoin_env::{DiskId, Env, EnvError, ProcId, SPtr};
+    use mmjoin_vmsim::{SimConfig, SimEnv};
+
+    fn env_with_s(d: u32) -> (SimEnv, mmjoin_relstore::Relations) {
+        let mut cfg = SimConfig::waterloo96(d);
+        cfg.rproc_pages = 16;
+        cfg.sproc_pages = 16;
+        let env = SimEnv::new(cfg).unwrap();
+        let rels = mmjoin_relstore::build(
+            &env,
+            &mmjoin_relstore::WorkloadSpec {
+                rel: mmjoin_relstore::RelConfig {
+                    r_size: 64,
+                    s_size: 64,
+                    d,
+                    r_objects: 200 * d as u64,
+                    s_objects: 200 * d as u64,
+                },
+                dist: mmjoin_relstore::PointerDist::Uniform,
+                seed: 4,
+                prefix: String::new(),
+            },
+        )
+        .unwrap();
+        env.register_s(rels.catalog.clone()).unwrap();
+        (env, rels)
+    }
+
+    #[test]
+    fn sbatcher_flushes_exactly_at_capacity() {
+        let (env, rels) = env_with_s(1);
+        let proc = ProcId(0);
+        let mut b = SBatcher::new(&env, proc, 0, &rels, 4096);
+        let cap = b.capacity();
+        // G = 4096, unit = 64 + 8 + 64 = 136 → 30 objects per exchange.
+        assert_eq!(cap, 4096 / 136);
+        let mut acc = JoinAcc::default();
+        let pb = rels.rel.s_part_bytes();
+        for k in 0..cap as u64 {
+            b.add(k, SPtr::new(0, (k % 200) * 64, pb), &mut acc)
+                .unwrap();
+        }
+        // Exactly one exchange happened, unprompted.
+        assert_eq!(env.stats().procs[0].s_batches, 1);
+        assert_eq!(acc.pairs, cap as u64);
+        // Nothing pending: flush is a no-op.
+        b.flush(&mut acc).unwrap();
+        assert_eq!(env.stats().procs[0].s_batches, 1);
+        // One more object needs one more exchange at flush time.
+        b.add(7, SPtr::new(0, 0, pb), &mut acc).unwrap();
+        b.flush(&mut acc).unwrap();
+        assert_eq!(env.stats().procs[0].s_batches, 2);
+        assert_eq!(acc.pairs, cap as u64 + 1);
+    }
+
+    #[test]
+    fn sbatcher_joins_correct_s_keys() {
+        let (env, rels) = env_with_s(1);
+        let proc = ProcId(0);
+        let mut b = SBatcher::new(&env, proc, 0, &rels, 4096);
+        let mut acc = JoinAcc::default();
+        let pb = rels.rel.s_part_bytes();
+        // Point r_key 5 at S-object 17: digest must match the oracle's.
+        b.add(5, SPtr::new(0, 17 * 64, pb), &mut acc).unwrap();
+        b.flush(&mut acc).unwrap();
+        assert_eq!(acc.pairs, 1);
+        assert_eq!(acc.checksum, mmjoin_relstore::pair_digest(5, 17));
+    }
+
+    #[test]
+    fn run_stages_sequential_stops_at_first_error() {
+        let mut cfg = SimConfig::waterloo96(2);
+        cfg.rproc_pages = 4;
+        let env = SimEnv::new(cfg).unwrap();
+        let calls = std::sync::atomic::AtomicU32::new(0);
+        let r = run_stages(
+            &env,
+            2,
+            ExecMode::Sequential,
+            3,
+            |_| 0u32,
+            |stage, i, _state| {
+                calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if stage == 1 && i == 0 {
+                    Err(EnvError::InvalidConfig("boom".into()))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert!(r.is_err());
+        // Stage 0 ran for both procs, stage 1 only for proc 0.
+        assert_eq!(calls.load(std::sync::atomic::Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn run_stages_threaded_propagates_error_without_deadlock() {
+        let mut cfg = SimConfig::waterloo96(4);
+        cfg.rproc_pages = 4;
+        let env = SimEnv::new(cfg).unwrap();
+        let r = run_stages(
+            &env,
+            4,
+            ExecMode::Threaded,
+            5,
+            |_| (),
+            |stage, i, _state| {
+                if stage == 2 && i == 3 {
+                    Err(EnvError::InvalidConfig("late failure".into()))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        match r {
+            Err(EnvError::InvalidConfig(msg)) => assert_eq!(msg, "late failure"),
+            other => panic!("expected the injected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_stages_threaded_runs_every_proc_per_stage() {
+        let mut cfg = SimConfig::waterloo96(3);
+        cfg.rproc_pages = 4;
+        let env = SimEnv::new(cfg).unwrap();
+        let (states, times) = run_stages(
+            &env,
+            3,
+            ExecMode::Threaded,
+            4,
+            |i| vec![i],
+            |stage, _i, state: &mut Vec<u32>| {
+                state.push(stage as u32 + 100);
+                Ok(())
+            },
+        )
+        .unwrap();
+        for (i, st) in states.iter().enumerate() {
+            assert_eq!(st[0], i as u32, "states returned in proc order");
+            assert_eq!(&st[1..], &[100, 101, 102, 103]);
+        }
+        assert_eq!(times.len(), 3);
+        assert!(times.iter().all(|t| t.len() == 4));
+    }
+
+    #[test]
+    fn temp_names_scope_by_tag_and_prefix() {
+        let (_env, mut rels) = env_with_s(1);
+        let spec = JoinSpec::new(1, 1).with_tag("t1");
+        assert_eq!(spec.temp_name(&rels, "RP_0"), "RP_0#t1");
+        rels.prefix = "w".into();
+        assert_eq!(spec.temp_name(&rels, "RP_0"), "w.RP_0#t1");
+        let untagged = JoinSpec::new(1, 1);
+        assert_eq!(untagged.temp_name(&rels, "RS_2"), "w.RS_2");
+    }
+
+    // Silence unused-import warnings in configurations where some
+    // helpers are exercised only by a subset of tests.
+    #[allow(unused)]
+    fn _touch(_: DiskId) {}
+}

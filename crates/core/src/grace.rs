@@ -1,0 +1,269 @@
+//! Parallel pointer-based Grace join (paper §7).
+//!
+//! Re-partitioning (passes 0/1) works like sort-merge, but each R-object
+//! is *hashed* into one of `K` buckets of its target `RS_j`. The hash is
+//! a **range partition of the virtual pointer**, so "each hash bucket
+//! contains monotonically increasing locations in S_i" (§7) — which is
+//! what lets the per-bucket join passes read `S_i` (near-)sequentially
+//! with no hashing of `S` at all.
+//!
+//! Pass `1+j` loads bucket `j` into an in-memory hash table of `TSIZE`
+//! chains whose second-level hash is also range-based, then walks the
+//! table in slot order: pointers come out ascending, common references
+//! share a chain (so each S-object is fetched while its page is hot),
+//! and the joins flow through the shared buffer.
+
+use mmjoin_env::{CpuOp, DiskId, Env, MoveKind, ProcId, Result, SPtr};
+use mmjoin_model::{choose_k, choose_tsize};
+use mmjoin_relstore::{chunked_capacity, names, r_key, r_sptr, ChunkedFile, ObjScan, Relations};
+
+use crate::exec::{
+    finish, phase_partner, run_stages, stage_summary, JoinAcc, JoinOutput, JoinSpec, SBatcher,
+    SharedSlots,
+};
+
+struct GraceState<E: Env> {
+    acc: JoinAcc,
+    rf: Option<E::File>,
+    rp: Option<ChunkedFile<E::File>>,
+    rs: Option<ChunkedFile<E::File>>,
+}
+
+/// The two-level range hash: bucket within the partition, then chain
+/// within the bucket. Both preserve pointer (= storage) order.
+#[derive(Clone, Copy, Debug)]
+pub struct RangeHash {
+    part_bytes: u64,
+    k: u64,
+    tsize: u64,
+}
+
+impl RangeHash {
+    /// Build the hash for `k` buckets over partitions of `part_bytes`
+    /// bytes, with `tsize`-slot tables.
+    pub fn new(part_bytes: u64, k: u64, tsize: u64) -> Self {
+        RangeHash {
+            part_bytes,
+            k,
+            tsize,
+        }
+    }
+
+    /// First-level hash: which bucket of `RS_j`.
+    pub fn bucket(&self, ptr: SPtr) -> u32 {
+        let off = ptr.offset(self.part_bytes) as u128;
+        ((off * self.k as u128) / self.part_bytes as u128).min(self.k as u128 - 1) as u32
+    }
+
+    /// Second-level hash: which chain of the in-memory table.
+    pub fn chain(&self, ptr: SPtr) -> u32 {
+        let off = ptr.offset(self.part_bytes) as u128;
+        let within = (off * self.k as u128) % self.part_bytes as u128;
+        ((within * self.tsize as u128) / self.part_bytes as u128).min(self.tsize as u128 - 1) as u32
+    }
+}
+
+/// `|RS_i|` estimate for bucket-area capacity.
+fn rs_objects(rels: &Relations, i: u32) -> u64 {
+    (0..rels.rel.d).map(|k| rels.sub_count(k, i)).sum()
+}
+
+/// The `K` the implementation (and the model) uses for this spec.
+pub fn k_for(rels: &Relations, spec: &JoinSpec) -> u64 {
+    let worst_rs = (0..rels.rel.d)
+        .map(|i| rs_objects(rels, i))
+        .max()
+        .unwrap_or(1);
+    choose_k(worst_rs, rels.rel.r_size, spec.m_rproc)
+}
+
+/// Execute the join (S catalog must be registered).
+pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOutput> {
+    let d = rels.rel.d;
+    let page = env.page_size();
+    let r_size = rels.rel.r_size;
+    let k = k_for(rels, spec);
+    let slots: std::sync::Arc<SharedSlots<ChunkedFile<E::File>>> = SharedSlots::new(d);
+
+    // Stages: setup | pass0 | phase 1..d-1 | per-bucket join.
+    let stages = 2 + (d as usize - 1) + 1;
+
+    let (states, times) = run_stages(
+        env,
+        d,
+        spec.mode,
+        stages,
+        |_| GraceState::<E> {
+            acc: JoinAcc::default(),
+            rf: None,
+            rp: None,
+            rs: None,
+        },
+        |stage, i, state: &mut GraceState<E>| {
+            let proc = ProcId::rproc(i);
+            match stage {
+                0 => {
+                    // ---- setup ----
+                    state.rf = Some(env.open_file(proc, &rels.r_files[i as usize])?);
+                    let _sf = env.open_file(proc, &rels.s_files[i as usize])?;
+                    let rp_capacity = chunked_capacity(rels.rel.r_per_part(), r_size, d, page);
+                    let rp_file = env.create_file(
+                        proc,
+                        &spec.temp_name(rels, &names::rp(i)),
+                        DiskId(i),
+                        rp_capacity,
+                    )?;
+                    state.rp = Some(ChunkedFile::new(rp_file, d, r_size, page)?);
+
+                    let rs_capacity = chunked_capacity(rs_objects(rels, i), r_size, k as u32, page);
+                    let rs_file = env.create_file(
+                        proc,
+                        &spec.temp_name(rels, &names::rs(i)),
+                        DiskId(i),
+                        rs_capacity,
+                    )?;
+                    let rs = ChunkedFile::new(rs_file, k as u32, r_size, page)?;
+                    slots.publish(i, rs.clone());
+                    state.rs = Some(rs);
+                    Ok(())
+                }
+                1 => {
+                    // ---- pass 0: split R_i, hashing R_(i,i) ----
+                    let rf = state.rf.clone().expect("setup ran");
+                    let part_bytes = rels.rel.s_part_bytes();
+                    let hash = RangeHash::new(part_bytes, k, 1);
+                    let rp = state.rp.as_ref().expect("setup ran").clone();
+                    let rs = state.rs.as_ref().expect("setup ran").clone();
+                    let mut scan = ObjScan::new(&rf, 0, r_size, rels.rel.r_per_part());
+                    let mut obj = vec![0u8; r_size as usize];
+                    while scan.next_into(proc, &mut obj)? {
+                        env.cpu(proc, CpuOp::Map, 1);
+                        let ptr = r_sptr(&obj);
+                        let j = ptr.partition(part_bytes);
+                        if j == i {
+                            env.cpu(proc, CpuOp::Hash, 1);
+                            rs.append(proc, hash.bucket(ptr), &obj)?;
+                        } else {
+                            rp.append(proc, j, &obj)?;
+                        }
+                        env.move_bytes(proc, MoveKind::PP, r_size as u64);
+                    }
+                    Ok(())
+                }
+                s if s < stages - 1 => {
+                    // ---- pass 1, staggered phase t ----
+                    let t = (s - 1) as u32;
+                    let j = phase_partner(i, t, d);
+                    let part_bytes = rels.rel.s_part_bytes();
+                    let hash = RangeHash::new(part_bytes, k, 1);
+                    let rp = state.rp.as_ref().expect("pass 0 ran");
+                    let rs_j = slots.get(j);
+                    let mut reader = rp.stream_reader(j);
+                    let mut obj = vec![0u8; r_size as usize];
+                    while reader.next_into(proc, &mut obj)? {
+                        env.cpu(proc, CpuOp::Hash, 1);
+                        let ptr = r_sptr(&obj);
+                        rs_j.append(proc, hash.bucket(ptr), &obj)?;
+                        env.move_bytes(proc, MoveKind::PP, r_size as u64);
+                    }
+                    Ok(())
+                }
+                _ => bucket_join(env, rels, spec, i, k, state),
+            }
+        },
+    )?;
+
+    let mut names: Vec<String> = vec!["setup".into(), "pass0".into()];
+    names.extend((1..d).map(|t| format!("phase{t}")));
+    names.push("bucket-join".into());
+    let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let summary = stage_summary(&refs, &times);
+    Ok(finish(env, d, states.into_iter().map(|s| s.acc), summary))
+}
+
+/// Pass `1+j` for every bucket: build the `TSIZE`-chain table, walk it
+/// in order, join through `Sproc_i`.
+fn bucket_join<E: Env>(
+    env: &E,
+    rels: &Relations,
+    spec: &JoinSpec,
+    i: u32,
+    k: u64,
+    state: &mut GraceState<E>,
+) -> Result<()> {
+    let proc = ProcId::rproc(i);
+    let rs = state.rs.take().expect("setup ran");
+    let part_bytes = rels.rel.s_part_bytes();
+    let mut batcher = SBatcher::new(env, proc, i, rels, spec.g_buffer);
+    let mut obj = vec![0u8; rels.rel.r_size as usize];
+    for bucket in 0..k as u32 {
+        let len = rs.stream_len(bucket);
+        if len == 0 {
+            continue;
+        }
+        let tsize = choose_tsize(len);
+        let hash = RangeHash::new(part_bytes, k, tsize);
+        let mut table: Vec<Vec<(SPtr, u64)>> = vec![Vec::new(); tsize as usize];
+        let mut reader = rs.stream_reader(bucket);
+        while reader.next_into(proc, &mut obj)? {
+            env.cpu(proc, CpuOp::Hash, 1);
+            let ptr = r_sptr(&obj);
+            table[hash.chain(ptr) as usize].push((ptr, r_key(&obj)));
+        }
+        // Process the table in order: slot ranges are disjoint and
+        // ascending; sorting within a chain keeps common references
+        // adjacent so each S-object is fetched while its page is hot.
+        for chain in &mut table {
+            if chain.is_empty() {
+                continue;
+            }
+            chain.sort_unstable_by_key(|&(ptr, _)| ptr);
+            for &(ptr, r_key) in chain.iter() {
+                batcher.add(r_key, ptr, &mut state.acc)?;
+            }
+        }
+    }
+    batcher.flush(&mut state.acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_hash_buckets_are_monotone_in_pointer() {
+        let h = RangeHash::new(1 << 20, 16, 64);
+        let mut prev_bucket = 0;
+        for step in 0..200u64 {
+            let ptr = SPtr(step * ((1 << 20) / 200));
+            let b = h.bucket(ptr);
+            assert!(b >= prev_bucket, "bucket order broke at {ptr}");
+            assert!(b < 16);
+            prev_bucket = b;
+        }
+    }
+
+    #[test]
+    fn range_hash_chain_is_monotone_within_bucket() {
+        let h = RangeHash::new(1 << 20, 16, 64);
+        // Walk pointers inside bucket 3.
+        let span = (1u64 << 20) / 16;
+        let mut prev_chain = 0;
+        for step in 0..100u64 {
+            let ptr = SPtr(3 * span + step * span / 100);
+            assert_eq!(h.bucket(ptr), 3);
+            let c = h.chain(ptr);
+            assert!(c >= prev_chain, "chain order broke at {ptr}");
+            assert!(c < 64);
+            prev_chain = c;
+        }
+    }
+
+    #[test]
+    fn range_hash_last_byte_stays_in_range() {
+        let h = RangeHash::new(4096, 4, 8);
+        let ptr = SPtr(4095);
+        assert_eq!(h.bucket(ptr), 3);
+        assert!(h.chain(ptr) < 8);
+    }
+}

@@ -1,0 +1,331 @@
+//! Parallel pointer-based **hybrid-hash** join — the paper's named
+//! future work (§7: "Modelling of other more modern hash-based join
+//! algorithms will be done in future work"), built from Shekita &
+//! Carey's single-site hybrid hash \[33\] the way the paper built its
+//! Grace variant.
+//!
+//! Hybrid hash improves Grace by holding the first bucket *in memory*:
+//! objects hashing into bucket 0 never take the disk round-trip through
+//! `RS`. In the pointer-based setting the "in-memory bucket" is a
+//! *range of `S`*: bucket 0 covers the first `f₀` fraction of each `S`
+//! partition — sized so that range fits comfortably in the owning
+//! `Sproc`'s buffer — and R-objects pointing into it are joined
+//! immediately through the shared buffer during passes 0 and 1, while
+//! their page of `S` stays hot. Only the remaining `K` buckets are
+//! written to `RS_i` and joined bucket-by-bucket as in Grace.
+//!
+//! The phase staggering keeps the immediate joins contention-free: in
+//! any phase, `S_j` (bucket-0 range included) is touched by exactly one
+//! Rproc.
+
+use mmjoin_env::{CpuOp, DiskId, Env, MoveKind, ProcId, Result, SPtr};
+use mmjoin_model::{choose_k, choose_tsize};
+use mmjoin_relstore::{chunked_capacity, names, r_key, r_sptr, ChunkedFile, ObjScan, Relations};
+
+use crate::exec::{
+    finish, phase_partner, run_stages, stage_summary, JoinAcc, JoinOutput, JoinSpec, SBatcher,
+    SharedSlots,
+};
+
+/// The memory-resident fraction `f₀` of each `S` partition and the
+/// on-disk bucket layout for the rest.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridPlan {
+    /// Bytes of each `S` partition covered by the in-memory bucket.
+    pub f0_bytes: u64,
+    /// Fraction of the partition held in memory.
+    pub f0: f64,
+    /// Grace buckets over the remaining range.
+    pub k: u64,
+}
+
+/// Choose `f₀` and `K` (§7.2 style): bucket 0 covers as much of `S` as
+/// half the `Sproc` buffer can cache; the rest gets Grace's `K`.
+pub fn plan_for(rels: &Relations, spec: &JoinSpec) -> HybridPlan {
+    let part_bytes = rels.rel.s_part_bytes();
+    let budget = spec.m_sproc / 2;
+    let f0_bytes = budget.min(part_bytes);
+    let f0 = f0_bytes as f64 / part_bytes as f64;
+    // Worst-case spill objects: |RS_i| · (1 − f0).
+    let worst_rs = (0..rels.rel.d)
+        .map(|i| (0..rels.rel.d).map(|k| rels.sub_count(k, i)).sum::<u64>())
+        .max()
+        .unwrap_or(1);
+    let spill = ((worst_rs as f64) * (1.0 - f0)).ceil().max(1.0) as u64;
+    HybridPlan {
+        f0_bytes,
+        f0,
+        k: choose_k(spill, rels.rel.r_size, spec.m_rproc),
+    }
+}
+
+/// Two-level routing: in-memory range or spill bucket.
+#[derive(Clone, Copy, Debug)]
+pub struct HybridHashFn {
+    part_bytes: u64,
+    f0_bytes: u64,
+    k: u64,
+}
+
+impl HybridHashFn {
+    /// Build the router for the given plan.
+    pub fn new(part_bytes: u64, plan: &HybridPlan) -> Self {
+        HybridHashFn {
+            part_bytes,
+            f0_bytes: plan.f0_bytes,
+            k: plan.k,
+        }
+    }
+
+    /// `None` = bucket 0 (join immediately); `Some(b)` = spill bucket.
+    /// Spill buckets, like Grace's, hold monotonically increasing `S`
+    /// locations.
+    pub fn route(&self, ptr: SPtr) -> Option<u32> {
+        let off = ptr.offset(self.part_bytes);
+        if off < self.f0_bytes {
+            return None;
+        }
+        let span = self.part_bytes - self.f0_bytes;
+        let within = (off - self.f0_bytes) as u128;
+        Some(((within * self.k as u128) / span as u128).min(self.k as u128 - 1) as u32)
+    }
+
+    /// Second-level hash over the spill range: which chain of a
+    /// `tsize`-slot table a pointer lands in, monotone *within its
+    /// spill bucket* (so the table is processed in ascending `S`
+    /// order, like Grace's).
+    pub fn chain(&self, ptr: SPtr, tsize: u64) -> u32 {
+        let span = (self.part_bytes - self.f0_bytes).max(1);
+        let off = ptr.offset(self.part_bytes).saturating_sub(self.f0_bytes) as u128;
+        let within_bucket = (off * self.k as u128) % span as u128;
+        ((within_bucket * tsize as u128) / span as u128).min(tsize as u128 - 1) as u32
+    }
+}
+
+struct HybridState<E: Env> {
+    acc: JoinAcc,
+    rf: Option<E::File>,
+    rp: Option<ChunkedFile<E::File>>,
+    rs: Option<ChunkedFile<E::File>>,
+}
+
+/// Execute the join (S catalog must be registered).
+pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOutput> {
+    let d = rels.rel.d;
+    let page = env.page_size();
+    let r_size = rels.rel.r_size;
+    let plan = plan_for(rels, spec);
+    let part_bytes = rels.rel.s_part_bytes();
+    let hash = HybridHashFn::new(part_bytes, &plan);
+    let slots: std::sync::Arc<SharedSlots<ChunkedFile<E::File>>> = SharedSlots::new(d);
+
+    // Stages: setup | pass0 | phase 1..d-1 | spill-bucket join.
+    let stages = 2 + (d as usize - 1) + 1;
+
+    let (states, times) = run_stages(
+        env,
+        d,
+        spec.mode,
+        stages,
+        |_| HybridState::<E> {
+            acc: JoinAcc::default(),
+            rf: None,
+            rp: None,
+            rs: None,
+        },
+        |stage, i, state: &mut HybridState<E>| {
+            let proc = ProcId::rproc(i);
+            match stage {
+                0 => {
+                    state.rf = Some(env.open_file(proc, &rels.r_files[i as usize])?);
+                    let _sf = env.open_file(proc, &rels.s_files[i as usize])?;
+                    let rp_capacity = chunked_capacity(rels.rel.r_per_part(), r_size, d, page);
+                    let rp_file = env.create_file(
+                        proc,
+                        &spec.temp_name(rels, &names::rp(i)),
+                        DiskId(i),
+                        rp_capacity,
+                    )?;
+                    state.rp = Some(ChunkedFile::new(rp_file, d, r_size, page)?);
+                    let rs_objects: u64 = (0..d).map(|k| rels.sub_count(k, i)).sum();
+                    let rs_capacity = chunked_capacity(rs_objects, r_size, plan.k as u32, page);
+                    let rs_file = env.create_file(
+                        proc,
+                        &spec.temp_name(rels, &names::rs(i)),
+                        DiskId(i),
+                        rs_capacity,
+                    )?;
+                    let rs = ChunkedFile::new(rs_file, plan.k as u32, r_size, page)?;
+                    slots.publish(i, rs.clone());
+                    state.rs = Some(rs);
+                    Ok(())
+                }
+                1 => {
+                    // ---- pass 0: split R_i; bucket-0 pointers into S_i
+                    // join immediately, spill buckets go to RS_i ----
+                    let rf = state.rf.clone().expect("setup ran");
+                    let rp = state.rp.as_ref().expect("setup ran").clone();
+                    let rs = state.rs.as_ref().expect("setup ran").clone();
+                    let mut batcher = SBatcher::new(env, proc, i, rels, spec.g_buffer);
+                    let mut scan = ObjScan::new(&rf, 0, r_size, rels.rel.r_per_part());
+                    let mut obj = vec![0u8; r_size as usize];
+                    while scan.next_into(proc, &mut obj)? {
+                        env.cpu(proc, CpuOp::Map, 1);
+                        let ptr = r_sptr(&obj);
+                        let j = ptr.partition(part_bytes);
+                        if j == i {
+                            env.cpu(proc, CpuOp::Hash, 1);
+                            match hash.route(ptr) {
+                                None => batcher.add(r_key(&obj), ptr, &mut state.acc)?,
+                                Some(b) => {
+                                    rs.append(proc, b, &obj)?;
+                                    env.move_bytes(proc, MoveKind::PP, r_size as u64);
+                                }
+                            }
+                        } else {
+                            rp.append(proc, j, &obj)?;
+                            env.move_bytes(proc, MoveKind::PP, r_size as u64);
+                        }
+                    }
+                    batcher.flush(&mut state.acc)
+                }
+                s if s < stages - 1 => {
+                    // ---- pass 1, phase t: drain RP_(i,partner); route
+                    // each object to an immediate join or a spill bucket
+                    // of the partner's RS ----
+                    let t = (s - 1) as u32;
+                    let j = phase_partner(i, t, d);
+                    let rp = state.rp.as_ref().expect("pass 0 ran");
+                    let rs_j = slots.get(j);
+                    let mut batcher = SBatcher::new(env, proc, j, rels, spec.g_buffer);
+                    let mut reader = rp.stream_reader(j);
+                    let mut obj = vec![0u8; r_size as usize];
+                    while reader.next_into(proc, &mut obj)? {
+                        env.cpu(proc, CpuOp::Hash, 1);
+                        let ptr = r_sptr(&obj);
+                        match hash.route(ptr) {
+                            None => batcher.add(r_key(&obj), ptr, &mut state.acc)?,
+                            Some(b) => {
+                                rs_j.append(proc, b, &obj)?;
+                                env.move_bytes(proc, MoveKind::PP, r_size as u64);
+                            }
+                        }
+                    }
+                    batcher.flush(&mut state.acc)
+                }
+                _ => spill_join(env, rels, spec, i, &plan, state),
+            }
+        },
+    )?;
+
+    let mut stage_names: Vec<String> = vec!["setup".into(), "pass0".into()];
+    stage_names.extend((1..d).map(|t| format!("phase{t}")));
+    stage_names.push("spill-join".into());
+    let refs: Vec<&str> = stage_names.iter().map(|s| s.as_str()).collect();
+    let summary = stage_summary(&refs, &times);
+    Ok(finish(env, d, states.into_iter().map(|s| s.acc), summary))
+}
+
+/// Grace-style per-bucket join over the spilled buckets only.
+fn spill_join<E: Env>(
+    env: &E,
+    rels: &Relations,
+    spec: &JoinSpec,
+    i: u32,
+    plan: &HybridPlan,
+    state: &mut HybridState<E>,
+) -> Result<()> {
+    let proc = ProcId::rproc(i);
+    let rs = state.rs.take().expect("setup ran");
+    let part_bytes = rels.rel.s_part_bytes();
+    let mut batcher = SBatcher::new(env, proc, i, rels, spec.g_buffer);
+    let mut obj = vec![0u8; rels.rel.r_size as usize];
+    for bucket in 0..plan.k as u32 {
+        let len = rs.stream_len(bucket);
+        if len == 0 {
+            continue;
+        }
+        let tsize = choose_tsize(len);
+        let hash = HybridHashFn::new(part_bytes, plan);
+        let mut table: Vec<Vec<(SPtr, u64)>> = vec![Vec::new(); tsize as usize];
+        let mut reader = rs.stream_reader(bucket);
+        while reader.next_into(proc, &mut obj)? {
+            env.cpu(proc, CpuOp::Hash, 1);
+            let ptr = r_sptr(&obj);
+            table[hash.chain(ptr, tsize) as usize].push((ptr, r_key(&obj)));
+        }
+        for chain in &mut table {
+            if chain.is_empty() {
+                continue;
+            }
+            chain.sort_unstable_by_key(|&(ptr, _)| ptr);
+            for &(ptr, key) in chain.iter() {
+                batcher.add(key, ptr, &mut state.acc)?;
+            }
+        }
+    }
+    batcher.flush(&mut state.acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_splits_at_f0_and_is_monotone() {
+        let plan = HybridPlan {
+            f0_bytes: 1000,
+            f0: 0.25,
+            k: 4,
+        };
+        let h = HybridHashFn::new(4000, &plan);
+        assert_eq!(h.route(SPtr(0)), None);
+        assert_eq!(h.route(SPtr(999)), None);
+        let mut prev = -1i64;
+        for off in (1000..4000).step_by(100) {
+            let b = h.route(SPtr(off)).expect("spill range") as i64;
+            assert!(b >= prev, "monotone buckets");
+            assert!(b < 4);
+            prev = b;
+        }
+        assert_eq!(h.route(SPtr(3999)), Some(3));
+    }
+
+    #[test]
+    fn chain_is_monotone_within_a_spill_bucket() {
+        let plan = HybridPlan {
+            f0_bytes: 1000,
+            f0: 0.25,
+            k: 3,
+        };
+        let h = HybridHashFn::new(4000, &plan);
+        // Walk pointers inside one spill bucket; chain indices must be
+        // non-decreasing.
+        let mut prev_chain = 0u32;
+        let mut bucket = None;
+        for off in (1000..2000).step_by(10) {
+            let ptr = SPtr(off);
+            let b = h.route(ptr).expect("spill");
+            if bucket != Some(b) {
+                bucket = Some(b);
+                prev_chain = 0;
+            }
+            let c = h.chain(ptr, 16);
+            assert!(c >= prev_chain, "chain order broke at off {off}");
+            assert!(c < 16);
+            prev_chain = c;
+        }
+    }
+
+    #[test]
+    fn zero_f0_degenerates_to_grace_routing() {
+        let plan = HybridPlan {
+            f0_bytes: 0,
+            f0: 0.0,
+            k: 8,
+        };
+        let h = HybridHashFn::new(4096, &plan);
+        assert_eq!(h.route(SPtr(0)), Some(0));
+        assert_eq!(h.route(SPtr(4095)), Some(7));
+    }
+}

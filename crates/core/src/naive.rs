@@ -1,0 +1,56 @@
+//! The naive parallel nested loops baseline (paper §5, opening):
+//!
+//! > "A naive parallel version may partition R and S so that the R_i
+//! > partitions can perform the join in parallel, accessing different
+//! > S_j partitions simultaneously. However, parallelism in this case is
+//! > inhibited by contention when several R_i reference the same S_j."
+//!
+//! No re-partitioning pass, no phase staggering: each `Rproc_i` scans
+//! `R_i` once and fires requests at whichever `Sproc` the pointer says,
+//! so all `D` Rprocs hammer the same `S` partitions concurrently. Run it
+//! under the simulator's queued-contention mode to watch the paper's
+//! motivation materialize.
+
+use mmjoin_env::{CpuOp, Env, ProcId, Result};
+use mmjoin_relstore::{r_key, r_sptr, ObjScan, Relations};
+
+use crate::exec::{finish, run_stages, stage_summary, JoinAcc, JoinOutput, JoinSpec, SBatcher};
+
+/// Execute the baseline join (S catalog must be registered).
+pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOutput> {
+    let d = rels.rel.d;
+    let (states, times) = run_stages(
+        env,
+        d,
+        spec.mode,
+        1,
+        |_| JoinAcc::default(),
+        |_, i, acc: &mut JoinAcc| {
+            let proc = ProcId::rproc(i);
+            let rf = env.open_file(proc, &rels.r_files[i as usize])?;
+            let _sf = env.open_file(proc, &rels.s_files[i as usize])?;
+            let part_bytes = rels.rel.s_part_bytes();
+            // One batcher per target partition; a random pointer stream
+            // flips between them constantly, so batches stay ragged and
+            // every partition sees traffic from every Rproc — the
+            // contention the two-pass algorithms exist to remove.
+            let mut batchers: Vec<SBatcher<'_, E>> = (0..d)
+                .map(|j| SBatcher::new(env, proc, j, rels, spec.g_buffer))
+                .collect();
+            let mut scan = ObjScan::new(&rf, 0, rels.rel.r_size, rels.rel.r_per_part());
+            let mut obj = vec![0u8; rels.rel.r_size as usize];
+            while scan.next_into(proc, &mut obj)? {
+                env.cpu(proc, CpuOp::Map, 1);
+                let ptr = r_sptr(&obj);
+                let j = ptr.partition(part_bytes);
+                batchers[j as usize].add(r_key(&obj), ptr, acc)?;
+            }
+            for b in &mut batchers {
+                b.flush(acc)?;
+            }
+            Ok(())
+        },
+    )?;
+    let summary = stage_summary(&["all"], &times);
+    Ok(finish(env, d, states, summary))
+}

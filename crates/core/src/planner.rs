@@ -1,0 +1,137 @@
+//! A model-driven join planner — the use case the paper names for its
+//! quantitative model: "a quantitative model is an essential tool for
+//! subsystems such as a query optimizer" (§1).
+//!
+//! Given the machine's measured parameters and a join's shape, the
+//! planner evaluates all three analytical cost functions and picks the
+//! cheapest algorithm, returning the full prediction table so callers
+//! can audit the decision.
+
+use mmjoin_env::machine::MachineParams;
+use mmjoin_model::{predict, Algorithm, CostBreakdown, JoinInputs};
+use mmjoin_relstore::{Relations, SPTR_SIZE};
+
+use crate::exec::JoinSpec;
+
+/// Build the model inputs corresponding to an executable join.
+pub fn inputs_for(rels: &Relations, spec: &JoinSpec) -> JoinInputs {
+    JoinInputs {
+        r_objects: rels.rel.r_objects,
+        s_objects: rels.rel.s_objects,
+        r_size: rels.rel.r_size,
+        s_size: rels.rel.s_size,
+        sptr_size: SPTR_SIZE,
+        d: rels.rel.d,
+        skew: rels.skew,
+        m_rproc: spec.m_rproc,
+        m_sproc: spec.m_sproc,
+        g_buffer: spec.g_buffer,
+    }
+}
+
+/// One planner decision.
+#[derive(Clone, Debug)]
+pub struct PlanChoice {
+    /// The predicted-cheapest algorithm.
+    pub algorithm: Algorithm,
+    /// Every algorithm's predicted elapsed seconds, cheapest first.
+    pub ranking: Vec<(Algorithm, f64)>,
+}
+
+impl PlanChoice {
+    /// The winner's predicted time.
+    pub fn predicted_seconds(&self) -> f64 {
+        self.ranking[0].1
+    }
+}
+
+/// Evaluate the model for every algorithm and rank them.
+///
+/// ```
+/// use mmjoin::choose;
+/// use mmjoin_env::machine::MachineParams;
+/// use mmjoin_model::JoinInputs;
+/// let inputs = JoinInputs {
+///     r_objects: 102_400, s_objects: 102_400, r_size: 128, s_size: 128,
+///     sptr_size: 8, d: 4, skew: 1.0,
+///     m_rproc: 64 * 4096, m_sproc: 64 * 4096, g_buffer: 4096,
+/// };
+/// let plan = choose(&MachineParams::waterloo96(), &inputs);
+/// // At 2% of |R| the hash joins win, nested loops loses.
+/// assert_ne!(plan.algorithm, mmjoin_model::Algorithm::NestedLoops);
+/// assert_eq!(plan.ranking.len(), mmjoin_model::Algorithm::ALL.len());
+/// ```
+pub fn choose(machine: &MachineParams, inputs: &JoinInputs) -> PlanChoice {
+    let mut ranking: Vec<(Algorithm, f64)> = Algorithm::ALL
+        .iter()
+        .map(|&alg| (alg, predict(alg, machine, inputs).total()))
+        .collect();
+    ranking.sort_by(|a, b| a.1.total_cmp(&b.1));
+    PlanChoice {
+        algorithm: ranking[0].0,
+        ranking,
+    }
+}
+
+/// Full prediction (itemized) for one algorithm at these inputs.
+pub fn explain(machine: &MachineParams, inputs: &JoinInputs, alg: Algorithm) -> CostBreakdown {
+    predict(alg, machine, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(m_frac: f64) -> JoinInputs {
+        let r_bytes = 102_400u64 * 128;
+        JoinInputs {
+            r_objects: 102_400,
+            s_objects: 102_400,
+            r_size: 128,
+            s_size: 128,
+            sptr_size: 8,
+            d: 4,
+            skew: 1.0,
+            m_rproc: (m_frac * r_bytes as f64) as u64,
+            m_sproc: (m_frac * r_bytes as f64) as u64,
+            g_buffer: 4096,
+        }
+    }
+
+    #[test]
+    fn planner_prefers_hash_joins_at_small_memory() {
+        // Fig. 5's regimes: at a few percent of |R|, the hash joins beat
+        // sort-merge, which beats nested loops — and hybrid hash's
+        // memory-resident bucket 0 beats plain Grace.
+        let m = MachineParams::waterloo96();
+        let c = choose(&m, &inputs(0.04));
+        assert_eq!(c.algorithm, Algorithm::HybridHash);
+        assert_eq!(c.ranking.len(), Algorithm::ALL.len());
+        for pair in c.ranking.windows(2) {
+            assert!(pair[0].1 <= pair[1].1, "ranking sorted ascending");
+        }
+        let pos = |a: Algorithm| c.ranking.iter().position(|&(x, _)| x == a).unwrap();
+        assert!(pos(Algorithm::Grace) < pos(Algorithm::SortMerge));
+        assert!(pos(Algorithm::SortMerge) < pos(Algorithm::NestedLoops));
+    }
+
+    #[test]
+    fn ranking_is_complete_and_positive() {
+        let m = MachineParams::waterloo96();
+        let c = choose(&m, &inputs(0.3));
+        let names: std::collections::HashSet<_> = c.ranking.iter().map(|(a, _)| a.name()).collect();
+        assert_eq!(names.len(), Algorithm::ALL.len());
+        for (_, t) in &c.ranking {
+            assert!(*t > 0.0);
+        }
+        assert_eq!(c.predicted_seconds(), c.ranking[0].1);
+    }
+
+    #[test]
+    fn explain_matches_predict() {
+        let m = MachineParams::waterloo96();
+        let w = inputs(0.05);
+        let b = explain(&m, &w, Algorithm::SortMerge);
+        assert!((b.total() - predict(Algorithm::SortMerge, &m, &w).total()).abs() < 1e-12);
+    }
+}

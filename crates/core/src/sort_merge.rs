@@ -1,0 +1,361 @@
+//! Parallel pointer-based sort-merge (paper §6).
+//!
+//! Passes 0 and 1 re-partition exactly like nested loops, except objects
+//! are *written* to the `RS` areas instead of joined: after pass 1,
+//! `RS_i` holds every R-object (from all partitions) whose join pointer
+//! lands in `S_i`. Because the join attribute is a virtual pointer, `S`
+//! itself never needs sorting — sorting `RS_i` by pointer already yields
+//! a sequential scan of `S_i` in the final pass (§4, §6.1).
+//!
+//! The local sort is a multi-way external merge sort: runs of `IRUN`
+//! objects are heap-sorted in place via an array of pointers (Floyd
+//! construction + drain), then groups of `NRUN` runs are merged with
+//! delete-insert heaps, alternating between the `RS_i` and `Merge_i`
+//! areas (swapped with `deleteMap`/`newMap`, as the paper charges). The
+//! last merge joins directly against `S_i` through the shared buffer.
+//!
+//! Unlike nested loops, phases here are synchronized (§6.3), hence the
+//! per-phase stages.
+
+use mmjoin_env::{CpuOp, DiskId, Env, EnvError, MoveKind, ProcId, Result, SPtr};
+use mmjoin_model::{choose_irun, choose_nrun_abl, choose_nrun_last, merge_plan, MergePlan};
+use mmjoin_relstore::{chunked_capacity, names, r_key, r_sptr, ChunkedFile, ObjScan, Relations};
+
+use crate::exec::{
+    finish, phase_partner, run_stages, stage_summary, JoinAcc, JoinOutput, JoinSpec, SBatcher,
+    SharedSlots,
+};
+use crate::pheap::{heapsort, HeapEntry, MergeHeap};
+
+struct SmState<E: Env> {
+    acc: JoinAcc,
+    rf: Option<E::File>,
+    rp: Option<ChunkedFile<E::File>>,
+    rs: Option<ChunkedFile<E::File>>,
+}
+
+/// `|RS_i|` for capacity purposes: every R-object pointing into `S_i`,
+/// known exactly from the workload's sub-partition counts (the catalog
+/// statistics a real system would keep).
+fn rs_objects(rels: &Relations, i: u32) -> u64 {
+    (0..rels.rel.d).map(|k| rels.sub_count(k, i)).sum()
+}
+
+/// Execute the join (S catalog must be registered).
+pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOutput> {
+    let d = rels.rel.d;
+    let page = env.page_size();
+    let r_size = rels.rel.r_size;
+    let slots: std::sync::Arc<SharedSlots<ChunkedFile<E::File>>> = SharedSlots::new(d);
+
+    // Stages: setup | pass0 | phase 1..d-1 | sort+merge+join.
+    let stages = 2 + (d as usize - 1) + 1;
+
+    let (states, times) = run_stages(
+        env,
+        d,
+        spec.mode,
+        stages,
+        |_| SmState::<E> {
+            acc: JoinAcc::default(),
+            rf: None,
+            rp: None,
+            rs: None,
+        },
+        |stage, i, state: &mut SmState<E>| {
+            let proc = ProcId::rproc(i);
+            match stage {
+                0 => {
+                    // ---- setup: create/open every area, publish RS_i ----
+                    state.rf = Some(env.open_file(proc, &rels.r_files[i as usize])?);
+                    let _sf = env.open_file(proc, &rels.s_files[i as usize])?;
+                    let rp_capacity = chunked_capacity(rels.rel.r_per_part(), r_size, d, page);
+                    let rp_file = env.create_file(
+                        proc,
+                        &spec.temp_name(rels, &names::rp(i)),
+                        DiskId(i),
+                        rp_capacity,
+                    )?;
+                    state.rp = Some(ChunkedFile::new(rp_file, d, r_size, page)?);
+
+                    let rs_capacity = chunked_capacity(rs_objects(rels, i), r_size, 1, page);
+                    let rs_file = env.create_file(
+                        proc,
+                        &spec.temp_name(rels, &names::rs(i)),
+                        DiskId(i),
+                        rs_capacity,
+                    )?;
+                    let rs = ChunkedFile::new(rs_file, 1, r_size, page)?;
+                    slots.publish(i, rs.clone());
+                    state.rs = Some(rs);
+                    // The alternate merge area (created now, charged as
+                    // in the model's setup term).
+                    let merge_file = env.create_file(
+                        proc,
+                        &spec.temp_name(rels, &names::merge(i)),
+                        DiskId(i),
+                        rs_capacity,
+                    )?;
+                    drop(merge_file);
+                    Ok(())
+                }
+                1 => pass0(env, rels, spec, i, state),
+                s if s < stages - 1 => {
+                    let t = (s - 1) as u32;
+                    phase(env, rels, i, t, state, &slots)
+                }
+                _ => local_sort_merge_join(env, rels, spec, i, state),
+            }
+        },
+    )?;
+
+    let mut names: Vec<String> = vec!["setup".into(), "pass0".into()];
+    names.extend((1..d).map(|t| format!("phase{t}")));
+    names.push("sort+merge+join".into());
+    let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let summary = stage_summary(&refs, &times);
+    Ok(finish(env, d, states.into_iter().map(|s| s.acc), summary))
+}
+
+fn pass0<E: Env>(
+    env: &E,
+    rels: &Relations,
+    spec: &JoinSpec,
+    i: u32,
+    state: &mut SmState<E>,
+) -> Result<()> {
+    let proc = ProcId::rproc(i);
+    let rf = state.rf.clone().expect("setup ran");
+    let r_size = rels.rel.r_size;
+    let part_bytes = rels.rel.s_part_bytes();
+    let rp = state.rp.as_ref().expect("setup ran").clone();
+    let rs = state.rs.as_ref().expect("setup ran").clone();
+    let mut scan = ObjScan::new(&rf, 0, r_size, rels.rel.r_per_part());
+    let mut obj = vec![0u8; r_size as usize];
+    while scan.next_into(proc, &mut obj)? {
+        env.cpu(proc, CpuOp::Map, 1);
+        let ptr = r_sptr(&obj);
+        let j = ptr.partition(part_bytes);
+        if j == i {
+            rs.append(proc, 0, &obj)?;
+        } else {
+            rp.append(proc, j, &obj)?;
+        }
+        env.move_bytes(proc, MoveKind::PP, r_size as u64);
+    }
+    let _ = spec;
+    Ok(())
+}
+
+fn phase<E: Env>(
+    env: &E,
+    rels: &Relations,
+    i: u32,
+    t: u32,
+    state: &mut SmState<E>,
+    slots: &SharedSlots<ChunkedFile<E::File>>,
+) -> Result<()> {
+    let proc = ProcId::rproc(i);
+    let d = rels.rel.d;
+    let j = phase_partner(i, t, d);
+    let rp = state.rp.as_ref().expect("pass 0 ran");
+    let rs_j = slots.get(j);
+    let mut reader = rp.stream_reader(j);
+    let mut obj = vec![0u8; rels.rel.r_size as usize];
+    while reader.next_into(proc, &mut obj)? {
+        rs_j.append(proc, 0, &obj)?;
+        env.move_bytes(proc, MoveKind::PP, rels.rel.r_size as u64);
+    }
+    Ok(())
+}
+
+fn local_sort_merge_join<E: Env>(
+    env: &E,
+    rels: &Relations,
+    spec: &JoinSpec,
+    i: u32,
+    state: &mut SmState<E>,
+) -> Result<()> {
+    let proc = ProcId::rproc(i);
+    let r_size = rels.rel.r_size as usize;
+    let rs = state.rs.take().expect("setup ran");
+    let n = rs.stream_len(0);
+    let mut batcher = SBatcher::new(env, proc, i, rels, spec.g_buffer);
+    if n == 0 {
+        return batcher.flush(&mut state.acc);
+    }
+
+    // ---- run formation (pass 2) ----
+    let irun = choose_irun(spec.m_rproc, rels.rel.r_size);
+    let plan: MergePlan = merge_plan(
+        n,
+        irun,
+        choose_nrun_abl(spec.m_rproc, env.page_size()),
+        choose_nrun_last(spec.m_rproc, env.page_size()),
+    )?;
+    let mut buf = vec![0u8; r_size];
+    let mut run_objs: Vec<u8> = Vec::with_capacity((irun as usize) * r_size);
+    let mut entries: Vec<HeapEntry> = Vec::with_capacity(irun as usize);
+    let mut start = 0u64;
+    while start < n {
+        let len = irun.min(n - start);
+        run_objs.clear();
+        entries.clear();
+        for k in 0..len {
+            rs.read_obj(proc, 0, start + k, &mut buf)?;
+            entries.push((r_sptr(&buf), k as u32));
+            run_objs.extend_from_slice(&buf);
+        }
+        let ops = heapsort(&mut entries);
+        ops.charge(env, proc);
+        // Write the objects back in sorted order ("sorted in place";
+        // the OS ages the dirty pages out).
+        for (k, &(_, idx)) in entries.iter().enumerate() {
+            let src = &run_objs[idx as usize * r_size..(idx as usize + 1) * r_size];
+            rs.write_obj(proc, 0, start + k as u64, src)?;
+        }
+        env.move_bytes(proc, MoveKind::PP, len * r_size as u64);
+        start += len;
+    }
+
+    // ---- merging passes ----
+    // Sources alternate between the RS and Merge areas; each swap
+    // deletes and re-creates the emptied area (charged deleteMap/newMap,
+    // with exact-fit extent reuse keeping the disk layout stable).
+    let rs_name = spec.temp_name(rels, &names::rs(i));
+    let merge_name = spec.temp_name(rels, &names::merge(i));
+    let mut src = rs;
+    let mut src_is_rs = true;
+    let mut run_len = irun;
+    let page = env.page_size();
+
+    for _abl in 0..plan.npass - 1 {
+        let (dst_name, src_name) = if src_is_rs {
+            (&merge_name, &rs_name)
+        } else {
+            (&rs_name, &merge_name)
+        };
+        // Re-create the destination area fresh.
+        let dst_capacity = chunked_capacity(n, rels.rel.r_size, 1, page);
+        env.delete_file(proc, dst_name)?;
+        let dst_file = env.create_file(proc, dst_name, DiskId(i), dst_capacity)?;
+        let dst = ChunkedFile::new(dst_file, 1, rels.rel.r_size, page)?;
+
+        merge_pass(
+            env,
+            proc,
+            rels,
+            &src,
+            &dst,
+            n,
+            run_len,
+            plan.nrun_abl,
+            None,
+            &mut state.acc,
+        )?;
+
+        src = dst;
+        src_is_rs = !src_is_rs;
+        run_len = run_len.saturating_mul(plan.nrun_abl);
+        let _ = src_name;
+    }
+
+    // ---- last pass: merge + join against a sequential S_i scan ----
+    merge_pass(
+        env,
+        proc,
+        rels,
+        &src,
+        &src, // unused when joining
+        n,
+        run_len,
+        u64::MAX, // merge every remaining run at once
+        Some(&mut batcher),
+        &mut state.acc,
+    )?;
+    Ok(())
+}
+
+/// Merge consecutive groups of up to `fan_in` runs of `run_len` objects
+/// from `src`. With `batcher` set this is the final pass: emit each
+/// object to the Sproc batcher (ascending pointer order ⇒ sequential S
+/// reads). Otherwise append merged runs to `dst`.
+#[allow(clippy::too_many_arguments)]
+fn merge_pass<E: Env>(
+    env: &E,
+    proc: ProcId,
+    rels: &Relations,
+    src: &ChunkedFile<E::File>,
+    dst: &ChunkedFile<E::File>,
+    n: u64,
+    run_len: u64,
+    fan_in: u64,
+    mut batcher: Option<&mut SBatcher<'_, E>>,
+    acc: &mut JoinAcc,
+) -> Result<()> {
+    let r_size = rels.rel.r_size as usize;
+    let num_runs = n.div_ceil(run_len);
+    let mut group_start_run = 0u64;
+    while group_start_run < num_runs {
+        let group_runs = fan_in.min(num_runs - group_start_run);
+        // Cursor state per run: next index and end index in the stream.
+        let mut cursors: Vec<(u64, u64)> = (0..group_runs)
+            .map(|g| {
+                let run = group_start_run + g;
+                let lo = run * run_len;
+                let hi = ((run + 1) * run_len).min(n);
+                (lo, hi)
+            })
+            .collect();
+        // Current object bytes per run.
+        let mut current: Vec<Vec<u8>> = vec![vec![0u8; r_size]; group_runs as usize];
+        let mut firsts: Vec<(SPtr, u32)> = Vec::with_capacity(group_runs as usize);
+        for (g, cur) in cursors.iter_mut().enumerate() {
+            if cur.0 < cur.1 {
+                src.read_obj(proc, 0, cur.0, &mut current[g])?;
+                cur.0 += 1;
+                firsts.push((r_sptr(&current[g]), g as u32));
+            }
+        }
+        let mut heap = MergeHeap::new(firsts);
+        while let Some((_, g)) = heap.peek() {
+            let gi = g as usize;
+            let obj = &current[gi];
+            if let Some(b) = batcher.as_deref_mut() {
+                b.add(r_key(obj), r_sptr(obj), acc)?;
+            } else {
+                dst.append(proc, 0, obj)?;
+                env.move_bytes(proc, MoveKind::PP, r_size as u64);
+            }
+            let (next, hi) = cursors[gi];
+            if next < hi {
+                src.read_obj(proc, 0, next, &mut current[gi])?;
+                cursors[gi].0 += 1;
+                heap.replace_min(r_sptr(&current[gi]));
+            } else {
+                heap.pop_min();
+            }
+        }
+        heap.ops().charge(env, proc);
+        group_start_run += group_runs;
+    }
+    if let Some(b) = batcher {
+        b.flush(acc)?;
+    }
+    Ok(())
+}
+
+/// The merge schedule the implementation will use — for experiment
+/// annotation; must agree with `mmjoin_model::sort_merge::plan_for`.
+pub fn plan_for(page_size: u64, rels: &Relations, spec: &JoinSpec, i: u32) -> Result<MergePlan> {
+    let n = rs_objects(rels, i);
+    if n == 0 {
+        return Err(EnvError::InvalidConfig("empty RS_i has no plan".into()));
+    }
+    merge_plan(
+        n,
+        choose_irun(spec.m_rproc, rels.rel.r_size),
+        choose_nrun_abl(spec.m_rproc, page_size),
+        choose_nrun_last(spec.m_rproc, page_size),
+    )
+}

@@ -1,0 +1,104 @@
+//! The cost taxonomy of the analytical model.
+//!
+//! Every CPU-side quantity the paper's model charges for has a variant
+//! here, so that the execution-driven simulator and the closed-form model
+//! price the *same events* with the *same measured parameters* — the
+//! precondition for a meaningful "model vs. experiment" comparison
+//! (paper §8).
+
+/// A priced CPU operation (paper §3, §5.3–§7.3).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CpuOp {
+    /// `map`: computing the containing `S` partition from a virtual
+    /// pointer (`MAP(sptr)`).
+    Map,
+    /// `hash`: hashing a join attribute into a Grace bucket or an
+    /// in-memory hash-table chain.
+    Hash,
+    /// `compare`: comparing two elements of a heap of pointers to
+    /// R-objects.
+    Compare,
+    /// `swap`: swapping two heap elements.
+    Swap,
+    /// `transfer`: moving an element to or from a heap.
+    HeapTransfer,
+    /// Per-page-fault CPU overhead of the memory-mapping machinery
+    /// (signal handling, page-table update). The paper attributes part
+    /// of its residual model error to exactly this cost (§8); pricing it
+    /// explicitly lets the model include it.
+    FaultOverhead,
+}
+
+impl CpuOp {
+    /// All variants, for table-driven accounting.
+    pub const ALL: [CpuOp; 6] = [
+        CpuOp::Map,
+        CpuOp::Hash,
+        CpuOp::Compare,
+        CpuOp::Swap,
+        CpuOp::HeapTransfer,
+        CpuOp::FaultOverhead,
+    ];
+
+    /// Dense index for per-op counters.
+    pub fn index(self) -> usize {
+        match self {
+            CpuOp::Map => 0,
+            CpuOp::Hash => 1,
+            CpuOp::Compare => 2,
+            CpuOp::Swap => 3,
+            CpuOp::HeapTransfer => 4,
+            CpuOp::FaultOverhead => 5,
+        }
+    }
+}
+
+/// A memory-to-memory move, priced per byte (paper §3: `MTpp`, `MTps`,
+/// `MTsp`, `MTss` — combined read+write assignment-statement transfer
+/// times between the private and shared portions of a segment).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MoveKind {
+    /// Private → private (within one process's segment).
+    PP,
+    /// Private → shared (staging data for another process).
+    PS,
+    /// Shared → private.
+    SP,
+    /// Shared → shared.
+    SS,
+}
+
+impl MoveKind {
+    /// All variants, for table-driven accounting.
+    pub const ALL: [MoveKind; 4] = [MoveKind::PP, MoveKind::PS, MoveKind::SP, MoveKind::SS];
+
+    /// Dense index for per-kind counters.
+    pub fn index(self) -> usize {
+        match self {
+            MoveKind::PP => 0,
+            MoveKind::PS => 1,
+            MoveKind::SP => 2,
+            MoveKind::SS => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn cpu_op_indices_are_dense_and_unique() {
+        let idx: HashSet<usize> = CpuOp::ALL.iter().map(|o| o.index()).collect();
+        assert_eq!(idx.len(), CpuOp::ALL.len());
+        assert_eq!(*idx.iter().max().unwrap(), CpuOp::ALL.len() - 1);
+    }
+
+    #[test]
+    fn move_kind_indices_are_dense_and_unique() {
+        let idx: HashSet<usize> = MoveKind::ALL.iter().map(|m| m.index()).collect();
+        assert_eq!(idx.len(), MoveKind::ALL.len());
+        assert_eq!(*idx.iter().max().unwrap(), MoveKind::ALL.len() - 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type shared by every environment implementation.
+
+use std::fmt;
+
+/// Errors surfaced by [`crate::Env`] implementations.
+#[derive(Debug)]
+pub enum EnvError {
+    /// A file name was opened or deleted but never created.
+    NotFound(String),
+    /// A file name was created twice without an intervening delete.
+    AlreadyExists(String),
+    /// A read or write fell outside a file's allocated extent.
+    OutOfBounds {
+        /// File the access targeted.
+        file: String,
+        /// Requested byte offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Allocated file size.
+        size: u64,
+    },
+    /// The disk extent allocator ran out of modelled disk space.
+    DiskFull(crate::DiskId),
+    /// A request referenced an `S` partition outside the registered
+    /// catalog, or the catalog was never registered.
+    BadSRequest(String),
+    /// Underlying OS error (real memory-mapped environment only).
+    Io(std::io::Error),
+    /// Configuration rejected up front.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::NotFound(name) => write!(f, "file not found: {name}"),
+            EnvError::AlreadyExists(name) => write!(f, "file already exists: {name}"),
+            EnvError::OutOfBounds {
+                file,
+                offset,
+                len,
+                size,
+            } => write!(
+                f,
+                "access out of bounds: {file} offset={offset} len={len} size={size}"
+            ),
+            EnvError::DiskFull(d) => write!(f, "modelled disk full: {d}"),
+            EnvError::BadSRequest(msg) => write!(f, "bad S request: {msg}"),
+            EnvError::Io(e) => write!(f, "I/O error: {e}"),
+            EnvError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EnvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EnvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EnvError {
+    fn from(e: std::io::Error) -> Self {
+        EnvError::Io(e)
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, EnvError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EnvError::OutOfBounds {
+            file: "R_0".into(),
+            offset: 128,
+            len: 64,
+            size: 100,
+        };
+        let s = e.to_string();
+        assert!(s.contains("R_0") && s.contains("128") && s.contains("100"));
+        assert!(EnvError::NotFound("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn io_error_conversion_preserves_source() {
+        use std::error::Error;
+        let e: EnvError = std::io::Error::other("boom").into();
+        assert!(e.source().is_some());
+    }
+}

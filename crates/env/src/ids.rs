@@ -1,0 +1,145 @@
+//! Identifiers: processes, disks, and virtual pointers into `S`.
+
+use std::fmt;
+
+/// Index of a logical process.
+///
+/// In the paper each partition pair is managed by an `Rproc_i` and an
+/// `Sproc_i`. We number Rprocs `0..D` and Sprocs `D..2D`; the helper
+/// constructors keep that convention in one place.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The `Rproc` managing partition `i` of `R`.
+    pub fn rproc(i: u32) -> Self {
+        ProcId(i)
+    }
+
+    /// The `Sproc` managing partition `j` of `S`, in a system with `d`
+    /// disks/partitions.
+    pub fn sproc(j: u32, d: u32) -> Self {
+        ProcId(d + j)
+    }
+
+    /// Total number of process slots for a `d`-disk configuration
+    /// (`d` Rprocs followed by `d` Sprocs).
+    pub fn slots(d: u32) -> usize {
+        2 * d as usize
+    }
+
+    /// True if this id denotes an Rproc under a `d`-disk configuration.
+    pub fn is_rproc(self, d: u32) -> bool {
+        self.0 < d
+    }
+
+    /// Index of the partition this process manages under a `d`-disk
+    /// configuration.
+    pub fn partition(self, d: u32) -> u32 {
+        if self.0 < d {
+            self.0
+        } else {
+            self.0 - d
+        }
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "proc{}", self.0)
+    }
+}
+
+/// Index of a parallel I/O channel — a disk (controller) in the paper's
+/// model parameter `D`.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DiskId(pub u32);
+
+impl fmt::Display for DiskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "disk{}", self.0)
+    }
+}
+
+/// A *virtual pointer* into the inner relation `S`.
+///
+/// `SPtr` is a byte address in the single logical address space formed by
+/// concatenating the `S` partitions `S_0 … S_{D-1}` in order. Because the
+/// pointer value equals the storage address, pointer order equals storage
+/// order — the property the paper exploits to skip sorting/hashing `S`
+/// entirely (§4): sorting `R` by `SPtr` yields a *sequential* scan of
+/// `S`, and a range-partitioning "hash" of `SPtr`s yields buckets whose
+/// `S` locations are monotonically increasing (§7).
+///
+/// The containing partition is computed in model time `map` by
+/// [`SPtr::partition`], mirroring the paper's `MAP(sptr)` function.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SPtr(pub u64);
+
+impl SPtr {
+    /// Construct a pointer to byte `offset` inside partition `part`,
+    /// where every partition spans `part_bytes` bytes of the logical
+    /// address space.
+    pub fn new(part: u32, offset: u64, part_bytes: u64) -> Self {
+        debug_assert!(offset < part_bytes);
+        SPtr(part as u64 * part_bytes + offset)
+    }
+
+    /// The paper's `MAP(sptr)`: which `S` partition contains the target.
+    pub fn partition(self, part_bytes: u64) -> u32 {
+        debug_assert!(part_bytes > 0);
+        (self.0 / part_bytes) as u32
+    }
+
+    /// Byte offset of the target within its partition.
+    pub fn offset(self, part_bytes: u64) -> u64 {
+        self.0 % part_bytes
+    }
+
+    /// Raw logical address.
+    pub fn addr(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SPtr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s@{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sptr_partition_roundtrip() {
+        let part_bytes = 1 << 20;
+        for part in 0..8u32 {
+            for &off in &[0u64, 1, 4095, 4096, (1 << 20) - 1] {
+                let p = SPtr::new(part, off, part_bytes);
+                assert_eq!(p.partition(part_bytes), part);
+                assert_eq!(p.offset(part_bytes), off);
+            }
+        }
+    }
+
+    #[test]
+    fn sptr_order_matches_storage_order() {
+        let part_bytes = 4096;
+        let a = SPtr::new(0, 4000, part_bytes);
+        let b = SPtr::new(1, 0, part_bytes);
+        let c = SPtr::new(1, 128, part_bytes);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn proc_id_roles() {
+        let d = 4;
+        assert!(ProcId::rproc(3).is_rproc(d));
+        assert!(!ProcId::sproc(0, d).is_rproc(d));
+        assert_eq!(ProcId::sproc(2, d).partition(d), 2);
+        assert_eq!(ProcId::rproc(2).partition(d), 2);
+        assert_eq!(ProcId::slots(d), 8);
+    }
+}

@@ -1,0 +1,59 @@
+//! Page/block arithmetic helpers used throughout the workspace.
+
+/// Number of whole blocks of size `block` needed to hold `bytes` bytes.
+pub fn blocks_for(bytes: u64, block: u64) -> u64 {
+    debug_assert!(block > 0);
+    bytes.div_ceil(block)
+}
+
+/// The block index containing byte `offset`.
+pub fn block_of(offset: u64, block: u64) -> u64 {
+    debug_assert!(block > 0);
+    offset / block
+}
+
+/// Inclusive block range `[first, last]` touched by the byte range
+/// `[offset, offset + len)`. Returns `None` for empty ranges.
+pub fn block_span(offset: u64, len: u64, block: u64) -> Option<(u64, u64)> {
+    if len == 0 {
+        return None;
+    }
+    Some((block_of(offset, block), block_of(offset + len - 1, block)))
+}
+
+/// Iterator over the block indices touched by a byte range.
+pub fn blocks_touched(offset: u64, len: u64, block: u64) -> impl Iterator<Item = u64> {
+    let (first, last) = block_span(offset, len, block).unwrap_or((1, 0));
+    first..=last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_for_rounds_up() {
+        assert_eq!(blocks_for(0, 4096), 0);
+        assert_eq!(blocks_for(1, 4096), 1);
+        assert_eq!(blocks_for(4096, 4096), 1);
+        assert_eq!(blocks_for(4097, 4096), 2);
+    }
+
+    #[test]
+    fn block_span_edges() {
+        assert_eq!(block_span(0, 0, 4096), None);
+        assert_eq!(block_span(0, 1, 4096), Some((0, 0)));
+        assert_eq!(block_span(0, 4096, 4096), Some((0, 0)));
+        assert_eq!(block_span(0, 4097, 4096), Some((0, 1)));
+        assert_eq!(block_span(4095, 2, 4096), Some((0, 1)));
+        assert_eq!(block_span(8192, 4096, 4096), Some((2, 2)));
+    }
+
+    #[test]
+    fn blocks_touched_enumerates() {
+        let v: Vec<u64> = blocks_touched(4000, 5000, 4096).collect();
+        assert_eq!(v, vec![0, 1, 2]);
+        let empty: Vec<u64> = blocks_touched(100, 0, 4096).collect();
+        assert!(empty.is_empty());
+    }
+}

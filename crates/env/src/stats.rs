@@ -1,0 +1,151 @@
+//! Per-process accounting shared by both environments.
+
+use crate::cost::{CpuOp, MoveKind};
+
+/// Counters and accumulated virtual/wall time for one process.
+///
+/// The simulator fills every field; the real memory-mapped environment
+/// fills the event counters and the clock (wall time) but cannot observe
+/// page faults directly, so `fault_*` stay zero there.
+#[derive(Clone, Debug, Default)]
+pub struct ProcStats {
+    /// Accumulated time in seconds: virtual time in the simulator, wall
+    /// time in the real environment.
+    pub clock: f64,
+    /// Blocks read from disk due to page faults.
+    pub fault_read_blocks: u64,
+    /// Dirty blocks written back to disk.
+    pub fault_write_blocks: u64,
+    /// Page accesses satisfied without a fault.
+    pub page_hits: u64,
+    /// Seconds spent in disk transfers.
+    pub io_time: f64,
+    /// CPU operation counts, indexed by [`CpuOp::index`].
+    pub cpu_ops: [u64; 6],
+    /// Seconds charged for CPU operations.
+    pub cpu_time: f64,
+    /// Bytes moved per [`MoveKind::index`].
+    pub move_bytes: [u64; 4],
+    /// Seconds charged for memory moves.
+    pub move_time: f64,
+    /// Context switches charged.
+    pub ctx_switches: u64,
+    /// Seconds charged for context switches.
+    pub ctx_time: f64,
+    /// Mapping setup operations (`newMap`/`openMap`/`deleteMap`).
+    pub map_ops: u64,
+    /// Seconds charged for mapping setup.
+    pub map_time: f64,
+    /// Batches exchanged with an `Sproc` through the shared buffer.
+    pub s_batches: u64,
+    /// Individual S-objects fetched.
+    pub s_objects: u64,
+}
+
+impl ProcStats {
+    /// Record `count` occurrences of a CPU op.
+    pub fn add_cpu(&mut self, op: CpuOp, count: u64, seconds_each: f64) {
+        self.cpu_ops[op.index()] += count;
+        self.cpu_time += seconds_each * count as f64;
+        self.clock += seconds_each * count as f64;
+    }
+
+    /// Record a memory move.
+    pub fn add_move(&mut self, kind: MoveKind, bytes: u64, seconds_per_byte: f64) {
+        self.move_bytes[kind.index()] += bytes;
+        let t = seconds_per_byte * bytes as f64;
+        self.move_time += t;
+        self.clock += t;
+    }
+
+    /// Record context switches.
+    pub fn add_ctx(&mut self, count: u64, seconds_each: f64) {
+        self.ctx_switches += count;
+        let t = seconds_each * count as f64;
+        self.ctx_time += t;
+        self.clock += t;
+    }
+
+    /// Total disk blocks transferred.
+    pub fn blocks_transferred(&self) -> u64 {
+        self.fault_read_blocks + self.fault_write_blocks
+    }
+}
+
+/// Snapshot of every process's counters.
+#[derive(Clone, Debug, Default)]
+pub struct EnvStats {
+    /// One entry per process slot (Rprocs then Sprocs).
+    pub procs: Vec<ProcStats>,
+}
+
+impl EnvStats {
+    /// Elapsed time of the whole join: the maximum over the per-process
+    /// clocks (paper §4: with negligible contention the elapsed time of
+    /// `Rproc_i` is the elapsed time of the join).
+    pub fn elapsed(&self) -> f64 {
+        self.procs.iter().map(|p| p.clock).fold(0.0, f64::max)
+    }
+
+    /// Elapsed time over the first `d` slots only (the Rprocs).
+    pub fn elapsed_rprocs(&self, d: u32) -> f64 {
+        self.procs
+            .iter()
+            .take(d as usize)
+            .map(|p| p.clock)
+            .fold(0.0, f64::max)
+    }
+
+    /// Sum of disk blocks transferred by all processes.
+    pub fn total_blocks(&self) -> u64 {
+        self.procs.iter().map(|p| p.blocks_transferred()).sum()
+    }
+
+    /// Sum of read faults by all processes.
+    pub fn total_read_faults(&self) -> u64 {
+        self.procs.iter().map(|p| p.fault_read_blocks).sum()
+    }
+
+    /// Sum of write-backs by all processes.
+    pub fn total_write_backs(&self) -> u64 {
+        self.procs.iter().map(|p| p.fault_write_blocks).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_accumulates_clock() {
+        let mut p = ProcStats::default();
+        p.add_cpu(CpuOp::Compare, 10, 2e-6);
+        p.add_move(MoveKind::PP, 1000, 1e-7);
+        p.add_ctx(4, 5e-5);
+        assert_eq!(p.cpu_ops[CpuOp::Compare.index()], 10);
+        assert_eq!(p.move_bytes[MoveKind::PP.index()], 1000);
+        assert_eq!(p.ctx_switches, 4);
+        let expect = 10.0 * 2e-6 + 1000.0 * 1e-7 + 4.0 * 5e-5;
+        assert!((p.clock - expect).abs() < 1e-12);
+        assert!((p.cpu_time + p.move_time + p.ctx_time - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn elapsed_is_max_over_procs() {
+        let mut s = EnvStats::default();
+        s.procs.push(ProcStats {
+            clock: 1.5,
+            ..Default::default()
+        });
+        s.procs.push(ProcStats {
+            clock: 3.0,
+            ..Default::default()
+        });
+        s.procs.push(ProcStats {
+            clock: 2.0,
+            ..Default::default()
+        });
+        assert_eq!(s.elapsed(), 3.0);
+        assert_eq!(s.elapsed_rprocs(1), 1.5);
+    }
+}

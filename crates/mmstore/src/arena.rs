@@ -1,0 +1,273 @@
+//! The reserved virtual-address arena that stands in for hardware
+//! segmentation.
+//!
+//! µDatabase's exact-positioning design (paper §2.1) gives every
+//! persistent segment its own address space so that stored pointers
+//! never need swizzling. Stock hardware has no segmentation, so — like
+//! µDatabase — we mimic it with `mmap`: one large `PROT_NONE`
+//! reservation at a *fixed, well-known* virtual address, inside which
+//! segments are mapped at their recorded offsets with `MAP_FIXED`.
+//! Because the arena base is part of the store's format, a pointer
+//! stored in a segment in one process session is valid in the next.
+//!
+//! If the fixed base is unavailable (address already taken), the arena
+//! falls back to a kernel-chosen base; segments opened there report
+//! [`Placement::Relocated`] and their pointers must be adjusted — the
+//! very cost the paper's design exists to avoid, surfaced explicitly.
+
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mmjoin_env::{EnvError, Result};
+
+/// Default fixed base for the arena: high in the address space, clear of
+/// typical heap/stack/library placement on 64-bit Linux.
+pub const DEFAULT_ARENA_BASE: usize = 0x6000_0000_0000;
+
+/// Default reservation: 64 GiB of address space (not memory).
+pub const DEFAULT_ARENA_SIZE: usize = 64 << 30;
+
+/// Whether a segment landed at its recorded address.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Placement {
+    /// Mapped exactly where its pointers expect — zero fix-up.
+    ExactlyPositioned,
+    /// Mapped elsewhere; stored pointers need relocation before use.
+    Relocated,
+}
+
+/// A reserved region of virtual address space carved into segment slots.
+pub struct SegmentArena {
+    base: usize,
+    size: usize,
+    next: AtomicUsize,
+    /// True if the arena got its preferred fixed base.
+    at_fixed_base: bool,
+}
+
+// SAFETY: the arena only hands out disjoint address ranges; the raw
+// region pointer is never aliased mutably by the arena itself.
+unsafe impl Send for SegmentArena {}
+unsafe impl Sync for SegmentArena {}
+
+impl SegmentArena {
+    /// Reserve the default arena (fixed base, falling back if taken).
+    pub fn reserve_default() -> Result<Self> {
+        Self::reserve(DEFAULT_ARENA_BASE, DEFAULT_ARENA_SIZE)
+    }
+
+    /// Reserve `size` bytes of address space, preferring `preferred_base`
+    /// (pass 0 for "kernel-chosen base, no exact positioning").
+    pub fn reserve(preferred_base: usize, size: usize) -> Result<Self> {
+        let page = page_size();
+        if !preferred_base.is_multiple_of(page) || size == 0 {
+            return Err(EnvError::InvalidConfig(
+                "arena base must be page-aligned and size non-zero".into(),
+            ));
+        }
+        if preferred_base == 0 {
+            // No preference: never map at the null page (a privileged
+            // process with mmap_min_addr = 0 would otherwise get it).
+            return Self::reserve_anywhere(size);
+        }
+        // Try the fixed base first: exact positioning requires it.
+        // SAFETY: MAP_FIXED_NOREPLACE never clobbers existing mappings;
+        // a PROT_NONE, NORESERVE reservation commits no memory.
+        let fixed = unsafe {
+            libc::mmap(
+                preferred_base as *mut libc::c_void,
+                size,
+                libc::PROT_NONE,
+                libc::MAP_PRIVATE
+                    | libc::MAP_ANONYMOUS
+                    | libc::MAP_NORESERVE
+                    | libc::MAP_FIXED_NOREPLACE,
+                -1,
+                0,
+            )
+        };
+        if fixed != libc::MAP_FAILED {
+            return Ok(SegmentArena {
+                base: fixed as usize,
+                size,
+                next: AtomicUsize::new(0),
+                at_fixed_base: fixed as usize == preferred_base,
+            });
+        }
+        Self::reserve_anywhere(size)
+    }
+
+    /// Reserve at a kernel-chosen base: segments opened here that record
+    /// a different base will report `Relocated`.
+    fn reserve_anywhere(size: usize) -> Result<Self> {
+        // SAFETY: kernel-chosen placement of a PROT_NONE reservation.
+        let any = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                size,
+                libc::PROT_NONE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_NORESERVE,
+                -1,
+                0,
+            )
+        };
+        if any == libc::MAP_FAILED {
+            return Err(EnvError::Io(io::Error::last_os_error()));
+        }
+        Ok(SegmentArena {
+            base: any as usize,
+            size,
+            next: AtomicUsize::new(0),
+            at_fixed_base: false,
+        })
+    }
+
+    /// Arena base address.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Reserved bytes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// True if the preferred fixed base was obtained, i.e. recorded
+    /// segment addresses will be honored.
+    pub fn at_fixed_base(&self) -> bool {
+        self.at_fixed_base
+    }
+
+    /// Claim a page-aligned slot of `bytes` bytes; returns its absolute
+    /// address. Slots are never reused within a session (address-space
+    /// bump allocation — 64-bit address space is the resource µDatabase
+    /// spends to avoid pointer swizzling).
+    pub fn claim(&self, bytes: usize) -> Result<usize> {
+        let page = page_size();
+        let len = bytes.div_ceil(page) * page;
+        let mut cur = self.next.load(Ordering::Relaxed);
+        loop {
+            let end = cur
+                .checked_add(len)
+                .ok_or_else(|| EnvError::InvalidConfig("arena slot overflow".into()))?;
+            if end > self.size {
+                return Err(EnvError::InvalidConfig(format!(
+                    "arena exhausted: need {len} bytes, {} remain",
+                    self.size - cur
+                )));
+            }
+            match self
+                .next
+                .compare_exchange(cur, end, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return Ok(self.base + cur),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Claim a slot at a specific absolute address (used when reopening
+    /// a segment that records its base). Fails if the address is outside
+    /// the arena or below the bump pointer... i.e. potentially occupied.
+    pub fn claim_at(&self, addr: usize, bytes: usize) -> Result<usize> {
+        let page = page_size();
+        let len = bytes.div_ceil(page) * page;
+        if !addr.is_multiple_of(page) {
+            return Err(EnvError::InvalidConfig("unaligned segment base".into()));
+        }
+        if addr < self.base || addr + len > self.base + self.size {
+            return Err(EnvError::InvalidConfig(format!(
+                "recorded base {addr:#x} outside arena [{:#x}, {:#x})",
+                self.base,
+                self.base + self.size
+            )));
+        }
+        let off = addr - self.base;
+        // Advance the bump pointer past this slot if needed, so future
+        // claims never collide with it.
+        let mut cur = self.next.load(Ordering::Relaxed);
+        loop {
+            if off < cur {
+                return Err(EnvError::InvalidConfig(format!(
+                    "recorded base {addr:#x} overlaps already-claimed space"
+                )));
+            }
+            match self
+                .next
+                .compare_exchange(cur, off + len, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return Ok(addr),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+}
+
+impl Drop for SegmentArena {
+    fn drop(&mut self) {
+        // SAFETY: unmapping our own reservation.
+        unsafe {
+            libc::munmap(self.base as *mut libc::c_void, self.size);
+        }
+    }
+}
+
+/// System page size.
+pub fn page_size() -> usize {
+    // SAFETY: sysconf is always safe to call.
+    unsafe { libc::sysconf(libc::_SC_PAGESIZE) as usize }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_claim_slots() {
+        let arena = SegmentArena::reserve(0, 1 << 20)
+            .unwrap_or_else(|_| SegmentArena::reserve_default().expect("default arena"));
+        let a = arena.claim(1000).unwrap();
+        let b = arena.claim(1000).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a % page_size(), 0);
+        assert_eq!(b % page_size(), 0);
+        assert!(b >= a + page_size());
+    }
+
+    #[test]
+    fn arena_exhaustion_reported() {
+        let arena = SegmentArena::reserve(0, 2 * page_size()).unwrap();
+        arena.claim(page_size()).unwrap();
+        arena.claim(page_size()).unwrap();
+        assert!(arena.claim(1).is_err());
+    }
+
+    #[test]
+    fn claim_at_rejects_overlap_and_outside() {
+        let arena = SegmentArena::reserve(0, 64 * page_size()).unwrap();
+        let a = arena.claim(page_size()).unwrap();
+        // Reclaiming the same address must fail (overlap).
+        assert!(arena.claim_at(a, page_size()).is_err());
+        // Outside the arena must fail.
+        assert!(arena.claim_at(arena.base() + arena.size(), 1).is_err());
+        // A fresh address past the bump pointer succeeds.
+        let ahead = arena.base() + 10 * page_size();
+        let got = arena.claim_at(ahead, page_size()).unwrap();
+        assert_eq!(got, ahead);
+        // And ordinary claims continue past it.
+        let next = arena.claim(page_size()).unwrap();
+        assert!(next >= ahead + page_size());
+    }
+
+    #[test]
+    fn fixed_base_is_attempted() {
+        // The default base is usually free in a test process; if we got
+        // it, segments will be exactly positioned.
+        let arena = SegmentArena::reserve_default().unwrap();
+        if arena.at_fixed_base() {
+            assert_eq!(arena.base(), DEFAULT_ARENA_BASE);
+        }
+        // Either way the arena works.
+        assert!(arena.claim(4096).is_ok());
+    }
+}

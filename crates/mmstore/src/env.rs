@@ -1,0 +1,552 @@
+//! `MmapEnv`: the real memory-mapped environment.
+//!
+//! Files live in per-disk directories under a root path and are mapped
+//! read/write with `mmap`; reads and writes are plain memory accesses —
+//! the operating system's paging does the I/O, exactly as in the
+//! paper's µDatabase test bed. Each `S` partition is served by a real
+//! `Sproc` OS thread behind a channel, mirroring the shared-buffer
+//! protocol.
+//!
+//! Cost-declaration hooks ([`mmjoin_env::Env::cpu`] etc.) only count
+//! events here — the costs are physically incurred. Clocks are wall
+//! time.
+//!
+//! # Safety
+//!
+//! File contents are accessed through `memmap2::MmapRaw`. Two invariants
+//! make the raw accesses sound:
+//!
+//! 1. every access is bounds-checked against the mapping length;
+//! 2. concurrent writers never overlap byte ranges — guaranteed by the
+//!    join algorithms' chunk/slot reservation discipline (each writer
+//!    owns the slots it reserved), the same discipline any shared-mmap
+//!    program needs.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use memmap2::MmapRaw;
+use mmjoin_env::{
+    CpuOp, DiskId, Env, EnvError, EnvStats, FileOps, MoveKind, ProcId, ProcStats, Result, SCatalog,
+    SPtr,
+};
+use parking_lot::{Mutex, RwLock};
+
+/// Configuration of a real memory-mapped environment.
+#[derive(Clone, Debug)]
+pub struct MmapEnvConfig {
+    /// Directory holding one `disk<j>` subdirectory per modelled disk.
+    pub root: PathBuf,
+    /// `D`.
+    pub num_disks: u32,
+    /// Page size reported to the algorithms (buffer sizing); the OS page
+    /// size governs actual faulting.
+    pub page_size: u64,
+}
+
+struct MappedFile {
+    name: String,
+    path: PathBuf,
+    map: MmapRaw,
+    len: u64,
+    // Keep the file open for the mapping's lifetime.
+    _file: std::fs::File,
+}
+
+impl MappedFile {
+    fn check(&self, offset: u64, len: u64) -> Result<()> {
+        if offset.checked_add(len).is_none_or(|end| end > self.len) {
+            return Err(EnvError::OutOfBounds {
+                file: self.name.clone(),
+                offset,
+                len,
+                size: self.len,
+            });
+        }
+        Ok(())
+    }
+
+    fn read(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.check(offset, buf.len() as u64)?;
+        // SAFETY: bounds checked; see module invariants.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.map.as_ptr().add(offset as usize),
+                buf.as_mut_ptr(),
+                buf.len(),
+            );
+        }
+        Ok(())
+    }
+
+    fn write(&self, offset: u64, buf: &[u8]) -> Result<()> {
+        self.check(offset, buf.len() as u64)?;
+        // SAFETY: bounds checked; writers never overlap (module
+        // invariant 2).
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                buf.as_ptr(),
+                self.map.as_mut_ptr().add(offset as usize),
+                buf.len(),
+            );
+        }
+        Ok(())
+    }
+}
+
+struct SRequest {
+    ptrs: Vec<SPtr>,
+    reply: Sender<Vec<u8>>,
+}
+
+struct SService {
+    senders: Vec<Sender<SRequest>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    part_bytes: u64,
+    s_obj_size: u32,
+}
+
+struct Inner {
+    cfg: MmapEnvConfig,
+    files: RwLock<HashMap<String, Arc<MappedFile>>>,
+    procs: Vec<Mutex<ProcStats>>,
+    origin: Mutex<Instant>,
+    s_service: Mutex<Option<SService>>,
+}
+
+/// The real memory-mapped environment (cheap to clone).
+#[derive(Clone)]
+pub struct MmapEnv {
+    inner: Arc<Inner>,
+}
+
+/// Handle to one mapped file.
+#[derive(Clone)]
+pub struct MmapFile {
+    file: Arc<MappedFile>,
+}
+
+impl MmapEnv {
+    /// Create the environment, laying out per-disk directories.
+    pub fn new(cfg: MmapEnvConfig) -> Result<Self> {
+        if cfg.num_disks == 0 {
+            return Err(EnvError::InvalidConfig("num_disks must be > 0".into()));
+        }
+        for j in 0..cfg.num_disks {
+            std::fs::create_dir_all(cfg.root.join(format!("disk{j}")))?;
+        }
+        let procs = (0..ProcId::slots(cfg.num_disks))
+            .map(|_| Mutex::new(ProcStats::default()))
+            .collect();
+        Ok(MmapEnv {
+            inner: Arc::new(Inner {
+                cfg,
+                files: RwLock::new(HashMap::new()),
+                procs,
+                origin: Mutex::new(Instant::now()),
+                s_service: Mutex::new(None),
+            }),
+        })
+    }
+
+    fn path_of(&self, name: &str, disk: DiskId) -> PathBuf {
+        self.inner
+            .cfg
+            .root
+            .join(format!("disk{}", disk.0))
+            .join(name)
+    }
+
+    fn bump_map_ops(&self, proc: ProcId) {
+        self.inner.procs[proc.0 as usize].lock().map_ops += 1;
+    }
+}
+
+impl FileOps for MmapFile {
+    fn len(&self) -> u64 {
+        self.file.len
+    }
+
+    fn read_at(&self, _proc: ProcId, offset: u64, buf: &mut [u8]) -> Result<()> {
+        self.file.read(offset, buf)
+    }
+
+    fn write_at(&self, _proc: ProcId, offset: u64, buf: &[u8]) -> Result<()> {
+        self.file.write(offset, buf)
+    }
+}
+
+impl Env for MmapEnv {
+    type File = MmapFile;
+
+    fn page_size(&self) -> u64 {
+        self.inner.cfg.page_size
+    }
+
+    fn num_disks(&self) -> u32 {
+        self.inner.cfg.num_disks
+    }
+
+    fn create_file(
+        &self,
+        proc: ProcId,
+        name: &str,
+        disk: DiskId,
+        bytes: u64,
+    ) -> Result<Self::File> {
+        if disk.0 >= self.inner.cfg.num_disks {
+            return Err(EnvError::InvalidConfig(format!("no such disk {disk}")));
+        }
+        {
+            let files = self.inner.files.read();
+            if files.contains_key(name) {
+                return Err(EnvError::AlreadyExists(name.into()));
+            }
+        }
+        let path = self.path_of(name, disk);
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        // Map at least one page so empty files still map.
+        file.set_len(bytes.max(1))?;
+        let map = MmapRaw::map_raw(&file)?;
+        let mapped = Arc::new(MappedFile {
+            name: name.to_string(),
+            path,
+            map,
+            len: bytes,
+            _file: file,
+        });
+        self.inner
+            .files
+            .write()
+            .insert(name.to_string(), mapped.clone());
+        self.bump_map_ops(proc);
+        Ok(MmapFile { file: mapped })
+    }
+
+    fn open_file(&self, proc: ProcId, name: &str) -> Result<Self::File> {
+        let file = self
+            .inner
+            .files
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EnvError::NotFound(name.into()))?;
+        self.bump_map_ops(proc);
+        Ok(MmapFile { file })
+    }
+
+    fn delete_file(&self, proc: ProcId, name: &str) -> Result<()> {
+        let file = self
+            .inner
+            .files
+            .write()
+            .remove(name)
+            .ok_or_else(|| EnvError::NotFound(name.into()))?;
+        std::fs::remove_file(&file.path)?;
+        self.bump_map_ops(proc);
+        Ok(())
+    }
+
+    fn cpu(&self, proc: ProcId, op: CpuOp, count: u64) {
+        self.inner.procs[proc.0 as usize].lock().cpu_ops[op.index()] += count;
+    }
+
+    fn move_bytes(&self, proc: ProcId, kind: MoveKind, bytes: u64) {
+        self.inner.procs[proc.0 as usize].lock().move_bytes[kind.index()] += bytes;
+    }
+
+    fn context_switches(&self, proc: ProcId, count: u64) {
+        self.inner.procs[proc.0 as usize].lock().ctx_switches += count;
+    }
+
+    fn register_s(&self, catalog: SCatalog) -> Result<()> {
+        if catalog.num_parts() != self.inner.cfg.num_disks {
+            return Err(EnvError::BadSRequest(format!(
+                "catalog has {} partitions, environment has {} disks",
+                catalog.num_parts(),
+                self.inner.cfg.num_disks
+            )));
+        }
+        let mut senders = Vec::new();
+        let mut handles = Vec::new();
+        for (j, name) in catalog.part_files.iter().enumerate() {
+            let file = self
+                .inner
+                .files
+                .read()
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EnvError::NotFound(name.clone()))?;
+            let (tx, rx): (Sender<SRequest>, Receiver<SRequest>) = unbounded();
+            let part_bytes = catalog.part_bytes;
+            let obj = catalog.s_obj_size as u64;
+            let handle = std::thread::Builder::new()
+                .name(format!("sproc{j}"))
+                .spawn(move || {
+                    // The Sproc loop: receive a batch of pointers, copy
+                    // the referenced objects into the reply buffer (the
+                    // "shared memory" of the protocol), send it back.
+                    while let Ok(req) = rx.recv() {
+                        let mut out = Vec::with_capacity(req.ptrs.len() * obj as usize);
+                        let mut ok = true;
+                        for ptr in &req.ptrs {
+                            let off = ptr.offset(part_bytes);
+                            let start = out.len();
+                            out.resize(start + obj as usize, 0);
+                            if file.read(off, &mut out[start..]).is_err() {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if !ok {
+                            out.clear();
+                        }
+                        let _ = req.reply.send(out);
+                    }
+                })
+                .map_err(|e| EnvError::Io(std::io::Error::other(e)))?;
+            senders.push(tx);
+            handles.push(handle);
+        }
+        *self.inner.s_service.lock() = Some(SService {
+            senders,
+            handles,
+            part_bytes: catalog.part_bytes,
+            s_obj_size: catalog.s_obj_size,
+        });
+        Ok(())
+    }
+
+    fn s_fetch_batch(
+        &self,
+        proc: ProcId,
+        spart: u32,
+        ptrs: &[SPtr],
+        req_bytes_each: u64,
+        out: &mut Vec<u8>,
+    ) -> Result<()> {
+        if ptrs.is_empty() {
+            return Ok(());
+        }
+        let (tx, part_bytes, obj) = {
+            let guard = self.inner.s_service.lock();
+            let s = guard
+                .as_ref()
+                .ok_or_else(|| EnvError::BadSRequest("no S catalog registered".into()))?;
+            let tx = s
+                .senders
+                .get(spart as usize)
+                .ok_or_else(|| EnvError::BadSRequest(format!("no S partition {spart}")))?
+                .clone();
+            (tx, s.part_bytes, s.s_obj_size as usize)
+        };
+        for ptr in ptrs {
+            if ptr.partition(part_bytes) != spart {
+                return Err(EnvError::BadSRequest(format!(
+                    "{ptr} is not in partition {spart}"
+                )));
+            }
+        }
+        let (reply_tx, reply_rx) = unbounded();
+        tx.send(SRequest {
+            ptrs: ptrs.to_vec(),
+            reply: reply_tx,
+        })
+        .map_err(|_| EnvError::BadSRequest("Sproc service stopped".into()))?;
+        let data = reply_rx
+            .recv()
+            .map_err(|_| EnvError::BadSRequest("Sproc service stopped".into()))?;
+        if data.len() != ptrs.len() * obj {
+            return Err(EnvError::BadSRequest(
+                "Sproc reported an out-of-range pointer".into(),
+            ));
+        }
+        out.extend_from_slice(&data);
+        let mut ps = self.inner.procs[proc.0 as usize].lock();
+        ps.ctx_switches += 2;
+        ps.s_batches += 1;
+        ps.s_objects += ptrs.len() as u64;
+        ps.move_bytes[MoveKind::PS.index()] += ptrs.len() as u64 * (req_bytes_each + obj as u64);
+        Ok(())
+    }
+
+    fn shutdown_s(&self) {
+        if let Some(s) = self.inner.s_service.lock().take() {
+            drop(s.senders);
+            for h in s.handles {
+                let _ = h.join();
+            }
+        }
+    }
+
+    fn preload(&self, name: &str, offset: u64, data: &[u8]) -> Result<()> {
+        let file = self
+            .inner
+            .files
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EnvError::NotFound(name.into()))?;
+        file.write(offset, data)
+    }
+
+    fn reset_stats(&self) {
+        for p in &self.inner.procs {
+            *p.lock() = ProcStats::default();
+        }
+        *self.inner.origin.lock() = Instant::now();
+    }
+
+    fn now(&self, _proc: ProcId) -> f64 {
+        self.inner.origin.lock().elapsed().as_secs_f64()
+    }
+
+    fn stats(&self) -> EnvStats {
+        let elapsed = self.inner.origin.lock().elapsed().as_secs_f64();
+        EnvStats {
+            procs: self
+                .inner
+                .procs
+                .iter()
+                .map(|p| {
+                    let mut st = p.lock().clone();
+                    // Wall clock is global in the real environment.
+                    st.clock = elapsed;
+                    st
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        if let Some(s) = self.s_service.lock().take() {
+            drop(s.senders);
+            for h in s.handles {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(disks: u32) -> (MmapEnv, PathBuf) {
+        let root = std::env::temp_dir().join(format!(
+            "mmjoin-env-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let e = MmapEnv::new(MmapEnvConfig {
+            root: root.clone(),
+            num_disks: disks,
+            page_size: 4096,
+        })
+        .unwrap();
+        (e, root)
+    }
+
+    const P: ProcId = ProcId(0);
+
+    #[test]
+    fn file_lifecycle_and_roundtrip() {
+        let (e, root) = env(2);
+        let f = e.create_file(P, "t", DiskId(1), 10_000).unwrap();
+        f.write_at(P, 5000, b"persistent").unwrap();
+        let mut buf = [0u8; 10];
+        f.read_at(P, 5000, &mut buf).unwrap();
+        assert_eq!(&buf, b"persistent");
+        assert!(matches!(
+            e.create_file(P, "t", DiskId(0), 1),
+            Err(EnvError::AlreadyExists(_))
+        ));
+        // Data actually lands in the disk directory's file.
+        assert!(root.join("disk1").join("t").exists());
+        e.delete_file(P, "t").unwrap();
+        assert!(!root.join("disk1").join("t").exists());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let (e, root) = env(1);
+        let f = e.create_file(P, "t", DiskId(0), 100).unwrap();
+        let mut b = [0u8; 16];
+        assert!(f.read_at(P, 90, &mut b).is_err());
+        assert!(f.write_at(P, u64::MAX, &[0]).is_err());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn sproc_threads_serve_fetches() {
+        let (e, root) = env(2);
+        let part_bytes = 4096u64;
+        for j in 0..2u32 {
+            let name = format!("S_{j}");
+            e.create_file(P, &name, DiskId(j), part_bytes).unwrap();
+            let mut data = vec![0u8; part_bytes as usize];
+            for (i, c) in data.chunks_mut(64).enumerate() {
+                c[0] = j as u8;
+                c[1] = i as u8;
+            }
+            e.preload(&name, 0, &data).unwrap();
+        }
+        e.register_s(SCatalog {
+            part_files: vec!["S_0".into(), "S_1".into()],
+            part_bytes,
+            s_obj_size: 64,
+        })
+        .unwrap();
+        let ptrs = vec![SPtr::new(1, 128, part_bytes), SPtr::new(1, 0, part_bytes)];
+        let mut out = Vec::new();
+        e.s_fetch_batch(P, 1, &ptrs, 72, &mut out).unwrap();
+        assert_eq!(out.len(), 128);
+        assert_eq!((out[0], out[1]), (1, 2));
+        assert_eq!((out[64], out[65]), (1, 0));
+        let st = e.stats();
+        assert_eq!(st.procs[0].s_objects, 2);
+        assert_eq!(st.procs[0].ctx_switches, 2);
+        // Cross-partition pointer rejected.
+        assert!(e
+            .s_fetch_batch(P, 1, &[SPtr::new(0, 0, part_bytes)], 72, &mut out)
+            .is_err());
+        e.shutdown_s();
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn persistence_across_env_instances() {
+        let (e, root) = env(1);
+        let f = e.create_file(P, "keep", DiskId(0), 4096).unwrap();
+        f.write_at(P, 0, b"survives").unwrap();
+        drop(f);
+        drop(e);
+        // A new environment over the same root can remap the file by
+        // reading it from disk (open path goes through the file table,
+        // so re-create the mapping manually).
+        let raw = std::fs::read(root.join("disk0").join("keep")).unwrap();
+        assert_eq!(&raw[0..8], b"survives");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn wall_clock_advances_and_resets() {
+        let (e, root) = env(1);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        assert!(e.now(P) >= 0.004);
+        e.reset_stats();
+        assert!(e.now(P) < 0.004);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

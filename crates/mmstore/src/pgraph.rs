@@ -1,0 +1,287 @@
+//! A persistent pointer-based directed graph inside a [`Segment`] —
+//! completing the paper's §1 list ("B-Trees, R-Trees and graph data
+//! structures"). Graphs are the structure where pointer swizzling hurts
+//! most: every traversal step chases a stored pointer, so any per-
+//! pointer fix-up cost is paid on the hot path. Exact positioning makes
+//! a stored adjacency structure directly traversable after reopen.
+//!
+//! Layout: classic adjacency lists with absolute addresses.
+//!
+//! ```text
+//! node: [0..8) payload u64   [8..16) first-edge address (0 = none)
+//! edge: [0..8) target node address   [8..16) next-edge address
+//! ```
+//!
+//! A directory node list (singly linked through a third pointer in the
+//! node record) makes whole-graph walks and relocation possible without
+//! external metadata.
+
+use mmjoin_env::{EnvError, Result};
+
+use crate::arena::Placement;
+use crate::segment::{Segment, HEADER_SIZE};
+
+const NODE_SIZE: u64 = 24; // payload, first_edge, next_node
+const EDGE_SIZE: u64 = 16; // target, next_edge
+
+/// Handle to a node: its segment offset.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct NodeRef(pub u64);
+
+/// A persistent directed graph of `u64`-payload nodes.
+pub struct PersistentGraph<'s> {
+    seg: &'s mut Segment,
+}
+
+impl<'s> PersistentGraph<'s> {
+    /// Adopt (or initialize) the segment's root as a graph (the root
+    /// slot holds the head of the node directory list).
+    pub fn new(seg: &'s mut Segment) -> Result<Self> {
+        if seg.placement() == Placement::Relocated {
+            return Err(EnvError::InvalidConfig(
+                "segment is relocated; call PersistentGraph::relocate first".into(),
+            ));
+        }
+        Ok(PersistentGraph { seg })
+    }
+
+    fn read_u64(&self, off: u64) -> u64 {
+        let i = (off - HEADER_SIZE) as usize;
+        u64::from_le_bytes(self.seg.data()[i..i + 8].try_into().expect("8"))
+    }
+
+    fn write_u64(&mut self, off: u64, v: u64) {
+        let i = (off - HEADER_SIZE) as usize;
+        self.seg.data_mut()[i..i + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn addr(&self, off: u64) -> u64 {
+        self.seg.addr_of(off) as u64
+    }
+
+    fn off_of_addr(&self, addr: u64) -> Option<u64> {
+        if addr == 0 {
+            None
+        } else {
+            self.seg.offset_of(addr as usize)
+        }
+    }
+
+    /// Add a node carrying `payload`.
+    pub fn add_node(&mut self, payload: u64) -> Result<NodeRef> {
+        let off = self.seg.alloc(NODE_SIZE, 8)?;
+        let head = self.seg.root();
+        let head_addr = if head == 0 { 0 } else { self.addr(head) };
+        self.write_u64(off, payload);
+        self.write_u64(off + 8, 0); // no edges yet
+        self.write_u64(off + 16, head_addr); // directory link
+        self.seg.set_root(off);
+        Ok(NodeRef(off))
+    }
+
+    /// Add a directed edge `from → to` (duplicates allowed, as in a
+    /// multigraph).
+    pub fn add_edge(&mut self, from: NodeRef, to: NodeRef) -> Result<()> {
+        let edge = self.seg.alloc(EDGE_SIZE, 8)?;
+        let first = self.read_u64(from.0 + 8);
+        self.write_u64(edge, self.addr(to.0));
+        self.write_u64(edge + 8, first);
+        let edge_addr = self.addr(edge);
+        self.write_u64(from.0 + 8, edge_addr);
+        Ok(())
+    }
+
+    /// A node's payload.
+    pub fn payload(&self, node: NodeRef) -> u64 {
+        self.read_u64(node.0)
+    }
+
+    /// Out-neighbors of `node`, most recently added first.
+    pub fn neighbors(&self, node: NodeRef) -> Vec<NodeRef> {
+        let mut out = Vec::new();
+        let mut edge_addr = self.read_u64(node.0 + 8);
+        while let Some(edge) = self.off_of_addr(edge_addr) {
+            let target = self.read_u64(edge);
+            if let Some(t) = self.off_of_addr(target) {
+                out.push(NodeRef(t));
+            }
+            edge_addr = self.read_u64(edge + 8);
+        }
+        out
+    }
+
+    /// Every node, most recently added first.
+    pub fn nodes(&self) -> Vec<NodeRef> {
+        let mut out = Vec::new();
+        let mut off = self.seg.root();
+        while off != 0 {
+            out.push(NodeRef(off));
+            let next = self.read_u64(off + 16);
+            off = self.off_of_addr(next).unwrap_or(0);
+            if next == 0 {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Nodes reachable from `start` (including it), breadth-first.
+    pub fn reachable(&self, start: NodeRef) -> Vec<NodeRef> {
+        let mut seen = std::collections::HashSet::new();
+        let mut queue = std::collections::VecDeque::new();
+        let mut out = Vec::new();
+        seen.insert(start);
+        queue.push_back(start);
+        while let Some(n) = queue.pop_front() {
+            out.push(n);
+            for m in self.neighbors(n) {
+                if seen.insert(m) {
+                    queue.push_back(m);
+                }
+            }
+        }
+        out
+    }
+
+    /// Patch every stored address (directory links, edge heads, edge
+    /// targets, edge nexts) after a relocated open.
+    pub fn relocate(seg: &mut Segment) -> Result<usize> {
+        let delta = seg.relocation_delta();
+        if delta == 0 {
+            seg.commit_relocation();
+            return Ok(0);
+        }
+        let patch = |seg: &mut Segment, off: u64| -> Result<u64> {
+            let i = (off - HEADER_SIZE) as usize;
+            let stored = u64::from_le_bytes(seg.data()[i..i + 8].try_into().expect("8"));
+            if stored == 0 {
+                return Ok(0);
+            }
+            let patched = (stored as i64 + delta as i64) as u64;
+            seg.offset_of(patched as usize).ok_or_else(|| {
+                EnvError::InvalidConfig("graph pointer escapes segment during relocation".into())
+            })?;
+            seg.data_mut()[i..i + 8].copy_from_slice(&patched.to_le_bytes());
+            Ok(patched)
+        };
+        let mut fixed = 0;
+        let mut node = seg.root();
+        while node != 0 {
+            // Edge list: head pointer then each edge's target and next.
+            let mut edge_addr = patch(seg, node + 8)?;
+            if edge_addr != 0 {
+                fixed += 1;
+            }
+            while edge_addr != 0 {
+                let edge = seg
+                    .offset_of(edge_addr as usize)
+                    .expect("validated by patch");
+                patch(seg, edge)?; // target
+                fixed += 1;
+                let next = patch(seg, edge + 8)?;
+                if next != 0 {
+                    fixed += 1;
+                }
+                edge_addr = next;
+            }
+            // Directory link.
+            let next_node = patch(seg, node + 16)?;
+            if next_node != 0 {
+                fixed += 1;
+            }
+            node = if next_node == 0 {
+                0
+            } else {
+                seg.offset_of(next_node as usize).expect("validated")
+            };
+        }
+        seg.commit_relocation();
+        Ok(fixed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::SegmentArena;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mmjoin-pgraph-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        let p = d.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn build_and_traverse() {
+        let arena = SegmentArena::reserve(0, 1 << 24).unwrap();
+        let path = tmp("bfs.seg");
+        let mut seg = Segment::create(&arena, &path, 1 << 18).unwrap();
+        let mut g = PersistentGraph::new(&mut seg).unwrap();
+        let a = g.add_node(1).unwrap();
+        let b = g.add_node(2).unwrap();
+        let c = g.add_node(3).unwrap();
+        let d = g.add_node(4).unwrap();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, c).unwrap();
+        g.add_edge(b, d).unwrap();
+        g.add_edge(d, a).unwrap(); // cycle
+        assert_eq!(g.nodes().len(), 4);
+        assert_eq!(g.neighbors(a).len(), 2);
+        let reach: Vec<u64> = g.reachable(a).iter().map(|&n| g.payload(n)).collect();
+        assert_eq!(reach.len(), 4, "cycle must not loop forever");
+        assert!(reach.contains(&4));
+        // c has no out-edges; only itself reachable.
+        assert_eq!(g.reachable(c).len(), 1);
+        drop(seg);
+        Segment::delete(&path).unwrap();
+    }
+
+    #[test]
+    fn survives_reopen_and_relocation() {
+        let path = tmp("reloc.seg");
+        {
+            let arena = SegmentArena::reserve(0, 1 << 24).unwrap();
+            let mut seg = Segment::create(&arena, &path, 1 << 20).unwrap();
+            let mut g = PersistentGraph::new(&mut seg).unwrap();
+            // A chain 0 → 1 → … → 99.
+            let nodes: Vec<NodeRef> = (0..100).map(|i| g.add_node(i).unwrap()).collect();
+            for w in nodes.windows(2) {
+                g.add_edge(w[0], w[1]).unwrap();
+            }
+            seg.flush().unwrap();
+        }
+        {
+            let arena = SegmentArena::reserve(0, 1 << 24).unwrap();
+            let mut seg = Segment::open(&arena, &path).unwrap();
+            if seg.placement() == Placement::Relocated {
+                assert!(PersistentGraph::new(&mut seg).is_err());
+                let fixed = PersistentGraph::relocate(&mut seg).unwrap();
+                assert!(fixed > 0);
+            }
+            let g = PersistentGraph::new(&mut seg).unwrap();
+            let nodes = g.nodes();
+            assert_eq!(nodes.len(), 100);
+            // The directory is most-recent-first: head is payload 99,
+            // which starts the chain's tail; payload 0's node reaches
+            // all 100.
+            let first = *nodes.last().expect("non-empty");
+            assert_eq!(g.payload(first), 0);
+            assert_eq!(g.reachable(first).len(), 100);
+        }
+        Segment::delete(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_graph_behaves() {
+        let arena = SegmentArena::reserve(0, 1 << 24).unwrap();
+        let path = tmp("empty.seg");
+        let mut seg = Segment::create(&arena, &path, 4096).unwrap();
+        let g = PersistentGraph::new(&mut seg).unwrap();
+        assert!(g.nodes().is_empty());
+        drop(seg);
+        Segment::delete(&path).unwrap();
+    }
+}

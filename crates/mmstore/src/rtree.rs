@@ -1,0 +1,544 @@
+//! A persistent pointer-based R-Tree inside a [`Segment`] — the second
+//! of the paper's §1 structures ("B-Trees, R-Trees and graph data
+//! structures can be implemented as efficiently and effectively in this
+//! environment").
+//!
+//! Guttman's classic design: every node holds up to `M` entries, each a
+//! bounding rectangle plus either a child pointer (internal) or a user
+//! value (leaf). Child pointers are **absolute addresses** into the
+//! mapped segment; under exact positioning a spatial index built in one
+//! session answers window queries in the next with no load step.
+//! Splits use the quadratic seed-picking heuristic; subtree choice
+//! minimizes area enlargement.
+//!
+//! Node layout (`NODE_SIZE` bytes):
+//!
+//! ```text
+//! [0..2)  n_entries: u16     [2..4) is_leaf: u16    [4..8) padding
+//! then M entries of 24 bytes: min_x,min_y,max_x,max_y (i32 each) + payload u64
+//! ```
+
+use mmjoin_env::{EnvError, Result};
+
+use crate::arena::Placement;
+use crate::segment::{Segment, HEADER_SIZE};
+
+/// Maximum entries per node.
+const M: usize = 8;
+/// Minimum fill after a split.
+const MIN_FILL: usize = M / 2;
+const ENTRY_SIZE: u64 = 24;
+const NODE_SIZE: u64 = 8 + (M as u64) * ENTRY_SIZE;
+
+/// An axis-aligned rectangle with inclusive integer coordinates.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Rect {
+    /// Lower-left x.
+    pub min_x: i32,
+    /// Lower-left y.
+    pub min_y: i32,
+    /// Upper-right x (≥ `min_x`).
+    pub max_x: i32,
+    /// Upper-right y (≥ `min_y`).
+    pub max_y: i32,
+}
+
+impl Rect {
+    /// A point rectangle.
+    pub fn point(x: i32, y: i32) -> Rect {
+        Rect {
+            min_x: x,
+            min_y: y,
+            max_x: x,
+            max_y: y,
+        }
+    }
+
+    /// A validated rectangle.
+    pub fn new(min_x: i32, min_y: i32, max_x: i32, max_y: i32) -> Result<Rect> {
+        if max_x < min_x || max_y < min_y {
+            return Err(EnvError::InvalidConfig(format!(
+                "degenerate rectangle [{min_x},{min_y}]..[{max_x},{max_y}]"
+            )));
+        }
+        Ok(Rect {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        })
+    }
+
+    /// True if the two rectangles share any point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// Smallest rectangle covering both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Area as a wide integer (avoids overflow on i32 extents).
+    pub fn area(&self) -> i64 {
+        (self.max_x as i64 - self.min_x as i64 + 1) * (self.max_y as i64 - self.min_y as i64 + 1)
+    }
+
+    /// Area growth needed to also cover `other`.
+    pub fn enlargement(&self, other: &Rect) -> i64 {
+        self.union(other).area() - self.area()
+    }
+}
+
+/// A persistent spatial index mapping rectangles to `u64` payloads.
+pub struct PersistentRTree<'s> {
+    seg: &'s mut Segment,
+}
+
+impl<'s> PersistentRTree<'s> {
+    /// Adopt (or initialize) the segment's root as an R-Tree.
+    pub fn new(seg: &'s mut Segment) -> Result<Self> {
+        if seg.placement() == Placement::Relocated {
+            return Err(EnvError::InvalidConfig(
+                "segment is relocated; call PersistentRTree::relocate first".into(),
+            ));
+        }
+        let mut t = PersistentRTree { seg };
+        if t.seg.root() == 0 {
+            let root = t.alloc_node(true)?;
+            t.seg.set_root(root);
+        }
+        Ok(t)
+    }
+
+    // ---- raw node access ---------------------------------------------
+
+    fn data_idx(node: u64, off: u64) -> usize {
+        (node + off - HEADER_SIZE) as usize
+    }
+
+    fn read_u16(&self, node: u64, off: u64) -> u16 {
+        let i = Self::data_idx(node, off);
+        u16::from_le_bytes(self.seg.data()[i..i + 2].try_into().expect("2"))
+    }
+
+    fn write_u16(&mut self, node: u64, off: u64, v: u16) {
+        let i = Self::data_idx(node, off);
+        self.seg.data_mut()[i..i + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn n_entries(&self, node: u64) -> usize {
+        self.read_u16(node, 0) as usize
+    }
+
+    fn set_n_entries(&mut self, node: u64, n: usize) {
+        self.write_u16(node, 0, n as u16);
+    }
+
+    fn is_leaf(&self, node: u64) -> bool {
+        self.read_u16(node, 2) == 1
+    }
+
+    fn entry_off(node: u64, i: usize) -> u64 {
+        node + 8 + (i as u64) * ENTRY_SIZE
+    }
+
+    fn rect(&self, node: u64, i: usize) -> Rect {
+        let base = (Self::entry_off(node, i) - HEADER_SIZE) as usize;
+        let d = self.seg.data();
+        let f =
+            |k: usize| i32::from_le_bytes(d[base + 4 * k..base + 4 * k + 4].try_into().expect("4"));
+        Rect {
+            min_x: f(0),
+            min_y: f(1),
+            max_x: f(2),
+            max_y: f(3),
+        }
+    }
+
+    fn payload(&self, node: u64, i: usize) -> u64 {
+        let base = (Self::entry_off(node, i) - HEADER_SIZE) as usize + 16;
+        u64::from_le_bytes(self.seg.data()[base..base + 8].try_into().expect("8"))
+    }
+
+    fn set_entry(&mut self, node: u64, i: usize, rect: Rect, payload: u64) {
+        let base = (Self::entry_off(node, i) - HEADER_SIZE) as usize;
+        let d = self.seg.data_mut();
+        d[base..base + 4].copy_from_slice(&rect.min_x.to_le_bytes());
+        d[base + 4..base + 8].copy_from_slice(&rect.min_y.to_le_bytes());
+        d[base + 8..base + 12].copy_from_slice(&rect.max_x.to_le_bytes());
+        d[base + 12..base + 16].copy_from_slice(&rect.max_y.to_le_bytes());
+        d[base + 16..base + 24].copy_from_slice(&payload.to_le_bytes());
+    }
+
+    fn child(&self, node: u64, i: usize) -> u64 {
+        let addr = self.payload(node, i) as usize;
+        self.seg.offset_of(addr).expect("child inside segment")
+    }
+
+    fn alloc_node(&mut self, leaf: bool) -> Result<u64> {
+        let off = self.seg.alloc(NODE_SIZE, 8)?;
+        let i = (off - HEADER_SIZE) as usize;
+        self.seg.data_mut()[i..i + NODE_SIZE as usize].fill(0);
+        self.write_u16(off, 2, leaf as u16);
+        Ok(off)
+    }
+
+    /// Bounding rectangle of a whole node.
+    fn node_mbr(&self, node: u64) -> Rect {
+        let n = self.n_entries(node);
+        debug_assert!(n > 0);
+        let mut r = self.rect(node, 0);
+        for i in 1..n {
+            r = r.union(&self.rect(node, i));
+        }
+        r
+    }
+
+    // ---- operations ---------------------------------------------------
+
+    /// Insert one rectangle with its payload.
+    pub fn insert(&mut self, rect: Rect, payload: u64) -> Result<()> {
+        if let Some((left, right)) = self.insert_rec(self.seg.root(), rect, payload)? {
+            // Root split: grow the tree by one level.
+            let new_root = self.alloc_node(false)?;
+            let lm = self.node_mbr(left);
+            let rm = self.node_mbr(right);
+            let la = self.seg.addr_of(left) as u64;
+            let ra = self.seg.addr_of(right) as u64;
+            self.set_entry(new_root, 0, lm, la);
+            self.set_entry(new_root, 1, rm, ra);
+            self.set_n_entries(new_root, 2);
+            self.seg.set_root(new_root);
+        }
+        Ok(())
+    }
+
+    /// Recursive insert; returns `Some((left, right))` when `node`
+    /// split.
+    fn insert_rec(&mut self, node: u64, rect: Rect, payload: u64) -> Result<Option<(u64, u64)>> {
+        if self.is_leaf(node) {
+            return self.add_entry(node, rect, payload);
+        }
+        // Choose the child needing least enlargement (ties: least area).
+        let n = self.n_entries(node);
+        let mut best = 0;
+        let mut best_growth = i64::MAX;
+        let mut best_area = i64::MAX;
+        for i in 0..n {
+            let r = self.rect(node, i);
+            let growth = r.enlargement(&rect);
+            if growth < best_growth || (growth == best_growth && r.area() < best_area) {
+                best = i;
+                best_growth = growth;
+                best_area = r.area();
+            }
+        }
+        let chosen = self.child(node, best);
+        let split = self.insert_rec(chosen, rect, payload)?;
+        match split {
+            None => {
+                // Tighten the chosen entry's rectangle.
+                let mbr = self.node_mbr(chosen);
+                let addr = self.seg.addr_of(chosen) as u64;
+                self.set_entry(node, best, mbr, addr);
+                Ok(None)
+            }
+            Some((left, right)) => {
+                // Replace the chosen entry with `left`, add `right`.
+                let lm = self.node_mbr(left);
+                let la = self.seg.addr_of(left) as u64;
+                self.set_entry(node, best, lm, la);
+                let rm = self.node_mbr(right);
+                let ra = self.seg.addr_of(right) as u64;
+                self.add_entry(node, rm, ra)
+            }
+        }
+    }
+
+    /// Add an entry to `node`; split with the quadratic heuristic when
+    /// full. The payload is a user value for leaves and a child address
+    /// for internal nodes — both opaque 8-byte entries here.
+    fn add_entry(&mut self, node: u64, rect: Rect, payload: u64) -> Result<Option<(u64, u64)>> {
+        let n = self.n_entries(node);
+        if n < M {
+            self.set_entry(node, n, rect, payload);
+            self.set_n_entries(node, n + 1);
+            return Ok(None);
+        }
+        // Gather M + 1 entries.
+        let mut entries: Vec<(Rect, u64)> = (0..n)
+            .map(|i| (self.rect(node, i), self.payload(node, i)))
+            .collect();
+        entries.push((rect, payload));
+
+        // Quadratic seeds: the pair whose union wastes the most area.
+        let (mut s1, mut s2, mut worst) = (0usize, 1usize, i64::MIN);
+        for i in 0..entries.len() {
+            for j in i + 1..entries.len() {
+                let waste = entries[i].0.union(&entries[j].0).area()
+                    - entries[i].0.area()
+                    - entries[j].0.area();
+                if waste > worst {
+                    (s1, s2, worst) = (i, j, waste);
+                }
+            }
+        }
+        let leaf = self.is_leaf(node);
+        let right = self.alloc_node(leaf)?;
+        let mut left_set = vec![entries[s1]];
+        let mut right_set = vec![entries[s2]];
+        let mut left_mbr = entries[s1].0;
+        let mut right_mbr = entries[s2].0;
+        for (i, e) in entries.iter().enumerate() {
+            if i == s1 || i == s2 {
+                continue;
+            }
+            let remaining = entries.len() - i;
+            // Force min fill when one side is running out of candidates.
+            if left_set.len() + remaining <= MIN_FILL {
+                left_set.push(*e);
+                left_mbr = left_mbr.union(&e.0);
+                continue;
+            }
+            if right_set.len() + remaining <= MIN_FILL {
+                right_set.push(*e);
+                right_mbr = right_mbr.union(&e.0);
+                continue;
+            }
+            if left_mbr.enlargement(&e.0) <= right_mbr.enlargement(&e.0) {
+                left_set.push(*e);
+                left_mbr = left_mbr.union(&e.0);
+            } else {
+                right_set.push(*e);
+                right_mbr = right_mbr.union(&e.0);
+            }
+        }
+        for (i, (r, p)) in left_set.iter().enumerate() {
+            self.set_entry(node, i, *r, *p);
+        }
+        self.set_n_entries(node, left_set.len());
+        for (i, (r, p)) in right_set.iter().enumerate() {
+            self.set_entry(right, i, *r, *p);
+        }
+        self.set_n_entries(right, right_set.len());
+        Ok(Some((node, right)))
+    }
+
+    /// Payloads of every stored rectangle intersecting `window`.
+    pub fn search(&self, window: &Rect) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.seg.root()];
+        while let Some(node) = stack.pop() {
+            let n = self.n_entries(node);
+            let leaf = self.is_leaf(node);
+            for i in 0..n {
+                if self.rect(node, i).intersects(window) {
+                    if leaf {
+                        out.push(self.payload(node, i));
+                    } else {
+                        stack.push(self.child(node, i));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Total stored rectangles.
+    pub fn len(&self) -> usize {
+        let mut count = 0;
+        let mut stack = vec![self.seg.root()];
+        while let Some(node) = stack.pop() {
+            let n = self.n_entries(node);
+            if self.is_leaf(node) {
+                count += n;
+            } else {
+                for i in 0..n {
+                    stack.push(self.child(node, i));
+                }
+            }
+        }
+        count
+    }
+
+    /// True if no rectangles are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Patch child pointers after a relocated open. Returns the number
+    /// rewritten.
+    pub fn relocate(seg: &mut Segment) -> Result<usize> {
+        let delta = seg.relocation_delta();
+        if delta == 0 {
+            seg.commit_relocation();
+            return Ok(0);
+        }
+        let mut fixed = 0;
+        let root = seg.root();
+        if root != 0 {
+            let mut stack = vec![root];
+            while let Some(node) = stack.pop() {
+                let base = (node - HEADER_SIZE) as usize;
+                let n =
+                    u16::from_le_bytes(seg.data()[base..base + 2].try_into().expect("2")) as usize;
+                let leaf =
+                    u16::from_le_bytes(seg.data()[base + 2..base + 4].try_into().expect("2")) == 1;
+                if leaf {
+                    continue;
+                }
+                for i in 0..n {
+                    let pi = base + 8 + i * ENTRY_SIZE as usize + 16;
+                    let stored = u64::from_le_bytes(seg.data()[pi..pi + 8].try_into().expect("8"));
+                    let patched = (stored as i64 + delta as i64) as u64;
+                    seg.data_mut()[pi..pi + 8].copy_from_slice(&patched.to_le_bytes());
+                    fixed += 1;
+                    let child = seg.offset_of(patched as usize).ok_or_else(|| {
+                        EnvError::InvalidConfig(
+                            "R-Tree child escapes segment during relocation".into(),
+                        )
+                    })?;
+                    stack.push(child);
+                }
+            }
+        }
+        seg.commit_relocation();
+        Ok(fixed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::SegmentArena;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mmjoin-rtree-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        let p = d.join(name);
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn rect_geometry() {
+        let a = Rect::new(0, 0, 10, 10).unwrap();
+        let b = Rect::new(5, 5, 15, 15).unwrap();
+        let c = Rect::new(11, 11, 12, 12).unwrap();
+        assert!(a.intersects(&b) && b.intersects(&a));
+        assert!(!a.intersects(&c));
+        assert!(b.intersects(&c));
+        assert_eq!(a.union(&c), Rect::new(0, 0, 12, 12).unwrap());
+        assert_eq!(a.area(), 121);
+        assert_eq!(a.enlargement(&a), 0);
+        assert!(a.enlargement(&c) > 0);
+        assert!(Rect::new(5, 5, 4, 5).is_err());
+        assert_eq!(Rect::point(3, 4).area(), 1);
+    }
+
+    #[test]
+    fn insert_and_window_query() {
+        let arena = SegmentArena::reserve(0, 1 << 24).unwrap();
+        let path = tmp("q.seg");
+        let mut seg = Segment::create(&arena, &path, 1 << 20).unwrap();
+        let mut t = PersistentRTree::new(&mut seg).unwrap();
+        assert!(t.is_empty());
+        // A 20×20 grid of points, payload = y·100 + x.
+        for x in 0..20 {
+            for y in 0..20 {
+                t.insert(Rect::point(x, y), (y * 100 + x) as u64).unwrap();
+            }
+        }
+        assert_eq!(t.len(), 400);
+        let mut hits = t.search(&Rect::new(3, 4, 5, 6).unwrap());
+        hits.sort_unstable();
+        let mut expect: Vec<u64> = (3..=5)
+            .flat_map(|x| (4..=6).map(move |y| (y * 100 + x) as u64))
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(hits, expect);
+        // A window outside the grid finds nothing.
+        assert!(t.search(&Rect::new(50, 50, 60, 60).unwrap()).is_empty());
+        drop(seg);
+        Segment::delete(&path).unwrap();
+    }
+
+    #[test]
+    fn persists_and_relocates() {
+        let path = tmp("persist.seg");
+        {
+            let arena = SegmentArena::reserve(0, 1 << 24).unwrap();
+            let mut seg = Segment::create(&arena, &path, 1 << 20).unwrap();
+            let mut t = PersistentRTree::new(&mut seg).unwrap();
+            for i in 0..500i32 {
+                t.insert(Rect::new(i, i, i + 10, i + 10).unwrap(), i as u64)
+                    .unwrap();
+            }
+            seg.flush().unwrap();
+        }
+        {
+            let arena = SegmentArena::reserve(0, 1 << 24).unwrap();
+            let mut seg = Segment::open(&arena, &path).unwrap();
+            if seg.placement() == Placement::Relocated {
+                assert!(PersistentRTree::new(&mut seg).is_err());
+                let fixed = PersistentRTree::relocate(&mut seg).unwrap();
+                assert!(fixed > 0);
+            }
+            let t = PersistentRTree::new(&mut seg).unwrap();
+            assert_eq!(t.len(), 500);
+            let hits = t.search(&Rect::new(100, 100, 101, 101).unwrap());
+            // Rectangles i..i+10 covering (100,100): i in 90..=100, plus
+            // those covering (101,101): i in 91..=101 → union 90..=101.
+            assert_eq!(hits.len(), 12);
+        }
+        Segment::delete(&path).unwrap();
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+        /// Window queries must agree exactly with a brute-force scan.
+        #[test]
+        fn search_matches_brute_force(
+            rects in proptest::collection::vec((0i32..1000, 0i32..1000, 0i32..50, 0i32..50), 1..300),
+            window in (0i32..1000, 0i32..1000, 0i32..300, 0i32..300),
+        ) {
+            let arena = SegmentArena::reserve(0, 1 << 24).unwrap();
+            let path = tmp(&format!("prop-{}.seg", rects.len()));
+            let _ = std::fs::remove_file(&path);
+            let mut seg = Segment::create(&arena, &path, 1 << 21).unwrap();
+            let mut t = PersistentRTree::new(&mut seg).unwrap();
+            let stored: Vec<Rect> = rects
+                .iter()
+                .map(|&(x, y, w, h)| Rect::new(x, y, x + w, y + h).unwrap())
+                .collect();
+            for (i, r) in stored.iter().enumerate() {
+                t.insert(*r, i as u64).unwrap();
+            }
+            let win = Rect::new(window.0, window.1, window.0 + window.2, window.1 + window.3).unwrap();
+            let mut got = t.search(&win);
+            got.sort_unstable();
+            let mut expect: Vec<u64> = stored
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.intersects(&win))
+                .map(|(i, _)| i as u64)
+                .collect();
+            expect.sort_unstable();
+            proptest::prop_assert_eq!(got, expect);
+            proptest::prop_assert_eq!(t.len(), stored.len());
+            drop(seg);
+            Segment::delete(&path).unwrap();
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Real measurement of the memory-mapping setup costs — the paper's
+//! Fig. 1(b).
+//!
+//! §3.2 models three operations: `newMap` (create a mapping over new
+//! disk space), `openMap` (map an existing area) and `deleteMap`
+//! (destroy a mapping and its data). This module measures all three
+//! with wall clocks on the real store, for a range of mapping sizes,
+//! reproducing the figure's measurement on today's hardware. Creating
+//! remains the most expensive (space acquisition + page tables),
+//! deleting the cheapest, and all three scale with size — the orderings
+//! the figure shows.
+
+use std::path::Path;
+use std::time::Instant;
+
+use memmap2::MmapMut;
+use mmjoin_env::Result;
+
+/// One measured point of Fig. 1b.
+#[derive(Clone, Copy, Debug)]
+pub struct MapCostSample {
+    /// Mapping size in blocks.
+    pub blocks: u64,
+    /// `newMap` seconds.
+    pub new_map: f64,
+    /// `openMap` seconds.
+    pub open_map: f64,
+    /// `deleteMap` seconds.
+    pub delete_map: f64,
+}
+
+/// Measure setup costs for each size in `blocks_list` (block = `block_size`
+/// bytes), averaging `iters` repetitions, inside `dir`.
+pub fn measure_map_costs(
+    dir: &Path,
+    block_size: u64,
+    blocks_list: &[u64],
+    iters: u32,
+) -> Result<Vec<MapCostSample>> {
+    std::fs::create_dir_all(dir)?;
+    let mut out = Vec::with_capacity(blocks_list.len());
+    for &blocks in blocks_list {
+        let bytes = blocks * block_size;
+        let (mut t_new, mut t_open, mut t_del) = (0.0f64, 0.0f64, 0.0f64);
+        for it in 0..iters {
+            let path = dir.join(format!("mapcost-{blocks}-{it}"));
+
+            // newMap: acquire disk space, build the mapping, touch every
+            // page so the page table is actually populated (the paper's
+            // cost "increases linearly … constructing the page table and
+            // acquiring disk space").
+            let t0 = Instant::now();
+            let file = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create_new(true)
+                .open(&path)?;
+            file.set_len(bytes)?;
+            let mut map = unsafe { MmapMut::map_mut(&file)? };
+            for page in map.chunks_mut(block_size as usize) {
+                page[0] = 1;
+            }
+            t_new += t0.elapsed().as_secs_f64();
+            map.flush()?;
+            drop(map);
+            drop(file);
+
+            // openMap: map the existing area and touch it.
+            let t0 = Instant::now();
+            let file = std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(&path)?;
+            let map = unsafe { MmapMut::map_mut(&file)? };
+            let mut acc = 0u8;
+            for page in map.chunks(block_size as usize) {
+                acc = acc.wrapping_add(page[0]);
+            }
+            t_open += t0.elapsed().as_secs_f64();
+            std::hint::black_box(acc);
+            drop(map);
+            drop(file);
+
+            // deleteMap: destroy the mapping and the data.
+            let t0 = Instant::now();
+            std::fs::remove_file(&path)?;
+            t_del += t0.elapsed().as_secs_f64();
+        }
+        out.push(MapCostSample {
+            blocks,
+            new_map: t_new / iters as f64,
+            open_map: t_open / iters as f64,
+            delete_map: t_del / iters as f64,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1b_orderings_hold() {
+        let dir = std::env::temp_dir().join(format!("mmjoin-mapcost-{}", std::process::id()));
+        let samples = measure_map_costs(&dir, 4096, &[64, 1024], 3).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert_eq!(samples.len(), 2);
+        for s in &samples {
+            // Creating costs at least as much as deleting (both touch
+            // metadata; create also populates pages).
+            assert!(s.new_map > 0.0 && s.open_map > 0.0 && s.delete_map > 0.0);
+            assert!(
+                s.new_map > s.delete_map,
+                "newMap {} vs deleteMap {}",
+                s.new_map,
+                s.delete_map
+            );
+        }
+        // Costs grow with size for the page-populating operations.
+        assert!(samples[1].new_map > samples[0].new_map);
+        assert!(samples[1].open_map > samples[0].open_map);
+    }
+}

@@ -1,0 +1,173 @@
+//! Itemized cost predictions.
+//!
+//! Every model evaluation returns a [`CostBreakdown`]: one labelled item
+//! per formula term, grouped by pass. This keeps the model auditable
+//! against the paper's §5.3/§6.3/§7.3 line by line, supports the
+//! per-component ablations, and renders the experiment tables.
+
+use std::fmt;
+
+/// Category of a cost term.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum CostKind {
+    /// Disk read transfers (`dttr`).
+    DiskRead,
+    /// Disk write transfers (`dttw`).
+    DiskWrite,
+    /// CPU operations (`map`, `hash`, heap work).
+    Cpu,
+    /// Memory-to-memory transfers (`MT**`).
+    Move,
+    /// Context switches (`CS`).
+    Ctx,
+    /// Mapping setup (`newMap`/`openMap`/`deleteMap`).
+    Setup,
+}
+
+impl CostKind {
+    /// All categories.
+    pub const ALL: [CostKind; 6] = [
+        CostKind::DiskRead,
+        CostKind::DiskWrite,
+        CostKind::Cpu,
+        CostKind::Move,
+        CostKind::Ctx,
+        CostKind::Setup,
+    ];
+}
+
+impl fmt::Display for CostKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CostKind::DiskRead => "disk-read",
+            CostKind::DiskWrite => "disk-write",
+            CostKind::Cpu => "cpu",
+            CostKind::Move => "move",
+            CostKind::Ctx => "ctx",
+            CostKind::Setup => "setup",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One formula term.
+#[derive(Clone, Debug)]
+pub struct CostItem {
+    /// Which pass the term belongs to (`"pass0"`, `"merge"`, `"setup"` …).
+    pub pass: &'static str,
+    /// Category.
+    pub kind: CostKind,
+    /// Human-readable description tying the term to the paper.
+    pub label: String,
+    /// Predicted seconds (per Rproc).
+    pub seconds: f64,
+}
+
+/// An itemized prediction of one Rproc's elapsed time.
+#[derive(Clone, Debug, Default)]
+pub struct CostBreakdown {
+    /// All terms.
+    pub items: Vec<CostItem>,
+}
+
+impl CostBreakdown {
+    /// Add one term.
+    pub fn push(
+        &mut self,
+        pass: &'static str,
+        kind: CostKind,
+        label: impl Into<String>,
+        seconds: f64,
+    ) {
+        let label = label.into();
+        debug_assert!(seconds.is_finite(), "non-finite cost for {label}");
+        self.items.push(CostItem {
+            pass,
+            kind,
+            label,
+            seconds,
+        });
+    }
+
+    /// Total predicted seconds.
+    pub fn total(&self) -> f64 {
+        self.items.iter().map(|i| i.seconds).sum()
+    }
+
+    /// Total seconds of one category.
+    pub fn total_kind(&self, kind: CostKind) -> f64 {
+        self.items
+            .iter()
+            .filter(|i| i.kind == kind)
+            .map(|i| i.seconds)
+            .sum()
+    }
+
+    /// Total seconds of one pass.
+    pub fn total_pass(&self, pass: &str) -> f64 {
+        self.items
+            .iter()
+            .filter(|i| i.pass == pass)
+            .map(|i| i.seconds)
+            .sum()
+    }
+
+    /// Distinct passes, in first-appearance order.
+    pub fn passes(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        for item in &self.items {
+            if !out.contains(&item.pass) {
+                out.push(item.pass);
+            }
+        }
+        out
+    }
+
+    /// Render a fixed-width table (used by the experiment binaries).
+    pub fn table(&self) -> String {
+        let mut s = String::new();
+        for pass in self.passes() {
+            s.push_str(&format!("{pass}:\n"));
+            for item in self.items.iter().filter(|i| i.pass == pass) {
+                s.push_str(&format!(
+                    "  {:<10} {:<52} {:>12.4}s\n",
+                    item.kind.to_string(),
+                    item.label,
+                    item.seconds
+                ));
+            }
+        }
+        s.push_str(&format!("  {:<63} {:>12.4}s\n", "TOTAL", self.total()));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_partition_by_kind_and_pass() {
+        let mut b = CostBreakdown::default();
+        b.push("pass0", CostKind::DiskRead, "read Ri", 1.0);
+        b.push("pass0", CostKind::Cpu, "map", 0.5);
+        b.push("pass1", CostKind::DiskRead, "read RPi", 2.0);
+        assert_eq!(b.total(), 3.5);
+        assert_eq!(b.total_kind(CostKind::DiskRead), 3.0);
+        assert_eq!(b.total_pass("pass0"), 1.5);
+        assert_eq!(b.passes(), vec!["pass0", "pass1"]);
+        let t = b.table();
+        assert!(t.contains("read Ri") && t.contains("TOTAL"));
+    }
+
+    #[test]
+    fn debug_assert_catches_nan() {
+        let mut b = CostBreakdown::default();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            b.push("p", CostKind::Cpu, "bad", f64::NAN);
+        }));
+        if cfg!(debug_assertions) {
+            assert!(result.is_err());
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Heap operation cost formulas (paper §6.3).
+//!
+//! Sort-merge sorts runs with Floyd-constructed heaps of pointers,
+//! drains them with the Munro-modified heapsort (≈ N log N comparisons
+//! and transfers on average), and merges runs with delete-insert
+//! operations whose amortized cost is the paper's `g(h)` function.
+
+/// Cost weights for one heap element operation, in seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct HeapWeights {
+    /// `compare`: comparing two heap elements.
+    pub compare: f64,
+    /// `swap`: swapping two heap elements.
+    pub swap: f64,
+    /// `transfer`: moving an element to or from the heap.
+    pub transfer: f64,
+}
+
+/// Cost of building a heap of `n` pointers with Floyd's algorithm plus
+/// loading the elements:
+/// `1.77·n·(compare + swap/2) + n·transfer` (§6.3).
+pub fn floyd_build(n: f64, w: &HeapWeights) -> f64 {
+    1.77 * n * (w.compare + w.swap / 2.0) + n * w.transfer
+}
+
+/// Cost of heap-sorting `n` elements in runs of length `irun` by
+/// repeated deletion of minima: `n·log₂(irun)·(compare + transfer)`
+/// (§6.3, Munro's modification).
+pub fn heapsort_drain(n: f64, irun: f64, w: &HeapWeights) -> f64 {
+    if irun < 2.0 {
+        return 0.0;
+    }
+    n * irun.log2() * (w.compare + w.transfer)
+}
+
+/// The paper's `g(h)`: amortized comparison/swap cost of one
+/// delete-insert on a merge heap of `h` runs,
+/// `g(h) = (2·compare + swap)·((h+1)·k − h/2 − 2ᵏ)/h` with
+/// `k = ⌊log₂ h⌋ + 1`. Degenerate heaps (`h < 2`) cost nothing.
+pub fn g_delete_insert(h: f64, w: &HeapWeights) -> f64 {
+    if h < 2.0 {
+        return 0.0;
+    }
+    let k = h.log2().floor() + 1.0;
+    let per = ((h + 1.0) * k - h / 2.0 - 2f64.powf(k)) / h;
+    (2.0 * w.compare + w.swap) * per.max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W: HeapWeights = HeapWeights {
+        compare: 1.0,
+        swap: 1.0,
+        transfer: 1.0,
+    };
+
+    #[test]
+    fn floyd_is_linear() {
+        let a = floyd_build(1000.0, &W);
+        let b = floyd_build(2000.0, &W);
+        assert!((b - 2.0 * a).abs() < 1e-9);
+        // 1.77·(1 + 0.5) + 1 per element.
+        assert!((a / 1000.0 - (1.77 * 1.5 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heapsort_scales_n_log_irun() {
+        let c = heapsort_drain(1024.0, 1024.0, &W);
+        assert!((c - 1024.0 * 10.0 * 2.0).abs() < 1e-6);
+        assert_eq!(heapsort_drain(100.0, 1.0, &W), 0.0);
+    }
+
+    #[test]
+    fn g_grows_roughly_logarithmically() {
+        let g2 = g_delete_insert(2.0, &W);
+        let g16 = g_delete_insert(16.0, &W);
+        let g256 = g_delete_insert(256.0, &W);
+        assert!(g2 < g16 && g16 < g256);
+        // Doubling h should add roughly a constant (log behaviour).
+        let d1 = g_delete_insert(64.0, &W) - g_delete_insert(32.0, &W);
+        let d2 = g_delete_insert(256.0, &W) - g_delete_insert(128.0, &W);
+        assert!((d1 - d2).abs() < 1.5, "d1={d1} d2={d2}");
+    }
+
+    #[test]
+    fn g_handles_degenerate_heaps() {
+        assert_eq!(g_delete_insert(0.0, &W), 0.0);
+        assert_eq!(g_delete_insert(1.0, &W), 0.0);
+        assert!(g_delete_insert(2.0, &W) >= 0.0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Analytical cost of the parallel pointer-based **hybrid-hash** join —
+//! the extension algorithm (paper §7's future work), modelled in the
+//! §7.3 style.
+//!
+//! Hybrid hash is Grace with the first bucket memory-resident: a
+//! fraction `f₀` of each `S` partition (sized to half the `Sproc`
+//! buffer) is joined *immediately* during passes 0/1 through the shared
+//! buffer, so those R-objects skip the `RS` write and re-read entirely.
+//! Only the remaining `1 − f₀` of the objects take Grace's spill path.
+//!
+//! Cost structure relative to Grace:
+//! * pass 0/1 bucket writes scale by `1 − f₀` (plus the same `+K`
+//!   partial-page term and urn-model thrashing over the spill stream);
+//! * immediate joins add shared-buffer moves, context switches and an
+//!   `Ylru` term for the bucket-0 range of `S` (which fits the `Sproc`
+//!   buffer by construction, so it costs its compulsory faults);
+//! * the per-bucket join pass shrinks by `f₀` on both the `RS_i` and
+//!   `S_i` sides.
+
+use mmjoin_env::machine::MachineParams;
+use mmjoin_env::{CpuOp, MoveKind};
+
+use crate::breakdown::{CostBreakdown, CostKind};
+use crate::grace::thrash_replacements;
+use crate::params::{choose_k, JoinInputs};
+use crate::ylru::ylru;
+
+/// The `f₀` the implementation uses: half the Sproc buffer, as a
+/// fraction of one `S` partition (clamped to 1).
+pub fn f0_for(w: &JoinInputs) -> f64 {
+    let part_bytes = w.si() * w.s_size as f64;
+    if part_bytes <= 0.0 {
+        return 0.0;
+    }
+    ((w.m_sproc / 2) as f64 / part_bytes).min(1.0)
+}
+
+/// The spill-bucket count for these inputs (Grace's `K` over the
+/// spilled objects).
+pub fn k_for(w: &JoinInputs) -> u64 {
+    let rs = (w.ri() * w.skew).min(w.r_objects as f64);
+    let spill = (rs * (1.0 - f0_for(w))).ceil().max(1.0) as u64;
+    choose_k(spill, w.r_size, w.m_rproc)
+}
+
+/// Predict one Rproc's elapsed time for hybrid hash.
+pub fn cost(m: &MachineParams, w: &JoinInputs) -> CostBreakdown {
+    let b = m.page_size;
+    let d = w.d as f64;
+    let r = w.r_size as f64;
+
+    // Worst-case populations, as in Grace.
+    let ri = w.ri();
+    let ri_i = (ri / d * w.skew).min(ri);
+    let rp = (ri * w.skew * (1.0 - 1.0 / d)).clamp(0.0, ri);
+    let rs = (ri * w.skew).min(w.r_objects as f64);
+
+    let f0 = f0_for(w);
+    let fs = 1.0 - f0; // spill fraction
+    let k = k_for(w);
+    let kf = k as f64;
+
+    let p_ri = w.p_ri(b);
+    let p_si = w.p_si(b);
+    let p_rp = (rp * r / b as f64).ceil();
+    let p_rs_spill = (rs * fs * r / b as f64).ceil();
+    let p_ri_i_spill = (ri_i * fs * r / b as f64).ceil();
+    let mem_pages = (w.m_rproc / b) as f64;
+    let msproc_pages = (w.m_sproc / b) as f64;
+
+    let mut out = CostBreakdown::default();
+
+    // ---------------- pass 0 ----------------
+    let band0 = p_ri + p_si + p_rs_spill + p_rp;
+    out.push(
+        "pass0",
+        CostKind::DiskRead,
+        format!("read R_i: {p_ri:.0} pages @ dttr({band0:.0})"),
+        p_ri * m.dttr.eval(band0),
+    );
+    out.push(
+        "pass0",
+        CostKind::DiskWrite,
+        format!("write RP_i: {p_rp:.0} pages @ dttw({band0:.0})"),
+        p_rp * m.dttw.eval(band0),
+    );
+    out.push(
+        "pass0",
+        CostKind::DiskWrite,
+        format!(
+            "spill R_(i,i)·(1−f0) into K={k} buckets: {:.0} pages @ dttw({band0:.0})",
+            p_ri_i_spill + kf
+        ),
+        (p_ri_i_spill + kf) * m.dttw.eval(band0),
+    );
+    let thrash = thrash_replacements(ri_i * fs, k, w.d, b, w.r_size, mem_pages);
+    out.push(
+        "pass0",
+        CostKind::DiskWrite,
+        format!("thrashing: {thrash:.0} premature replacements, extra writes"),
+        thrash * m.dttw.eval(band0),
+    );
+    out.push(
+        "pass0",
+        CostKind::DiskRead,
+        format!("thrashing: {thrash:.0} premature replacements, extra re-reads"),
+        thrash * m.dttr.eval(band0),
+    );
+    // Immediate bucket-0 joins: f0·|R_(i,i)| objects against the cached
+    // S range.
+    let imm0 = ri_i * f0;
+    let y0 = ylru(rs * f0, (p_si * f0).max(1.0), rs * f0, msproc_pages, imm0);
+    out.push(
+        "pass0",
+        CostKind::DiskRead,
+        format!("bucket-0 S reads via Ylru: {y0:.0} faults @ dttr({band0:.0})"),
+        y0 * m.dttr.eval(band0),
+    );
+    out.push(
+        "pass0",
+        CostKind::Move,
+        format!("immediate join {imm0:.0} × (r+sptr+s) via shared buffer"),
+        imm0 * w.join_unit() as f64 * m.mt(MoveKind::PS),
+    );
+    out.push(
+        "pass0",
+        CostKind::Ctx,
+        "G-buffer exchanges for bucket-0 joins",
+        w.ctx_switches_for(imm0) * m.cs,
+    );
+    out.push(
+        "pass0",
+        CostKind::Cpu,
+        format!("map {ri:.0} + hash {ri_i:.0} objects"),
+        ri * m.op(CpuOp::Map) + ri_i * m.op(CpuOp::Hash),
+    );
+    out.push(
+        "pass0",
+        CostKind::Move,
+        format!("move |R_i| = {ri:.0} objects within segment"),
+        ri * r * m.mt(MoveKind::PP),
+    );
+    out.push(
+        "pass0",
+        CostKind::Cpu,
+        "page-fault overhead",
+        (p_ri + p_ri_i_spill + kf + p_rp + y0 + 2.0 * thrash) * m.op(CpuOp::FaultOverhead),
+    );
+
+    // ---------------- pass 1 ----------------
+    let band1 = p_rs_spill + p_rp;
+    let imm1 = rp * f0;
+    out.push(
+        "pass1",
+        CostKind::DiskRead,
+        format!("read RP_i: {p_rp:.0} pages @ dttr({band1:.0})"),
+        p_rp * m.dttr.eval(band1),
+    );
+    out.push(
+        "pass1",
+        CostKind::DiskWrite,
+        format!(
+            "spill into RS_j buckets: {:.0} pages @ dttw({band1:.0})",
+            p_rp * fs + kf
+        ),
+        (p_rp * fs + kf) * m.dttw.eval(band1),
+    );
+    let y1 = ylru(rs * f0, (p_si * f0).max(1.0), rs * f0, msproc_pages, imm1);
+    out.push(
+        "pass1",
+        CostKind::DiskRead,
+        format!("bucket-0 S reads via Ylru: {y1:.0} faults @ dttr({band1:.0})"),
+        y1 * m.dttr.eval(band1),
+    );
+    out.push(
+        "pass1",
+        CostKind::Move,
+        format!("immediate join {imm1:.0} × (r+sptr+s) via shared buffer"),
+        imm1 * w.join_unit() as f64 * m.mt(MoveKind::PS),
+    );
+    out.push(
+        "pass1",
+        CostKind::Ctx,
+        "G-buffer exchanges for bucket-0 joins",
+        w.ctx_switches_for(imm1) * m.cs,
+    );
+    out.push(
+        "pass1",
+        CostKind::Cpu,
+        format!("hash |RP_i| = {rp:.0} objects"),
+        rp * m.op(CpuOp::Hash),
+    );
+    out.push(
+        "pass1",
+        CostKind::Move,
+        format!("move |RP_i| = {rp:.0} objects"),
+        rp * r * m.mt(MoveKind::PP),
+    );
+    out.push(
+        "pass1",
+        CostKind::Cpu,
+        "page-fault overhead",
+        (p_rp * (1.0 + fs) + kf + y1) * m.op(CpuOp::FaultOverhead),
+    );
+
+    // ---------------- spill-bucket join ----------------
+    let spill_objs = rs * fs;
+    let band_join = (p_rs_spill / (2.0 * kf)).max(1.0);
+    out.push(
+        "join",
+        CostKind::DiskRead,
+        format!(
+            "read spilled RS_i + S_i·(1−f0): {:.0} pages @ dttr({band_join:.0})",
+            p_rs_spill + p_si * fs
+        ),
+        (p_rs_spill + p_si * fs) * m.dttr.eval(band_join),
+    );
+    out.push(
+        "join",
+        CostKind::Cpu,
+        format!("hash {spill_objs:.0} spilled objects into tables"),
+        spill_objs * m.op(CpuOp::Hash),
+    );
+    out.push(
+        "join",
+        CostKind::Move,
+        format!("join {spill_objs:.0} × (r+sptr+s) via shared buffer"),
+        spill_objs * w.join_unit() as f64 * m.mt(MoveKind::PS),
+    );
+    out.push(
+        "join",
+        CostKind::Ctx,
+        "G-buffer exchanges with Sproc_i",
+        w.ctx_switches_for(spill_objs) * m.cs,
+    );
+    out.push(
+        "join",
+        CostKind::Cpu,
+        "page-fault overhead",
+        (p_rs_spill + p_si * fs) * m.op(CpuOp::FaultOverhead),
+    );
+
+    // ---------------- setup ----------------
+    let mc = &m.map_cost;
+    out.push(
+        "setup",
+        CostKind::Setup,
+        "D × (openMap R_i + openMap S_i + newMap(RS_i + RP_i) + openMap RS_i)",
+        d * (mc.open_map(p_ri as u64)
+            + mc.open_map(p_si as u64)
+            + mc.new_map((p_rs_spill + p_rp) as u64)
+            + mc.open_map(p_rs_spill as u64)),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(m_frac: f64) -> JoinInputs {
+        let r_bytes = 102_400u64 * 128;
+        JoinInputs {
+            r_objects: 102_400,
+            s_objects: 102_400,
+            r_size: 128,
+            s_size: 128,
+            sptr_size: 8,
+            d: 4,
+            skew: 1.0,
+            m_rproc: (m_frac * r_bytes as f64) as u64,
+            m_sproc: (m_frac * r_bytes as f64) as u64,
+            g_buffer: 4096,
+        }
+    }
+
+    #[test]
+    fn f0_grows_with_sproc_memory_and_caps_at_one() {
+        assert!(f0_for(&inputs(0.02)) < f0_for(&inputs(0.08)));
+        let mut w = inputs(0.08);
+        w.m_sproc = u64::MAX / 4;
+        assert_eq!(f0_for(&w), 1.0);
+    }
+
+    #[test]
+    fn hybrid_beats_grace_where_memory_buys_a_real_bucket_zero() {
+        // With a few percent of |R| as Sproc buffer, bucket 0 absorbs a
+        // matching fraction of the spill traffic.
+        let m = MachineParams::waterloo96();
+        for frac in [0.04, 0.08] {
+            let w = inputs(frac);
+            let h = cost(&m, &w).total();
+            let g = crate::grace::cost(&m, &w).total();
+            assert!(h < g, "frac={frac}: hybrid {h:.1} vs grace {g:.1}");
+        }
+    }
+
+    #[test]
+    fn hybrid_converges_to_grace_as_memory_vanishes() {
+        let m = MachineParams::waterloo96();
+        let mut w = inputs(0.02);
+        w.m_sproc = 4096; // one page: f0 ≈ 0
+        let h = cost(&m, &w).total();
+        let g = crate::grace::cost(&m, &w).total();
+        assert!(
+            (h - g).abs() / g < 0.15,
+            "tiny f0 should approach grace: hybrid {h:.1} vs grace {g:.1}"
+        );
+    }
+
+    #[test]
+    fn breakdown_structure() {
+        let m = MachineParams::waterloo96();
+        let b = cost(&m, &inputs(0.05));
+        assert_eq!(b.passes(), vec!["pass0", "pass1", "join", "setup"]);
+        assert!(b.total().is_finite() && b.total() > 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! # mmjoin-model — the paper's quantitative analytical model
+//!
+//! A faithful implementation of the cost model of §3 and §5.3/§6.3/§7.3:
+//! measured machine parameters (shared with the simulator via
+//! [`mmjoin_env::machine::MachineParams`]), the Mackert–Lohman LRU fault
+//! approximation ([`mod@ylru`]), the Johnson–Kotz urn model behind Grace's
+//! thrashing term ([`urn`]), the heap cost functions ([`heapcost`]), the
+//! paper's parameter-choice rules ([`params`]) and one itemized cost
+//! function per join algorithm ([`nested_loops`], [`sort_merge`],
+//! [`grace`]).
+//!
+//! The model is quantitative and auditable: every formula term becomes a
+//! labelled [`CostBreakdown`] item, so predictions can be compared with
+//! the execution-driven simulator pass by pass — the paper's validation
+//! methodology (§8), and the tool it argues a query optimizer needs.
+
+pub mod breakdown;
+pub mod grace;
+pub mod heapcost;
+pub mod hybrid_hash;
+pub mod nested_loops;
+pub mod params;
+pub mod sort_merge;
+pub mod urn;
+pub mod ylru;
+
+pub use breakdown::{CostBreakdown, CostItem, CostKind};
+pub use params::{
+    choose_irun, choose_k, choose_nrun_abl, choose_nrun_last, choose_tsize, merge_plan, JoinInputs,
+    MergePlan, HASH_ENTRY_OVERHEAD, HEAP_PTR_SIZE,
+};
+pub use ylru::ylru;
+
+use mmjoin_env::machine::MachineParams;
+
+/// Which join algorithm a prediction or run refers to.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Algorithm {
+    /// Parallel pointer-based nested loops (§5).
+    NestedLoops,
+    /// Parallel pointer-based sort-merge (§6).
+    SortMerge,
+    /// Parallel pointer-based Grace (§7).
+    Grace,
+    /// Parallel pointer-based hybrid hash (extension; the paper's §7
+    /// future work, after Shekita–Carey).
+    HybridHash,
+}
+
+impl Algorithm {
+    /// All modelled algorithms (the paper's three plus the
+    /// hybrid-hash extension).
+    pub const ALL: [Algorithm; 4] = [
+        Algorithm::NestedLoops,
+        Algorithm::SortMerge,
+        Algorithm::Grace,
+        Algorithm::HybridHash,
+    ];
+
+    /// The three algorithms the paper itself models.
+    pub const PAPER: [Algorithm; 3] = [
+        Algorithm::NestedLoops,
+        Algorithm::SortMerge,
+        Algorithm::Grace,
+    ];
+
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::NestedLoops => "nested-loops",
+            Algorithm::SortMerge => "sort-merge",
+            Algorithm::Grace => "grace",
+            Algorithm::HybridHash => "hybrid-hash",
+        }
+    }
+}
+
+/// Evaluate the model for `alg` on workload `w` under machine `m`.
+pub fn predict(alg: Algorithm, m: &MachineParams, w: &JoinInputs) -> CostBreakdown {
+    match alg {
+        Algorithm::NestedLoops => nested_loops::cost(m, w),
+        Algorithm::SortMerge => sort_merge::cost(m, w),
+        Algorithm::Grace => grace::cost(m, w),
+        Algorithm::HybridHash => hybrid_hash::cost(m, w),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predict_dispatches_to_all_algorithms() {
+        let m = MachineParams::waterloo96();
+        let w = JoinInputs {
+            r_objects: 102_400,
+            s_objects: 102_400,
+            r_size: 128,
+            s_size: 128,
+            sptr_size: 8,
+            d: 4,
+            skew: 1.0,
+            m_rproc: 2 << 20,
+            m_sproc: 2 << 20,
+            g_buffer: 4096,
+        };
+        for alg in Algorithm::ALL {
+            let b = predict(alg, &m, &w);
+            assert!(b.total() > 0.0, "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn algorithm_names_are_distinct() {
+        let names: std::collections::HashSet<_> = Algorithm::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), Algorithm::ALL.len());
+    }
+}

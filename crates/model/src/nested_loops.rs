@@ -1,0 +1,230 @@
+//! Analytical cost of parallel pointer-based nested loops (paper §5.3).
+//!
+//! Pass 0 reads `R_i` sequentially, immediately joins the `R_{i,i}`
+//! objects through `Sproc_i`, and scatters the rest into the `RP_{i,j}`
+//! sub-partitions. Pass 1 walks the sub-partitions in `D−1` staggered
+//! phases, joining each against its `S_j`. Since phases are *not*
+//! synchronized, `R_i` is not adjusted by skew — "the skew in `RP_{i,j}`
+//! is compensated for by the additional parallelism resulting from the
+//! lack of synchronization" — but the largest `R_{i,i}` is.
+
+use mmjoin_env::machine::MachineParams;
+use mmjoin_env::{CpuOp, MoveKind};
+
+use crate::breakdown::{CostBreakdown, CostKind};
+use crate::params::JoinInputs;
+use crate::ylru::ylru;
+
+/// Predict one Rproc's elapsed time for nested loops.
+pub fn cost(m: &MachineParams, w: &JoinInputs) -> CostBreakdown {
+    let b = m.page_size;
+    let d = w.d as f64;
+    let r = w.r_size as f64;
+
+    // Object populations (§5.3).
+    let ri = w.ri();
+    // Largest R_{i,i}: skew-adjusted, but never more than the whole
+    // partition (the paper's bound is loose at pathological skew).
+    let ri_i = (ri / d * w.skew).min(ri);
+    let rp = (ri - ri_i).max(0.0); // |RP_i| = |R_i| − |R_{i,i}|
+    let rs_i = ri; // |RS_i|: objects of R pointing into S_i
+
+    // Page populations.
+    let p_ri = w.p_ri(b);
+    let p_si = w.p_si(b);
+    let p_rp = (rp * r / b as f64).ceil();
+
+    let mut out = CostBreakdown::default();
+    let msproc_pages = (w.m_sproc / b) as f64;
+
+    // ---------------- pass 0 ----------------
+    // All three areas share the disk, so random access spans them all.
+    let band0 = p_ri + p_si + p_rp;
+    let dttr0 = m.dttr.eval(band0);
+    let dttw0 = m.dttw.eval(band0);
+    out.push(
+        "pass0",
+        CostKind::DiskRead,
+        format!("read R_i sequentially: {p_ri:.0} pages @ dttr({band0:.0})"),
+        p_ri * dttr0,
+    );
+    out.push(
+        "pass0",
+        CostKind::DiskWrite,
+        format!("write RP_i (mostly randomly): {p_rp:.0} pages @ dttw({band0:.0})"),
+        p_rp * dttw0,
+    );
+    let y0 = ylru(rs_i, p_si, rs_i, msproc_pages, ri_i);
+    out.push(
+        "pass0",
+        CostKind::DiskRead,
+        format!("read S_i via Ylru: {y0:.0} faults @ dttr({band0:.0})"),
+        y0 * dttr0,
+    );
+    out.push(
+        "pass0",
+        CostKind::Cpu,
+        format!("map join attributes: |R_i| = {ri:.0} ops"),
+        ri * m.op(CpuOp::Map),
+    );
+    out.push(
+        "pass0",
+        CostKind::Move,
+        format!("move |RP_i| = {rp:.0} objects private→private"),
+        rp * r * m.mt(MoveKind::PP),
+    );
+    out.push(
+        "pass0",
+        CostKind::Move,
+        format!("join R_(i,i): {ri_i:.0} × (r+sptr+s) via shared buffer"),
+        ri_i * w.join_unit() as f64 * m.mt(MoveKind::PS),
+    );
+    out.push(
+        "pass0",
+        CostKind::Ctx,
+        format!("G-buffer exchanges with Sproc_i for {ri_i:.0} objects"),
+        w.ctx_switches_for(ri_i) * m.cs,
+    );
+    out.push(
+        "pass0",
+        CostKind::Cpu,
+        "page-fault overhead (reads + zero-fill writes)",
+        (p_ri + y0 + p_rp) * m.op(CpuOp::FaultOverhead),
+    );
+
+    // ---------------- pass 1 ----------------
+    let band1 = p_si + p_rp;
+    let dttr1 = m.dttr.eval(band1);
+    out.push(
+        "pass1",
+        CostKind::DiskRead,
+        format!("read RP_i: {p_rp:.0} pages @ dttr({band1:.0})"),
+        p_rp * dttr1,
+    );
+    let y1 = ylru(rs_i, p_si, rs_i, msproc_pages, rp);
+    out.push(
+        "pass1",
+        CostKind::DiskRead,
+        format!("read S_j via Ylru: {y1:.0} faults @ dttr({band1:.0})"),
+        y1 * dttr1,
+    );
+    out.push(
+        "pass1",
+        CostKind::Move,
+        format!("join |RP_i| = {rp:.0} × (r+sptr+s) via shared buffer"),
+        rp * w.join_unit() as f64 * m.mt(MoveKind::PS),
+    );
+    out.push(
+        "pass1",
+        CostKind::Ctx,
+        format!("G-buffer exchanges with Sproc_offset for {rp:.0} objects"),
+        w.ctx_switches_for(rp) * m.cs,
+    );
+    out.push(
+        "pass1",
+        CostKind::Cpu,
+        "page-fault overhead",
+        (p_rp + y1) * m.op(CpuOp::FaultOverhead),
+    );
+
+    // ---------------- setup ----------------
+    let mc = &m.map_cost;
+    out.push(
+        "setup",
+        CostKind::Setup,
+        "D × (openMap(P_Ri) + openMap(P_Si) + newMap(P_RPi))",
+        d * (mc.open_map(p_ri as u64) + mc.open_map(p_si as u64) + mc.new_map(p_rp as u64)),
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::JoinInputs;
+
+    fn inputs(m_frac: f64) -> JoinInputs {
+        let r_bytes = 102_400u64 * 128;
+        JoinInputs {
+            r_objects: 102_400,
+            s_objects: 102_400,
+            r_size: 128,
+            s_size: 128,
+            sptr_size: 8,
+            d: 4,
+            skew: 1.0,
+            m_rproc: (m_frac * r_bytes as f64) as u64,
+            m_sproc: (m_frac * r_bytes as f64) as u64,
+            g_buffer: 4096,
+        }
+    }
+
+    #[test]
+    fn more_memory_is_never_slower() {
+        let m = MachineParams::waterloo96();
+        let mut prev = f64::INFINITY;
+        for frac in [0.1, 0.2, 0.3, 0.5, 0.7] {
+            let t = cost(&m, &inputs(frac)).total();
+            assert!(t <= prev + 1e-9, "frac={frac}: {t} > {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn fig5a_dynamic_range_is_reasonable() {
+        // The paper's Fig. 5a spans roughly 2.5× from the smallest to the
+        // largest memory. Require at least 1.5× in the model.
+        let m = MachineParams::waterloo96();
+        let low = cost(&m, &inputs(0.1)).total();
+        let high = cost(&m, &inputs(0.7)).total();
+        assert!(
+            low / high > 1.5,
+            "expected ≥1.5× improvement, got {low:.1}s → {high:.1}s"
+        );
+    }
+
+    #[test]
+    fn sfetch_io_dominates_at_low_memory() {
+        // Nested loops' defining behaviour: random S reads dominate.
+        let m = MachineParams::waterloo96();
+        let b = cost(&m, &inputs(0.1));
+        let s_reads: f64 = b
+            .items
+            .iter()
+            .filter(|i| i.label.contains("Ylru"))
+            .map(|i| i.seconds)
+            .sum();
+        assert!(
+            s_reads > 0.5 * b.total(),
+            "S reads {s_reads:.1}s of {:.1}s",
+            b.total()
+        );
+    }
+
+    #[test]
+    fn skew_increases_pass0_s_reads() {
+        // A larger worst-case R_(i,i) means more random S fetches in
+        // pass 0 (the skew-adjusted term of §5.3).
+        let m = MachineParams::waterloo96();
+        let s_read_cost = |skew: f64| {
+            let mut w = inputs(0.1);
+            w.skew = skew;
+            cost(&m, &w)
+                .items
+                .iter()
+                .filter(|i| i.pass == "pass0" && i.label.contains("Ylru"))
+                .map(|i| i.seconds)
+                .sum::<f64>()
+        };
+        assert!(s_read_cost(2.0) > s_read_cost(1.0));
+    }
+
+    #[test]
+    fn breakdown_has_both_passes_and_setup() {
+        let m = MachineParams::waterloo96();
+        let b = cost(&m, &inputs(0.3));
+        assert_eq!(b.passes(), vec!["pass0", "pass1", "setup"]);
+        assert!(b.total_kind(CostKind::Setup) > 0.0);
+        assert!(b.total() > 0.0);
+    }
+}

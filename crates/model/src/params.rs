@@ -1,0 +1,294 @@
+//! Join-level inputs and the paper's "Parameter Choices" rules.
+//!
+//! Both the analytical model and the executable algorithms call these
+//! choosers, so a Fig. 5 sweep compares model and experiment *at the
+//! same operating point* (same `IRUN`, same `K`, …), exactly as the
+//! paper's validation does.
+
+use mmjoin_env::{EnvError, Result};
+
+/// Size of a heap-of-pointers element (`hp` in §6.2).
+pub const HEAP_PTR_SIZE: u64 = 8;
+/// Per-object overhead of the in-memory Grace hash table (chain link +
+/// table slot amortization), the `fuzz` of §7.2.
+pub const HASH_ENTRY_OVERHEAD: u64 = 16;
+
+/// Everything the model needs to know about one join instance.
+#[derive(Clone, Copy, Debug)]
+pub struct JoinInputs {
+    /// `|R|`: total R-objects.
+    pub r_objects: u64,
+    /// `|S|`: total S-objects.
+    pub s_objects: u64,
+    /// `r`: R-object size in bytes.
+    pub r_size: u32,
+    /// `s`: S-object size in bytes.
+    pub s_size: u32,
+    /// Stored pointer size (`sptr`).
+    pub sptr_size: u32,
+    /// `D`: partitions/disks.
+    pub d: u32,
+    /// Measured skew `max_j |R_{i,j}| / (|R_i|/D)`.
+    pub skew: f64,
+    /// `M_Rproc_i` in bytes.
+    pub m_rproc: u64,
+    /// `M_Sproc_i` in bytes.
+    pub m_sproc: u64,
+    /// `G`: shared request-buffer size in bytes (§5.2 recommends `B`).
+    pub g_buffer: u64,
+}
+
+impl JoinInputs {
+    /// `|R_i| = |R|/D`.
+    pub fn ri(&self) -> f64 {
+        self.r_objects as f64 / self.d as f64
+    }
+
+    /// `|S_i| = |S|/D`.
+    pub fn si(&self) -> f64 {
+        self.s_objects as f64 / self.d as f64
+    }
+
+    /// Pages of one R partition for page size `b`.
+    pub fn p_ri(&self, b: u64) -> f64 {
+        (self.ri() * self.r_size as f64 / b as f64).ceil()
+    }
+
+    /// Pages of one S partition.
+    pub fn p_si(&self, b: u64) -> f64 {
+        (self.si() * self.s_size as f64 / b as f64).ceil()
+    }
+
+    /// Bytes moved through the shared buffer per joined object:
+    /// `r + sptr + s` (§5.3).
+    pub fn join_unit(&self) -> u64 {
+        self.r_size as u64 + self.sptr_size as u64 + self.s_size as u64
+    }
+
+    /// Objects per shared-buffer batch: `⌊G / (r + sptr + s)⌋`, at least 1.
+    pub fn batch_objects(&self) -> u64 {
+        (self.g_buffer / self.join_unit()).max(1)
+    }
+
+    /// Context switches for fetching `n` S-objects through the shared
+    /// buffer: the paper's `g(h) = 2·CS·⌈h / ⌊G/(r+sptr+s)⌋⌉` without
+    /// the `CS` factor (returned as a switch count).
+    pub fn ctx_switches_for(&self, n: f64) -> f64 {
+        2.0 * (n / self.batch_objects() as f64).ceil()
+    }
+}
+
+/// `IRUN` (§6.2): the longest run, plus its heap of pointers, that fits
+/// in `M_Rproc`: `⌊M_Rproc / (r + hp)⌋`.
+pub fn choose_irun(m_rproc: u64, r_size: u32) -> u64 {
+    (m_rproc / (r_size as u64 + HEAP_PTR_SIZE)).max(2)
+}
+
+/// `NRUN` during all but the last merge pass (§6.2): memory is
+/// deliberately under-used at three pages per run to dodge LRU's
+/// mid-merge mistakes: `M_Rproc / (3B)`.
+pub fn choose_nrun_abl(m_rproc: u64, page: u64) -> u64 {
+    (m_rproc / (3 * page)).max(2)
+}
+
+/// `NRUN` during the last pass (§6.2): `M_Rproc / (2B)`.
+pub fn choose_nrun_last(m_rproc: u64, page: u64) -> u64 {
+    (m_rproc / (2 * page)).max(2)
+}
+
+/// The merge schedule implied by `IRUN`/`NRUN` (§6.3): how many merging
+/// passes run, and how many runs meet in the last one.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MergePlan {
+    /// Initial sorted runs after the run-formation pass.
+    pub initial_runs: u64,
+    /// `NPASS`: merging passes, *including* the final merge-join pass.
+    pub npass: u64,
+    /// `LRUN`: runs merged in the final pass.
+    pub lrun: u64,
+    /// Fan-in used during all-but-last passes.
+    pub nrun_abl: u64,
+}
+
+/// Compute the merge schedule: apply `nrun_abl`-way merges until at most
+/// `nrun_last` runs remain, then one final merge-join pass.
+pub fn merge_plan(objects: u64, irun: u64, nrun_abl: u64, nrun_last: u64) -> Result<MergePlan> {
+    if irun < 1 || nrun_abl < 2 || nrun_last < 2 {
+        return Err(EnvError::InvalidConfig(format!(
+            "degenerate merge plan: irun={irun} nrun_abl={nrun_abl} nrun_last={nrun_last}"
+        )));
+    }
+    let initial_runs = objects.div_ceil(irun).max(1);
+    let mut runs = initial_runs;
+    let mut npass = 1u64; // the final pass always happens
+    while runs > nrun_last {
+        runs = runs.div_ceil(nrun_abl);
+        npass += 1;
+        if npass > 64 {
+            return Err(EnvError::InvalidConfig(
+                "merge plan does not converge".into(),
+            ));
+        }
+    }
+    Ok(MergePlan {
+        initial_runs,
+        npass,
+        lrun: runs,
+        nrun_abl,
+    })
+}
+
+/// Working-set slack applied when sizing Grace buckets, mirroring the
+/// `NRUN = M/(3B)` underutilization of §6.2: §7.2 observes that "even
+/// this threshold memory results in thrashing, because the working set
+/// for the algorithm is greater than the theoretical threshold" — so a
+/// bucket plus its hash table is sized to a *third* of memory, not all
+/// of it.
+pub const K_MEMORY_SLACK: u64 = 3;
+
+/// `K` (§7.2): enough Grace buckets that one bucket plus its hash-table
+/// overhead (`fuzz`) fits comfortably — within `M_Rproc /`
+/// [`K_MEMORY_SLACK`] — during the per-bucket join pass.
+pub fn choose_k(rs_objects: u64, r_size: u32, m_rproc: u64) -> u64 {
+    let per_obj = r_size as u64 + HASH_ENTRY_OVERHEAD;
+    let need = rs_objects.saturating_mul(per_obj) * K_MEMORY_SLACK;
+    need.div_ceil(m_rproc.max(1)).max(1)
+}
+
+/// `TSIZE` (§7.2): "small enough to avoid excessive hash-table overhead
+/// … large enough to ensure short individual hash chains": about two
+/// objects per chain, rounded to a power of two.
+pub fn choose_tsize(bucket_objects: u64) -> u64 {
+    (bucket_objects / 2).next_power_of_two().clamp(16, 1 << 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> JoinInputs {
+        JoinInputs {
+            r_objects: 102_400,
+            s_objects: 102_400,
+            r_size: 128,
+            s_size: 128,
+            sptr_size: 8,
+            d: 4,
+            skew: 1.05,
+            m_rproc: 1 << 20,
+            m_sproc: 1 << 20,
+            g_buffer: 4096,
+        }
+    }
+
+    #[test]
+    fn partition_arithmetic() {
+        let w = inputs();
+        assert_eq!(w.ri(), 25_600.0);
+        assert_eq!(w.p_ri(4096), 800.0);
+        assert_eq!(w.p_si(4096), 800.0);
+        assert_eq!(w.join_unit(), 264);
+        assert_eq!(w.batch_objects(), 15);
+    }
+
+    #[test]
+    fn ctx_switch_count_matches_paper_formula() {
+        let w = inputs();
+        // 2·ceil(n / 15)
+        assert_eq!(w.ctx_switches_for(15.0), 2.0);
+        assert_eq!(w.ctx_switches_for(16.0), 4.0);
+        assert_eq!(w.ctx_switches_for(150.0), 20.0);
+    }
+
+    #[test]
+    fn irun_uses_object_plus_heap_pointer() {
+        assert_eq!(choose_irun(1 << 20, 128), (1 << 20) / 136);
+        // Never degenerates below 2.
+        assert_eq!(choose_irun(16, 128), 2);
+    }
+
+    #[test]
+    fn nrun_underutilizes_memory() {
+        let m = 120 * 4096;
+        assert_eq!(choose_nrun_abl(m, 4096), 40);
+        assert_eq!(choose_nrun_last(m, 4096), 60);
+    }
+
+    #[test]
+    fn merge_plan_single_pass_when_few_runs() {
+        let p = merge_plan(1000, 500, 10, 10).unwrap();
+        assert_eq!(p.initial_runs, 2);
+        assert_eq!(p.npass, 1);
+        assert_eq!(p.lrun, 2);
+    }
+
+    #[test]
+    fn merge_plan_multi_pass() {
+        // 100 runs, fan-in 4, last-pass capacity 8:
+        // 100 → 25 → 7 ≤ 8 ⇒ 2 ABL passes + final = 3.
+        let p = merge_plan(10_000, 100, 4, 8).unwrap();
+        assert_eq!(p.initial_runs, 100);
+        assert_eq!(p.npass, 3);
+        assert_eq!(p.lrun, 7);
+    }
+
+    #[test]
+    fn merge_plan_monotone_in_memory() {
+        // More memory (larger IRUN and fan-in) never needs more passes.
+        let mut prev = u64::MAX;
+        for m_pages in [8u64, 16, 32, 64, 128, 256] {
+            let m = m_pages * 4096;
+            let irun = choose_irun(m, 128);
+            let p = merge_plan(
+                25_600,
+                irun,
+                choose_nrun_abl(m, 4096),
+                choose_nrun_last(m, 4096),
+            )
+            .unwrap();
+            assert!(p.npass <= prev, "m_pages={m_pages}");
+            prev = p.npass;
+        }
+    }
+
+    #[test]
+    fn merge_plan_rejects_degenerate() {
+        assert!(merge_plan(100, 0, 4, 4).is_err());
+        assert!(merge_plan(100, 10, 1, 4).is_err());
+    }
+
+    #[test]
+    fn k_fits_bucket_in_slacked_memory() {
+        let rs = 25_600u64;
+        let m = 1 << 20;
+        let k = choose_k(rs, 128, m);
+        let bucket_bytes = rs.div_ceil(k) * (128 + HASH_ENTRY_OVERHEAD);
+        assert!(bucket_bytes <= m / K_MEMORY_SLACK + (128 + HASH_ENTRY_OVERHEAD));
+        // K is minimal: one fewer bucket would overflow the slacked
+        // budget (unless k == 1).
+        if k > 1 {
+            let bigger_bucket = rs.div_ceil(k - 1) * (128 + HASH_ENTRY_OVERHEAD);
+            assert!(bigger_bucket > m / K_MEMORY_SLACK);
+        }
+    }
+
+    #[test]
+    fn k_grows_as_memory_shrinks() {
+        let rs = 25_600u64;
+        let mut prev = 0;
+        for pages in [512u64, 256, 128, 64, 32] {
+            let k = choose_k(rs, 128, pages * 4096);
+            assert!(k >= prev);
+            prev = k;
+        }
+        assert!(prev > 50, "tiny memory needs many buckets, got {prev}");
+    }
+
+    #[test]
+    fn tsize_bounds() {
+        assert_eq!(choose_tsize(0), 16);
+        assert_eq!(choose_tsize(100), 64);
+        let t = choose_tsize(10_000);
+        assert!(t.is_power_of_two() && (10_000 / 2..10_000).contains(&t));
+    }
+}

@@ -1,0 +1,368 @@
+//! Analytical cost of parallel pointer-based sort-merge (paper §6.3).
+//!
+//! Passes 0/1 are nested loops' re-partitioning, except objects land in
+//! `RS_i` (everything pointing into `S_i`) instead of being joined.
+//! Pass 2 forms sorted runs of `IRUN` objects with a Floyd-built heap of
+//! pointers; subsequent passes merge `NRUN` runs at a time
+//! (delete-insert on a heap, cost `g(h)` per element); the final pass
+//! merges `LRUN` runs and joins against a *sequential* scan of `S_i` —
+//! the whole point of sorting by the virtual pointer.
+//!
+//! Because this algorithm synchronizes between phases, the worst-case
+//! (skew-adjusted) partition sizes drive every pass (§6.3).
+//!
+//! Two deviations from the printed formulas, kept deliberately so the
+//! model predicts the same machine the simulator executes on:
+//!
+//! * the paper charges `P_RSi·dttw` in *both* pass 0 and pass 1; we
+//!   split the physical write volume — `R_{i,i}` pages in pass 0 and
+//!   `RP_i` pages in pass 1 — which sums to `P_RSi` exactly once;
+//! * the paper's `newMap(P_Si)` in the setup term is read as
+//!   `newMap(P_Merge_i)` (the `Merge_i` area of its own layout diagram).
+
+use mmjoin_env::machine::MachineParams;
+use mmjoin_env::{CpuOp, MoveKind};
+
+use crate::breakdown::{CostBreakdown, CostKind};
+use crate::heapcost::{floyd_build, g_delete_insert, heapsort_drain, HeapWeights};
+use crate::params::{choose_irun, choose_nrun_abl, choose_nrun_last, merge_plan, JoinInputs};
+
+/// Predict one Rproc's elapsed time for sort-merge.
+pub fn cost(m: &MachineParams, w: &JoinInputs) -> CostBreakdown {
+    let b = m.page_size;
+    let d = w.d as f64;
+    let r = w.r_size as f64;
+    let weights = HeapWeights {
+        compare: m.op(CpuOp::Compare),
+        swap: m.op(CpuOp::Swap),
+        transfer: m.op(CpuOp::HeapTransfer),
+    };
+
+    // Populations, skew-adjusted (synchronization between phases means
+    // the worst case gates every pass).
+    let ri = w.ri();
+    // Worst-case (skew-adjusted) populations, capped at their physical
+    // maxima: one process never handles more than its own partition,
+    // and no RS_i can exceed |R|.
+    let ri_i = (ri / d * w.skew).min(ri);
+    let rp = (ri * w.skew * (1.0 - 1.0 / d)).clamp(0.0, ri);
+    let rs = (ri * w.skew).min(w.r_objects as f64); // |RS_i| worst case
+
+    let p_ri = w.p_ri(b);
+    let p_si = w.p_si(b);
+    let p_rp = (rp * r / b as f64).ceil();
+    let p_rs = (rs * r / b as f64).ceil();
+    let p_ri_i = (ri_i * r / b as f64).ceil();
+    let p_merge = p_rs;
+
+    // Parameter choices (§6.2) — shared with the implementation.
+    let irun = choose_irun(w.m_rproc, w.r_size);
+    let nrun_abl = choose_nrun_abl(w.m_rproc, b);
+    let nrun_last = choose_nrun_last(w.m_rproc, b);
+    let plan = merge_plan(rs.ceil() as u64, irun, nrun_abl, nrun_last)
+        .expect("choosers guarantee a valid plan");
+    let npass = plan.npass as f64;
+
+    let mut out = CostBreakdown::default();
+
+    // ---------------- pass 0 ----------------
+    let band0 = p_ri + p_si + p_rs + p_rp;
+    out.push(
+        "pass0",
+        CostKind::DiskRead,
+        format!("read R_i: {p_ri:.0} pages @ dttr({band0:.0})"),
+        p_ri * m.dttr.eval(band0),
+    );
+    out.push(
+        "pass0",
+        CostKind::DiskWrite,
+        format!("write R_(i,i) into RS_i: {p_ri_i:.0} pages @ dttw({band0:.0})"),
+        p_ri_i * m.dttw.eval(band0),
+    );
+    out.push(
+        "pass0",
+        CostKind::DiskWrite,
+        format!("write RP_i: {p_rp:.0} pages @ dttw({band0:.0})"),
+        p_rp * m.dttw.eval(band0),
+    );
+    out.push(
+        "pass0",
+        CostKind::Cpu,
+        format!("map join attributes: {ri:.0} ops"),
+        ri * m.op(CpuOp::Map),
+    );
+    out.push(
+        "pass0",
+        CostKind::Move,
+        format!("move |R_i| = {ri:.0} objects within segment"),
+        ri * r * m.mt(MoveKind::PP),
+    );
+    out.push(
+        "pass0",
+        CostKind::Cpu,
+        "page-fault overhead",
+        (p_ri + p_ri_i + p_rp) * m.op(CpuOp::FaultOverhead),
+    );
+
+    // ---------------- pass 1 ----------------
+    let band1 = p_rs + p_rp;
+    out.push(
+        "pass1",
+        CostKind::DiskRead,
+        format!("read RP_i: {p_rp:.0} pages @ dttr({band1:.0})"),
+        p_rp * m.dttr.eval(band1),
+    );
+    out.push(
+        "pass1",
+        CostKind::DiskWrite,
+        format!("scatter RP_i into the RS_j: {p_rp:.0} pages @ dttw({band1:.0})"),
+        p_rp * m.dttw.eval(band1),
+    );
+    out.push(
+        "pass1",
+        CostKind::Move,
+        format!("move |RP_i| = {rp:.0} objects"),
+        rp * r * m.mt(MoveKind::PP),
+    );
+    out.push(
+        "pass1",
+        CostKind::Cpu,
+        "page-fault overhead",
+        (2.0 * p_rp) * m.op(CpuOp::FaultOverhead),
+    );
+
+    // ---------------- pass 2: run formation ----------------
+    let band_sort = (2.0 * r * irun as f64 / b as f64).max(1.0);
+    out.push(
+        "sort",
+        CostKind::DiskRead,
+        format!("read RS_i in runs of IRUN={irun}: {p_rs:.0} pages @ dttr({band_sort:.0})"),
+        p_rs * m.dttr.eval(band_sort),
+    );
+    out.push(
+        "sort",
+        CostKind::DiskWrite,
+        format!("age sorted runs back: {p_rs:.0} pages @ dttw({band_sort:.0})"),
+        p_rs * m.dttw.eval(band_sort),
+    );
+    out.push(
+        "sort",
+        CostKind::Cpu,
+        format!("Floyd heap construction over {rs:.0} pointers"),
+        floyd_build(rs, &weights),
+    );
+    out.push(
+        "sort",
+        CostKind::Cpu,
+        format!("heapsort drains: {rs:.0} × log2({irun})"),
+        heapsort_drain(rs, irun as f64, &weights),
+    );
+    out.push(
+        "sort",
+        CostKind::Move,
+        "permute R-objects in place",
+        rs * r * m.mt(MoveKind::PP),
+    );
+    out.push(
+        "sort",
+        CostKind::Cpu,
+        "page-fault overhead",
+        (2.0 * p_rs) * m.op(CpuOp::FaultOverhead),
+    );
+
+    // ---------------- merge passes (all but last) ----------------
+    let abl_passes = npass - 1.0;
+    if abl_passes > 0.0 {
+        let band_abl = p_rs + p_rp + p_merge;
+        out.push(
+            "merge",
+            CostKind::DiskRead,
+            format!("read runs: {p_rs:.0} pages × {abl_passes:.0} passes @ dttr({band_abl:.0})"),
+            p_rs * m.dttr.eval(band_abl) * abl_passes,
+        );
+        out.push(
+            "merge",
+            CostKind::DiskWrite,
+            format!(
+                "write merged runs: {p_rs:.0} pages × {abl_passes:.0} passes @ dttw({band_abl:.0})"
+            ),
+            p_rs * m.dttw.eval(band_abl) * abl_passes,
+        );
+        out.push(
+            "merge",
+            CostKind::Cpu,
+            format!("delete-insert on heap of NRUN={nrun_abl}"),
+            (g_delete_insert(nrun_abl as f64, &weights) + 2.0 * weights.transfer) * rs * abl_passes,
+        );
+        out.push(
+            "merge",
+            CostKind::Move,
+            "move objects between run areas",
+            rs * r * m.mt(MoveKind::PP) * abl_passes,
+        );
+        out.push(
+            "merge",
+            CostKind::Setup,
+            format!("swap source/destination maps × {abl_passes:.0} passes (serialized ×D)"),
+            d * (m.map_cost.delete_map(p_merge as u64) + m.map_cost.new_map(p_merge as u64))
+                * abl_passes,
+        );
+        out.push(
+            "merge",
+            CostKind::Cpu,
+            "page-fault overhead",
+            (2.0 * p_rs) * m.op(CpuOp::FaultOverhead) * abl_passes,
+        );
+    }
+
+    // ---------------- last pass: merge-join ----------------
+    let parity = if (plan.npass - 1) % 2 == 1 { 1.0 } else { 0.0 };
+    let band_last = p_si + p_rs + (p_rp + p_merge) * parity;
+    out.push(
+        "last",
+        CostKind::DiskRead,
+        format!(
+            "read LRUN={} runs: {p_rs:.0} pages @ dttr({band_last:.0})",
+            plan.lrun
+        ),
+        p_rs * m.dttr.eval(band_last),
+    );
+    out.push(
+        "last",
+        CostKind::DiskRead,
+        format!("read S_i sequentially: {p_si:.0} pages @ dttr({band_last:.0})"),
+        p_si * m.dttr.eval(band_last),
+    );
+    out.push(
+        "last",
+        CostKind::Cpu,
+        format!("delete-insert on heap of LRUN={}", plan.lrun),
+        (g_delete_insert(plan.lrun as f64, &weights) + 2.0 * weights.transfer) * rs,
+    );
+    out.push(
+        "last",
+        CostKind::Move,
+        format!("join {rs:.0} × (r+sptr+s) via shared buffer"),
+        rs * w.join_unit() as f64 * m.mt(MoveKind::PS),
+    );
+    out.push(
+        "last",
+        CostKind::Ctx,
+        "G-buffer exchanges with Sproc_i",
+        w.ctx_switches_for(rs) * m.cs,
+    );
+    out.push(
+        "last",
+        CostKind::Cpu,
+        "page-fault overhead",
+        (p_rs + p_si) * m.op(CpuOp::FaultOverhead),
+    );
+
+    // ---------------- setup ----------------
+    let mc = &m.map_cost;
+    out.push(
+        "setup",
+        CostKind::Setup,
+        "D × (openMap R_i + openMap S_i + newMap RS_i + newMap RP_i + newMap Merge_i)",
+        d * (mc.open_map(p_ri as u64)
+            + mc.open_map(p_si as u64)
+            + mc.new_map(p_rs as u64)
+            + mc.new_map(p_rp as u64)
+            + mc.new_map(p_merge as u64)),
+    );
+    out
+}
+
+/// The merge schedule the model (and the implementation) will use for
+/// the given inputs — exposed for experiment annotations (the Fig. 5b
+/// staircase happens where `npass` steps).
+pub fn plan_for(m: &MachineParams, w: &JoinInputs) -> crate::params::MergePlan {
+    let rs = ((w.ri() * w.skew).min(w.r_objects as f64)).ceil() as u64;
+    merge_plan(
+        rs,
+        choose_irun(w.m_rproc, w.r_size),
+        choose_nrun_abl(w.m_rproc, m.page_size),
+        choose_nrun_last(w.m_rproc, m.page_size),
+    )
+    .expect("choosers guarantee a valid plan")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(m_frac: f64) -> JoinInputs {
+        let r_bytes = 102_400u64 * 128;
+        JoinInputs {
+            r_objects: 102_400,
+            s_objects: 102_400,
+            r_size: 128,
+            s_size: 128,
+            sptr_size: 8,
+            d: 4,
+            skew: 1.0,
+            m_rproc: (m_frac * r_bytes as f64) as u64,
+            m_sproc: (m_frac * r_bytes as f64) as u64,
+            g_buffer: 4096,
+        }
+    }
+
+    #[test]
+    fn staircase_follows_npass() {
+        // Sweeping memory downward, total time jumps exactly where the
+        // merge plan gains a pass (Fig. 5b's discontinuities).
+        let m = MachineParams::waterloo96();
+        let mut last_npass = 0;
+        let mut last_total = f64::INFINITY;
+        for i in (10..=50).rev() {
+            let w = inputs(i as f64 / 1000.0);
+            let plan = plan_for(&m, &w);
+            let total = cost(&m, &w).total();
+            if plan.npass == last_npass {
+                // Within a plateau, less memory can only be equal/worse.
+                assert!(total >= last_total * 0.98, "frac={}", i as f64 / 1000.0);
+            }
+            last_npass = plan.npass;
+            last_total = total;
+        }
+    }
+
+    #[test]
+    fn npass_increases_as_memory_shrinks() {
+        let m = MachineParams::waterloo96();
+        let big = plan_for(&m, &inputs(0.05)).npass;
+        let small = plan_for(&m, &inputs(0.01)).npass;
+        assert!(small >= big, "small-mem {small} vs big-mem {big}");
+    }
+
+    #[test]
+    fn sort_merge_beats_nested_loops_at_small_memory() {
+        // Fig. 5: at 1–5% memory, sort-merge (500–700 s) is far below
+        // nested loops (which would sit near its 0.1 point ≈ 2000 s).
+        let m = MachineParams::waterloo96();
+        let sm = cost(&m, &inputs(0.03)).total();
+        let nl = crate::nested_loops::cost(&m, &inputs(0.03)).total();
+        assert!(sm < nl, "sort-merge {sm:.0}s vs nested loops {nl:.0}s");
+    }
+
+    #[test]
+    fn total_is_positive_and_finite_across_sweep() {
+        let m = MachineParams::waterloo96();
+        for i in 1..=8 {
+            let t = cost(&m, &inputs(i as f64 / 100.0)).total();
+            assert!(t.is_finite() && t > 0.0);
+        }
+    }
+
+    #[test]
+    fn all_passes_present() {
+        let m = MachineParams::waterloo96();
+        let b = cost(&m, &inputs(0.01));
+        let passes = b.passes();
+        for p in ["pass0", "pass1", "sort", "last", "setup"] {
+            assert!(passes.contains(&p), "missing {p}");
+        }
+        // At 1% memory the plan needs several passes, so merge appears.
+        assert!(passes.contains(&"merge"));
+    }
+}

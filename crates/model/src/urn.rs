@@ -1,0 +1,214 @@
+//! The Johnson–Kotz urn model used for Grace's thrashing approximation.
+//!
+//! Paper §7.3 derives the extra I/O caused by premature page
+//! replacement in pass 0 from the classical occupancy distribution
+//! (Johnson & Kotz \[19, p. 110\]): the probability that exactly `k`
+//! urns are empty after `n` balls land uniformly in `m` urns is
+//!
+//! ```text
+//! Pr[X = k] = C(m,k) (1 − k/m)ⁿ Σ_{j=0}^{m−k−1} C(m−k, j) (−1)ʲ (1 − j/(m−k))ⁿ
+//! ```
+//!
+//! which simplifies to the standard inclusion–exclusion form
+//! `C(m,k) Σ_j (−1)ʲ C(m−k,j) ((m−k−j)/m)ⁿ`. The alternating sum is
+//! numerically treacherous for large `n`; we evaluate term-wise in log
+//! space with a shared exponent shift (signed log-sum-exp) and clamp to
+//! `[0, 1]`.
+
+/// Natural-log factorial with a thread-local memo table: the urn CDF
+/// evaluates `ln C(·,·)` inside an O(m²) loop that itself sits inside
+/// the thrashing model's epoch loop, so recomputing the O(n) sum each
+/// time made a single Grace prediction take milliseconds.
+fn ln_factorial(n: u64) -> f64 {
+    thread_local! {
+        static TABLE: std::cell::RefCell<Vec<f64>> = const { std::cell::RefCell::new(Vec::new()) };
+    }
+    TABLE.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.is_empty() {
+            t.push(0.0); // ln 0! = 0
+        }
+        while (t.len() as u64) <= n {
+            let i = t.len() as f64;
+            let last = *t.last().expect("seeded");
+            t.push(last + i.ln());
+        }
+        t[n as usize]
+    })
+}
+
+/// `ln C(n, k)`.
+fn ln_choose(n: u64, k: u64) -> f64 {
+    debug_assert!(k <= n);
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Probability that exactly `k` of `m` urns are empty after `n` balls.
+///
+/// ```
+/// use mmjoin_model::urn::prob_empty_exactly;
+/// // One ball, ten urns: exactly nine empty, always.
+/// assert!((prob_empty_exactly(10, 1, 9) - 1.0).abs() < 1e-9);
+/// let total: f64 = (0..=10).map(|k| prob_empty_exactly(10, 7, k)).sum();
+/// assert!((total - 1.0).abs() < 1e-9);
+/// ```
+pub fn prob_empty_exactly(m: u64, n: u64, k: u64) -> f64 {
+    if m == 0 || k > m {
+        return 0.0;
+    }
+    if n == 0 {
+        return if k == m { 1.0 } else { 0.0 };
+    }
+    if k == m {
+        // All empty is impossible once a ball has landed.
+        return 0.0;
+    }
+    let rest = m - k;
+    // Collect signed log-terms: ln C(m,k) + ln C(rest, j) + n·ln((rest−j)/m).
+    let base = ln_choose(m, k);
+    let mut terms: Vec<(f64, f64)> = Vec::with_capacity(rest as usize);
+    for j in 0..rest {
+        let frac = (rest - j) as f64 / m as f64;
+        let ln_t = base + ln_choose(rest, j) + n as f64 * frac.ln();
+        let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+        terms.push((ln_t, sign));
+    }
+    let max_ln = terms
+        .iter()
+        .map(|&(l, _)| l)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if max_ln == f64::NEG_INFINITY {
+        return 0.0;
+    }
+    // Compensated signed summation around the shared exponent.
+    let mut sum = 0.0;
+    let mut comp = 0.0;
+    for (ln_t, sign) in terms {
+        let v = sign * (ln_t - max_ln).exp();
+        let y = v - comp;
+        let t = sum + y;
+        comp = (t - sum) - y;
+        sum = t;
+    }
+    (sum * max_ln.exp()).clamp(0.0, 1.0)
+}
+
+/// Probability that **at most** `k_max` urns are empty after `n` balls
+/// in `m` urns — the `p_j` of the paper's epoch argument.
+pub fn prob_empty_at_most(m: u64, n: u64, k_max: u64) -> f64 {
+    if m == 0 {
+        return 1.0;
+    }
+    let k_max = k_max.min(m);
+    let mut acc = 0.0;
+    for k in 0..=k_max {
+        acc += prob_empty_exactly(m, n, k);
+    }
+    acc.clamp(0.0, 1.0)
+}
+
+/// Expected number of empty urns, `m(1 − 1/m)ⁿ` — used as a sanity
+/// anchor in tests and available for coarse estimates.
+pub fn expected_empty(m: u64, n: u64) -> f64 {
+    if m == 0 {
+        return 0.0;
+    }
+    m as f64 * (1.0 - 1.0 / m as f64).powi(n as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_sums_to_one() {
+        for &(m, n) in &[(1u64, 1u64), (5, 3), (10, 10), (20, 40), (64, 200)] {
+            let total: f64 = (0..=m).map(|k| prob_empty_exactly(m, n, k)).sum();
+            assert!((total - 1.0).abs() < 1e-8, "m={m} n={n} total={total}");
+        }
+    }
+
+    #[test]
+    fn zero_balls_all_empty() {
+        assert_eq!(prob_empty_exactly(7, 0, 7), 1.0);
+        assert_eq!(prob_empty_exactly(7, 0, 3), 0.0);
+        assert_eq!(prob_empty_at_most(7, 0, 6), 0.0);
+        assert_eq!(prob_empty_at_most(7, 0, 7), 1.0);
+    }
+
+    #[test]
+    fn one_ball_leaves_m_minus_one_empty() {
+        let p = prob_empty_exactly(10, 1, 9);
+        assert!((p - 1.0).abs() < 1e-9, "p={p}");
+    }
+
+    #[test]
+    fn mean_matches_expected_empty() {
+        for &(m, n) in &[(10u64, 5u64), (16, 30), (40, 100)] {
+            let mean: f64 = (0..=m)
+                .map(|k| k as f64 * prob_empty_exactly(m, n, k))
+                .sum();
+            let expect = expected_empty(m, n);
+            assert!(
+                (mean - expect).abs() < 1e-6 * expect.max(1.0),
+                "m={m} n={n}: mean {mean} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn many_balls_push_cdf_to_one() {
+        // With n ≫ m ln m, almost surely no urn is empty.
+        assert!(prob_empty_at_most(16, 2000, 0) > 0.999);
+        // With very few balls, "at most 0 empty" is impossible.
+        assert!(prob_empty_at_most(16, 2, 0) < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone_in_k() {
+        let (m, n) = (32u64, 64u64);
+        let mut prev = 0.0;
+        for k in 0..=m {
+            let c = prob_empty_at_most(m, n, k);
+            assert!(c >= prev - 1e-12, "k={k}");
+            prev = c;
+        }
+        assert!((prev - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn large_n_is_numerically_stable() {
+        // n in the tens of thousands (the paper's |R_{i,i}| scale).
+        for k in 0..5 {
+            let p = prob_empty_exactly(24, 25_600, k);
+            assert!((0.0..=1.0).contains(&p), "k={k} p={p}");
+        }
+        assert!(prob_empty_at_most(24, 25_600, 24) > 0.999_999);
+    }
+
+    #[test]
+    fn matches_monte_carlo() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let (m, n) = (12u64, 30u64);
+        let trials = 200_000u64;
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = vec![0u64; m as usize + 1];
+        for _ in 0..trials {
+            let mut hit = vec![false; m as usize];
+            for _ in 0..n {
+                hit[rng.random_range(0..m) as usize] = true;
+            }
+            let empty = hit.iter().filter(|&&h| !h).count();
+            counts[empty] += 1;
+        }
+        for k in 0..=m {
+            let emp = counts[k as usize] as f64 / trials as f64;
+            let theory = prob_empty_exactly(m, n, k);
+            assert!(
+                (emp - theory).abs() < 0.01,
+                "k={k}: empirical {emp} vs theory {theory}"
+            );
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The Mackert–Lohman finite-LRU-buffer fault approximation.
+//!
+//! The paper (§5.3) uses the validated approximation of Mackert and
+//! Lohman \[23\] to predict how many of the random S-object accesses in
+//! nested loops actually fault, given the `Sproc`'s limited buffer:
+//!
+//! > Given a relation of `N` tuples over `t` pages, with `i` distinct
+//! > key values and a `b`-page LRU buffer, if `x` key values are used to
+//! > retrieve all matching tuples, then the number of page faults is
+//! >
+//! > ```text
+//! > Ylru(N,t,i,b,x) = t(1 − qˣ)                    if x ≤ n
+//! >                 = t(1 − qⁿ) + t·p(x − n)qⁿ     if x > n
+//! > ```
+//! >
+//! > where n = max{ j : j ≤ i, t(1 − qʲ) ≤ b } and
+//! > q = 1 − p = (1 − 1/max(t,i))^(N/min(t,i)).
+//!
+//! The steady-state term carries a factor `t·p`, not the bare `p` the
+//! conference scan appears to print: `t·p ≈ N/i` is the pages touched
+//! per key and `qⁿ = 1 − b/t` is the per-page miss probability once the
+//! buffer holds `b` of the `t` pages, so `t·p·qⁿ` is the expected faults
+//! per additional key. With the bare `p` the formula would predict ~32
+//! faults for 25 600 uniform accesses through a 1-page buffer — off by
+//! three orders of magnitude; the `t·p` form matches LRU simulation (see
+//! the cross-validation test below) and the Mackert–Lohman semantics.
+
+/// Evaluate `Ylru(N, t, i, b, x)`.
+///
+/// ```
+/// use mmjoin_model::ylru;
+/// // 25 600 unique keys on 800 pages through a 64-page buffer:
+/// let faults = ylru(25_600.0, 800.0, 25_600.0, 64.0, 10_000.0);
+/// assert!(faults > 8_000.0 && faults <= 10_000.0);
+/// // A buffer covering the whole relation leaves only cold misses.
+/// assert!(ylru(25_600.0, 800.0, 25_600.0, 800.0, 100_000.0) < 801.0);
+/// ```
+///
+/// All arguments are real-valued (the paper plugs in expressions like
+/// `M_Sproc/B`). Degenerate inputs are handled conservatively:
+/// non-positive `t` or `x` yield 0 faults; a buffer of `b ≥ t` pages
+/// caps the answer at the warm-up faults `t(1 − qˣ)`.
+pub fn ylru(n_tuples: f64, t_pages: f64, i_keys: f64, b_pages: f64, x_accesses: f64) -> f64 {
+    if t_pages < 1.0 || x_accesses <= 0.0 || n_tuples <= 0.0 || i_keys < 1.0 {
+        return 0.0;
+    }
+    let t = t_pages;
+    let i = i_keys;
+    let big = t.max(i);
+    let small = t.min(i);
+    // q = (1 − 1/max(t,i))^(N/min(t,i)); p = 1 − q.
+    let q = if big <= 1.0 {
+        0.0
+    } else {
+        (1.0 - 1.0 / big).powf(n_tuples / small)
+    };
+    let p = 1.0 - q;
+    // n = max{ j : j ≤ i, t(1 − q^j) ≤ b }.
+    let n = if b_pages >= t {
+        i
+    } else if q <= 0.0 {
+        // A single key touches more pages than the buffer holds.
+        0.0
+    } else {
+        // t(1 − q^j) ≤ b  ⇔  q^j ≥ 1 − b/t  ⇔  j ≤ ln(1 − b/t)/ln(q).
+        let frac = 1.0 - b_pages / t;
+        if frac <= 0.0 {
+            i
+        } else {
+            (frac.ln() / q.ln()).floor().clamp(0.0, i)
+        }
+    };
+    if x_accesses <= n {
+        t * (1.0 - q.powf(x_accesses))
+    } else {
+        t * (1.0 - q.powf(n)) + t * p * (x_accesses - n) * q.powf(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_accesses_zero_faults() {
+        assert_eq!(ylru(1000.0, 100.0, 1000.0, 10.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn never_exceeds_accesses_for_unique_keys() {
+        // With one tuple per page per key, faults ≤ accesses.
+        for &x in &[1.0, 10.0, 100.0, 1000.0] {
+            let y = ylru(1000.0, 1000.0, 1000.0, 50.0, x);
+            assert!(y <= x + 1e-9, "x={x} y={y}");
+            assert!(y > 0.0);
+        }
+    }
+
+    #[test]
+    fn large_buffer_caps_at_compulsory_faults() {
+        // Buffer bigger than the relation: only cold misses remain.
+        let y = ylru(10_000.0, 100.0, 10_000.0, 1_000.0, 50_000.0);
+        assert!(y <= 100.0 + 1e-9, "y={y}");
+    }
+
+    #[test]
+    fn monotone_in_accesses() {
+        let mut prev = 0.0;
+        for x in 1..200 {
+            let y = ylru(25_600.0, 800.0, 25_600.0, 64.0, (x * 100) as f64);
+            assert!(y >= prev - 1e-9, "x={x}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_in_buffer() {
+        let mut prev = f64::INFINITY;
+        for b in [8.0, 16.0, 64.0, 256.0, 800.0, 2000.0] {
+            let y = ylru(25_600.0, 800.0, 25_600.0, b, 25_600.0);
+            assert!(y <= prev + 1e-9, "b={b}: {y} > {prev}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn tiny_buffer_makes_most_accesses_fault() {
+        // 800-page relation, 1-page buffer, uniform random accesses:
+        // nearly every access faults.
+        let x = 25_600.0;
+        let y = ylru(25_600.0, 800.0, 25_600.0, 1.0, x);
+        assert!(y > 0.9 * x, "y={y}");
+    }
+
+    /// Cross-validate against an actual LRU buffer simulation: the
+    /// approximation should land within a modest relative error for a
+    /// uniform access pattern (it was validated against System R traces;
+    /// we accept 15%).
+    #[test]
+    fn matches_simulated_lru_for_uniform_access() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let t = 400u64; // pages
+        let keys = 12_800u64; // objects, 32 per page
+        let per_page = keys / t;
+        for &b in &[20usize, 80, 200] {
+            let mut rng = StdRng::seed_from_u64(9 + b as u64);
+            let mut lru: Vec<u64> = Vec::new();
+            let mut faults = 0u64;
+            let x = 20_000u64;
+            for _ in 0..x {
+                let key = rng.random_range(0..keys);
+                let page = key / per_page;
+                if let Some(pos) = lru.iter().position(|&p| p == page) {
+                    lru.remove(pos);
+                } else {
+                    faults += 1;
+                    if lru.len() >= b {
+                        lru.pop();
+                    }
+                }
+                lru.insert(0, page);
+            }
+            let predicted = ylru(keys as f64, t as f64, keys as f64, b as f64, x as f64);
+            let rel_err = (predicted - faults as f64).abs() / faults as f64;
+            assert!(
+                rel_err < 0.15,
+                "b={b}: predicted {predicted}, simulated {faults}, err {rel_err}"
+            );
+        }
+    }
+}

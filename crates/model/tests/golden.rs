@@ -1,0 +1,68 @@
+//! Golden regression values for the cost model.
+//!
+//! The model implements several dozen formula terms transcribed from
+//! the paper; an accidental edit to any of them should fail loudly.
+//! These totals were computed at known-good inputs (the §8 workload at
+//! three memory fractions, default `waterloo96` machine parameters) and
+//! are pinned to 0.01%. If a change to the model is *intentional*,
+//! regenerate the constants and say why in the commit.
+
+use mmjoin_env::machine::MachineParams;
+use mmjoin_model::{predict, Algorithm, JoinInputs};
+
+fn inputs(frac: f64) -> JoinInputs {
+    JoinInputs {
+        r_objects: 102_400,
+        s_objects: 102_400,
+        r_size: 128,
+        s_size: 128,
+        sptr_size: 8,
+        d: 4,
+        skew: 1.0,
+        m_rproc: (frac * 102_400.0 * 128.0) as u64,
+        m_sproc: (frac * 102_400.0 * 128.0) as u64,
+        g_buffer: 4096,
+    }
+}
+
+#[test]
+fn model_totals_match_golden_values() {
+    let m = MachineParams::waterloo96();
+    let golden = [
+        (Algorithm::NestedLoops, 0.02, 342.835615),
+        (Algorithm::NestedLoops, 0.10, 236.873455),
+        (Algorithm::NestedLoops, 0.40, 54.108291),
+        (Algorithm::SortMerge, 0.02, 83.342776),
+        (Algorithm::SortMerge, 0.10, 86.762735),
+        (Algorithm::SortMerge, 0.40, 90.716873),
+        (Algorithm::Grace, 0.02, 61.139904),
+        (Algorithm::Grace, 0.10, 59.253112),
+        (Algorithm::Grace, 0.40, 61.281165),
+        (Algorithm::HybridHash, 0.02, 59.875605),
+        (Algorithm::HybridHash, 0.10, 58.239671),
+        (Algorithm::HybridHash, 0.40, 54.537980),
+    ];
+    for (alg, frac, expect) in golden {
+        let got = predict(alg, &m, &inputs(frac)).total();
+        assert!(
+            (got - expect).abs() / expect < 1e-4,
+            "{} at M/|R|={frac}: got {got:.6}, golden {expect:.6}",
+            alg.name()
+        );
+    }
+}
+
+#[test]
+fn breakdown_items_sum_to_total() {
+    let m = MachineParams::waterloo96();
+    for alg in Algorithm::ALL {
+        let b = predict(alg, &m, &inputs(0.05));
+        let sum: f64 = b.items.iter().map(|i| i.seconds).sum();
+        assert!((sum - b.total()).abs() < 1e-9, "{}", alg.name());
+        assert!(
+            b.items.iter().all(|i| i.seconds >= 0.0),
+            "{}: no negative cost terms",
+            alg.name()
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests: the model must produce finite, positive predictions
+//! with non-negative terms for *any* plausible input — a cost model
+//! that can emit NaN or negative seconds poisons every consumer
+//! (planner, experiments) silently.
+
+use mmjoin_env::machine::MachineParams;
+use mmjoin_model::{predict, Algorithm, JoinInputs};
+use proptest::prelude::*;
+
+fn arb_inputs() -> impl Strategy<Value = JoinInputs> {
+    (
+        1u64..200_000,  // objects per relation (R)
+        1u64..200_000,  // objects per relation (S)
+        16u32..512,     // r_size
+        8u32..512,      // s_size
+        1u32..9,        // d
+        1.0f64..8.0,    // skew
+        1u64..4096,     // m_rproc pages
+        1u64..4096,     // m_sproc pages
+        264u64..65_536, // g buffer
+    )
+        .prop_map(
+            |(r_o, s_o, r_size, s_size, d, skew, m_r, m_s, g)| JoinInputs {
+                // Make counts divisible by d so they describe a real
+                // partitioning.
+                r_objects: r_o.div_ceil(d as u64) * d as u64,
+                s_objects: s_o.div_ceil(d as u64) * d as u64,
+                r_size,
+                s_size,
+                sptr_size: 8,
+                d,
+                skew,
+                m_rproc: m_r * 4096,
+                m_sproc: m_s * 4096,
+                g_buffer: g,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn predictions_are_finite_positive_and_itemwise_sane(w in arb_inputs()) {
+        let m = MachineParams::waterloo96();
+        for alg in Algorithm::ALL {
+            let b = predict(alg, &m, &w);
+            let total = b.total();
+            prop_assert!(total.is_finite(), "{}: total {total}", alg.name());
+            prop_assert!(total > 0.0, "{}: total {total}", alg.name());
+            for item in &b.items {
+                prop_assert!(
+                    item.seconds.is_finite() && item.seconds >= 0.0,
+                    "{}: '{}' = {}",
+                    alg.name(),
+                    item.label,
+                    item.seconds
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skew_never_reduces_synchronized_costs(w in arb_inputs()) {
+        // The synchronized algorithms gate on worst-case partitions, so
+        // increasing skew (all else equal) must not cheapen them.
+        let m = MachineParams::waterloo96();
+        let mut lo = w;
+        lo.skew = 1.0;
+        let mut hi = w;
+        hi.skew = w.skew.max(1.0) + 1.0;
+        for alg in [Algorithm::SortMerge, Algorithm::Grace] {
+            let a = predict(alg, &m, &lo).total();
+            let b = predict(alg, &m, &hi).total();
+            prop_assert!(
+                b >= a * 0.999,
+                "{}: skew {} gave {b:.3} < skew 1.0's {a:.3}",
+                alg.name(),
+                hi.skew
+            );
+        }
+    }
+}

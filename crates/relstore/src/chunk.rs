@@ -1,0 +1,384 @@
+//! Multi-stream chunked storage inside one mapped file.
+//!
+//! Pass 0/1 of every algorithm in the paper scatters R-objects into
+//! sub-partitions whose sizes are data-dependent (`RP_{i,j}`, the
+//! contributor regions of `RS_i`, Grace's `K` buckets). This type packs
+//! any number of append-only *streams* into a single fixed-extent file
+//! by handing out page-aligned chunks from a bump allocator — total
+//! occupancy stays within a chunk of the packed size (the model's
+//! `P_RP_i` etc.), any skew is absorbed, and the write pattern within
+//! the area is "(mostly) random" exactly as §5.3 describes.
+//!
+//! The chunk directory is an in-memory shared structure: several
+//! processes may append to different (or the same) streams concurrently,
+//! as happens to `RS_i` during the staggered phases of pass 1.
+
+use std::sync::Arc;
+
+use mmjoin_env::{EnvError, FileOps, ProcId, Result};
+use parking_lot::Mutex;
+
+struct StreamDir {
+    /// Byte offsets of this stream's chunks, in allocation order.
+    chunks: Vec<u64>,
+    /// Objects appended so far.
+    count: u64,
+}
+
+struct ChunkDir {
+    next_chunk_off: u64,
+    streams: Vec<StreamDir>,
+}
+
+/// A fixed-extent file divided into append-only object streams.
+///
+/// Cheap to clone; clones share the directory and the underlying file.
+pub struct ChunkedFile<F: FileOps> {
+    file: F,
+    obj_size: u32,
+    chunk_bytes: u64,
+    objs_per_chunk: u64,
+    dir: Arc<Mutex<ChunkDir>>,
+}
+
+impl<F: FileOps + Clone> Clone for ChunkedFile<F> {
+    fn clone(&self) -> Self {
+        ChunkedFile {
+            file: self.file.clone(),
+            obj_size: self.obj_size,
+            chunk_bytes: self.chunk_bytes,
+            objs_per_chunk: self.objs_per_chunk,
+            dir: self.dir.clone(),
+        }
+    }
+}
+
+/// File bytes needed to hold `objects` objects of `obj_size` bytes in a
+/// chunked file of `streams` streams with `chunk_bytes` chunks,
+/// including internal fragmentation (the unusable tail of each chunk
+/// when `obj_size` does not divide it) and one partial chunk per stream.
+pub fn chunked_capacity(objects: u64, obj_size: u32, streams: u32, chunk_bytes: u64) -> u64 {
+    debug_assert!(obj_size > 0 && chunk_bytes >= obj_size as u64);
+    let per_chunk = (chunk_bytes / obj_size as u64).max(1);
+    (objects.div_ceil(per_chunk) + streams as u64) * chunk_bytes
+}
+
+impl<F: FileOps> ChunkedFile<F> {
+    /// Lay `streams` append-only streams of `obj_size`-byte objects over
+    /// `file`, allocating space in chunks of `chunk_bytes`.
+    pub fn new(file: F, streams: u32, obj_size: u32, chunk_bytes: u64) -> Result<Self> {
+        if obj_size == 0 || chunk_bytes < obj_size as u64 {
+            return Err(EnvError::InvalidConfig(format!(
+                "chunk of {chunk_bytes} bytes cannot hold objects of {obj_size}"
+            )));
+        }
+        if streams == 0 {
+            return Err(EnvError::InvalidConfig("need at least one stream".into()));
+        }
+        Ok(ChunkedFile {
+            file,
+            obj_size,
+            chunk_bytes,
+            objs_per_chunk: chunk_bytes / obj_size as u64,
+            dir: Arc::new(Mutex::new(ChunkDir {
+                next_chunk_off: 0,
+                streams: (0..streams)
+                    .map(|_| StreamDir {
+                        chunks: Vec::new(),
+                        count: 0,
+                    })
+                    .collect(),
+            })),
+        })
+    }
+
+    /// Object size in bytes.
+    pub fn obj_size(&self) -> u32 {
+        self.obj_size
+    }
+
+    /// Number of streams.
+    pub fn num_streams(&self) -> u32 {
+        self.dir.lock().streams.len() as u32
+    }
+
+    /// Objects appended to `stream` so far.
+    pub fn stream_len(&self, stream: u32) -> u64 {
+        self.dir.lock().streams[stream as usize].count
+    }
+
+    /// Total objects across all streams.
+    pub fn total_objects(&self) -> u64 {
+        self.dir.lock().streams.iter().map(|s| s.count).sum()
+    }
+
+    /// Bytes of the file's extent consumed by allocated chunks.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.dir.lock().next_chunk_off
+    }
+
+    /// Reserve the slot for the next object of `stream` and return its
+    /// byte offset, allocating a chunk if needed.
+    fn reserve(&self, stream: u32) -> Result<u64> {
+        let mut dir = self.dir.lock();
+        let next_off = dir.next_chunk_off;
+        let s = &mut dir.streams[stream as usize];
+        let slot = s.count % self.objs_per_chunk;
+        if slot == 0 {
+            // Need a fresh chunk.
+            if next_off + self.chunk_bytes > self.file.len() {
+                return Err(EnvError::OutOfBounds {
+                    file: "<chunked>".into(),
+                    offset: next_off,
+                    len: self.chunk_bytes,
+                    size: self.file.len(),
+                });
+            }
+            s.chunks.push(next_off);
+            dir.next_chunk_off = next_off + self.chunk_bytes;
+        }
+        let s = &dir.streams[stream as usize];
+        let chunk = *s.chunks.last().expect("chunk allocated above");
+        let off = chunk + slot * self.obj_size as u64;
+        dir.streams[stream as usize].count += 1;
+        Ok(off)
+    }
+
+    /// Append one object to `stream` on behalf of `proc`.
+    pub fn append(&self, proc: ProcId, stream: u32, obj: &[u8]) -> Result<()> {
+        debug_assert_eq!(obj.len(), self.obj_size as usize);
+        let off = self.reserve(stream)?;
+        self.file.write_at(proc, off, obj)
+    }
+
+    /// Read object `idx` of `stream` into `buf`.
+    pub fn read_obj(&self, proc: ProcId, stream: u32, idx: u64, buf: &mut [u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.obj_size as usize);
+        let off = {
+            let dir = self.dir.lock();
+            let s = &dir.streams[stream as usize];
+            if idx >= s.count {
+                return Err(EnvError::OutOfBounds {
+                    file: "<chunked>".into(),
+                    offset: idx,
+                    len: 1,
+                    size: s.count,
+                });
+            }
+            let chunk = s.chunks[(idx / self.objs_per_chunk) as usize];
+            chunk + (idx % self.objs_per_chunk) * self.obj_size as u64
+        };
+        self.file.read_at(proc, off, buf)
+    }
+
+    /// Overwrite object `idx` of `stream` (used by in-place run
+    /// sorting, which permutes objects within their slots).
+    pub fn write_obj(&self, proc: ProcId, stream: u32, idx: u64, buf: &[u8]) -> Result<()> {
+        debug_assert_eq!(buf.len(), self.obj_size as usize);
+        let off = {
+            let dir = self.dir.lock();
+            let s = &dir.streams[stream as usize];
+            if idx >= s.count {
+                return Err(EnvError::OutOfBounds {
+                    file: "<chunked>".into(),
+                    offset: idx,
+                    len: 1,
+                    size: s.count,
+                });
+            }
+            let chunk = s.chunks[(idx / self.objs_per_chunk) as usize];
+            chunk + (idx % self.objs_per_chunk) * self.obj_size as u64
+        };
+        self.file.write_at(proc, off, buf)
+    }
+
+    /// A cursor over `stream` for sequential consumption.
+    pub fn stream_reader(&self, stream: u32) -> StreamReader<'_, F> {
+        StreamReader {
+            cf: self,
+            stream,
+            idx: 0,
+        }
+    }
+}
+
+/// Sequential cursor over one stream of a [`ChunkedFile`].
+pub struct StreamReader<'a, F: FileOps> {
+    cf: &'a ChunkedFile<F>,
+    stream: u32,
+    idx: u64,
+}
+
+impl<F: FileOps> StreamReader<'_, F> {
+    /// Read the next object into `buf`; returns `false` at end of
+    /// stream.
+    pub fn next_into(&mut self, proc: ProcId, buf: &mut [u8]) -> Result<bool> {
+        if self.idx >= self.cf.stream_len(self.stream) {
+            return Ok(false);
+        }
+        self.cf.read_obj(proc, self.stream, self.idx, buf)?;
+        self.idx += 1;
+        Ok(true)
+    }
+
+    /// Objects remaining.
+    pub fn remaining(&self) -> u64 {
+        self.cf.stream_len(self.stream).saturating_sub(self.idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmjoin_env::DiskId;
+    use mmjoin_env::Env;
+    use mmjoin_vmsim::{SimConfig, SimEnv};
+
+    const P: ProcId = ProcId(0);
+
+    fn file(bytes: u64) -> (SimEnv, mmjoin_vmsim::SimFile) {
+        let mut cfg = SimConfig::waterloo96(1);
+        cfg.rproc_pages = 64;
+        let env = SimEnv::new(cfg).unwrap();
+        let f = env.create_file(P, "t", DiskId(0), bytes).unwrap();
+        (env, f)
+    }
+
+    #[test]
+    fn appends_route_to_their_streams() {
+        let (_env, f) = file(64 * 4096);
+        let cf = ChunkedFile::new(f, 3, 16, 4096).unwrap();
+        for i in 0..100u64 {
+            let stream = (i % 3) as u32;
+            let mut obj = [0u8; 16];
+            obj[..8].copy_from_slice(&i.to_le_bytes());
+            cf.append(P, stream, &obj).unwrap();
+        }
+        assert_eq!(cf.stream_len(0), 34);
+        assert_eq!(cf.stream_len(1), 33);
+        assert_eq!(cf.stream_len(2), 33);
+        assert_eq!(cf.total_objects(), 100);
+        // Stream 1 must contain exactly the i % 3 == 1 values, in order.
+        let mut r = cf.stream_reader(1);
+        let mut buf = [0u8; 16];
+        let mut expect = 1u64;
+        while r.next_into(P, &mut buf).unwrap() {
+            assert_eq!(u64::from_le_bytes(buf[..8].try_into().unwrap()), expect);
+            expect += 3;
+        }
+        assert_eq!(expect, 100);
+    }
+
+    #[test]
+    fn occupancy_stays_near_packed() {
+        let (_env, f) = file(64 * 4096);
+        let cf = ChunkedFile::new(f, 4, 128, 4096).unwrap();
+        let n = 1000u64;
+        for i in 0..n {
+            cf.append(P, (i % 4) as u32, &[0u8; 128]).unwrap();
+        }
+        let packed = n * 128;
+        // At most one partially-filled chunk per stream of overhead.
+        assert!(cf.allocated_bytes() <= packed + 4 * 4096);
+        assert!(cf.allocated_bytes() >= packed);
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let (_env, f) = file(2 * 4096);
+        let cf = ChunkedFile::new(f, 1, 128, 4096).unwrap();
+        let per_chunk = 4096 / 128;
+        for _ in 0..2 * per_chunk {
+            cf.append(P, 0, &[1u8; 128]).unwrap();
+        }
+        assert!(matches!(
+            cf.append(P, 0, &[1u8; 128]),
+            Err(EnvError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn random_access_read_obj() {
+        let (_env, f) = file(16 * 4096);
+        let cf = ChunkedFile::new(f, 1, 32, 4096).unwrap();
+        for i in 0..300u64 {
+            let mut obj = [0u8; 32];
+            obj[..8].copy_from_slice(&i.to_le_bytes());
+            cf.append(P, 0, &obj).unwrap();
+        }
+        let mut buf = [0u8; 32];
+        for &i in &[0u64, 127, 128, 255, 299] {
+            cf.read_obj(P, 0, i, &mut buf).unwrap();
+            assert_eq!(u64::from_le_bytes(buf[..8].try_into().unwrap()), i);
+        }
+        assert!(cf.read_obj(P, 0, 300, &mut buf).is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_geometry() {
+        let (_env, f) = file(4096);
+        assert!(ChunkedFile::new(f.clone(), 0, 16, 4096).is_err());
+        assert!(ChunkedFile::new(f.clone(), 1, 0, 4096).is_err());
+        assert!(ChunkedFile::new(f, 1, 64, 32).is_err());
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_or_corrupt_objects() {
+        // Several threads appending to their own streams (and one shared
+        // stream) — the reservation discipline must keep every object
+        // intact, as in pass 1's concurrent RS writes.
+        let (_env, f) = file(512 * 4096);
+        let cf = std::sync::Arc::new(ChunkedFile::new(f, 5, 16, 4096).unwrap());
+        let per_thread = 400u64;
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let cf = cf.clone();
+                scope.spawn(move || {
+                    // One simulated proc slot exists per disk (plus its
+                    // Sproc); all writers share slot 0 here — the test
+                    // targets the chunk directory, not the pagers.
+                    let proc = ProcId(0);
+                    let _ = t;
+                    for i in 0..per_thread {
+                        let mut obj = [0u8; 16];
+                        obj[..8].copy_from_slice(&(t * 1_000_000 + i).to_le_bytes());
+                        // Own stream plus the shared stream 4.
+                        cf.append(proc, t as u32, &obj).unwrap();
+                        cf.append(proc, 4, &obj).unwrap();
+                    }
+                });
+            }
+        });
+        // Own streams: exactly our values, in order.
+        let mut buf = [0u8; 16];
+        for t in 0..4u64 {
+            assert_eq!(cf.stream_len(t as u32), per_thread);
+            for i in 0..per_thread {
+                cf.read_obj(P, t as u32, i, &mut buf).unwrap();
+                let v = u64::from_le_bytes(buf[..8].try_into().unwrap());
+                assert_eq!(v, t * 1_000_000 + i);
+            }
+        }
+        // Shared stream: all values present exactly once, any order.
+        assert_eq!(cf.stream_len(4), 4 * per_thread);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..4 * per_thread {
+            cf.read_obj(P, 4, i, &mut buf).unwrap();
+            let v = u64::from_le_bytes(buf[..8].try_into().unwrap());
+            assert!(seen.insert(v), "duplicate {v}");
+        }
+    }
+
+    #[test]
+    fn clones_share_directory() {
+        let (_env, f) = file(16 * 4096);
+        let cf = ChunkedFile::new(f, 2, 64, 4096).unwrap();
+        let cf2 = cf.clone();
+        cf.append(P, 0, &[7u8; 64]).unwrap();
+        cf2.append(P, 0, &[8u8; 64]).unwrap();
+        assert_eq!(cf.stream_len(0), 2);
+        let mut buf = [0u8; 64];
+        cf.read_obj(P, 0, 1, &mut buf).unwrap();
+        assert_eq!(buf[0], 8);
+    }
+}

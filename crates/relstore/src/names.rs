@@ -1,0 +1,52 @@
+//! Canonical file names for relation partitions and the temporary areas
+//! of the join algorithms, matching the paper's nomenclature.
+
+/// `R_i`: partition `i` of the outer relation.
+pub fn r_part(i: u32) -> String {
+    format!("R_{i}")
+}
+
+/// `S_j`: partition `j` of the inner relation.
+pub fn s_part(j: u32) -> String {
+    format!("S_{j}")
+}
+
+/// `RP_i`: Rproc `i`'s temporary sub-partition area from pass 0.
+pub fn rp(i: u32) -> String {
+    format!("RP_{i}")
+}
+
+/// `RS_i`: the area on disk `i` collecting all R-objects that point into
+/// `S_i` (sort-merge and Grace).
+pub fn rs(i: u32) -> String {
+    format!("RS_{i}")
+}
+
+/// `Merge_i`: sort-merge's alternate merge destination on disk `i`.
+pub fn merge(i: u32) -> String {
+    format!("Merge_{i}")
+}
+
+/// Unique run-scoped name, for experiments creating many relations in
+/// one environment.
+pub fn scoped(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct_per_partition() {
+        assert_ne!(r_part(0), r_part(1));
+        assert_ne!(r_part(0), s_part(0));
+        assert_ne!(rp(2), rs(2));
+        assert_eq!(scoped("", "R_0"), "R_0");
+        assert_eq!(scoped("run1", "R_0"), "run1.R_0");
+    }
+}

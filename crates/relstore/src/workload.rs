@@ -1,0 +1,377 @@
+//! Workload generation: build the paper's relations inside any
+//! environment, with a known-correct join oracle.
+//!
+//! `S` is laid out in storage order (S-object `k`'s key is `k`), and
+//! each R-object's join attribute is a virtual pointer to one S-object,
+//! drawn either uniformly (the paper's assumption — "we assume that the
+//! join attributes are randomly distributed in R", §4, which makes skew
+//! ≈ 1.0) or Zipf-distributed for the skew-sensitivity extension.
+//!
+//! Because the generator knows every pointer it draws, it can compute
+//! the exact expected join checksum up front; every algorithm must
+//! reproduce it, on every environment.
+
+use mmjoin_env::{DiskId, Env, ProcId, Result, SCatalog};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::names;
+use crate::object::{encode_r, encode_s, pair_digest, RelConfig};
+
+/// Distribution of join pointers across S-objects.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PointerDist {
+    /// Uniform over all of `S` (paper default; skew ≈ 1).
+    Uniform,
+    /// Zipf with exponent `theta` over S-object ranks; rank 0 is the
+    /// most popular object. `theta = 0` degenerates to uniform.
+    Zipf {
+        /// Skew exponent, typically in `(0, 1)`.
+        theta: f64,
+    },
+    /// Every R-object in partition `i` points into S partition
+    /// `(i + 1) mod D`: the worst case for the phase-staggering design,
+    /// used in contention tests.
+    CrossPartition,
+}
+
+/// Full workload description.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Relation shapes.
+    pub rel: RelConfig,
+    /// Pointer distribution.
+    pub dist: PointerDist,
+    /// RNG seed (generation is fully deterministic).
+    pub seed: u64,
+    /// Optional name prefix so several workloads can coexist in one
+    /// environment.
+    pub prefix: String,
+}
+
+impl WorkloadSpec {
+    /// The paper's §8 validation workload.
+    pub fn waterloo96(seed: u64) -> Self {
+        WorkloadSpec {
+            rel: RelConfig::waterloo96(),
+            dist: PointerDist::Uniform,
+            seed,
+            prefix: String::new(),
+        }
+    }
+}
+
+/// Everything a join driver needs to know about generated relations.
+#[derive(Clone, Debug)]
+pub struct Relations {
+    /// Relation shapes.
+    pub rel: RelConfig,
+    /// File names of `R_0..R_{D-1}`.
+    pub r_files: Vec<String>,
+    /// File names of `S_0..S_{D-1}`.
+    pub s_files: Vec<String>,
+    /// Catalog for [`Env::register_s`].
+    pub catalog: SCatalog,
+    /// Expected number of join pairs (= |R|, every pointer resolves).
+    pub expected_pairs: u64,
+    /// Expected order-independent join checksum.
+    pub expected_checksum: u64,
+    /// `|R_{i,j}|` counts: `sub_counts[i][j]` R-objects of partition `i`
+    /// pointing into S partition `j`.
+    pub sub_counts: Vec<Vec<u64>>,
+    /// The paper's skew factor: `max_{i,j} |R_{i,j}| / (|R_i| / D)`.
+    pub skew: f64,
+    /// Name prefix used for the files.
+    pub prefix: String,
+}
+
+impl Relations {
+    /// `|R_{i,j}|` for this workload.
+    pub fn sub_count(&self, i: u32, j: u32) -> u64 {
+        self.sub_counts[i as usize][j as usize]
+    }
+}
+
+/// Precomputed Zipf sampler over `0..n` (rank-ordered).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler: O(n) zeta computation.
+    pub fn new(n: u64, theta: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one rank in `0..n`.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// Choose the S-object targets for one R partition.
+fn draw_targets(
+    rel: &RelConfig,
+    dist: &PointerDist,
+    part: u32,
+    rng: &mut StdRng,
+    zipf: Option<&Zipf>,
+) -> Vec<u64> {
+    let n = rel.r_per_part();
+    (0..n)
+        .map(|_| match dist {
+            PointerDist::Uniform => rng.random_range(0..rel.s_objects),
+            PointerDist::Zipf { .. } => {
+                // Scatter ranks over storage order so popularity is not
+                // correlated with address (rank r -> object (r * PRIME) mod n).
+                let rank = zipf.expect("zipf sampler").sample(rng);
+                (rank.wrapping_mul(0x9E37_79B1)) % rel.s_objects
+            }
+            PointerDist::CrossPartition => {
+                let target_part = (part + 1) % rel.d;
+                let within = rng.random_range(0..rel.s_per_part());
+                target_part as u64 * rel.s_per_part() + within
+            }
+        })
+        .collect()
+}
+
+/// Generate the relations inside `env`, preload them (cost-free), reset
+/// the environment's counters, and return the descriptor.
+///
+/// Layout order per disk `i` is `R_i` then `S_i`, matching the layout
+/// diagrams in §5.3/§6.3 (temporary areas are created later, by the
+/// join algorithms themselves, and land after these extents).
+pub fn build<E: Env>(env: &E, spec: &WorkloadSpec) -> Result<Relations> {
+    spec.rel.validate()?;
+    let rel = spec.rel;
+    let d = rel.d;
+    let proc = ProcId(0);
+
+    // Generate all pointer targets first so the checksum oracle and skew
+    // are known before any I/O.
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let zipf = match spec.dist {
+        PointerDist::Zipf { theta } => Some(Zipf::new(rel.s_objects, theta)),
+        _ => None,
+    };
+    let targets: Vec<Vec<u64>> = (0..d)
+        .map(|i| draw_targets(&rel, &spec.dist, i, &mut rng, zipf.as_ref()))
+        .collect();
+
+    let mut sub_counts = vec![vec![0u64; d as usize]; d as usize];
+    let mut checksum = 0u64;
+    for (i, parts) in targets.iter().enumerate() {
+        for (k, &s_idx) in parts.iter().enumerate() {
+            let r_key = i as u64 * rel.r_per_part() + k as u64;
+            // S-object keys equal their storage index by construction.
+            checksum = checksum.wrapping_add(pair_digest(r_key, s_idx));
+            let j = (s_idx / rel.s_per_part()) as usize;
+            sub_counts[i][j] += 1;
+        }
+    }
+    let per = rel.r_per_part() as f64 / d as f64;
+    let skew = sub_counts
+        .iter()
+        .flatten()
+        .map(|&c| c as f64 / per)
+        .fold(0.0, f64::max);
+
+    // Materialize S then R on each disk.
+    let mut r_files = Vec::with_capacity(d as usize);
+    let mut s_files = Vec::with_capacity(d as usize);
+    for i in 0..d {
+        let r_name = names::scoped(&spec.prefix, &names::r_part(i));
+        let s_name = names::scoped(&spec.prefix, &names::s_part(i));
+        env.create_file(proc, &r_name, DiskId(i), rel.r_part_bytes())?;
+        env.create_file(proc, &s_name, DiskId(i), rel.s_part_bytes())?;
+
+        let mut s_data = vec![0u8; rel.s_part_bytes() as usize];
+        for k in 0..rel.s_per_part() {
+            let key = i as u64 * rel.s_per_part() + k;
+            let off = (k * rel.s_size as u64) as usize;
+            encode_s(&mut s_data[off..off + rel.s_size as usize], key);
+        }
+        env.preload(&s_name, 0, &s_data)?;
+
+        let mut r_data = vec![0u8; rel.r_part_bytes() as usize];
+        for (k, &s_idx) in targets[i as usize].iter().enumerate() {
+            let key = i as u64 * rel.r_per_part() + k as u64;
+            let off = k * rel.r_size as usize;
+            encode_r(
+                &mut r_data[off..off + rel.r_size as usize],
+                key,
+                rel.sptr_of(s_idx),
+            );
+        }
+        env.preload(&r_name, 0, &r_data)?;
+
+        r_files.push(r_name);
+        s_files.push(s_name);
+    }
+
+    let catalog = SCatalog {
+        part_files: s_files.clone(),
+        part_bytes: rel.s_part_bytes(),
+        s_obj_size: rel.s_size,
+    };
+    env.reset_stats();
+
+    Ok(Relations {
+        rel,
+        r_files,
+        s_files,
+        catalog,
+        expected_pairs: rel.r_objects,
+        expected_checksum: checksum,
+        sub_counts,
+        skew,
+        prefix: spec.prefix.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{r_key, r_sptr, s_key};
+    use mmjoin_env::FileOps;
+    use mmjoin_vmsim::{SimConfig, SimEnv};
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            rel: RelConfig {
+                r_size: 32,
+                s_size: 32,
+                d: 4,
+                r_objects: 400,
+                s_objects: 400,
+            },
+            dist: PointerDist::Uniform,
+            seed: 7,
+            prefix: String::new(),
+        }
+    }
+
+    fn env() -> SimEnv {
+        SimEnv::new(SimConfig::waterloo96(4)).unwrap()
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let a = build(&env(), &small_spec()).unwrap();
+        let b = build(&env(), &small_spec()).unwrap();
+        assert_eq!(a.expected_checksum, b.expected_checksum);
+        assert_eq!(a.sub_counts, b.sub_counts);
+        let mut spec2 = small_spec();
+        spec2.seed = 8;
+        let c = build(&env(), &spec2).unwrap();
+        assert_ne!(a.expected_checksum, c.expected_checksum);
+    }
+
+    #[test]
+    fn stored_objects_decode_correctly() {
+        let e = env();
+        let rels = build(&e, &small_spec()).unwrap();
+        let rel = rels.rel;
+        let proc = ProcId(0);
+        // Check one R partition object and the S-object it points to.
+        let rf = e.open_file(proc, &rels.r_files[2]).unwrap();
+        let mut rbuf = vec![0u8; rel.r_size as usize];
+        rf.read_at(proc, 5 * rel.r_size as u64, &mut rbuf).unwrap();
+        let key = r_key(&rbuf);
+        assert_eq!(key, 2 * rel.r_per_part() + 5);
+        let ptr = r_sptr(&rbuf);
+        let s_idx = rel.s_index_of(ptr);
+        assert!(s_idx < rel.s_objects);
+        let j = ptr.partition(rel.s_part_bytes());
+        let sf = e.open_file(proc, &rels.s_files[j as usize]).unwrap();
+        let mut sbuf = vec![0u8; rel.s_size as usize];
+        sf.read_at(proc, ptr.offset(rel.s_part_bytes()), &mut sbuf)
+            .unwrap();
+        assert_eq!(s_key(&sbuf), s_idx);
+    }
+
+    #[test]
+    fn sub_counts_sum_to_partition_sizes() {
+        let rels = build(&env(), &small_spec()).unwrap();
+        for i in 0..4usize {
+            let total: u64 = rels.sub_counts[i].iter().sum();
+            assert_eq!(total, rels.rel.r_per_part());
+        }
+        assert!(rels.skew >= 1.0, "skew is a max over means");
+    }
+
+    #[test]
+    fn uniform_skew_is_near_one() {
+        let mut spec = small_spec();
+        spec.rel.r_objects = 40_000;
+        spec.rel.s_objects = 40_000;
+        let rels = build(&env(), &spec).unwrap();
+        assert!(
+            rels.skew < 1.2,
+            "uniform pointers should have low skew, got {}",
+            rels.skew
+        );
+    }
+
+    #[test]
+    fn cross_partition_concentrates_pointers() {
+        let mut spec = small_spec();
+        spec.dist = PointerDist::CrossPartition;
+        let rels = build(&env(), &spec).unwrap();
+        for i in 0..4u32 {
+            let j = (i + 1) % 4;
+            assert_eq!(rels.sub_count(i, j), rels.rel.r_per_part());
+            assert_eq!(rels.sub_count(i, i), 0);
+        }
+        assert_eq!(rels.skew, 4.0);
+    }
+
+    #[test]
+    fn zipf_is_more_skewed_than_uniform_at_object_level() {
+        let n = 10_000u64;
+        let z = Zipf::new(n, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // Rank 0 must dominate: with theta ~1 it receives ~ 1/ln(n) of
+        // all draws.
+        assert!(counts[0] > 1000, "rank 0 got {}", counts[0]);
+        assert!(counts[0] > 50 * counts[n as usize / 2].max(1));
+    }
+
+    #[test]
+    fn workload_reset_leaves_clean_stats() {
+        let e = env();
+        let _ = build(&e, &small_spec()).unwrap();
+        let st = e.stats();
+        assert_eq!(st.elapsed(), 0.0);
+        assert_eq!(st.total_blocks(), 0);
+    }
+
+    #[test]
+    fn prefixed_workloads_coexist() {
+        let e = env();
+        let mut s1 = small_spec();
+        s1.prefix = "a".into();
+        let mut s2 = small_spec();
+        s2.prefix = "b".into();
+        let r1 = build(&e, &s1).unwrap();
+        let r2 = build(&e, &s2).unwrap();
+        assert_ne!(r1.r_files[0], r2.r_files[0]);
+    }
+}

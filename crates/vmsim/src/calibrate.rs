@@ -1,0 +1,236 @@
+//! Measurement of the `dttr`/`dttw` curves from the simulated disk,
+//! using the paper's own procedure (§3.1, Fig. 1a):
+//!
+//! > "This clustering is modelled by measuring the average cost (per
+//! > block) of sequentially accessing bands in which random access
+//! > occurs, over a large area of disk."
+//!
+//! For each band size `W`, a large disk area is tiled into consecutive
+//! bands of `W` blocks; within each band every block is touched exactly
+//! once in random order (the paper's "no duplicates"); bands are visited
+//! in sequence. The average time per block, as a function of `W`, is the
+//! measured curve. Band size 1 degenerates to a sequential scan.
+//!
+//! The resulting [`DttCurve`]s are what the analytical model interpolates
+//! — so the model and the execution-driven simulator are tied to the
+//! same underlying drive, exactly as the paper tied its model to the
+//! measured Fujitsu drives.
+
+use mmjoin_env::machine::DttCurve;
+use mmjoin_env::Result;
+
+use crate::disk::{Disk, DiskParams};
+
+/// Deterministic 64-bit mixer (splitmix64), used so calibration needs no
+/// external RNG dependency and is exactly reproducible.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound` (bound > 0), via rejection-free
+    /// multiply-shift (adequate bias for calibration purposes).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Calibration controls.
+#[derive(Clone, Debug)]
+pub struct CalibrationSpec {
+    /// Band sizes (in blocks) to measure; the paper's Fig. 1a spans
+    /// 1..12800.
+    pub band_sizes: Vec<u64>,
+    /// Size of the disk area swept for each band size, in blocks. "The
+    /// size of the disk area is irrelevant; it only has to be large
+    /// enough to obtain an average" (§3.1).
+    pub area_blocks: u64,
+    /// RNG seed for the in-band permutations.
+    pub seed: u64,
+}
+
+impl Default for CalibrationSpec {
+    fn default() -> Self {
+        CalibrationSpec {
+            band_sizes: vec![1, 100, 200, 400, 800, 1600, 3200, 6400, 9600, 12800],
+            area_blocks: 25_600,
+            seed: 0x1996_0226,
+        }
+    }
+}
+
+/// One measured point.
+#[derive(Clone, Copy, Debug)]
+pub struct DttSample {
+    /// Band size in blocks.
+    pub band: u64,
+    /// Average seconds per block, random reads within the band.
+    pub read: f64,
+    /// Average seconds per block, random (deferred) writes within the
+    /// band.
+    pub write: f64,
+}
+
+/// Measure average per-block read time for one band size.
+fn measure_one(params: &DiskParams, band: u64, area: u64, seed: u64, write: bool) -> f64 {
+    let mut disk = Disk::new(params.clone());
+    let mut rng = SplitMix64::new(seed ^ band.wrapping_mul(0x51ED));
+    let mut total = 0.0;
+    let mut blocks = 0u64;
+    let mut perm: Vec<u64> = Vec::with_capacity(band as usize);
+    let mut base = 0u64;
+    while base + band <= area {
+        perm.clear();
+        perm.extend(base..base + band);
+        if band > 1 {
+            rng.shuffle(&mut perm);
+        }
+        for &b in &perm {
+            total += if write { disk.write(b) } else { disk.read(b) };
+            blocks += 1;
+        }
+        base += band;
+    }
+    if write {
+        total += disk.flush();
+    }
+    if blocks == 0 {
+        0.0
+    } else {
+        total / blocks as f64
+    }
+}
+
+/// Run the full calibration, returning the per-band samples.
+pub fn measure_dtt(params: &DiskParams, spec: &CalibrationSpec) -> Vec<DttSample> {
+    spec.band_sizes
+        .iter()
+        .map(|&band| DttSample {
+            band,
+            read: measure_one(params, band, spec.area_blocks, spec.seed, false),
+            write: measure_one(params, band, spec.area_blocks, spec.seed, true),
+        })
+        .collect()
+}
+
+/// Run the calibration and package the samples as interpolation curves
+/// ready for [`mmjoin_env::machine::MachineParams`].
+pub fn calibrate_curves(
+    params: &DiskParams,
+    spec: &CalibrationSpec,
+) -> Result<(DttCurve, DttCurve)> {
+    let samples = measure_dtt(params, spec);
+    let read = DttCurve::from_points(samples.iter().map(|s| (s.band as f64, s.read)).collect())?;
+    let write = DttCurve::from_points(samples.iter().map(|s| (s.band as f64, s.write)).collect())?;
+    Ok((read, write))
+}
+
+/// Convenience: a full [`mmjoin_env::machine::MachineParams`] whose
+/// `dtt` curves were measured from `params` with the default
+/// calibration spec — the coupling the experiments and examples use.
+pub fn calibrated_params(params: &DiskParams) -> Result<mmjoin_env::machine::MachineParams> {
+    let (dttr, dttw) = calibrate_curves(params, &CalibrationSpec::default())?;
+    Ok(mmjoin_env::machine::MachineParams {
+        dttr,
+        dttw,
+        ..mmjoin_env::machine::MachineParams::waterloo96()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_in_range() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            let bound = 1 + a.next_u64() % 1000;
+            let mut b2 = b.clone();
+            // keep generators aligned
+            let _ = b.next_u64();
+            let v = b2.below(bound);
+            assert!(v < bound);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(7);
+        let mut v: Vec<u64> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should move things");
+    }
+
+    #[test]
+    fn fig1a_shape_reproduced() {
+        let params = DiskParams::waterloo96();
+        let spec = CalibrationSpec {
+            band_sizes: vec![1, 200, 1600, 12800],
+            area_blocks: 12_800 * 2,
+            seed: 1,
+        };
+        let samples = measure_dtt(&params, &spec);
+        // Reads grow with band size.
+        for w in samples.windows(2) {
+            assert!(
+                w[1].read > w[0].read,
+                "dttr must increase: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // Writes cheaper than reads at every band size except possibly
+        // the fully sequential one.
+        for s in &samples[1..] {
+            assert!(s.write < s.read, "dttw < dttr at band {}", s.band);
+        }
+        // Magnitudes in the neighbourhood of Fig. 1a (milliseconds).
+        let seq = samples[0].read;
+        let rand = samples.last().unwrap().read;
+        assert!(seq > 2e-3 && seq < 10e-3, "sequential read {seq}");
+        assert!(rand > 12e-3 && rand < 30e-3, "random read {rand}");
+    }
+
+    #[test]
+    fn calibrated_curves_interpolate() {
+        let params = DiskParams::waterloo96();
+        let spec = CalibrationSpec {
+            band_sizes: vec![1, 800, 12800],
+            area_blocks: 25_600,
+            seed: 3,
+        };
+        let (r, w) = calibrate_curves(&params, &spec).unwrap();
+        assert!(r.eval(400.0) > r.eval(1.0));
+        assert!(r.eval(400.0) < r.eval(12800.0));
+        assert!(w.eval(12800.0) < r.eval(12800.0));
+    }
+}

@@ -1,0 +1,34 @@
+//! # mmjoin-vmsim — execution-driven virtual-memory & disk simulator
+//!
+//! The paper validated its analytical model against a 1996 Sequent
+//! Symmetry with Fujitsu disk drives. That hardware is gone; this crate
+//! replaces it with a mechanistic simulation that preserves the parts of
+//! its behaviour the paper's results depend on:
+//!
+//! * **paging**: per-process fixed memory budgets with strict-LRU
+//!   replacement (plus FIFO/second-chance for ablations) — the source of
+//!   every `dtt` charge in the paper's measurements ([`pager`]);
+//! * **disks**: seek + rotation + transfer with deferred elevator
+//!   write-back, which makes writes cheaper than reads exactly as the
+//!   paper explains Fig. 1a ([`disk`]);
+//! * **measured curves**: [`calibrate`] re-runs the paper's band
+//!   measurement procedure against the simulated drive, producing the
+//!   `dttr`/`dttw` curves the analytical model interpolates;
+//! * **the environment**: [`env::SimEnv`] implements
+//!   [`mmjoin_env::Env`], so the join algorithms in the `mmjoin` crate
+//!   execute on real data here while accumulating per-process virtual
+//!   time — the "Experiment" line of the paper's Fig. 5.
+
+pub mod calibrate;
+pub mod disk;
+pub mod env;
+pub mod pager;
+pub mod trace;
+
+pub use calibrate::{
+    calibrate_curves, calibrated_params, measure_dtt, CalibrationSpec, DttSample, SplitMix64,
+};
+pub use disk::{Disk, DiskParams, DiskStats};
+pub use env::{ContentionMode, SimConfig, SimEnv, SimFile};
+pub use pager::{Access, Eviction, PageKey, Pager, Policy};
+pub use trace::{analyze, DiskTraceStats, TraceEvent, TraceKind};

@@ -1,0 +1,183 @@
+//! Disk access tracing and band-assumption analysis.
+//!
+//! The paper's model prices every I/O in a pass at `dtt(BandSize)` —
+//! the average cost of *uniformly random* access within the band the
+//! pass touches (§3.1: "all dtt costs are for random I/O"). Whether a
+//! real execution actually behaves like random-in-band is an empirical
+//! question, and precisely where our model-vs-experiment residual comes
+//! from. With `SimConfig::trace = true`, the simulated environment
+//! records every disk access; this module computes, per disk:
+//!
+//! * the empirical mean/percentile service times, directly comparable
+//!   to `dttr(band)`;
+//! * the *effective band*: for uniform random access within a span `W`,
+//!   the mean absolute arm jump is `W/3`, so `3 × mean|jump|` estimates
+//!   the span the access pattern behaves as if it had;
+//! * the spatial span actually touched.
+//!
+//! The `trace_stats` experiment binary uses this to show that pass-0/1
+//! access is far more structured than the model assumes — the measured
+//! effective band is a fraction of the areas' total span.
+
+/// What kind of disk operation an event records.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TraceKind {
+    /// Synchronous read caused by a page fault.
+    Read,
+    /// Deferred write-back leaving the elevator queue.
+    Write,
+}
+
+/// One traced disk access.
+#[derive(Copy, Clone, Debug)]
+pub struct TraceEvent {
+    /// Which disk.
+    pub disk: u32,
+    /// Which process was charged.
+    pub proc: u32,
+    /// Absolute block number on the disk.
+    pub block: u64,
+    /// Operation kind.
+    pub kind: TraceKind,
+    /// Service seconds charged for this block.
+    pub service: f64,
+}
+
+/// Aggregate statistics for one disk's trace.
+#[derive(Clone, Debug)]
+pub struct DiskTraceStats {
+    /// Disk id.
+    pub disk: u32,
+    /// Read events.
+    pub reads: u64,
+    /// Write events.
+    pub writes: u64,
+    /// Mean read service (seconds/block).
+    pub mean_read: f64,
+    /// Mean write service.
+    pub mean_write: f64,
+    /// Mean absolute jump (blocks) between consecutive accesses.
+    pub mean_jump: f64,
+    /// `3 × mean_jump`: the band size the pattern *behaves* like.
+    pub effective_band: f64,
+    /// Blocks actually spanned (max − min + 1).
+    pub touched_span: u64,
+}
+
+/// Summarize a trace per disk. Events must be in emission order (the
+/// environment records them that way).
+pub fn analyze(events: &[TraceEvent]) -> Vec<DiskTraceStats> {
+    let max_disk = match events.iter().map(|e| e.disk).max() {
+        Some(d) => d,
+        None => return Vec::new(),
+    };
+    (0..=max_disk)
+        .filter_map(|disk| {
+            let ev: Vec<&TraceEvent> = events.iter().filter(|e| e.disk == disk).collect();
+            if ev.is_empty() {
+                return None;
+            }
+            let reads: Vec<&&TraceEvent> =
+                ev.iter().filter(|e| e.kind == TraceKind::Read).collect();
+            let writes: Vec<&&TraceEvent> =
+                ev.iter().filter(|e| e.kind == TraceKind::Write).collect();
+            let mean = |xs: &[&&TraceEvent]| {
+                if xs.is_empty() {
+                    0.0
+                } else {
+                    xs.iter().map(|e| e.service).sum::<f64>() / xs.len() as f64
+                }
+            };
+            let jumps: Vec<f64> = ev
+                .windows(2)
+                .map(|w| w[0].block.abs_diff(w[1].block) as f64)
+                .collect();
+            let mean_jump = if jumps.is_empty() {
+                0.0
+            } else {
+                jumps.iter().sum::<f64>() / jumps.len() as f64
+            };
+            let lo = ev.iter().map(|e| e.block).min().expect("non-empty");
+            let hi = ev.iter().map(|e| e.block).max().expect("non-empty");
+            Some(DiskTraceStats {
+                disk,
+                reads: reads.len() as u64,
+                writes: writes.len() as u64,
+                mean_read: mean(&reads),
+                mean_write: mean(&writes),
+                mean_jump,
+                effective_band: 3.0 * mean_jump,
+                touched_span: hi - lo + 1,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(disk: u32, block: u64, kind: TraceKind, service: f64) -> TraceEvent {
+        TraceEvent {
+            disk,
+            proc: 0,
+            block,
+            kind,
+            service,
+        }
+    }
+
+    #[test]
+    fn empty_trace_analyzes_to_nothing() {
+        assert!(analyze(&[]).is_empty());
+    }
+
+    #[test]
+    fn sequential_trace_has_tiny_effective_band() {
+        let events: Vec<TraceEvent> = (0..100).map(|b| ev(0, b, TraceKind::Read, 5e-3)).collect();
+        let stats = analyze(&events);
+        assert_eq!(stats.len(), 1);
+        let s = &stats[0];
+        assert_eq!(s.reads, 100);
+        assert_eq!(s.touched_span, 100);
+        assert!((s.mean_jump - 1.0).abs() < 1e-9);
+        assert!((s.effective_band - 3.0).abs() < 1e-9);
+        assert!((s.mean_read - 5e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_trace_effective_band_estimates_span() {
+        // Uniform random blocks in [0, 3000): mean jump ≈ 1000, so the
+        // effective band estimator should land near 3000.
+        let mut x = 88172645463325252u64;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x % 3000
+        };
+        let events: Vec<TraceEvent> = (0..20_000)
+            .map(|_| ev(1, next(), TraceKind::Read, 1e-3))
+            .collect();
+        let s = &analyze(&events)[0];
+        assert_eq!(s.disk, 1);
+        assert!(
+            (s.effective_band - 3000.0).abs() / 3000.0 < 0.1,
+            "effective band {} should be near 3000",
+            s.effective_band
+        );
+    }
+
+    #[test]
+    fn reads_and_writes_are_separated() {
+        let events = vec![
+            ev(0, 0, TraceKind::Read, 10e-3),
+            ev(0, 1, TraceKind::Write, 2e-3),
+            ev(0, 2, TraceKind::Write, 4e-3),
+        ];
+        let s = &analyze(&events)[0];
+        assert_eq!((s.reads, s.writes), (1, 2));
+        assert!((s.mean_read - 10e-3).abs() < 1e-12);
+        assert!((s.mean_write - 3e-3).abs() < 1e-12);
+    }
+}

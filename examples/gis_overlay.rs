@@ -1,0 +1,71 @@
+//! Geographic overlay under memory pressure, on the simulator.
+//!
+//! A geographic information system (another of the paper's §1 target
+//! applications) joins a large table of sensor observations (R) against
+//! the region polygons they fall in (S), referenced by pointer. GIS
+//! servers share memory with everything else on the machine, so the
+//! interesting question is the one Fig. 5 asks: *how does each join
+//! degrade as its memory shrinks?*
+//!
+//! ```sh
+//! cargo run --release -p mmjoin --example gis_overlay
+//! ```
+
+use mmjoin::{join, verify, Algo, ExecMode, JoinSpec};
+use mmjoin_relstore::{build, PointerDist, RelConfig, WorkloadSpec};
+use mmjoin_vmsim::{SimConfig, SimEnv};
+
+fn main() {
+    let d = 4;
+    let workload = WorkloadSpec {
+        rel: RelConfig {
+            r_size: 64,  // observation: position, value, region pointer
+            s_size: 512, // region: bounding box + polygon summary
+            d,
+            r_objects: 120_000,
+            s_objects: 12_000,
+        },
+        dist: PointerDist::Uniform,
+        seed: 11,
+        prefix: String::new(),
+    };
+    let r_bytes = workload.rel.r_objects * workload.rel.r_size as u64;
+
+    println!("GIS overlay: 120k observations ⋈ 12k regions, shrinking memory\n");
+    println!(
+        "{:>10} {:>14} {:>14} {:>14}   winner",
+        "M (pages)", "nested-loops", "sort-merge", "grace"
+    );
+    for frac in [0.4, 0.2, 0.1, 0.05, 0.02] {
+        let pages = (((frac * r_bytes as f64) as u64) / 4096).max(6) as usize;
+        let mut times = Vec::new();
+        for alg in [Algo::NestedLoops, Algo::SortMerge, Algo::Grace] {
+            let mut cfg = SimConfig::waterloo96(d);
+            cfg.rproc_pages = pages;
+            cfg.sproc_pages = pages;
+            let env = SimEnv::new(cfg).expect("config is valid");
+            let rels = build(&env, &workload).expect("workload builds");
+            let spec = JoinSpec::new(pages as u64 * 4096, pages as u64 * 4096)
+                .with_mode(ExecMode::Sequential);
+            let out = join(&env, &rels, alg, &spec).expect("join runs");
+            verify(&out, &rels).expect("overlay matches the oracle");
+            times.push((alg, out.elapsed));
+        }
+        let winner = times
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("three entries");
+        println!(
+            "{:>10} {:>13.1}s {:>13.1}s {:>13.1}s   {}",
+            pages,
+            times[0].1,
+            times[1].1,
+            times[2].1,
+            winner.0.name()
+        );
+    }
+
+    println!("\nAs memory shrinks, nested loops' random region lookups fall off a");
+    println!("cliff while Grace degrades gently — the regime structure behind the");
+    println!("paper's Fig. 5, and the reason its model matters to an optimizer.");
+}

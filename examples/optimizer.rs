@@ -1,0 +1,98 @@
+//! The model as a query optimizer — the use the paper names in §1:
+//! "a quantitative model is an essential tool for subsystems such as a
+//! query optimizer."
+//!
+//! For a grid of memory budgets, the planner evaluates the analytical
+//! cost of each algorithm and picks a winner *without running anything*;
+//! we then execute all three on the simulator and check whether the
+//! planner's choice was actually (near-)optimal.
+//!
+//! ```sh
+//! cargo run --release -p mmjoin --example optimizer
+//! ```
+
+use mmjoin::{choose, inputs_for, join, verify, Algo, ExecMode, JoinSpec};
+use mmjoin_relstore::{build, PointerDist, RelConfig, WorkloadSpec};
+use mmjoin_vmsim::{calibrated_params, DiskParams, SimConfig, SimEnv};
+
+fn main() {
+    let d = 4;
+    let workload = WorkloadSpec {
+        rel: RelConfig {
+            r_size: 128,
+            s_size: 128,
+            d,
+            r_objects: 60_000,
+            s_objects: 60_000,
+        },
+        dist: PointerDist::Uniform,
+        seed: 3,
+        prefix: String::new(),
+    };
+    let r_bytes = workload.rel.r_objects * workload.rel.r_size as u64;
+    let machine = calibrated_params(&DiskParams::waterloo96()).expect("calibration runs");
+
+    println!("Model-driven join planning (predict first, then measure)\n");
+    println!(
+        "{:>7} {:>14} {:>12} | {:>12} {:>14} {:>8}",
+        "M/|R|", "planner picks", "predicted", "measured", "actual best", "regret"
+    );
+
+    let mut planned_total = 0.0;
+    let mut oracle_total = 0.0;
+    for frac in [0.02, 0.04, 0.08, 0.15, 0.3, 0.5] {
+        let pages = (((frac * r_bytes as f64) as u64) / 4096).max(6);
+        let spec = JoinSpec::new(pages * 4096, pages * 4096).with_mode(ExecMode::Sequential);
+
+        // Plan from statistics alone.
+        let mut cfg = SimConfig::waterloo96(d);
+        cfg.machine = machine.clone();
+        cfg.rproc_pages = pages as usize;
+        cfg.sproc_pages = pages as usize;
+        let env = SimEnv::new(cfg.clone()).expect("valid config");
+        let rels = build(&env, &workload).expect("workload builds");
+        let plan = choose(&machine, &inputs_for(&rels, &spec));
+
+        // Measure every algorithm for the comparison.
+        let mut measured = Vec::new();
+        for alg in [
+            Algo::NestedLoops,
+            Algo::SortMerge,
+            Algo::Grace,
+            Algo::HybridHash,
+        ] {
+            let env = SimEnv::new(cfg.clone()).expect("valid config");
+            let rels = build(&env, &workload).expect("workload builds");
+            let out = join(&env, &rels, alg, &spec).expect("join runs");
+            verify(&out, &rels).expect("oracle");
+            measured.push((alg, out.elapsed));
+        }
+        let picked: Algo = plan.algorithm.into();
+        let picked_time = measured
+            .iter()
+            .find(|(a, _)| *a == picked)
+            .expect("planned algorithm was measured")
+            .1;
+        let best = measured
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty");
+        planned_total += picked_time;
+        oracle_total += best.1;
+        println!(
+            "{:>7.2} {:>14} {:>11.1}s | {:>11.1}s {:>9.1}s ({}) {:>6.1}%",
+            frac,
+            picked.name(),
+            plan.predicted_seconds(),
+            picked_time,
+            best.1,
+            best.0.name(),
+            (picked_time / best.1 - 1.0) * 100.0
+        );
+    }
+    println!(
+        "\nplanner total {planned_total:.1}s vs perfect-hindsight total {oracle_total:.1}s \
+         ({:+.1}% regret)",
+        (planned_total / oracle_total - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,231 @@
+//! The correctness matrix: every algorithm × partition count × memory
+//! budget × pointer distribution must reproduce the workload oracle on
+//! the simulator, plus a property-based sweep over randomized workload
+//! shapes.
+
+use mmjoin::{join, verify, Algo, ExecMode, JoinSpec};
+use mmjoin_relstore::{build, PointerDist, RelConfig, WorkloadSpec};
+use mmjoin_vmsim::{ContentionMode, Policy, SimConfig, SimEnv};
+use proptest::prelude::*;
+
+#[allow(clippy::too_many_arguments)]
+fn run_one(
+    alg: Algo,
+    d: u32,
+    objects: u64,
+    obj_size: u32,
+    pages: usize,
+    dist: PointerDist,
+    policy: Policy,
+    seed: u64,
+) -> Result<(), String> {
+    let mut cfg = SimConfig::waterloo96(d);
+    cfg.rproc_pages = pages;
+    cfg.sproc_pages = pages;
+    cfg.policy = policy;
+    cfg.contention = ContentionMode::Independent;
+    let env = SimEnv::new(cfg).map_err(|e| e.to_string())?;
+    let w = WorkloadSpec {
+        rel: RelConfig {
+            r_size: obj_size,
+            s_size: obj_size,
+            d,
+            r_objects: objects,
+            s_objects: objects,
+        },
+        dist,
+        seed,
+        prefix: String::new(),
+    };
+    let rels = build(&env, &w).map_err(|e| e.to_string())?;
+    let spec =
+        JoinSpec::new(pages as u64 * 4096, pages as u64 * 4096).with_mode(ExecMode::Sequential);
+    let out = join(&env, &rels, alg, &spec).map_err(|e| e.to_string())?;
+    verify(&out, &rels).map_err(|e| e.to_string())
+}
+
+#[test]
+fn matrix_partitions_and_memory() {
+    for alg in Algo::ALL {
+        for d in [1u32, 2, 3, 4, 6] {
+            for pages in [5usize, 16, 64] {
+                let objects = 600 * d as u64;
+                run_one(
+                    alg,
+                    d,
+                    objects,
+                    32,
+                    pages,
+                    PointerDist::Uniform,
+                    Policy::Lru,
+                    1000 + d as u64,
+                )
+                .unwrap_or_else(|e| panic!("{} d={d} pages={pages}: {e}", alg.name()));
+            }
+        }
+    }
+}
+
+#[test]
+fn matrix_distributions() {
+    for alg in Algo::ALL {
+        for dist in [
+            PointerDist::Uniform,
+            PointerDist::Zipf { theta: 0.5 },
+            PointerDist::Zipf { theta: 0.99 },
+            PointerDist::CrossPartition,
+        ] {
+            run_one(alg, 4, 2_000, 48, 20, dist.clone(), Policy::Lru, 2000)
+                .unwrap_or_else(|e| panic!("{} {dist:?}: {e}", alg.name()));
+        }
+    }
+}
+
+#[test]
+fn matrix_replacement_policies() {
+    for alg in [Algo::SortMerge, Algo::Grace] {
+        for policy in [Policy::Lru, Policy::Fifo, Policy::SecondChance] {
+            run_one(alg, 2, 2_000, 64, 10, PointerDist::Uniform, policy, 3000)
+                .unwrap_or_else(|e| panic!("{} {policy:?}: {e}", alg.name()));
+        }
+    }
+}
+
+#[test]
+fn matrix_object_sizes_including_non_power_of_two() {
+    // Objects that do not divide the page evenly straddle page
+    // boundaries — the paging layer must handle split accesses.
+    for alg in Algo::ALL {
+        for obj_size in [24u32, 48, 100, 128, 300] {
+            run_one(
+                alg,
+                2,
+                1_000,
+                obj_size,
+                12,
+                PointerDist::Uniform,
+                Policy::Lru,
+                4000 + obj_size as u64,
+            )
+            .unwrap_or_else(|e| panic!("{} size={obj_size}: {e}", alg.name()));
+        }
+    }
+}
+
+#[test]
+fn matrix_asymmetric_relation_sizes() {
+    // |R| != |S|: many R-objects per S-object and vice versa.
+    for (r_objects, s_objects) in [(4_000u64, 500u64), (500, 4_000)] {
+        for alg in Algo::ALL {
+            let mut cfg = SimConfig::waterloo96(2);
+            cfg.rproc_pages = 24;
+            cfg.sproc_pages = 24;
+            let env = SimEnv::new(cfg).unwrap();
+            let w = WorkloadSpec {
+                rel: RelConfig {
+                    r_size: 32,
+                    s_size: 64,
+                    d: 2,
+                    r_objects,
+                    s_objects,
+                },
+                dist: PointerDist::Uniform,
+                seed: 5000,
+                prefix: String::new(),
+            };
+            let rels = build(&env, &w).unwrap();
+            let spec = JoinSpec::new(24 * 4096, 24 * 4096).with_mode(ExecMode::Sequential);
+            let out = join(&env, &rels, alg, &spec).unwrap();
+            verify(&out, &rels)
+                .unwrap_or_else(|e| panic!("{} {r_objects}x{s_objects}: {e}", alg.name()));
+        }
+    }
+}
+
+#[test]
+fn sort_merge_exercises_deep_merge_plans() {
+    // Force several ABL merge passes (the Fig. 5b staircase territory)
+    // and check correctness still holds exactly.
+    let mut cfg = SimConfig::waterloo96(2);
+    cfg.rproc_pages = 4;
+    cfg.sproc_pages = 4;
+    let env = SimEnv::new(cfg).unwrap();
+    let w = WorkloadSpec {
+        rel: RelConfig {
+            r_size: 32,
+            s_size: 32,
+            d: 2,
+            r_objects: 8_000,
+            s_objects: 8_000,
+        },
+        dist: PointerDist::Uniform,
+        seed: 99,
+        prefix: String::new(),
+    };
+    let rels = build(&env, &w).unwrap();
+    let spec = JoinSpec::new(4 * 4096, 4 * 4096).with_mode(ExecMode::Sequential);
+    let plan = mmjoin::sort_merge::plan_for(4096, &rels, &spec, 0).unwrap();
+    assert!(
+        plan.npass >= 3,
+        "test intends a deep merge; got NPASS = {}",
+        plan.npass
+    );
+    let out = join(&env, &rels, Algo::SortMerge, &spec).unwrap();
+    verify(&out, &rels).unwrap();
+}
+
+#[test]
+fn grace_exercises_many_buckets() {
+    // Tiny memory drives K into the hundreds; every bucket boundary
+    // must still join exactly.
+    let mut cfg = SimConfig::waterloo96(2);
+    cfg.rproc_pages = 4;
+    cfg.sproc_pages = 4;
+    let env = SimEnv::new(cfg).unwrap();
+    let w = WorkloadSpec {
+        rel: RelConfig {
+            r_size: 128,
+            s_size: 128,
+            d: 2,
+            r_objects: 10_000,
+            s_objects: 10_000,
+        },
+        dist: PointerDist::Uniform,
+        seed: 98,
+        prefix: String::new(),
+    };
+    let rels = build(&env, &w).unwrap();
+    let spec = JoinSpec::new(4 * 4096, 4 * 4096).with_mode(ExecMode::Sequential);
+    let k = mmjoin::grace::k_for(&rels, &spec);
+    assert!(k > 100, "test intends many buckets; got K = {k}");
+    let out = join(&env, &rels, Algo::Grace, &spec).unwrap();
+    verify(&out, &rels).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Randomized workload shapes: any (d, counts, sizes, memory, seed)
+    /// combination must verify for every algorithm.
+    #[test]
+    fn random_workloads_always_verify(
+        d in 1u32..5,
+        per_part in 50u64..400,
+        obj_exp in 0u32..3,
+        pages in 4usize..40,
+        theta in 0.0f64..1.2,
+        seed in 0u64..u64::MAX,
+    ) {
+        let objects = per_part * d as u64;
+        let obj_size = 32u32 << obj_exp;
+        let dist = if theta < 0.1 {
+            PointerDist::Uniform
+        } else {
+            PointerDist::Zipf { theta }
+        };
+        for alg in Algo::ALL {
+            let r = run_one(alg, d, objects, obj_size, pages, dist.clone(), Policy::Lru, seed);
+            prop_assert!(r.is_ok(), "{} failed: {:?}", alg.name(), r.err());
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! The `Env` trait contract, checked generically against **both**
+//! implementations. Anything the join algorithms rely on must behave
+//! identically on the simulator and on the real memory-mapped store:
+//! file lifecycle semantics, bounds checking, preload/reset behaviour,
+//! the Sproc fetch protocol, and the event counters.
+
+use mmjoin_env::{DiskId, Env, EnvError, FileOps, ProcId, SCatalog, SPtr};
+use mmjoin_mmstore::{MmapEnv, MmapEnvConfig};
+use mmjoin_vmsim::{SimConfig, SimEnv};
+
+const P: ProcId = ProcId(0);
+
+/// The shared battery. `name_tag` keeps mmap roots distinct.
+fn contract<E: Env>(env: &E) {
+    // --- create / open / duplicate / delete ---
+    let f = env.create_file(P, "alpha", DiskId(0), 10_000).unwrap();
+    assert_eq!(f.len(), 10_000);
+    assert!(!f.is_empty());
+    assert!(matches!(
+        env.create_file(P, "alpha", DiskId(0), 1),
+        Err(EnvError::AlreadyExists(_))
+    ));
+    let f2 = env.open_file(P, "alpha").unwrap();
+    assert_eq!(f2.len(), 10_000);
+    assert!(matches!(
+        env.open_file(P, "missing"),
+        Err(EnvError::NotFound(_))
+    ));
+
+    // --- read/write round trip, including page-straddling ranges ---
+    let data: Vec<u8> = (0..5000u32).map(|i| (i % 251) as u8).collect();
+    f.write_at(P, 3_000, &data).unwrap();
+    let mut back = vec![0u8; 5000];
+    f2.read_at(P, 3_000, &mut back).unwrap();
+    assert_eq!(back, data);
+
+    // --- bounds ---
+    let mut buf = [0u8; 16];
+    assert!(matches!(
+        f.read_at(P, 9_990, &mut buf),
+        Err(EnvError::OutOfBounds { .. })
+    ));
+    assert!(f.write_at(P, u64::MAX - 4, &buf).is_err());
+    // Zero-length access at the end boundary is fine.
+    f.read_at(P, 10_000, &mut []).unwrap();
+
+    // --- preload is visible through normal reads ---
+    env.create_file(P, "beta", DiskId(0), 4096).unwrap();
+    env.preload("beta", 100, b"preloaded").unwrap();
+    let b = env.open_file(P, "beta").unwrap();
+    let mut nine = [0u8; 9];
+    b.read_at(P, 100, &mut nine).unwrap();
+    assert_eq!(&nine, b"preloaded");
+
+    // --- delete invalidates by name ---
+    env.delete_file(P, "beta").unwrap();
+    assert!(matches!(
+        env.open_file(P, "beta"),
+        Err(EnvError::NotFound(_))
+    ));
+    assert!(matches!(
+        env.delete_file(P, "beta"),
+        Err(EnvError::NotFound(_))
+    ));
+
+    // --- S service protocol ---
+    let d = env.num_disks();
+    let part_bytes = 4096u64;
+    let mut names = Vec::new();
+    for j in 0..d {
+        let n = format!("S_{j}");
+        env.create_file(P, &n, DiskId(j), part_bytes).unwrap();
+        let mut payload = vec![0u8; part_bytes as usize];
+        for (i, c) in payload.chunks_mut(64).enumerate() {
+            c[0] = j as u8;
+            c[1] = i as u8;
+        }
+        env.preload(&n, 0, &payload).unwrap();
+        names.push(n);
+    }
+    // Fetch before registration fails.
+    let mut out = Vec::new();
+    assert!(env
+        .s_fetch_batch(P, 0, &[SPtr::new(0, 0, part_bytes)], 8, &mut out)
+        .is_err());
+    env.register_s(SCatalog {
+        part_files: names,
+        part_bytes,
+        s_obj_size: 64,
+    })
+    .unwrap();
+    let ptrs = [
+        SPtr::new(d - 1, 2 * 64, part_bytes),
+        SPtr::new(d - 1, 0, part_bytes),
+    ];
+    env.s_fetch_batch(P, d - 1, &ptrs, 72, &mut out).unwrap();
+    assert_eq!(out.len(), 128);
+    assert_eq!((out[0], out[1]), ((d - 1) as u8, 2));
+    assert_eq!((out[64], out[65]), ((d - 1) as u8, 0));
+    // Wrong-partition pointers are rejected.
+    assert!(env
+        .s_fetch_batch(P, 0, &[SPtr::new(d - 1, 0, part_bytes)], 8, &mut out)
+        .is_err());
+    // Empty batch is a no-op.
+    let before = env.stats().procs[0].s_batches;
+    env.s_fetch_batch(P, 0, &[], 8, &mut out).unwrap();
+    assert_eq!(env.stats().procs[0].s_batches, before);
+
+    // --- counters and reset ---
+    env.cpu(P, mmjoin_env::CpuOp::Map, 5);
+    env.move_bytes(P, mmjoin_env::MoveKind::PP, 100);
+    env.context_switches(P, 3);
+    let st = env.stats();
+    assert_eq!(st.procs[0].cpu_ops[mmjoin_env::CpuOp::Map.index()], 5);
+    assert_eq!(
+        st.procs[0].move_bytes[mmjoin_env::MoveKind::PP.index()],
+        100
+    );
+    assert!(st.procs[0].ctx_switches >= 3);
+    assert_eq!(st.procs.len(), ProcId::slots(d));
+    env.reset_stats();
+    let st = env.stats();
+    assert_eq!(st.procs[0].ctx_switches, 0);
+    assert_eq!(st.procs[0].cpu_ops[mmjoin_env::CpuOp::Map.index()], 0);
+
+    env.shutdown_s();
+}
+
+#[test]
+fn sim_env_honors_the_contract() {
+    let mut cfg = SimConfig::waterloo96(2);
+    cfg.rproc_pages = 16;
+    cfg.sproc_pages = 16;
+    let env = SimEnv::new(cfg).unwrap();
+    contract(&env);
+}
+
+#[test]
+fn mmap_env_honors_the_contract() {
+    let root = std::env::temp_dir().join(format!("mmjoin-contract-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let env = MmapEnv::new(MmapEnvConfig {
+        root: root.clone(),
+        num_disks: 2,
+        page_size: 4096,
+    })
+    .unwrap();
+    contract(&env);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn sim_clock_is_monotone_and_reset_zeroes_it() {
+    let env = SimEnv::new(SimConfig::waterloo96(1)).unwrap();
+    assert_eq!(env.now(P), 0.0);
+    env.create_file(P, "t", DiskId(0), 4096).unwrap();
+    let after_create = env.now(P);
+    assert!(after_create > 0.0, "newMap charges time");
+    env.cpu(P, mmjoin_env::CpuOp::Hash, 1000);
+    assert!(env.now(P) > after_create);
+    env.reset_stats();
+    assert_eq!(env.now(P), 0.0);
+}
+
+#[test]
+fn invalid_configs_are_rejected_by_both() {
+    assert!(SimEnv::new(SimConfig::waterloo96(0)).is_err());
+    assert!(MmapEnv::new(MmapEnvConfig {
+        root: std::env::temp_dir().join("mmjoin-zero"),
+        num_disks: 0,
+        page_size: 4096,
+    })
+    .is_err());
+    let env = SimEnv::new(SimConfig::waterloo96(1)).unwrap();
+    assert!(env.create_file(P, "x", DiskId(9), 1).is_err(), "bad disk");
+}

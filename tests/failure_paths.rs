@@ -1,0 +1,138 @@
+//! Failure injection: joins must fail *cleanly* — an error, not a
+//! panic, wrong answer, or deadlock — when the environment runs out of
+//! resources or the setup is inconsistent, in both execution modes.
+
+use mmjoin::{join, verify, Algo, ExecMode, JoinSpec};
+use mmjoin_env::{Env, EnvError, SCatalog};
+use mmjoin_relstore::{build, PointerDist, RelConfig, WorkloadSpec};
+use mmjoin_vmsim::{DiskParams, SimConfig, SimEnv};
+
+fn workload(d: u32, objects: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        rel: RelConfig {
+            r_size: 64,
+            s_size: 64,
+            d,
+            r_objects: objects,
+            s_objects: objects,
+        },
+        dist: PointerDist::Uniform,
+        seed: 2,
+        prefix: String::new(),
+    }
+}
+
+/// A simulated machine whose disks are too small for the join's
+/// temporary areas.
+fn tiny_disk_env(d: u32, capacity_blocks: u64) -> SimEnv {
+    let mut cfg = SimConfig::waterloo96(d);
+    cfg.rproc_pages = 16;
+    cfg.sproc_pages = 16;
+    // Shrink the drive: small cylinders give fine-grained capacity
+    // control (capacity = blocks_per_cyl × cylinders).
+    let mut disk = DiskParams::waterloo96();
+    disk.blocks_per_track = 4;
+    disk.tracks_per_cyl = 2;
+    disk.cylinders = capacity_blocks.div_ceil(disk.blocks_per_cyl()).max(1);
+    cfg.disk = disk;
+    SimEnv::new(cfg).unwrap()
+}
+
+#[test]
+fn disk_full_fails_cleanly_in_sequential_mode() {
+    // R and S fit, but the temporary areas don't.
+    let w = workload(2, 4_000);
+    // R_i + S_i = 64 blocks per disk; the RP/RS/Merge areas need ~100
+    // more. 96 blocks: relations load, temporaries overflow.
+    let env = tiny_disk_env(2, 96);
+    let rels = build(&env, &w).expect("relations themselves fit");
+    for alg in [Algo::SortMerge, Algo::Grace] {
+        let spec = JoinSpec::new(16 * 4096, 16 * 4096)
+            .with_mode(ExecMode::Sequential)
+            .with_tag(alg.name());
+        match join(&env, &rels, alg, &spec) {
+            Err(EnvError::DiskFull(_)) => {}
+            Err(other) => panic!("{}: expected DiskFull, got {other}", alg.name()),
+            Ok(_) => panic!("{}: join cannot fit on this disk", alg.name()),
+        }
+    }
+}
+
+#[test]
+fn disk_full_fails_cleanly_in_threaded_mode_without_deadlock() {
+    // The staged driver must keep meeting barriers after one worker
+    // errors, then surface the error.
+    let w = workload(4, 4_000);
+    let env = tiny_disk_env(4, 48);
+    let rels = build(&env, &w).expect("relations fit");
+    let spec = JoinSpec::new(16 * 4096, 16 * 4096).with_mode(ExecMode::Threaded);
+    let result = join(&env, &rels, Algo::SortMerge, &spec);
+    assert!(
+        matches!(result, Err(EnvError::DiskFull(_))),
+        "expected DiskFull, got {result:?}"
+    );
+}
+
+#[test]
+fn mismatched_catalog_is_rejected() {
+    let env = SimEnv::new(SimConfig::waterloo96(2)).unwrap();
+    // Catalog claims 3 partitions on a 2-disk machine.
+    let err = env.register_s(SCatalog {
+        part_files: vec!["a".into(), "b".into(), "c".into()],
+        part_bytes: 4096,
+        s_obj_size: 64,
+    });
+    assert!(matches!(err, Err(EnvError::BadSRequest(_))));
+}
+
+#[test]
+fn join_after_failure_recovers_on_a_fresh_environment() {
+    // A failed run must not poison anything global: the same workload
+    // joins fine on an adequately-sized machine afterwards.
+    let w = workload(2, 4_000);
+    {
+        let env = tiny_disk_env(2, 96);
+        let rels = build(&env, &w).unwrap();
+        let spec = JoinSpec::new(16 * 4096, 16 * 4096).with_mode(ExecMode::Sequential);
+        assert!(join(&env, &rels, Algo::Grace, &spec).is_err());
+    }
+    let mut cfg = SimConfig::waterloo96(2);
+    cfg.rproc_pages = 16;
+    cfg.sproc_pages = 16;
+    let env = SimEnv::new(cfg).unwrap();
+    let rels = build(&env, &w).unwrap();
+    let spec = JoinSpec::new(16 * 4096, 16 * 4096).with_mode(ExecMode::Sequential);
+    let out = join(&env, &rels, Algo::Grace, &spec).unwrap();
+    verify(&out, &rels).unwrap();
+}
+
+#[test]
+fn rerun_with_same_tag_collides_cleanly() {
+    // Temporary areas are named; running the same tagged join twice on
+    // one environment must surface AlreadyExists, not corrupt data.
+    let w = workload(2, 1_000);
+    let mut cfg = SimConfig::waterloo96(2);
+    cfg.rproc_pages = 16;
+    cfg.sproc_pages = 16;
+    let env = SimEnv::new(cfg).unwrap();
+    let rels = build(&env, &w).unwrap();
+    let spec = JoinSpec::new(16 * 4096, 16 * 4096)
+        .with_mode(ExecMode::Sequential)
+        .with_tag("dup");
+    let out = join(&env, &rels, Algo::Grace, &spec).unwrap();
+    verify(&out, &rels).unwrap();
+    match join(&env, &rels, Algo::Grace, &spec) {
+        Err(EnvError::AlreadyExists(_)) => {}
+        other => panic!("expected AlreadyExists, got {other:?}"),
+    }
+}
+
+#[test]
+fn workload_validation_rejects_bad_shapes_before_io() {
+    let env = SimEnv::new(SimConfig::waterloo96(3)).unwrap();
+    // Object counts that do not divide across partitions.
+    let mut w = workload(3, 1_000); // 1000 % 3 != 0
+    w.rel.r_objects = 1_000;
+    w.rel.s_objects = 999;
+    assert!(build(&env, &w).is_err());
+}
