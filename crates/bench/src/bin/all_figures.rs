@@ -36,11 +36,17 @@ fn main() {
         .parent()
         .expect("bin dir")
         .to_path_buf();
+    // Forward --json so every figure also lands in results/<name>.json.
+    let json = std::env::args().any(|a| a == "--json");
     let mut failures = 0;
     for bin in bins {
         print!("{bin:<22} ");
         let started = std::time::Instant::now();
-        let output = Command::new(exe_dir.join(bin))
+        let mut cmd = Command::new(exe_dir.join(bin));
+        if json {
+            cmd.arg("--json");
+        }
+        let output = cmd
             .output()
             .unwrap_or_else(|e| panic!("launching {bin}: {e} (build with --release first)"));
         let path = out_dir.join(format!("{bin}.txt"));

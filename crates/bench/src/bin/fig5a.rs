@@ -2,7 +2,7 @@
 //! M_Rproc/|R| ∈ [0.1, 0.7] on the §8 workload.
 
 use mmjoin::Algo;
-use mmjoin_bench::{fig5_sweep, paper_workload, render_fig5};
+use mmjoin_bench::{fig5_json, fig5_sweep, maybe_write_json, paper_workload, render_fig5};
 
 fn main() {
     let w = paper_workload(4, 1996);
@@ -14,4 +14,5 @@ fn main() {
     );
     println!("paper: ~2000 s at 0.1 falling monotonically to ~800 s at 0.7;");
     println!("model tracks experiment closely. Check the same decline+flatten here.");
+    maybe_write_json("fig5a", &fig5_json(&rows));
 }

@@ -2,7 +2,7 @@
 //! [0.01, 0.05]; the discontinuities mark extra merge passes.
 
 use mmjoin::Algo;
-use mmjoin_bench::{fig5_sweep, paper_workload, render_fig5, PAGE};
+use mmjoin_bench::{fig5_json, fig5_sweep, maybe_write_json, paper_workload, render_fig5, PAGE};
 
 fn main() {
     let w = paper_workload(4, 1996);
@@ -28,4 +28,5 @@ fn main() {
     );
     println!("paper: ~700 s at 0.01 stepping down to ~500 s at 0.05, with");
     println!("discontinuities where an extra merging pass appears (see NPASS).");
+    maybe_write_json("fig5b", &fig5_json(&rows));
 }

@@ -3,7 +3,7 @@
 //! (urn model).
 
 use mmjoin::Algo;
-use mmjoin_bench::{fig5_sweep, paper_workload, render_fig5};
+use mmjoin_bench::{fig5_json, fig5_sweep, maybe_write_json, paper_workload, render_fig5};
 use mmjoin_relstore::Relations;
 
 fn main() {
@@ -18,4 +18,5 @@ fn main() {
     );
     println!("paper: ~460 s at 0.02 falling to ~340 s at 0.08; the low-memory");
     println!("rise is thrashing from the page replacement algorithm.");
+    maybe_write_json("fig5c", &fig5_json(&rows));
 }

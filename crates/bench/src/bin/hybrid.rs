@@ -4,7 +4,7 @@
 //! Grace should grow with memory.
 
 use mmjoin::Algo;
-use mmjoin_bench::{fig5_sweep, paper_workload, render_fig5};
+use mmjoin_bench::{fig5_json, fig5_sweep, maybe_write_json, paper_workload, render_fig5};
 use mmjoin_relstore::Relations;
 
 fn main() {
@@ -30,4 +30,6 @@ fn main() {
     println!();
     println!("expected: hybrid <= grace everywhere, with the gap widening as");
     println!("memory (and with it bucket 0's share f0) grows.");
+    maybe_write_json("hybrid", &fig5_json(&hybrid));
+    maybe_write_json("hybrid_grace_baseline", &fig5_json(&grace));
 }

@@ -1,0 +1,121 @@
+//! Load generator for the mmjoin-serve service: submit `--jobs N`
+//! randomized join jobs against a budget-constrained service and report
+//! throughput plus p50/p95 client latency.
+//!
+//! ```sh
+//! cargo run --release -p mmjoin-bench --bin loadgen -- \
+//!     --jobs 32 --budget-pages 128 --workers 4 --policy spf [--json]
+//! ```
+
+use mmjoin_serve::{percentile, AdmissionPolicy, JobRequest, ServeConfig, Service, PAGE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn opt<T: std::str::FromStr>(key: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One randomized job: the shapes stay small enough that a 32-job run
+/// finishes in seconds, while footprints (8–32 pages × D) still
+/// oversubscribe the default budget and exercise the queue.
+fn random_job(rng: &mut StdRng, seed: u64) -> JobRequest {
+    let d = *[2u32, 4].get(rng.random_range(0..2usize)).unwrap();
+    let objects = rng.random_range(500..2_000u64) * d as u64;
+    let mem_pages = rng.random_range(4..16u64);
+    let mut req = JobRequest::new(objects, 64, d, mem_pages, seed);
+    req.name = format!("load{seed}");
+    if rng.random_bool(0.3) {
+        req.workload.dist = mmjoin_relstore::PointerDist::Zipf {
+            theta: rng.random_range(0.2..0.9),
+        };
+    }
+    req
+}
+
+fn main() {
+    let jobs: u64 = opt("--jobs", 32);
+    let budget_pages: u64 = opt("--budget-pages", 128);
+    let workers: usize = opt("--workers", 4);
+    let seed: u64 = opt("--seed", 1996);
+    let policy = AdmissionPolicy::from_name(&opt("--policy", "fifo".to_string()))
+        .expect("--policy: fifo | spf");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let svc = Service::start(ServeConfig::sim(budget_pages * PAGE, workers).with_policy(policy));
+    let started = std::time::Instant::now();
+    let mut accepted = 0u64;
+    for i in 0..jobs {
+        match svc.submit(random_job(&mut rng, i + 1)) {
+            Ok(_) => accepted += 1,
+            Err(e) => eprintln!("job {i}: {e}"),
+        }
+    }
+    let (results, stats) = svc.finish();
+    let wall = started.elapsed().as_secs_f64();
+
+    let latencies: Vec<f64> = results.iter().map(|r| r.latency()).collect();
+    let failed = results.iter().filter(|r| r.error.is_some()).count();
+    let throughput = accepted as f64 / wall;
+    let p50 = percentile(&latencies, 50.0);
+    let p95 = percentile(&latencies, 95.0);
+
+    println!(
+        "loadgen: {accepted}/{jobs} jobs accepted, policy {}",
+        policy.name()
+    );
+    println!(
+        "budget:     {budget_pages} pages (peak {} pages), {workers} workers",
+        stats.peak_budget_bytes / PAGE
+    );
+    println!(
+        "completed:  {} ok, {failed} failed in {wall:.3} s",
+        stats.completed
+    );
+    println!("throughput: {throughput:.1} jobs/s");
+    println!(
+        "latency:    p50 {:.1} ms, p95 {:.1} ms",
+        p50 * 1e3,
+        p95 * 1e3
+    );
+    println!(
+        "queue wait: {:.3} s total across jobs; exec {:.3} s",
+        stats.queue_wait_seconds, stats.exec_wall_seconds
+    );
+
+    mmjoin_bench::maybe_write_json(
+        "loadgen",
+        &format!(
+            concat!(
+                "{{\"jobs\":{},\"accepted\":{},\"failed\":{},\"policy\":\"{}\",",
+                "\"budget_pages\":{},\"workers\":{},\"wall_seconds\":{:.6},",
+                "\"throughput_jobs_per_sec\":{:.3},",
+                "\"latency_p50_seconds\":{:.6},\"latency_p95_seconds\":{:.6},",
+                "\"service\":{}}}"
+            ),
+            jobs,
+            accepted,
+            failed,
+            policy.name(),
+            budget_pages,
+            workers,
+            wall,
+            throughput,
+            p50,
+            p95,
+            stats.to_json()
+        ),
+    );
+
+    assert!(
+        stats.peak_budget_bytes <= budget_pages * PAGE,
+        "admission exceeded the global budget"
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

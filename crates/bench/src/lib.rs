@@ -147,6 +147,71 @@ pub fn render_fig5(title: &str, rows: &[Fig5Row]) -> String {
     s
 }
 
+/// The same rows as a JSON array, for machine consumption alongside the
+/// text table.
+pub fn fig5_json(rows: &[Fig5Row]) -> String {
+    let mut s = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        // The model is NaN for the unmodelled naive baseline; JSON has
+        // no NaN, so emit null.
+        let model = if r.model.is_finite() {
+            format!("{:.6}", r.model)
+        } else {
+            "null".to_string()
+        };
+        s.push_str(&format!(
+            concat!(
+                "{{\"frac\":{:.6},\"pages\":{},\"model_seconds\":{model},",
+                "\"sim_seconds\":{:.6},\"read_faults\":{},\"write_backs\":{},",
+                "\"note\":\"{}\"}}"
+            ),
+            r.frac,
+            r.pages,
+            r.sim,
+            r.faults_read,
+            r.faults_write,
+            json_escape(&r.note),
+            model = model,
+        ));
+    }
+    s.push(']');
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Honour the experiment binaries' `--json` flag: when present on the
+/// command line, write `json` to `results/<name>.json` and announce it.
+pub fn maybe_write_json(name: &str, json: &str) {
+    if !std::env::args().any(|a| a == "--json") {
+        return;
+    }
+    let dir = std::path::Path::new("results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("json written to {}", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}
+
 /// A small ASCII rendering of the two series (model `o`, experiment
 /// `x`), time on the y axis — enough to eyeball the curve shapes
 /// against the printed figure.
@@ -271,6 +336,36 @@ mod tests {
         assert!(grid.contains('x') && !grid.contains('o'));
         let table = render_fig5("t", &mixed);
         assert!(table.contains("NaN") || table.contains('-'));
+    }
+
+    #[test]
+    fn fig5_json_is_well_formed() {
+        let rows = vec![
+            Fig5Row {
+                frac: 0.1,
+                pages: 10,
+                model: f64::NAN,
+                sim: 5.0,
+                faults_read: 1,
+                faults_write: 2,
+                note: "K=3 \"quoted\"\n".into(),
+            },
+            Fig5Row {
+                frac: 0.2,
+                pages: 20,
+                model: 4.5,
+                sim: 4.0,
+                faults_read: 0,
+                faults_write: 0,
+                note: String::new(),
+            },
+        ];
+        let j = fig5_json(&rows);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"model_seconds\":null"));
+        assert!(j.contains("\"model_seconds\":4.5"));
+        assert!(j.contains("K=3 \\\"quoted\\\"\\u000a"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

@@ -4,14 +4,16 @@
 //! mmjoin join  [--alg A] [--objects N] [--d D] [--mem-pages P] [--seed S]
 //!              [--dist uniform|zipf:T|cross] [--env sim|mmap] [--threads]
 //! mmjoin plan  [--objects N] [--d D] [--mem-pages P] [--skew X] [--explain A]
+//! mmjoin serve [--jobs FILE] [--budget-pages N] [--workers N] [--policy fifo|spf]
 //! mmjoin calibrate
 //! mmjoin help
 //! ```
 //!
 //! `join` runs one parallel pointer-based join and verifies it against
 //! the workload oracle; `plan` queries the analytical model the way a
-//! query optimizer would; `calibrate` prints the measured `dttr`/`dttw`
-//! curves of the simulated drive (Fig. 1a's procedure).
+//! query optimizer would; `serve` runs many jobs concurrently under the
+//! admission-controlled service; `calibrate` prints the measured
+//! `dttr`/`dttw` curves of the simulated drive (Fig. 1a's procedure).
 
 use std::process::ExitCode;
 
@@ -23,6 +25,7 @@ use mmjoin_vmsim::{
 
 /// Minimal `--key value` / `--flag` parser (keeps the dependency set to
 /// the workspace crates).
+#[derive(Debug)]
 struct Args {
     pairs: Vec<(String, String)>,
     flags: Vec<String>,
@@ -30,14 +33,17 @@ struct Args {
 
 impl Args {
     fn parse(argv: &[String]) -> Result<Args, String> {
-        let mut pairs = Vec::new();
-        let mut flags = Vec::new();
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        let mut flags: Vec<String> = Vec::new();
         let mut i = 0;
         while i < argv.len() {
             let a = &argv[i];
             let name = a
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected an option, got '{a}'"))?;
+            if pairs.iter().any(|(k, _)| k == name) || flags.iter().any(|f| f == name) {
+                return Err(format!("--{name} given more than once"));
+            }
             if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
                 pairs.push((name.to_string(), argv[i + 1].clone()));
                 i += 2;
@@ -81,21 +87,7 @@ fn parse_alg(s: &str) -> Result<Algo, String> {
 }
 
 fn parse_dist(s: &str) -> Result<PointerDist, String> {
-    if s == "uniform" {
-        return Ok(PointerDist::Uniform);
-    }
-    if s == "cross" {
-        return Ok(PointerDist::CrossPartition);
-    }
-    if let Some(theta) = s.strip_prefix("zipf:") {
-        let theta: f64 = theta
-            .parse()
-            .map_err(|_| format!("bad zipf parameter in '{s}'"))?;
-        return Ok(PointerDist::Zipf { theta });
-    }
-    Err(format!(
-        "unknown distribution '{s}' (uniform | zipf:T | cross)"
-    ))
+    s.parse()
 }
 
 fn workload_from(args: &Args) -> Result<WorkloadSpec, String> {
@@ -225,6 +217,89 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use mmjoin_serve::{AdmissionPolicy, EnvKind, ServeConfig, Service, PAGE};
+
+    let budget_pages: u64 = args.get_or("budget-pages", 256)?;
+    let workers: usize = args.get_or("workers", 4)?;
+    let policy = AdmissionPolicy::from_name(args.get("policy").unwrap_or("fifo"))
+        .ok_or_else(|| "unknown policy (fifo | spf)".to_string())?;
+    let env = match args.get("env").unwrap_or("sim") {
+        "sim" => EnvKind::Sim,
+        "mmap" => EnvKind::Mmap {
+            root: std::env::temp_dir().join(format!("mmjoin-serve-{}", std::process::id())),
+        },
+        other => return Err(format!("unknown env '{other}' (sim | mmap)")),
+    };
+
+    // Job script: a file via --jobs, or stdin.
+    let script = match args.get("jobs") {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?
+        }
+        None => {
+            use std::io::Read as _;
+            let mut s = String::new();
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            s
+        }
+    };
+
+    let svc = Service::start(ServeConfig {
+        budget_bytes: budget_pages * PAGE,
+        workers,
+        policy,
+        env,
+    });
+    let ids = svc.submit_script(&script)?;
+    println!(
+        "serving {} job(s): budget {budget_pages} pages, {workers} worker(s), policy {}",
+        ids.len(),
+        policy.name()
+    );
+    let (mut results, stats) = svc.finish();
+    results.sort_by_key(|r| r.id);
+    println!(
+        "{:>4}  {:<12} {:<14} {:>10} {:>9} {:>9} {:>9}  status",
+        "id", "name", "algorithm", "pairs", "pred(s)", "wait(s)", "exec(s)"
+    );
+    for r in &results {
+        let status = match &r.error {
+            None => "ok".to_string(),
+            Some(e) => format!("FAILED: {e}"),
+        };
+        println!(
+            "{:>4}  {:<12} {:<14} {:>10} {:>9.2} {:>9.3} {:>9.3}  {status}",
+            r.id,
+            if r.name.is_empty() { "-" } else { &r.name },
+            r.alg.name(),
+            r.pairs,
+            r.predicted_seconds,
+            r.queue_wait,
+            r.exec_wall
+        );
+    }
+    println!(
+        "completed {} / failed {} — peak budget {} of {} pages",
+        stats.completed,
+        stats.failed,
+        stats.peak_budget_bytes / PAGE,
+        budget_pages
+    );
+    if let Some(path) = args.get("stats-json") {
+        std::fs::write(path, stats.to_json()).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("stats written to {path}");
+    } else if args.flag("json") {
+        println!("{}", stats.to_json());
+    }
+    if stats.failed > 0 {
+        return Err(format!("{} job(s) failed", stats.failed));
+    }
+    Ok(())
+}
+
 fn cmd_calibrate() -> Result<(), String> {
     let disk = DiskParams::waterloo96();
     println!("measuring dtt curves from the simulated drive (Fig. 1a procedure)");
@@ -252,6 +327,11 @@ fn usage() {
     println!("               [--env sim|mmap] [--threads]");
     println!("  mmjoin plan  [--objects N] [--d D] [--obj-size B] [--mem-pages P]");
     println!("               [--skew X] [--explain A]");
+    println!("  mmjoin serve [--jobs FILE] [--budget-pages N] [--workers N]");
+    println!("               [--policy fifo|spf] [--env sim|mmap] [--json]");
+    println!("               [--stats-json FILE]   (reads job lines from stdin");
+    println!("               without --jobs; one job per line, key=value tokens:");
+    println!("               name alg objects obj-size d mem-pages seed dist mode)");
     println!("  mmjoin calibrate");
     let names: Vec<&str> = Algo::ALL.iter().map(|a| a.name()).collect();
     println!();
@@ -274,13 +354,14 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "join" => cmd_join(&rest),
         "plan" => cmd_plan(&rest),
+        "serve" => cmd_serve(&rest),
         "calibrate" => cmd_calibrate(),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
         }
         other => Err(format!(
-            "unknown command '{other}' (join | plan | calibrate | help)"
+            "unknown command '{other}' (join | plan | serve | calibrate | help)"
         )),
     };
     match result {
@@ -308,6 +389,21 @@ mod tests {
         assert!(a.flag("threads"));
         assert_eq!(a.get_or("objects", 0u64).unwrap(), 100);
         assert_eq!(a.get_or("missing", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_duplicate_options_naming_the_flag() {
+        for argv in [
+            vec!["--alg", "grace", "--alg", "naive"],
+            vec!["--threads", "--threads"],
+            vec!["--alg", "grace", "--alg"],
+        ] {
+            let owned: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+            let err = Args::parse(&owned).unwrap_err();
+            assert!(err.contains("given more than once"), "{err}");
+            let flag = argv[0].trim_start_matches('-');
+            assert!(err.contains(flag), "error must name --{flag}: {err}");
+        }
     }
 
     #[test]

@@ -54,7 +54,10 @@ pub mod pheap;
 pub mod planner;
 pub mod sort_merge;
 
-pub use exec::{ExecMode, JoinAcc, JoinOutput, JoinSpec, SBatcher};
+pub use exec::{
+    finish, run_stages, stage_summary, ExecMode, JoinAcc, JoinOutput, JoinSpec, SBatcher,
+    SharedSlots,
+};
 pub use planner::{choose, explain, inputs_for, PlanChoice};
 
 use mmjoin_env::{Env, Result};
@@ -86,6 +89,11 @@ impl Algo {
         Algo::HybridHash,
         Algo::NaiveNestedLoops,
     ];
+
+    /// Parse a display name back into an algorithm.
+    pub fn from_name(s: &str) -> Option<Algo> {
+        Algo::ALL.into_iter().find(|a| a.name() == s)
+    }
 
     /// Display name.
     pub fn name(self) -> &'static str {

@@ -70,6 +70,31 @@ impl ProcStats {
     pub fn blocks_transferred(&self) -> u64 {
         self.fault_read_blocks + self.fault_write_blocks
     }
+
+    /// Fold another process's counters into this one. Clocks are
+    /// summed — the result is aggregate work, not elapsed time (use
+    /// [`EnvStats::elapsed`] for makespan-style questions).
+    pub fn absorb(&mut self, other: &ProcStats) {
+        self.clock += other.clock;
+        self.fault_read_blocks += other.fault_read_blocks;
+        self.fault_write_blocks += other.fault_write_blocks;
+        self.page_hits += other.page_hits;
+        self.io_time += other.io_time;
+        for (a, b) in self.cpu_ops.iter_mut().zip(other.cpu_ops) {
+            *a += b;
+        }
+        self.cpu_time += other.cpu_time;
+        for (a, b) in self.move_bytes.iter_mut().zip(other.move_bytes) {
+            *a += b;
+        }
+        self.move_time += other.move_time;
+        self.ctx_switches += other.ctx_switches;
+        self.ctx_time += other.ctx_time;
+        self.map_ops += other.map_ops;
+        self.map_time += other.map_time;
+        self.s_batches += other.s_batches;
+        self.s_objects += other.s_objects;
+    }
 }
 
 /// Snapshot of every process's counters.
@@ -110,6 +135,21 @@ impl EnvStats {
     pub fn total_write_backs(&self) -> u64 {
         self.procs.iter().map(|p| p.fault_write_blocks).sum()
     }
+
+    /// Sum of seconds spent in disk transfers by all processes.
+    pub fn total_io_time(&self) -> f64 {
+        self.procs.iter().map(|p| p.io_time).sum()
+    }
+
+    /// Collapse every process slot into one aggregate counter set —
+    /// the shape a service layer accumulates across many jobs.
+    pub fn folded(&self) -> ProcStats {
+        let mut total = ProcStats::default();
+        for p in &self.procs {
+            total.absorb(p);
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -147,5 +187,30 @@ mod tests {
         });
         assert_eq!(s.elapsed(), 3.0);
         assert_eq!(s.elapsed_rprocs(1), 1.5);
+    }
+
+    #[test]
+    fn folding_sums_every_counter() {
+        let mut a = ProcStats::default();
+        a.add_cpu(CpuOp::Compare, 3, 1e-6);
+        a.fault_read_blocks = 10;
+        a.io_time = 0.5;
+        a.s_batches = 2;
+        let mut b = ProcStats::default();
+        b.add_move(MoveKind::PP, 100, 1e-8);
+        b.fault_write_blocks = 4;
+        b.io_time = 0.25;
+        let s = EnvStats {
+            procs: vec![a.clone(), b.clone()],
+        };
+        let folded = s.folded();
+        assert_eq!(folded.fault_read_blocks, 10);
+        assert_eq!(folded.fault_write_blocks, 4);
+        assert_eq!(folded.cpu_ops[CpuOp::Compare.index()], 3);
+        assert_eq!(folded.move_bytes[MoveKind::PP.index()], 100);
+        assert_eq!(folded.s_batches, 2);
+        assert!((folded.io_time - 0.75).abs() < 1e-12);
+        assert!((s.total_io_time() - 0.75).abs() < 1e-12);
+        assert!((folded.clock - (a.clock + b.clock)).abs() < 1e-12);
     }
 }

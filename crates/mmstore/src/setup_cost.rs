@@ -107,15 +107,12 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
         assert_eq!(samples.len(), 2);
         for s in &samples {
-            // Creating costs at least as much as deleting (both touch
-            // metadata; create also populates pages).
+            // All three operations take observable time. The paper's
+            // newMap > deleteMap ordering is a property of its 1996
+            // filesystem; on modern page-cache-backed filesystems the
+            // unlink (which frees every cached page) can exceed the
+            // create, so only positivity and growth are asserted.
             assert!(s.new_map > 0.0 && s.open_map > 0.0 && s.delete_map > 0.0);
-            assert!(
-                s.new_map > s.delete_map,
-                "newMap {} vs deleteMap {}",
-                s.new_map,
-                s.delete_map
-            );
         }
         // Costs grow with size for the page-populating operations.
         assert!(samples[1].new_map > samples[0].new_map);

@@ -35,6 +35,30 @@ pub enum PointerDist {
     CrossPartition,
 }
 
+impl std::str::FromStr for PointerDist {
+    type Err = String;
+
+    /// Parse the CLI/job-file syntax: `uniform`, `cross`, or `zipf:T`.
+    fn from_str(s: &str) -> std::result::Result<PointerDist, String> {
+        match s {
+            "uniform" => Ok(PointerDist::Uniform),
+            "cross" => Ok(PointerDist::CrossPartition),
+            _ => {
+                if let Some(theta) = s.strip_prefix("zipf:") {
+                    let theta: f64 = theta
+                        .parse()
+                        .map_err(|_| format!("bad zipf parameter in '{s}'"))?;
+                    Ok(PointerDist::Zipf { theta })
+                } else {
+                    Err(format!(
+                        "unknown distribution '{s}' (uniform | zipf:T | cross)"
+                    ))
+                }
+            }
+        }
+    }
+}
+
 /// Full workload description.
 #[derive(Clone, Debug)]
 pub struct WorkloadSpec {
@@ -57,6 +81,30 @@ impl WorkloadSpec {
             dist: PointerDist::Uniform,
             seed,
             prefix: String::new(),
+        }
+    }
+
+    /// Planning-time estimate of the skew factor this spec will
+    /// generate, available before any data exists (an admission
+    /// controller must rank jobs it has not yet built). Exact for
+    /// uniform and cross-partition pointers; for Zipf the busiest
+    /// partition is approximated as the uniform share plus the most
+    /// popular object's excess mass (integral approximation of the
+    /// zeta normalizer).
+    pub fn estimated_skew(&self) -> f64 {
+        let d = self.rel.d as f64;
+        match self.dist {
+            PointerDist::Uniform => 1.0,
+            PointerDist::CrossPartition => d,
+            PointerDist::Zipf { theta } => {
+                let n = self.rel.s_objects as f64;
+                let zeta = if (theta - 1.0).abs() < 1e-9 {
+                    n.ln() + 0.5772
+                } else {
+                    (n.powf(1.0 - theta) - 1.0) / (1.0 - theta) + 1.0
+                };
+                (1.0 + d / zeta.max(1.0)).min(d)
+            }
         }
     }
 }
@@ -352,6 +400,21 @@ mod tests {
         // all draws.
         assert!(counts[0] > 1000, "rank 0 got {}", counts[0]);
         assert!(counts[0] > 50 * counts[n as usize / 2].max(1));
+    }
+
+    #[test]
+    fn estimated_skew_matches_distribution_shape() {
+        assert_eq!(small_spec().estimated_skew(), 1.0);
+        let mut cross = small_spec();
+        cross.dist = PointerDist::CrossPartition;
+        assert_eq!(cross.estimated_skew(), 4.0);
+        let mut z = small_spec();
+        z.dist = PointerDist::Zipf { theta: 0.9 };
+        let est = z.estimated_skew();
+        assert!(est > 1.0 && est <= 4.0, "zipf estimate {est}");
+        // Sharper skew, larger estimate.
+        z.dist = PointerDist::Zipf { theta: 1.2 };
+        assert!(z.estimated_skew() > est);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Admission policy: which pending job, if any, may start now.
+//!
+//! The controller charges each job its `m_rproc × D` footprint against a
+//! global memory budget — the paper's per-process budgets summed over
+//! the D-fold parallelism — and only admits a job whose footprint fits
+//! in what is currently free.
+
+/// What the policy sees of one pending job.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidate {
+    /// `m_rproc × D` in bytes.
+    pub footprint: u64,
+    /// Planner-predicted seconds for the job's cheapest algorithm.
+    pub predicted_seconds: f64,
+}
+
+/// How pending jobs are ordered for admission.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum AdmissionPolicy {
+    /// Strict arrival order: the queue head is admitted when it fits and
+    /// *blocks everything behind it* while it does not. Head-of-line
+    /// blocking costs throughput but makes starvation impossible.
+    #[default]
+    Fifo,
+    /// Shortest-predicted-job-first: among the pending jobs whose
+    /// footprint fits the free budget, admit the one with the smallest
+    /// planner-predicted time (`mmjoin::choose()`'s winner). Ties fall
+    /// back to arrival order.
+    ShortestPredicted,
+}
+
+impl AdmissionPolicy {
+    /// Parse `fifo` | `spf`.
+    pub fn from_name(s: &str) -> Option<AdmissionPolicy> {
+        match s {
+            "fifo" => Some(AdmissionPolicy::Fifo),
+            "spf" => Some(AdmissionPolicy::ShortestPredicted),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AdmissionPolicy::Fifo => "fifo",
+            AdmissionPolicy::ShortestPredicted => "spf",
+        }
+    }
+
+    /// Index into `pending` (arrival order) of the job to admit with
+    /// `free` budget bytes, or `None` if nothing may start.
+    pub fn pick(self, pending: &[Candidate], free: u64) -> Option<usize> {
+        match self {
+            AdmissionPolicy::Fifo => match pending.first() {
+                Some(head) if head.footprint <= free => Some(0),
+                _ => None,
+            },
+            AdmissionPolicy::ShortestPredicted => pending
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.footprint <= free)
+                .min_by(|(_, a), (_, b)| a.predicted_seconds.total_cmp(&b.predicted_seconds))
+                .map(|(i, _)| i),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(footprint: u64, predicted_seconds: f64) -> Candidate {
+        Candidate {
+            footprint,
+            predicted_seconds,
+        }
+    }
+
+    #[test]
+    fn fifo_blocks_behind_an_oversized_head() {
+        let pending = [cand(100, 1.0), cand(10, 9.0)];
+        // The second job fits but FIFO refuses to overtake the head.
+        assert_eq!(AdmissionPolicy::Fifo.pick(&pending, 50), None);
+        assert_eq!(AdmissionPolicy::Fifo.pick(&pending, 100), Some(0));
+    }
+
+    #[test]
+    fn spf_overtakes_and_prefers_short_jobs() {
+        let pending = [cand(100, 1.0), cand(10, 9.0), cand(10, 2.0)];
+        // Head doesn't fit; of the two that do, the predicted-shorter
+        // third job wins even though it arrived last.
+        assert_eq!(
+            AdmissionPolicy::ShortestPredicted.pick(&pending, 50),
+            Some(2)
+        );
+        // With room for everything, the globally shortest job wins.
+        assert_eq!(
+            AdmissionPolicy::ShortestPredicted.pick(&pending, 200),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn spf_ties_fall_back_to_arrival_order() {
+        let pending = [cand(10, 3.0), cand(10, 3.0)];
+        assert_eq!(
+            AdmissionPolicy::ShortestPredicted.pick(&pending, 100),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn empty_queue_admits_nothing() {
+        assert_eq!(AdmissionPolicy::Fifo.pick(&[], u64::MAX), None);
+        assert_eq!(AdmissionPolicy::ShortestPredicted.pick(&[], u64::MAX), None);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for p in [AdmissionPolicy::Fifo, AdmissionPolicy::ShortestPredicted] {
+            assert_eq!(AdmissionPolicy::from_name(p.name()), Some(p));
+        }
+        assert_eq!(AdmissionPolicy::from_name("lifo"), None);
+    }
+}

@@ -1,0 +1,236 @@
+//! Job descriptions: what a client submits, and what comes back.
+
+use mmjoin::{Algo, ExecMode};
+use mmjoin_model::JoinInputs;
+use mmjoin_relstore::{PointerDist, RelConfig, WorkloadSpec, SPTR_SIZE};
+
+/// Identifier assigned to a job at submission, in arrival order.
+pub type JobId = u64;
+
+/// Default page size used for budget arithmetic (the paper's 4 KB).
+pub const PAGE: u64 = 4096;
+
+/// One join job as submitted by a client.
+#[derive(Clone, Debug)]
+pub struct JobRequest {
+    /// Optional client label, echoed in the result.
+    pub name: String,
+    /// The relations to generate and join.
+    pub workload: WorkloadSpec,
+    /// `M_Rproc_i` in bytes.
+    pub m_rproc: u64,
+    /// `M_Sproc_i` in bytes.
+    pub m_sproc: u64,
+    /// Algorithm to run; `None` lets the planner pick the predicted
+    /// cheapest.
+    pub alg: Option<Algo>,
+    /// Execution mode of the D Rprocs inside this job.
+    pub mode: ExecMode,
+}
+
+impl JobRequest {
+    /// A request with the given shape and defaults everywhere else
+    /// (uniform pointers, planner-chosen algorithm, sequential Rprocs).
+    pub fn new(objects: u64, obj_size: u32, d: u32, mem_pages: u64, seed: u64) -> Self {
+        JobRequest {
+            name: String::new(),
+            workload: WorkloadSpec {
+                rel: RelConfig {
+                    r_size: obj_size,
+                    s_size: obj_size,
+                    d,
+                    r_objects: objects,
+                    s_objects: objects,
+                },
+                dist: PointerDist::Uniform,
+                seed,
+                prefix: String::new(),
+            },
+            m_rproc: mem_pages * PAGE,
+            m_sproc: mem_pages * PAGE,
+            alg: None,
+            mode: ExecMode::Sequential,
+        }
+    }
+
+    /// The memory this job pins while running: `m_rproc × D` — one
+    /// R-process budget per partition, the quantity the admission
+    /// controller charges against the global budget.
+    pub fn footprint(&self) -> u64 {
+        self.m_rproc * self.workload.rel.d as u64
+    }
+
+    /// Planner inputs derivable *before* the relations exist, using the
+    /// workload's distribution-level skew estimate. This is what lets
+    /// the admission controller rank jobs it has not yet built.
+    pub fn planner_inputs(&self) -> JoinInputs {
+        JoinInputs {
+            r_objects: self.workload.rel.r_objects,
+            s_objects: self.workload.rel.s_objects,
+            r_size: self.workload.rel.r_size,
+            s_size: self.workload.rel.s_size,
+            sptr_size: SPTR_SIZE,
+            d: self.workload.rel.d,
+            skew: self.workload.estimated_skew(),
+            m_rproc: self.m_rproc,
+            m_sproc: self.m_sproc,
+            g_buffer: PAGE,
+        }
+    }
+
+    /// Parse one newline-delimited job line: whitespace-separated
+    /// `key=value` tokens. Recognized keys: `name`, `alg` (an algorithm
+    /// name or `auto`), `objects`, `obj-size`, `d`, `mem-pages`,
+    /// `seed`, `dist` (`uniform` | `zipf:T` | `cross`), `mode`
+    /// (`seq` | `threads`). Blank lines and `#` comments yield `None`.
+    pub fn parse_line(line: &str) -> Result<Option<JobRequest>, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let mut req = JobRequest::new(10_000, 128, 4, 64, 1);
+        for tok in line.split_whitespace() {
+            let (key, value) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got '{tok}'"))?;
+            match key {
+                "name" => req.name = value.to_string(),
+                "alg" => {
+                    req.alg = if value == "auto" {
+                        None
+                    } else {
+                        Some(
+                            Algo::from_name(value)
+                                .ok_or_else(|| format!("unknown algorithm '{value}'"))?,
+                        )
+                    }
+                }
+                "objects" => {
+                    let n = parse_num(key, value)?;
+                    req.workload.rel.r_objects = n;
+                    req.workload.rel.s_objects = n;
+                }
+                "obj-size" => {
+                    let n = parse_num(key, value)? as u32;
+                    req.workload.rel.r_size = n;
+                    req.workload.rel.s_size = n;
+                }
+                "d" => req.workload.rel.d = parse_num(key, value)? as u32,
+                "mem-pages" => {
+                    let pages = parse_num(key, value)?;
+                    req.m_rproc = pages * PAGE;
+                    req.m_sproc = pages * PAGE;
+                }
+                "seed" => req.workload.seed = parse_num(key, value)?,
+                "dist" => req.workload.dist = value.parse()?,
+                "mode" => {
+                    req.mode = match value {
+                        "seq" => ExecMode::Sequential,
+                        "threads" => ExecMode::Threaded,
+                        other => return Err(format!("unknown mode '{other}' (seq | threads)")),
+                    }
+                }
+                other => return Err(format!("unknown job key '{other}'")),
+            }
+        }
+        req.workload.rel.validate().map_err(|e| e.to_string())?;
+        Ok(Some(req))
+    }
+}
+
+fn parse_num(key: &str, value: &str) -> Result<u64, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{key}: cannot parse '{value}'"))
+}
+
+/// Everything the service reports about one finished job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Submission-order id.
+    pub id: JobId,
+    /// Client label from the request.
+    pub name: String,
+    /// Algorithm that actually ran.
+    pub alg: Algo,
+    /// Planner-predicted seconds for the winning algorithm (the
+    /// admission priority key under shortest-predicted-first).
+    pub predicted_seconds: f64,
+    /// Joined pairs produced.
+    pub pairs: u64,
+    /// Order-independent join checksum.
+    pub checksum: u64,
+    /// Whether pairs and checksum matched the workload oracle.
+    pub verified: bool,
+    /// Environment-reported elapsed seconds (virtual on `SimEnv`).
+    pub env_elapsed: f64,
+    /// Wall seconds spent queued before admission.
+    pub queue_wait: f64,
+    /// Wall seconds from admission to completion.
+    pub exec_wall: f64,
+    /// Read faults across the job's processes.
+    pub read_faults: u64,
+    /// Write-backs across the job's processes.
+    pub write_backs: u64,
+    /// Failure message, if the job errored.
+    pub error: Option<String>,
+}
+
+impl JobResult {
+    /// Wall-clock latency a client observes: queue wait plus execution.
+    pub fn latency(&self) -> f64 {
+        self.queue_wait + self.exec_wall
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_line_roundtrip() {
+        let req = JobRequest::parse_line(
+            "name=q1 alg=grace objects=2000 obj-size=64 d=2 mem-pages=32 seed=9 dist=zipf:0.8 mode=threads",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.name, "q1");
+        assert_eq!(req.alg, Some(Algo::Grace));
+        assert_eq!(req.workload.rel.r_objects, 2000);
+        assert_eq!(req.workload.rel.r_size, 64);
+        assert_eq!(req.workload.rel.d, 2);
+        assert_eq!(req.m_rproc, 32 * PAGE);
+        assert_eq!(req.workload.seed, 9);
+        assert!(matches!(
+            req.workload.dist,
+            PointerDist::Zipf { theta } if (theta - 0.8).abs() < 1e-12
+        ));
+        assert_eq!(req.mode, ExecMode::Threaded);
+        assert_eq!(req.footprint(), 2 * 32 * PAGE);
+    }
+
+    #[test]
+    fn parse_line_skips_blanks_and_comments() {
+        assert!(JobRequest::parse_line("").unwrap().is_none());
+        assert!(JobRequest::parse_line("  # a comment").unwrap().is_none());
+    }
+
+    #[test]
+    fn parse_line_rejects_bad_input() {
+        assert!(JobRequest::parse_line("objects").is_err());
+        assert!(JobRequest::parse_line("alg=quantum").is_err());
+        assert!(JobRequest::parse_line("mode=fast").is_err());
+        assert!(JobRequest::parse_line("frobnicate=1").is_err());
+        // d must divide the object counts (RelConfig::validate).
+        assert!(JobRequest::parse_line("objects=1001 d=4").is_err());
+    }
+
+    #[test]
+    fn auto_algorithm_defers_to_planner() {
+        let req = JobRequest::parse_line("alg=auto").unwrap().unwrap();
+        assert_eq!(req.alg, None);
+        let inputs = req.planner_inputs();
+        assert_eq!(inputs.r_objects, 10_000);
+        assert_eq!(inputs.skew, 1.0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # mmjoin-serve — a concurrent multi-query join service
+//!
+//! The paper sizes every join by its per-process memory budgets
+//! (`M_Rproc_i`, `M_Sproc_i`) and runs one join at a time. A real
+//! µDatabase-style installation faces the next problem up: many join
+//! queries arriving concurrently, all drawing on one machine's memory.
+//! This crate closes that gap with a small service:
+//!
+//! * a **job queue + admission controller** ([`Service`]) that holds
+//!   pending requests and admits one only when its `m_rproc × D`
+//!   footprint fits a configured global budget — FIFO by default, or
+//!   shortest-predicted-job-first using the planner's
+//!   ([`mmjoin::choose`]) predicted seconds as the priority key;
+//! * an **executor pool** of worker threads running admitted jobs on
+//!   either the execution-driven simulator or the real memory-mapped
+//!   store, through the same `mmjoin::join` entry point the single-query
+//!   tools use;
+//! * a **service stats layer** ([`ServiceStats`]) folding per-job
+//!   process counters into service-level totals, with a JSON snapshot.
+//!
+//! ```
+//! use mmjoin_serve::{JobRequest, ServeConfig, Service, PAGE};
+//!
+//! // A 32-page global budget; jobs of 16 pages each ⇒ two at a time.
+//! let svc = Service::start(ServeConfig::sim(32 * PAGE, 4));
+//! for seed in 0..4 {
+//!     svc.submit(JobRequest::new(800, 32, 2, 8, seed)).unwrap();
+//! }
+//! let (results, stats) = svc.finish();
+//! assert_eq!(results.len(), 4);
+//! assert!(results.iter().all(|r| r.verified));
+//! assert!(stats.peak_budget_bytes <= stats.budget_bytes);
+//! ```
+
+pub mod admission;
+pub mod job;
+pub mod service;
+pub mod stats;
+
+pub use admission::{AdmissionPolicy, Candidate};
+pub use job::{JobId, JobRequest, JobResult, PAGE};
+pub use service::{service_machine, EnvKind, ServeConfig, Service};
+pub use stats::{percentile, ServiceStats};

@@ -1,0 +1,440 @@
+//! The service proper: a worker pool behind a budget-gated job queue.
+//!
+//! Submission plans the job (`mmjoin::choose()` on planning-time
+//! inputs), rejects it outright if its footprint can never fit, and
+//! otherwise queues it. Workers admit jobs under the configured
+//! [`AdmissionPolicy`], reserving `m_rproc × D` bytes of the global
+//! budget for the duration of the run — the reservation never exceeds
+//! the budget, by construction.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+use mmjoin::{choose, join, verify, Algo, JoinOutput, JoinSpec, PlanChoice};
+use mmjoin_env::machine::MachineParams;
+use mmjoin_env::ProcStats;
+use mmjoin_mmstore::{MmapEnv, MmapEnvConfig};
+use mmjoin_relstore::build;
+use mmjoin_vmsim::{calibrated_params, DiskParams, SimConfig, SimEnv};
+
+use crate::admission::{AdmissionPolicy, Candidate};
+use crate::job::{JobId, JobRequest, JobResult, PAGE};
+use crate::stats::ServiceStats;
+
+/// Which environment jobs execute on.
+#[derive(Clone, Debug)]
+pub enum EnvKind {
+    /// The execution-driven simulator with the calibrated machine:
+    /// deterministic, no disk needed.
+    Sim,
+    /// The real memory-mapped store; each job runs in its own
+    /// subdirectory of `root`, removed after the job finishes.
+    Mmap {
+        /// Parent directory for per-job stores.
+        root: PathBuf,
+    },
+}
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Global memory budget in bytes that concurrently-running jobs'
+    /// `m_rproc × D` footprints must fit into.
+    pub budget_bytes: u64,
+    /// Worker threads (concurrent jobs ≤ workers).
+    pub workers: usize,
+    /// Admission ordering.
+    pub policy: AdmissionPolicy,
+    /// Execution environment.
+    pub env: EnvKind,
+}
+
+impl ServeConfig {
+    /// A simulator-backed service with the given budget and workers.
+    pub fn sim(budget_bytes: u64, workers: usize) -> Self {
+        ServeConfig {
+            budget_bytes,
+            workers,
+            policy: AdmissionPolicy::Fifo,
+            env: EnvKind::Sim,
+        }
+    }
+
+    /// Same config with a different admission policy.
+    pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// The machine every served job is planned and simulated against:
+/// calibrated once per process, like the bench harness does.
+pub fn service_machine() -> &'static MachineParams {
+    static MACHINE: OnceLock<MachineParams> = OnceLock::new();
+    MACHINE.get_or_init(|| {
+        calibrated_params(&DiskParams::waterloo96())
+            .expect("calibration of the default disk cannot fail")
+    })
+}
+
+struct Queued {
+    id: JobId,
+    req: JobRequest,
+    plan: PlanChoice,
+    enqueued: Instant,
+}
+
+#[derive(Default)]
+struct State {
+    pending: VecDeque<Queued>,
+    used_bytes: u64,
+    running: usize,
+    next_id: JobId,
+    results: Vec<JobResult>,
+    stats: ServiceStats,
+    shutdown: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    /// Signalled when work may have become admissible (new job, budget
+    /// released, shutdown).
+    work: Condvar,
+    /// Signalled when a job completes (for [`Service::drain`]).
+    done: Condvar,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A running join service. Dropping it shuts the workers down; use
+/// [`Service::finish`] to also collect results and stats.
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Service {
+    /// Start a service with `cfg.workers` worker threads.
+    pub fn start(cfg: ServeConfig) -> Service {
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            cfg,
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let sh = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mmjoin-serve-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Service {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// The configured global budget in bytes.
+    pub fn budget_bytes(&self) -> u64 {
+        self.shared.cfg.budget_bytes
+    }
+
+    /// Plan and enqueue one job. Returns its id, or an error if the job
+    /// could *never* run: a footprint above the whole budget would sit
+    /// in the queue forever (and under FIFO starve everything behind
+    /// it), so it is refused here instead.
+    pub fn submit(&self, req: JobRequest) -> Result<JobId, String> {
+        let footprint = req.footprint();
+        let plan = choose(service_machine(), &req.planner_inputs());
+        let mut st = self.shared.lock();
+        if footprint > self.shared.cfg.budget_bytes {
+            st.stats.rejected += 1;
+            return Err(format!(
+                "job footprint {footprint} B exceeds the global budget {} B",
+                self.shared.cfg.budget_bytes
+            ));
+        }
+        st.next_id += 1;
+        let id = st.next_id;
+        st.stats.submitted += 1;
+        st.pending.push_back(Queued {
+            id,
+            req,
+            plan,
+            enqueued: Instant::now(),
+        });
+        drop(st);
+        self.shared.work.notify_all();
+        Ok(id)
+    }
+
+    /// Parse and submit every job line of `text` (see
+    /// [`JobRequest::parse_line`]). Returns the accepted ids; a line
+    /// that fails to parse or is rejected aborts with an error naming
+    /// its line number.
+    pub fn submit_script(&self, text: &str) -> Result<Vec<JobId>, String> {
+        let mut ids = Vec::new();
+        for (no, line) in text.lines().enumerate() {
+            match JobRequest::parse_line(line) {
+                Ok(None) => {}
+                Ok(Some(req)) => match self.submit(req) {
+                    Ok(id) => ids.push(id),
+                    Err(e) => return Err(format!("line {}: {e}", no + 1)),
+                },
+                Err(e) => return Err(format!("line {}: {e}", no + 1)),
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Block until every submitted job has completed.
+    pub fn drain(&self) {
+        let mut st = self.shared.lock();
+        while !st.pending.is_empty() || st.running > 0 {
+            st = self.shared.done.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Results completed so far, in completion order.
+    pub fn results(&self) -> Vec<JobResult> {
+        self.shared.lock().results.clone()
+    }
+
+    /// Snapshot of the service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let mut stats = self.shared.lock().stats.clone();
+        stats.budget_bytes = self.shared.cfg.budget_bytes;
+        stats
+    }
+
+    /// Drain, stop the workers, and return every result plus the final
+    /// counters.
+    pub fn finish(mut self) -> (Vec<JobResult>, ServiceStats) {
+        self.drain();
+        self.stop();
+        let mut st = self.shared.lock();
+        let results = std::mem::take(&mut st.results);
+        let mut stats = st.stats.clone();
+        stats.budget_bytes = self.shared.cfg.budget_bytes;
+        drop(st);
+        (results, stats)
+    }
+
+    fn stop(&mut self) {
+        self.shared.lock().shutdown = true;
+        self.shared.work.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let mut st = shared.lock();
+        let job = loop {
+            if st.shutdown {
+                return;
+            }
+            let free = shared.cfg.budget_bytes - st.used_bytes;
+            let candidates: Vec<Candidate> = st
+                .pending
+                .iter()
+                .map(|q| Candidate {
+                    footprint: q.req.footprint(),
+                    predicted_seconds: q.plan.predicted_seconds(),
+                })
+                .collect();
+            if let Some(idx) = shared.cfg.policy.pick(&candidates, free) {
+                break st.pending.remove(idx).expect("picked index is valid");
+            }
+            st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
+        };
+        let footprint = job.req.footprint();
+        st.used_bytes += footprint;
+        st.stats.peak_budget_bytes = st.stats.peak_budget_bytes.max(st.used_bytes);
+        st.running += 1;
+        drop(st);
+
+        let (result, folded) = run_job(shared, job);
+
+        let mut st = shared.lock();
+        st.used_bytes -= footprint;
+        st.running -= 1;
+        st.stats.record(&result, folded.as_ref());
+        st.results.push(result);
+        drop(st);
+        // Freed budget may admit a queued job; a finished job may
+        // complete a drain.
+        shared.work.notify_all();
+        shared.done.notify_all();
+    }
+}
+
+/// Execute one admitted job and package the outcome. Never panics on
+/// job failure — errors become `JobResult::error`.
+fn run_job(shared: &Shared, job: Queued) -> (JobResult, Option<ProcStats>) {
+    let queue_wait = job.enqueued.elapsed().as_secs_f64();
+    let alg = job
+        .req
+        .alg
+        .unwrap_or_else(|| Algo::from(job.plan.algorithm));
+    let started = Instant::now();
+    let outcome = execute(&shared.cfg.env, &job);
+    let exec_wall = started.elapsed().as_secs_f64();
+    let mut result = JobResult {
+        id: job.id,
+        name: job.req.name.clone(),
+        alg,
+        predicted_seconds: job.plan.predicted_seconds(),
+        pairs: 0,
+        checksum: 0,
+        verified: false,
+        env_elapsed: 0.0,
+        queue_wait,
+        exec_wall,
+        read_faults: 0,
+        write_backs: 0,
+        error: None,
+    };
+    match outcome {
+        Ok((out, verified)) => {
+            result.pairs = out.pairs;
+            result.checksum = out.checksum;
+            result.verified = verified;
+            result.env_elapsed = out.elapsed;
+            let folded = out.stats.folded();
+            result.read_faults = folded.fault_read_blocks;
+            result.write_backs = folded.fault_write_blocks;
+            if !verified {
+                result.error = Some("join result failed oracle verification".into());
+            }
+            (result, Some(folded))
+        }
+        Err(e) => {
+            result.error = Some(e);
+            (result, None)
+        }
+    }
+}
+
+/// Build the environment and relations, run the join, verify.
+fn execute(env: &EnvKind, job: &Queued) -> Result<(JoinOutput, bool), String> {
+    let req = &job.req;
+    let alg = req.alg.unwrap_or_else(|| Algo::from(job.plan.algorithm));
+    let spec = JoinSpec::new(req.m_rproc, req.m_sproc).with_mode(req.mode);
+    match env {
+        EnvKind::Sim => {
+            let mut cfg = SimConfig::waterloo96(req.workload.rel.d);
+            cfg.machine = service_machine().clone();
+            cfg.rproc_pages = (req.m_rproc / PAGE).max(1) as usize;
+            cfg.sproc_pages = (req.m_sproc / PAGE).max(1) as usize;
+            let env = SimEnv::new(cfg).map_err(|e| e.to_string())?;
+            let rels = build(&env, &req.workload).map_err(|e| e.to_string())?;
+            let out = join(&env, &rels, alg, &spec).map_err(|e| e.to_string())?;
+            let verified = verify(&out, &rels).is_ok();
+            Ok((out, verified))
+        }
+        EnvKind::Mmap { root } => {
+            let job_root = root.join(format!("job{}", job.id));
+            let env = MmapEnv::new(MmapEnvConfig {
+                root: job_root.clone(),
+                num_disks: req.workload.rel.d,
+                page_size: PAGE,
+            })
+            .map_err(|e| e.to_string())?;
+            let run = || -> Result<(JoinOutput, bool), String> {
+                let rels = build(&env, &req.workload).map_err(|e| e.to_string())?;
+                let out = join(&env, &rels, alg, &spec).map_err(|e| e.to_string())?;
+                let verified = verify(&out, &rels).is_ok();
+                Ok((out, verified))
+            };
+            let outcome = run();
+            drop(env);
+            let _ = std::fs::remove_dir_all(&job_root);
+            outcome
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_job(seed: u64, mem_pages: u64) -> JobRequest {
+        JobRequest::new(800, 32, 2, mem_pages, seed)
+    }
+
+    #[test]
+    fn oversized_job_is_rejected_at_submit() {
+        let svc = Service::start(ServeConfig::sim(8 * PAGE, 1));
+        // footprint = 16 pages × 2 disks = 32 pages > 8-page budget.
+        let err = svc.submit(tiny_job(1, 16)).unwrap_err();
+        assert!(err.contains("exceeds the global budget"), "{err}");
+        let (results, stats) = svc.finish();
+        assert!(results.is_empty());
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.submitted, 0);
+    }
+
+    #[test]
+    fn single_job_runs_and_verifies() {
+        let svc = Service::start(ServeConfig::sim(64 * PAGE, 2));
+        let id = svc.submit(tiny_job(7, 8)).unwrap();
+        assert_eq!(id, 1);
+        let (results, stats) = svc.finish();
+        assert_eq!(results.len(), 1);
+        let r = &results[0];
+        assert!(r.error.is_none(), "{:?}", r.error);
+        assert!(r.verified);
+        assert!(r.pairs > 0);
+        assert!(r.env_elapsed > 0.0);
+        assert!(r.predicted_seconds > 0.0);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+        assert!(stats.peak_budget_bytes <= stats.budget_bytes);
+        assert_eq!(stats.peak_budget_bytes, 16 * PAGE);
+    }
+
+    #[test]
+    fn budget_is_never_exceeded_under_contention() {
+        // 8 jobs of 16 pages each against a 32-page budget: at most two
+        // run at once even with four workers.
+        let svc = Service::start(ServeConfig::sim(32 * PAGE, 4));
+        for seed in 0..8 {
+            svc.submit(tiny_job(seed, 8)).unwrap();
+        }
+        let (results, stats) = svc.finish();
+        assert_eq!(results.len(), 8);
+        assert!(results.iter().all(|r| r.verified));
+        assert!(stats.peak_budget_bytes <= 32 * PAGE);
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.in_flight(), 0);
+    }
+
+    #[test]
+    fn submit_script_reports_bad_lines() {
+        let svc = Service::start(ServeConfig::sim(256 * PAGE, 1));
+        let err = svc
+            .submit_script("# fine\nobjects=800 d=2\nalg=bogus\n")
+            .unwrap_err();
+        assert!(err.starts_with("line 3:"), "{err}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Service-level accounting: per-job [`crate::JobResult`]s folded into
+//! counters a long-running service can report, plus a JSON snapshot for
+//! machine consumption.
+
+use mmjoin_env::ProcStats;
+
+use crate::job::JobResult;
+
+/// Aggregated counters over every job the service has seen.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs refused at submission (footprint exceeds the whole budget).
+    pub rejected: u64,
+    /// Jobs finished successfully with a verified result.
+    pub completed: u64,
+    /// Jobs that finished with an error or failed verification.
+    pub failed: u64,
+    /// Global budget the service was configured with, in bytes.
+    pub budget_bytes: u64,
+    /// High-water mark of reserved budget, in bytes. Never exceeds
+    /// `budget_bytes` — the admission invariant.
+    pub peak_budget_bytes: u64,
+    /// Total wall seconds jobs spent queued before admission.
+    pub queue_wait_seconds: f64,
+    /// Total wall seconds jobs spent executing after admission.
+    pub exec_wall_seconds: f64,
+    /// Total environment-reported elapsed seconds (virtual on `SimEnv`).
+    pub env_elapsed_seconds: f64,
+    /// Every process counter of every job, folded into one set
+    /// ([`mmjoin_env::EnvStats::folded`] summed across jobs).
+    pub agg: ProcStats,
+}
+
+impl ServiceStats {
+    /// Fold one finished job in. `folded` is the job's
+    /// `EnvStats::folded()` when it ran far enough to have stats.
+    pub fn record(&mut self, result: &JobResult, folded: Option<&ProcStats>) {
+        if result.error.is_none() && result.verified {
+            self.completed += 1;
+        } else {
+            self.failed += 1;
+        }
+        self.queue_wait_seconds += result.queue_wait;
+        self.exec_wall_seconds += result.exec_wall;
+        self.env_elapsed_seconds += result.env_elapsed;
+        if let Some(p) = folded {
+            self.agg.absorb(p);
+        }
+    }
+
+    /// Jobs still queued or running.
+    pub fn in_flight(&self) -> u64 {
+        self.submitted - self.completed - self.failed
+    }
+
+    /// Snapshot as a JSON object (hand-rolled: every value is a number,
+    /// so no escaping is needed).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"jobs\":{{\"submitted\":{},\"rejected\":{},\"completed\":{},",
+                "\"failed\":{},\"in_flight\":{}}},",
+                "\"budget\":{{\"bytes\":{},\"peak_bytes\":{}}},",
+                "\"seconds\":{{\"queue_wait\":{:.6},\"exec_wall\":{:.6},",
+                "\"env_elapsed\":{:.6},\"io\":{:.6}}},",
+                "\"faults\":{{\"read_blocks\":{},\"write_blocks\":{},\"page_hits\":{}}}}}"
+            ),
+            self.submitted,
+            self.rejected,
+            self.completed,
+            self.failed,
+            self.in_flight(),
+            self.budget_bytes,
+            self.peak_budget_bytes,
+            self.queue_wait_seconds,
+            self.exec_wall_seconds,
+            self.env_elapsed_seconds,
+            self.agg.io_time,
+            self.agg.fault_read_blocks,
+            self.agg.fault_write_blocks,
+            self.agg.page_hits,
+        )
+    }
+}
+
+/// The `p`-th percentile (0–100) of a set of samples, by the
+/// nearest-rank method. Returns 0.0 for an empty set.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmjoin::Algo;
+
+    fn result(ok: bool) -> JobResult {
+        JobResult {
+            id: 1,
+            name: String::new(),
+            alg: Algo::Grace,
+            predicted_seconds: 1.0,
+            pairs: 10,
+            checksum: 0xfeed,
+            verified: ok,
+            env_elapsed: 2.0,
+            queue_wait: 0.5,
+            exec_wall: 1.5,
+            read_faults: 7,
+            write_backs: 3,
+            error: if ok { None } else { Some("boom".into()) },
+        }
+    }
+
+    #[test]
+    fn record_splits_completed_and_failed() {
+        let mut s = ServiceStats {
+            submitted: 2,
+            ..Default::default()
+        };
+        let p = ProcStats {
+            fault_read_blocks: 7,
+            ..Default::default()
+        };
+        s.record(&result(true), Some(&p));
+        s.record(&result(false), None);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.failed, 1);
+        assert_eq!(s.in_flight(), 0);
+        assert_eq!(s.agg.fault_read_blocks, 7);
+        assert!((s.queue_wait_seconds - 1.0).abs() < 1e-12);
+        assert!((s.exec_wall_seconds - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_snapshot_is_well_formed() {
+        let mut s = ServiceStats {
+            submitted: 1,
+            budget_bytes: 1024,
+            peak_budget_bytes: 512,
+            ..Default::default()
+        };
+        s.record(&result(true), None);
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"submitted\":1"));
+        assert!(j.contains("\"completed\":1"));
+        assert!(j.contains("\"peak_bytes\":512"));
+        // Balanced braces — cheap structural sanity without a parser.
+        let open = j.matches('{').count();
+        assert_eq!(open, j.matches('}').count());
+        assert_eq!(open, 5);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 95.0), 95.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), 2.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+}

@@ -1,0 +1,213 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmarking harness with criterion's macro
+//! and builder surface: `criterion_group!`/`criterion_main!`,
+//! `Criterion::default().sample_size(..).measurement_time(..)`,
+//! `bench_function` with `iter`/`iter_batched`. Reports min/median/max
+//! nanoseconds per iteration on stdout. No statistics engine, no HTML
+//! reports — enough to run the workspace's microbenches and eyeball
+//! regressions.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; accepted for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up running time before sampling.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            budget_per_sample: self.measurement_time.as_secs_f64() / self.sample_size as f64,
+            warm_up: self.warm_up_time,
+            warmed: false,
+        };
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        b.samples.sort_by(f64::total_cmp);
+        let (min, max) = (b.samples[0], b.samples[b.samples.len() - 1]);
+        let median = b.samples[b.samples.len() / 2];
+        println!(
+            "{name:<40} median {:>12.0} ns/iter  (min {:.0}, max {:.0}, {} samples)",
+            median * 1e9,
+            min * 1e9,
+            max * 1e9,
+            b.samples.len()
+        );
+        self
+    }
+
+    /// Flush any pending state (no-op here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<f64>,
+    budget_per_sample: f64,
+    warm_up: Duration,
+    warmed: bool,
+}
+
+impl Bencher {
+    fn warm<R>(&mut self, mut routine: impl FnMut() -> R) {
+        if self.warmed {
+            return;
+        }
+        let t0 = Instant::now();
+        while t0.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        self.warmed = true;
+    }
+
+    /// Time `routine`, repeating it until the per-sample budget is
+    /// spent, and record seconds per iteration.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        self.warm(&mut routine);
+        let t0 = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            let elapsed = t0.elapsed().as_secs_f64();
+            if elapsed >= self.budget_per_sample {
+                self.samples.push(elapsed / iters as f64);
+                return;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter`], but with untimed per-iteration setup.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        self.warm(|| {
+            let input = setup();
+            routine(input)
+        });
+        let mut total = 0.0f64;
+        let mut iters = 0u64;
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total += t0.elapsed().as_secs_f64();
+            iters += 1;
+            if total >= self.budget_per_sample {
+                self.samples.push(total / iters as f64);
+                return;
+            }
+        }
+    }
+}
+
+/// Declare a group of benchmark targets with a shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut c: $crate::Criterion = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn iter_records_samples() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = quick();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![3u64, 1, 2],
+                |mut v| {
+                    v.sort_unstable();
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

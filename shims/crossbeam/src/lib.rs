@@ -1,0 +1,33 @@
+//! Workspace-local stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module's unbounded MPSC channel is provided —
+//! the single shape the workspace uses (one receiver per Sproc service
+//! thread, cloned senders). Backed by `std::sync::mpsc`, which has the
+//! same `send`/`recv`/disconnect semantics for this usage.
+
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender};
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::unbounded;
+
+    #[test]
+    fn send_recv_and_disconnect() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        drop(tx);
+        drop(tx2);
+        assert!(rx.recv().is_err(), "all senders dropped closes channel");
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests for the planner: over randomized join shapes, the
+//! ranking must be a complete, ascending ordering of the modelled
+//! algorithms, with the winner's time exposed as `predicted_seconds()`.
+
+use mmjoin::choose;
+use mmjoin_env::machine::MachineParams;
+use mmjoin_model::{Algorithm, JoinInputs};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ranking_is_sorted_complete_and_consistent(
+        r_objects in 1_000u64..60_000,
+        s_objects in 1_000u64..60_000,
+        r_size in 16u32..256,
+        s_size in 16u32..256,
+        d in 1u32..8,
+        skew_tenths in 10u32..60,
+        rproc_pages in 4u64..512,
+        sproc_pages in 4u64..512,
+    ) {
+        let inputs = JoinInputs {
+            r_objects,
+            s_objects,
+            r_size,
+            s_size,
+            sptr_size: 8,
+            d,
+            skew: f64::from(skew_tenths) / 10.0,
+            m_rproc: rproc_pages * 4096,
+            m_sproc: sproc_pages * 4096,
+            g_buffer: 4096,
+        };
+        let plan = choose(&MachineParams::waterloo96(), &inputs);
+
+        // Complete: every modelled algorithm appears exactly once.
+        prop_assert_eq!(plan.ranking.len(), Algorithm::ALL.len());
+        for alg in Algorithm::ALL {
+            prop_assert_eq!(
+                plan.ranking.iter().filter(|(a, _)| *a == alg).count(),
+                1,
+                "{} must appear once",
+                alg.name()
+            );
+        }
+
+        // Sorted ascending by predicted time, all predictions usable.
+        for pair in plan.ranking.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].1, "ranking must ascend");
+        }
+        for (alg, t) in &plan.ranking {
+            prop_assert!(t.is_finite() && *t > 0.0, "{} predicted {t}", alg.name());
+        }
+
+        // The advertised winner is the head of the ranking.
+        prop_assert_eq!(plan.algorithm, plan.ranking[0].0);
+        prop_assert_eq!(plan.predicted_seconds(), plan.ranking[0].1);
+    }
+}
