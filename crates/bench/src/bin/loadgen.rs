@@ -7,46 +7,31 @@
 //!     --jobs 32 --budget-pages 128 --workers 4 --policy spf [--json]
 //! ```
 
-use mmjoin_serve::{percentile, AdmissionPolicy, JobRequest, ServeConfig, Service, PAGE};
+use mmjoin_bench::load::{opt, random_job};
+use mmjoin_serve::{percentile, AdmissionPolicy, ServeConfig, Service, PAGE};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-fn opt<T: std::str::FromStr>(key: &str, default: T) -> T {
-    let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == key)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
-/// One randomized job: the shapes stay small enough that a 32-job run
-/// finishes in seconds, while footprints (8–32 pages × D) still
-/// oversubscribe the default budget and exercise the queue.
-fn random_job(rng: &mut StdRng, seed: u64) -> JobRequest {
-    let d = *[2u32, 4].get(rng.random_range(0..2usize)).unwrap();
-    let objects = rng.random_range(500..2_000u64) * d as u64;
-    let mem_pages = rng.random_range(4..16u64);
-    let mut req = JobRequest::new(objects, 64, d, mem_pages, seed);
-    req.name = format!("load{seed}");
-    if rng.random_bool(0.3) {
-        req.workload.dist = mmjoin_relstore::PointerDist::Zipf {
-            theta: rng.random_range(0.2..0.9),
-        };
-    }
-    req
-}
+use rand::SeedableRng;
 
 fn main() {
     let jobs: u64 = opt("--jobs", 32);
     let budget_pages: u64 = opt("--budget-pages", 128);
     let workers: usize = opt("--workers", 4);
     let seed: u64 = opt("--seed", 1996);
-    let policy = AdmissionPolicy::from_name(&opt("--policy", "fifo".to_string()))
-        .expect("--policy: fifo | spf");
+    let policy_name: String = opt("--policy", "fifo".to_string());
+    let Some(policy) = AdmissionPolicy::from_name(&policy_name) else {
+        eprintln!("--policy: unknown policy '{policy_name}' (fifo | spf)");
+        std::process::exit(2);
+    };
 
     let mut rng = StdRng::seed_from_u64(seed);
-    let svc = Service::start(ServeConfig::sim(budget_pages * PAGE, workers).with_policy(policy));
+    let svc =
+        match Service::start(ServeConfig::sim(budget_pages * PAGE, workers).with_policy(policy)) {
+            Ok(svc) => svc,
+            Err(e) => {
+                eprintln!("cannot start service: {e}");
+                std::process::exit(2);
+            }
+        };
     let started = std::time::Instant::now();
     let mut accepted = 0u64;
     for i in 0..jobs {

@@ -18,6 +18,8 @@ use mmjoin_vmsim::{calibrated_params, ContentionMode, DiskParams, Policy, SimCon
 /// Page size used throughout the experiments (the paper's 4 KB).
 pub const PAGE: u64 = 4096;
 
+pub mod load;
+
 /// The machine every experiment runs on: Waterloo-96-like CPU constants
 /// with `dttr`/`dttw` curves **measured from the simulated disk** using
 /// the paper's banding procedure — the same coupling the paper had

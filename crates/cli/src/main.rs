@@ -17,7 +17,8 @@
 
 use std::process::ExitCode;
 
-use mmjoin::{choose, explain, join, verify, Algo, ExecMode, JoinSpec};
+use mmjoin::{choose, explain, join_with_retry, verify, Algo, ExecMode, JoinSpec, RetryPolicy};
+use mmjoin_env::{FaultSpec, FaultyEnv};
 use mmjoin_relstore::{build, PointerDist, RelConfig, WorkloadSpec};
 use mmjoin_vmsim::{
     calibrated_params, measure_dtt, CalibrationSpec, DiskParams, SimConfig, SimEnv,
@@ -119,10 +120,16 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     } else {
         ExecMode::Sequential
     };
+    let fault_spec = FaultSpec::parse(args.get("fault-spec").unwrap_or(""))
+        .map_err(|e| format!("--fault-spec: {e}"))?;
+    let retries: u32 = args.get_or("retries", 3)?;
+    let policy = RetryPolicy::attempts(retries);
     let spec = JoinSpec::new(pages * 4096, pages * 4096).with_mode(mode);
     let env_kind = args.get("env").unwrap_or("sim");
 
-    let out = match env_kind {
+    // The workload is built on the inner env (setup is not in the fault
+    // domain); the join runs through the injecting wrapper.
+    let (out, report, faults) = match env_kind {
         "sim" => {
             let machine =
                 calibrated_params(&DiskParams::waterloo96()).map_err(|e| e.to_string())?;
@@ -131,11 +138,13 @@ fn cmd_join(args: &Args) -> Result<(), String> {
             cfg.rproc_pages = pages as usize;
             cfg.sproc_pages = pages as usize;
             let env = SimEnv::new(cfg).map_err(|e| e.to_string())?;
-            let rels = build(&env, &w).map_err(|e| e.to_string())?;
-            let out = join(&env, &rels, alg, &spec).map_err(|e| e.to_string())?;
+            let env = FaultyEnv::new(env, fault_spec.clone());
+            let rels = build(env.inner(), &w).map_err(|e| e.to_string())?;
+            let (out, report) =
+                join_with_retry(&env, &rels, alg, &spec, &policy).map_err(|e| e.to_string())?;
             verify(&out, &rels).map_err(|e| format!("verification failed: {e}"))?;
             println!("environment: simulator (virtual 1996-like machine)");
-            out
+            (out, report, env.fault_stats())
         }
         "mmap" => {
             let root = std::env::temp_dir().join(format!("mmjoin-cli-{}", std::process::id()));
@@ -146,16 +155,28 @@ fn cmd_join(args: &Args) -> Result<(), String> {
                 page_size: 4096,
             })
             .map_err(|e| e.to_string())?;
-            let rels = build(&env, &w).map_err(|e| e.to_string())?;
-            let out = join(&env, &rels, alg, &spec).map_err(|e| e.to_string())?;
+            let env = FaultyEnv::new(env, fault_spec.clone());
+            let rels = build(env.inner(), &w).map_err(|e| e.to_string())?;
+            let (out, report) =
+                join_with_retry(&env, &rels, alg, &spec, &policy).map_err(|e| e.to_string())?;
             verify(&out, &rels).map_err(|e| format!("verification failed: {e}"))?;
             let _ = std::fs::remove_dir_all(&root);
             println!("environment: real memory-mapped store ({})", root.display());
-            out
+            (out, report, env.fault_stats())
         }
         other => return Err(format!("unknown env '{other}' (sim | mmap)")),
     };
 
+    if !fault_spec.is_empty() {
+        println!(
+            "faults:      {} injected; {} attempt(s), {} transient error(s) \
+             retried, {} orphan file(s) cleaned",
+            faults.total(),
+            report.attempts,
+            report.transient_errors,
+            report.cleaned_files
+        );
+    }
     println!("algorithm:   {}", alg.name());
     println!(
         "workload:    |R| = |S| = {} x {} B over D = {}",
@@ -224,6 +245,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let workers: usize = args.get_or("workers", 4)?;
     let policy = AdmissionPolicy::from_name(args.get("policy").unwrap_or("fifo"))
         .ok_or_else(|| "unknown policy (fifo | spf)".to_string())?;
+    let fault_spec = FaultSpec::parse(args.get("fault-spec").unwrap_or(""))
+        .map_err(|e| format!("--fault-spec: {e}"))?;
+    let retries: u32 = args.get_or("retries", 3)?;
+    let deadline_ms: u64 = args.get_or("deadline-ms", 0)?;
     let env = match args.get("env").unwrap_or("sim") {
         "sim" => EnvKind::Sim,
         "mmap" => EnvKind::Mmap {
@@ -247,12 +272,19 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
     };
 
-    let svc = Service::start(ServeConfig {
+    let mut cfg = ServeConfig {
         budget_bytes: budget_pages * PAGE,
         workers,
         policy,
         env,
-    });
+        fault_spec,
+        retries: retries.max(1),
+        deadline: None,
+    };
+    if deadline_ms > 0 {
+        cfg.deadline = Some(std::time::Duration::from_millis(deadline_ms));
+    }
+    let svc = Service::start(cfg)?;
     let ids = svc.submit_script(&script)?;
     println!(
         "serving {} job(s): budget {budget_pages} pages, {workers} worker(s), policy {}",
@@ -288,6 +320,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         stats.peak_budget_bytes / PAGE,
         budget_pages
     );
+    if stats.faults_injected > 0 {
+        println!(
+            "recovery: {} fault(s) injected, {} retried, {} degraded, \
+             {} deadline(s) exceeded, {} orphan file(s) cleaned",
+            stats.faults_injected,
+            stats.retries,
+            stats.degraded,
+            stats.deadline_exceeded,
+            stats.cleaned_files
+        );
+    }
     if let Some(path) = args.get("stats-json") {
         std::fs::write(path, stats.to_json()).map_err(|e| format!("cannot write '{path}': {e}"))?;
         println!("stats written to {path}");
@@ -324,15 +367,22 @@ fn usage() {
     println!("usage:");
     println!("  mmjoin join  [--alg A] [--objects N] [--d D] [--obj-size B]");
     println!("               [--mem-pages P] [--seed S] [--dist uniform|zipf:T|cross]");
-    println!("               [--env sim|mmap] [--threads]");
+    println!("               [--env sim|mmap] [--threads] [--fault-spec SPEC]");
+    println!("               [--retries N]");
     println!("  mmjoin plan  [--objects N] [--d D] [--obj-size B] [--mem-pages P]");
     println!("               [--skew X] [--explain A]");
     println!("  mmjoin serve [--jobs FILE] [--budget-pages N] [--workers N]");
     println!("               [--policy fifo|spf] [--env sim|mmap] [--json]");
-    println!("               [--stats-json FILE]   (reads job lines from stdin");
+    println!("               [--stats-json FILE] [--fault-spec SPEC] [--retries N]");
+    println!("               [--deadline-ms MS]   (reads job lines from stdin");
     println!("               without --jobs; one job per line, key=value tokens:");
     println!("               name alg objects obj-size d mem-pages seed dist mode)");
     println!("  mmjoin calibrate");
+    println!();
+    println!("fault specs: ';'-separated rules 'kind:key=val:...' with kinds");
+    println!("  read write create open delete sfetch diskfull delay and keys");
+    println!("  p count after disk file ms, plus 'seed=N' (e.g.");
+    println!("  'seed=7;read:p=0.05:count=3;delay:ms=5'); empty = no faults");
     let names: Vec<&str> = Algo::ALL.iter().map(|a| a.name()).collect();
     println!();
     println!("algorithms: {}", names.join(", "));

@@ -52,6 +52,7 @@ pub mod naive;
 pub mod nested_loops;
 pub mod pheap;
 pub mod planner;
+pub mod retry;
 pub mod sort_merge;
 
 pub use exec::{
@@ -59,6 +60,9 @@ pub use exec::{
     SharedSlots,
 };
 pub use planner::{choose, explain, inputs_for, PlanChoice};
+pub use retry::{
+    join_with_retry, join_with_retry_report, new_files_since, RetryPolicy, RetryReport,
+};
 
 use mmjoin_env::{Env, Result};
 use mmjoin_relstore::Relations;

@@ -1,0 +1,337 @@
+//! Self-healing join execution: bounded retry with orphan cleanup.
+//!
+//! The paper's algorithms assume every environment call succeeds. Under
+//! an environment that can fail transiently (see `mmjoin_env::faults`),
+//! a mid-pass failure leaves orphaned temporary areas behind — `RP_i`
+//! from re-partitioning pass 0, `RS_i` from pass 1, `Merge_i` from the
+//! sort-merge prologue — which both leak modelled disk space and make a
+//! blind re-run fail with `AlreadyExists`.
+//!
+//! [`join_with_retry`] makes the whole join restartable:
+//!
+//! 1. snapshot the environment's file table ([`Env::list_files`]);
+//! 2. run the join; on success return output + [`RetryReport`];
+//! 3. on failure, delete every file created since the snapshot (the
+//!    orphaned temporaries), so the file table is exactly what it was
+//!    before the attempt — this is what makes the re-run idempotent;
+//! 4. if the error [`is transient`](mmjoin_env::EnvError::is_transient)
+//!    and attempts remain, back off exponentially (bounded) and retry
+//!    from step 2; otherwise return the error (table already clean).
+//!
+//! Restartability holds at whole-join granularity, which subsumes
+//! per-pass restart: each re-partitioning pass writes only files that
+//! postdate the snapshot, so cleanup unwinds whichever pass was
+//! interrupted and the next attempt re-runs it against the unchanged
+//! input partitions.
+
+use std::time::Duration;
+
+use mmjoin_env::{Env, EnvError, ProcId, Result};
+use mmjoin_relstore::Relations;
+
+use crate::exec::{JoinOutput, JoinSpec};
+use crate::Algo;
+
+/// Bounds on the retry loop.
+#[derive(Clone, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). `1` disables retry but keeps
+    /// the orphan cleanup.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Policy with `max_attempts` tries and default backoff.
+    pub fn attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based), exponential and
+    /// capped.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.saturating_sub(1).min(16);
+        self.base_backoff
+            .saturating_mul(factor)
+            .min(self.max_backoff)
+    }
+}
+
+/// What the retry loop did, alongside the join output.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RetryReport {
+    /// Attempts executed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Transient errors absorbed by retrying.
+    pub transient_errors: u64,
+    /// Orphaned temporary files deleted across all failed attempts.
+    pub cleaned_files: u64,
+}
+
+impl RetryReport {
+    /// True if any retry happened.
+    pub fn retried(&self) -> bool {
+        self.attempts > 1
+    }
+}
+
+/// Files present now but not in `before` — the temporaries a failed
+/// attempt orphaned. `before` must be sorted (as [`Env::list_files`]
+/// implementations return) or at least contain every pre-existing name.
+pub fn new_files_since<E: Env>(env: &E, before: &[String]) -> Vec<String> {
+    env.list_files()
+        .into_iter()
+        .filter(|name| !before.iter().any(|b| b == name))
+        .collect()
+}
+
+/// Delete every file in `orphans`, tolerating `NotFound` (another
+/// process of the failed join may have deleted it) and retrying
+/// transient delete failures a few times. Returns how many files were
+/// actually deleted, or the first hard error.
+fn clean_orphans<E: Env>(env: &E, orphans: &[String]) -> Result<u64> {
+    let mut deleted = 0;
+    for name in orphans {
+        let mut last_err = None;
+        for _ in 0..8 {
+            match env.delete_file(ProcId(0), name) {
+                Ok(()) => {
+                    deleted += 1;
+                    last_err = None;
+                    break;
+                }
+                Err(EnvError::NotFound(_)) => {
+                    last_err = None;
+                    break;
+                }
+                Err(e) if e.is_transient() => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        if let Some(e) = last_err {
+            return Err(e);
+        }
+    }
+    Ok(deleted)
+}
+
+/// Run [`crate::join`] with orphan cleanup and bounded-backoff retry of
+/// transient failures (see the module docs for the restart semantics).
+///
+/// On `Err`, the environment's file table has already been restored to
+/// its pre-join state — callers never see orphaned `RP_i`/`RS_i` files.
+pub fn join_with_retry<E: Env>(
+    env: &E,
+    rels: &Relations,
+    alg: Algo,
+    spec: &JoinSpec,
+    policy: &RetryPolicy,
+) -> Result<(JoinOutput, RetryReport)> {
+    let (result, report) = join_with_retry_report(env, rels, alg, spec, policy);
+    result.map(|out| (out, report))
+}
+
+/// Like [`join_with_retry`], but the [`RetryReport`] is returned even
+/// when the join ultimately fails — for callers (like a service) that
+/// account retries and cleanups of failed jobs too.
+pub fn join_with_retry_report<E: Env>(
+    env: &E,
+    rels: &Relations,
+    alg: Algo,
+    spec: &JoinSpec,
+    policy: &RetryPolicy,
+) -> (Result<JoinOutput>, RetryReport) {
+    let before = env.list_files();
+    let mut report = RetryReport::default();
+    loop {
+        report.attempts += 1;
+        match crate::join(env, rels, alg, spec) {
+            Ok(out) => return (Ok(out), report),
+            Err(e) => {
+                let orphans = new_files_since(env, &before);
+                match clean_orphans(env, &orphans) {
+                    Ok(n) => report.cleaned_files += n,
+                    Err(cleanup_err) => return (Err(cleanup_err), report),
+                }
+                let retryable = e.is_transient() && report.attempts < policy.max_attempts;
+                if !retryable {
+                    return (Err(e), report);
+                }
+                report.transient_errors += 1;
+                let backoff = policy.backoff(report.attempts);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecMode;
+    use mmjoin_env::{FaultSpec, FaultyEnv};
+    use mmjoin_relstore::{build, PointerDist, RelConfig, WorkloadSpec};
+    use mmjoin_vmsim::{SimConfig, SimEnv};
+
+    fn workload(d: u32, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            rel: RelConfig {
+                r_size: 32,
+                s_size: 32,
+                d,
+                r_objects: 800,
+                s_objects: 800,
+            },
+            dist: PointerDist::Uniform,
+            seed,
+            prefix: String::new(),
+        }
+    }
+
+    fn sim(d: u32) -> SimEnv {
+        let mut cfg = SimConfig::waterloo96(d);
+        cfg.rproc_pages = 16;
+        cfg.sproc_pages = 16;
+        SimEnv::new(cfg).unwrap()
+    }
+
+    fn spec() -> JoinSpec {
+        JoinSpec::new(16 * 4096, 16 * 4096).with_mode(ExecMode::Sequential)
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            max_attempts: 10,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(9),
+        };
+        assert_eq!(p.backoff(1), Duration::from_millis(2));
+        assert_eq!(p.backoff(2), Duration::from_millis(4));
+        assert_eq!(p.backoff(3), Duration::from_millis(8));
+        assert_eq!(p.backoff(4), Duration::from_millis(9));
+        assert_eq!(p.backoff(60), Duration::from_millis(9));
+    }
+
+    #[test]
+    fn clean_run_reports_single_attempt() {
+        let env = sim(2);
+        let rels = build(&env, &workload(2, 7)).unwrap();
+        let (out, report) =
+            join_with_retry(&env, &rels, Algo::Grace, &spec(), &RetryPolicy::default()).unwrap();
+        crate::verify(&out, &rels).unwrap();
+        assert_eq!(
+            report,
+            RetryReport {
+                attempts: 1,
+                transient_errors: 0,
+                cleaned_files: 0
+            }
+        );
+    }
+
+    /// Files a fault-free run of `alg` leaves behind (a successful join
+    /// keeps its scratch files; callers own the env's lifetime) — the
+    /// reference for post-retry leak checks.
+    fn reference_leftovers(alg: Algo, d: u32, seed: u64) -> Vec<String> {
+        let env = sim(d);
+        let rels = build(&env, &workload(d, seed)).unwrap();
+        let before = env.list_files();
+        let out = crate::join(&env, &rels, alg, &spec()).unwrap();
+        crate::verify(&out, &rels).unwrap();
+        new_files_since(&env, &before)
+    }
+
+    #[test]
+    fn transient_write_faults_are_healed_by_retry() {
+        // Exactly 2 write failures into the RP temporaries, then clean.
+        let env = FaultyEnv::new(
+            sim(2),
+            FaultSpec::parse("seed=3;write:file=RP:count=2:after=5").unwrap(),
+        );
+        let rels = build(&env, &workload(2, 9)).unwrap();
+        let before = env.list_files();
+        let (out, report) =
+            join_with_retry(&env, &rels, Algo::Grace, &spec(), &RetryPolicy::attempts(5)).unwrap();
+        crate::verify(&out, &rels).unwrap();
+        assert!(report.retried(), "{report:?}");
+        assert!(report.transient_errors >= 1, "{report:?}");
+        assert!(report.cleaned_files >= 1, "{report:?}");
+        // Leak check: exactly the files a fault-free run leaves — no
+        // orphans from the failed attempts.
+        assert_eq!(
+            new_files_since(&env, &before),
+            reference_leftovers(Algo::Grace, 2, 9)
+        );
+        assert!(env.fault_stats().write_errors >= 1);
+    }
+
+    #[test]
+    fn exhausted_budget_fails_but_leaves_no_orphans() {
+        // More injected faults than the retry budget can absorb.
+        let env = FaultyEnv::new(
+            sim(2),
+            FaultSpec::parse("seed=3;create:file=RP:count=100").unwrap(),
+        );
+        let rels = build(&env, &workload(2, 11)).unwrap();
+        let before = env.list_files();
+        let err = join_with_retry(&env, &rels, Algo::Grace, &spec(), &RetryPolicy::attempts(2))
+            .unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(new_files_since(&env, &before), Vec::<String>::new());
+    }
+
+    #[test]
+    fn non_transient_errors_do_not_retry() {
+        let env = FaultyEnv::new(sim(2), FaultSpec::parse("diskfull:file=RP").unwrap());
+        let rels = build(&env, &workload(2, 13)).unwrap();
+        let before = env.list_files();
+        let err = join_with_retry(&env, &rels, Algo::Grace, &spec(), &RetryPolicy::attempts(6))
+            .unwrap_err();
+        assert!(matches!(err, EnvError::DiskFull(_)), "{err}");
+        assert_eq!(new_files_since(&env, &before), Vec::<String>::new());
+        // Only the single DiskFull injection was available, so exactly
+        // one attempt ran.
+        assert_eq!(env.fault_stats().disk_full, 1);
+    }
+
+    #[test]
+    fn every_algorithm_survives_scattered_transient_faults() {
+        for alg in Algo::ALL {
+            let env = FaultyEnv::new(
+                sim(2),
+                FaultSpec::parse("seed=17;read:p=0.002:count=2;write:p=0.002:count=2").unwrap(),
+            );
+            let rels = build(&env, &workload(2, 21)).unwrap();
+            let before = env.list_files();
+            let (out, _report) =
+                join_with_retry(&env, &rels, alg, &spec(), &RetryPolicy::attempts(8))
+                    .unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+            crate::verify(&out, &rels).unwrap_or_else(|e| panic!("{}: {e}", alg.name()));
+            assert_eq!(
+                new_files_since(&env, &before),
+                reference_leftovers(alg, 2, 21),
+                "{}",
+                alg.name()
+            );
+        }
+    }
+}

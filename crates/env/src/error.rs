@@ -29,6 +29,37 @@ pub enum EnvError {
     Io(std::io::Error),
     /// Configuration rejected up front.
     InvalidConfig(String),
+    /// A fault injected by [`crate::faults::FaultyEnv`]. `transient`
+    /// faults model conditions that clear on retry (an interrupted
+    /// read, a momentary map-setup failure); non-transient ones model
+    /// hard failures.
+    Faulted {
+        /// Operation the fault was injected into (`read`, `newMap`, …).
+        op: String,
+        /// Whether a retry can be expected to succeed.
+        transient: bool,
+    },
+}
+
+impl EnvError {
+    /// True if retrying the failed operation (or the enclosing pass) can
+    /// be expected to succeed: injected transient faults, and the I/O
+    /// error kinds an operating system reports for conditions that clear
+    /// on their own. `DiskFull` is deliberately *not* transient — it
+    /// needs intervention (a smaller footprint or freed space), which is
+    /// the service layer's graceful-degradation path.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            EnvError::Faulted { transient, .. } => *transient,
+            EnvError::Io(e) => matches!(
+                e.kind(),
+                std::io::ErrorKind::Interrupted
+                    | std::io::ErrorKind::WouldBlock
+                    | std::io::ErrorKind::TimedOut
+            ),
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for EnvError {
@@ -49,6 +80,10 @@ impl fmt::Display for EnvError {
             EnvError::BadSRequest(msg) => write!(f, "bad S request: {msg}"),
             EnvError::Io(e) => write!(f, "I/O error: {e}"),
             EnvError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            EnvError::Faulted { op, transient } => {
+                let kind = if *transient { "transient" } else { "permanent" };
+                write!(f, "injected {kind} fault in {op}")
+            }
         }
     }
 }
@@ -86,6 +121,28 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("R_0") && s.contains("128") && s.contains("100"));
         assert!(EnvError::NotFound("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(EnvError::Faulted {
+            op: "read".into(),
+            transient: true
+        }
+        .is_transient());
+        assert!(!EnvError::Faulted {
+            op: "read".into(),
+            transient: false
+        }
+        .is_transient());
+        let interrupted: EnvError =
+            std::io::Error::new(std::io::ErrorKind::Interrupted, "sig").into();
+        assert!(interrupted.is_transient());
+        let denied: EnvError =
+            std::io::Error::new(std::io::ErrorKind::PermissionDenied, "no").into();
+        assert!(!denied.is_transient());
+        assert!(!EnvError::DiskFull(crate::DiskId(0)).is_transient());
+        assert!(!EnvError::NotFound("x".into()).is_transient());
     }
 
     #[test]

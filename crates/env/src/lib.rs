@@ -24,6 +24,7 @@
 
 pub mod cost;
 pub mod error;
+pub mod faults;
 pub mod ids;
 pub mod layout;
 pub mod machine;
@@ -32,6 +33,7 @@ pub mod traits;
 
 pub use cost::{CpuOp, MoveKind};
 pub use error::{EnvError, Result};
+pub use faults::{FaultKind, FaultSpec, FaultStats, FaultyEnv, FaultyFile};
 pub use ids::{DiskId, ProcId, SPtr};
 pub use stats::{EnvStats, ProcStats};
 pub use traits::{Env, FileOps, SCatalog};

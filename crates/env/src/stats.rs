@@ -7,7 +7,7 @@ use crate::cost::{CpuOp, MoveKind};
 /// The simulator fills every field; the real memory-mapped environment
 /// fills the event counters and the clock (wall time) but cannot observe
 /// page faults directly, so `fault_*` stay zero there.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ProcStats {
     /// Accumulated time in seconds: virtual time in the simulator, wall
     /// time in the real environment.
@@ -98,7 +98,7 @@ impl ProcStats {
 }
 
 /// Snapshot of every process's counters.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct EnvStats {
     /// One entry per process slot (Rprocs then Sprocs).
     pub procs: Vec<ProcStats>,

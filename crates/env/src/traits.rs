@@ -94,6 +94,12 @@ pub trait Env: Send + Sync {
     /// Destroy a mapping and its data, charging `deleteMap`.
     fn delete_file(&self, proc: ProcId, name: &str) -> Result<()>;
 
+    /// Names of every live file, in unspecified order, without
+    /// measurement charges. Recovery code diffs this table around a
+    /// failed join to find (and delete) orphaned temporary areas, and
+    /// tests use it as a leak check.
+    fn list_files(&self) -> Vec<String>;
+
     /// Declare `count` occurrences of CPU operation `op` by `proc`.
     fn cpu(&self, proc: ProcId, op: CpuOp, count: u64);
 

@@ -254,6 +254,12 @@ impl Env for MmapEnv {
         Ok(())
     }
 
+    fn list_files(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.files.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
     fn cpu(&self, proc: ProcId, op: CpuOp, count: u64) {
         self.inner.procs[proc.0 as usize].lock().cpu_ops[op.index()] += count;
     }

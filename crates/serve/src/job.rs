@@ -172,6 +172,21 @@ pub struct JobResult {
     pub read_faults: u64,
     /// Write-backs across the job's processes.
     pub write_backs: u64,
+    /// Join attempts executed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Transient errors absorbed by retrying.
+    pub retries: u64,
+    /// Faults the injection layer fired into this job.
+    pub faults_injected: u64,
+    /// Times the job was re-planned with a halved memory footprint
+    /// after `DiskFull`.
+    pub degraded: u32,
+    /// Orphaned temporary files deleted by recovery.
+    pub cleaned_files: u64,
+    /// The job stopped because it exceeded its wall-clock deadline.
+    pub deadline_hit: bool,
+    /// The job's executor panicked (isolated by `catch_unwind`).
+    pub panicked: bool,
     /// Failure message, if the job errored.
     pub error: Option<String>,
 }

@@ -22,7 +22,7 @@
 //! use mmjoin_serve::{JobRequest, ServeConfig, Service, PAGE};
 //!
 //! // A 32-page global budget; jobs of 16 pages each ⇒ two at a time.
-//! let svc = Service::start(ServeConfig::sim(32 * PAGE, 4));
+//! let svc = Service::start(ServeConfig::sim(32 * PAGE, 4)).unwrap();
 //! for seed in 0..4 {
 //!     svc.submit(JobRequest::new(800, 32, 2, 8, seed)).unwrap();
 //! }

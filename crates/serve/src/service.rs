@@ -8,13 +8,17 @@
 //! the budget, by construction.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use mmjoin::{choose, join, verify, Algo, JoinOutput, JoinSpec, PlanChoice};
+use mmjoin::{
+    choose, join_with_retry_report, verify, Algo, JoinOutput, JoinSpec, PlanChoice, RetryPolicy,
+    RetryReport,
+};
 use mmjoin_env::machine::MachineParams;
-use mmjoin_env::ProcStats;
+use mmjoin_env::{EnvError, FaultSpec, FaultyEnv, ProcStats};
 use mmjoin_mmstore::{MmapEnv, MmapEnvConfig};
 use mmjoin_relstore::build;
 use mmjoin_vmsim::{calibrated_params, DiskParams, SimConfig, SimEnv};
@@ -49,7 +53,22 @@ pub struct ServeConfig {
     pub policy: AdmissionPolicy,
     /// Execution environment.
     pub env: EnvKind,
+    /// Fault injection applied to every job's environment (each job
+    /// gets its own injector with this spec, so rule counters are
+    /// per-job). Empty = passthrough.
+    pub fault_spec: FaultSpec,
+    /// Per-job retry budget: join attempts per plan, first try
+    /// included. Transient failures within this budget are retried with
+    /// bounded exponential backoff.
+    pub retries: u32,
+    /// Per-job wall-clock deadline, checked between attempts; `None`
+    /// means unlimited.
+    pub deadline: Option<Duration>,
 }
+
+/// How many times a job may halve its footprint on `DiskFull` before
+/// giving up.
+const MAX_DEGRADE: u32 = 3;
 
 impl ServeConfig {
     /// A simulator-backed service with the given budget and workers.
@@ -59,6 +78,9 @@ impl ServeConfig {
             workers,
             policy: AdmissionPolicy::Fifo,
             env: EnvKind::Sim,
+            fault_spec: FaultSpec::none(),
+            retries: 3,
+            deadline: None,
         }
     }
 
@@ -67,16 +89,39 @@ impl ServeConfig {
         self.policy = policy;
         self
     }
+
+    /// Same config with fault injection.
+    pub fn with_faults(mut self, spec: FaultSpec) -> Self {
+        self.fault_spec = spec;
+        self
+    }
+
+    /// Same config with a per-job retry budget.
+    pub fn with_retries(mut self, attempts: u32) -> Self {
+        self.retries = attempts.max(1);
+        self
+    }
+
+    /// Same config with a per-job deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 /// The machine every served job is planned and simulated against:
-/// calibrated once per process, like the bench harness does.
-pub fn service_machine() -> &'static MachineParams {
-    static MACHINE: OnceLock<MachineParams> = OnceLock::new();
-    MACHINE.get_or_init(|| {
-        calibrated_params(&DiskParams::waterloo96())
-            .expect("calibration of the default disk cannot fail")
-    })
+/// calibrated once per process, like the bench harness does. The
+/// calibration outcome (success or failure) is computed once and
+/// replayed; it never panics.
+pub fn service_machine() -> Result<&'static MachineParams, String> {
+    static MACHINE: OnceLock<Result<MachineParams, String>> = OnceLock::new();
+    MACHINE
+        .get_or_init(|| {
+            calibrated_params(&DiskParams::waterloo96())
+                .map_err(|e| format!("machine calibration failed: {e}"))
+        })
+        .as_ref()
+        .map_err(Clone::clone)
 }
 
 struct Queued {
@@ -121,8 +166,10 @@ pub struct Service {
 }
 
 impl Service {
-    /// Start a service with `cfg.workers` worker threads.
-    pub fn start(cfg: ServeConfig) -> Service {
+    /// Start a service with `cfg.workers` worker threads. Fails if the
+    /// OS refuses to spawn them (already-started workers are shut back
+    /// down).
+    pub fn start(cfg: ServeConfig) -> Result<Service, String> {
         let workers = cfg.workers.max(1);
         let shared = Arc::new(Shared {
             cfg,
@@ -130,19 +177,28 @@ impl Service {
             work: Condvar::new(),
             done: Condvar::new(),
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let sh = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("mmjoin-serve-{i}"))
-                    .spawn(move || worker_loop(&sh))
-                    .expect("spawn worker")
-            })
-            .collect();
-        Service {
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let sh = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("mmjoin-serve-{i}"))
+                .spawn(move || worker_loop(&sh))
+            {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    let mut svc = Service {
+                        shared,
+                        workers: handles,
+                    };
+                    svc.stop();
+                    return Err(format!("cannot spawn worker {i}: {e}"));
+                }
+            }
+        }
+        Ok(Service {
             shared,
             workers: handles,
-        }
+        })
     }
 
     /// The configured global budget in bytes.
@@ -156,7 +212,7 @@ impl Service {
     /// it), so it is refused here instead.
     pub fn submit(&self, req: JobRequest) -> Result<JobId, String> {
         let footprint = req.footprint();
-        let plan = choose(service_machine(), &req.planner_inputs());
+        let plan = choose(service_machine()?, &req.planner_inputs());
         let mut st = self.shared.lock();
         if footprint > self.shared.cfg.budget_bytes {
             st.stats.rejected += 1;
@@ -213,8 +269,10 @@ impl Service {
 
     /// Snapshot of the service counters.
     pub fn stats(&self) -> ServiceStats {
-        let mut stats = self.shared.lock().stats.clone();
+        let st = self.shared.lock();
+        let mut stats = st.stats.clone();
         stats.budget_bytes = self.shared.cfg.budget_bytes;
+        stats.budget_leak_bytes = if st.running == 0 { st.used_bytes } else { 0 };
         stats
     }
 
@@ -227,6 +285,9 @@ impl Service {
         let results = std::mem::take(&mut st.results);
         let mut stats = st.stats.clone();
         stats.budget_bytes = self.shared.cfg.budget_bytes;
+        // Every job has released its reservation; anything left is an
+        // accounting leak.
+        stats.budget_leak_bytes = st.used_bytes;
         drop(st);
         (results, stats)
     }
@@ -262,8 +323,16 @@ fn worker_loop(shared: &Shared) {
                     predicted_seconds: q.plan.predicted_seconds(),
                 })
                 .collect();
-            if let Some(idx) = shared.cfg.policy.pick(&candidates, free) {
-                break st.pending.remove(idx).expect("picked index is valid");
+            // `pick` indexes into `candidates`, which mirrors `pending`
+            // one-to-one under the held lock; a miss means a policy bug,
+            // handled by re-evaluating rather than crashing the worker.
+            if let Some(q) = shared
+                .cfg
+                .policy
+                .pick(&candidates, free)
+                .and_then(|idx| st.pending.remove(idx))
+            {
+                break q;
             }
             st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
         };
@@ -288,32 +357,102 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Execute one admitted job and package the outcome. Never panics on
-/// job failure — errors become `JobResult::error`.
+/// One plan-level execution: the join ran (possibly with internal
+/// retries) or failed, plus what the recovery layer did along the way.
+struct Attempt {
+    result: Result<(JoinOutput, bool), EnvError>,
+    report: RetryReport,
+    faults: u64,
+}
+
+/// Execute one admitted job and package the outcome. Never panics —
+/// worker panics are caught and become `JobResult::error` — and never
+/// orphans temporary files: every plan-level attempt runs under
+/// `join_with_retry`, which restores the env's file table on failure,
+/// and per-job environments are torn down afterwards either way.
+///
+/// Failure handling, outermost first:
+/// * **deadline** — checked between plan-level attempts (a running join
+///   cannot be interrupted); exceeding it stops the job;
+/// * **`DiskFull`** — non-transient: re-plan with halved `m_rproc`/
+///   `m_sproc` (graceful degradation), up to [`MAX_DEGRADE`] times;
+/// * **transient faults** — absorbed inside `join_with_retry` with
+///   bounded exponential backoff and orphan cleanup.
 fn run_job(shared: &Shared, job: Queued) -> (JobResult, Option<ProcStats>) {
     let queue_wait = job.enqueued.elapsed().as_secs_f64();
-    let alg = job
-        .req
-        .alg
-        .unwrap_or_else(|| Algo::from(job.plan.algorithm));
+    let cfg = &shared.cfg;
     let started = Instant::now();
-    let outcome = execute(&shared.cfg.env, &job);
-    let exec_wall = started.elapsed().as_secs_f64();
+    let mut m_rproc = job.req.m_rproc;
+    let mut m_sproc = job.req.m_sproc;
     let mut result = JobResult {
         id: job.id,
         name: job.req.name.clone(),
-        alg,
+        alg: job
+            .req
+            .alg
+            .unwrap_or_else(|| Algo::from(job.plan.algorithm)),
         predicted_seconds: job.plan.predicted_seconds(),
         pairs: 0,
         checksum: 0,
         verified: false,
         env_elapsed: 0.0,
         queue_wait,
-        exec_wall,
+        exec_wall: 0.0,
         read_faults: 0,
         write_backs: 0,
+        attempts: 0,
+        retries: 0,
+        faults_injected: 0,
+        degraded: 0,
+        cleaned_files: 0,
+        deadline_hit: false,
+        panicked: false,
         error: None,
     };
+    let outcome: Result<(JoinOutput, bool), String> = loop {
+        if cfg.deadline.is_some_and(|d| started.elapsed() >= d) {
+            result.deadline_hit = true;
+            break Err(format!(
+                "deadline exceeded after {} attempt(s)",
+                result.attempts
+            ));
+        }
+        // Re-plan under the (possibly degraded) budgets. Jobs that
+        // pinned an algorithm keep it; `auto` jobs ask the planner what
+        // is cheapest at this footprint.
+        let alg = match plan_algorithm(&job, m_rproc, m_sproc) {
+            Ok(alg) => alg,
+            Err(e) => break Err(e),
+        };
+        result.alg = alg;
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            execute(cfg, &job, alg, m_rproc, m_sproc)
+        }));
+        let attempt = match attempt {
+            Ok(a) => a,
+            Err(panic) => {
+                result.panicked = true;
+                result.attempts += 1;
+                break Err(format!("worker panic isolated: {}", panic_message(&panic)));
+            }
+        };
+        result.attempts += attempt.report.attempts;
+        result.retries += attempt.report.transient_errors;
+        result.cleaned_files += attempt.report.cleaned_files;
+        result.faults_injected += attempt.faults;
+        match attempt.result {
+            Ok(ok) => break Ok(ok),
+            Err(EnvError::DiskFull(_)) if result.degraded < MAX_DEGRADE && m_rproc / 2 >= PAGE => {
+                // Graceful degradation: halve the footprint and re-plan
+                // rather than failing the job.
+                m_rproc /= 2;
+                m_sproc = (m_sproc / 2).max(PAGE);
+                result.degraded += 1;
+            }
+            Err(e) => break Err(e.to_string()),
+        }
+    };
+    result.exec_wall = started.elapsed().as_secs_f64();
     match outcome {
         Ok((out, verified)) => {
             result.pairs = out.pairs;
@@ -335,42 +474,107 @@ fn run_job(shared: &Shared, job: Queued) -> (JobResult, Option<ProcStats>) {
     }
 }
 
-/// Build the environment and relations, run the join, verify.
-fn execute(env: &EnvKind, job: &Queued) -> Result<(JoinOutput, bool), String> {
+/// The algorithm to run at the given (possibly degraded) budgets.
+fn plan_algorithm(job: &Queued, m_rproc: u64, m_sproc: u64) -> Result<Algo, String> {
+    if let Some(alg) = job.req.alg {
+        return Ok(alg);
+    }
+    if m_rproc == job.req.m_rproc {
+        return Ok(Algo::from(job.plan.algorithm));
+    }
+    let mut inputs = job.req.planner_inputs();
+    inputs.m_rproc = m_rproc;
+    inputs.m_sproc = m_sproc;
+    Ok(Algo::from(choose(service_machine()?, &inputs).algorithm))
+}
+
+/// Best-effort text from a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Build the environment and relations, run the join under the retry
+/// layer, verify.
+///
+/// The workload is built on the *inner* environment: relations are the
+/// service's input, assumed to exist — the fault domain is the join
+/// itself (reads, writes, temp-file map setup), as in the paper's
+/// model. The join then runs through the [`FaultyEnv`] wrapper.
+fn execute(cfg: &ServeConfig, job: &Queued, alg: Algo, m_rproc: u64, m_sproc: u64) -> Attempt {
     let req = &job.req;
-    let alg = req.alg.unwrap_or_else(|| Algo::from(job.plan.algorithm));
-    let spec = JoinSpec::new(req.m_rproc, req.m_sproc).with_mode(req.mode);
-    match env {
+    let spec = JoinSpec::new(m_rproc, m_sproc).with_mode(req.mode);
+    let policy = RetryPolicy::attempts(cfg.retries);
+    let fail = |e: EnvError| Attempt {
+        result: Err(e),
+        report: RetryReport::default(),
+        faults: 0,
+    };
+    match &cfg.env {
         EnvKind::Sim => {
-            let mut cfg = SimConfig::waterloo96(req.workload.rel.d);
-            cfg.machine = service_machine().clone();
-            cfg.rproc_pages = (req.m_rproc / PAGE).max(1) as usize;
-            cfg.sproc_pages = (req.m_sproc / PAGE).max(1) as usize;
-            let env = SimEnv::new(cfg).map_err(|e| e.to_string())?;
-            let rels = build(&env, &req.workload).map_err(|e| e.to_string())?;
-            let out = join(&env, &rels, alg, &spec).map_err(|e| e.to_string())?;
-            let verified = verify(&out, &rels).is_ok();
-            Ok((out, verified))
+            let mut sim_cfg = SimConfig::waterloo96(req.workload.rel.d);
+            sim_cfg.machine = match service_machine() {
+                Ok(m) => m.clone(),
+                Err(e) => return fail(EnvError::InvalidConfig(e)),
+            };
+            sim_cfg.rproc_pages = (m_rproc / PAGE).max(1) as usize;
+            sim_cfg.sproc_pages = (m_sproc / PAGE).max(1) as usize;
+            let env = match SimEnv::new(sim_cfg) {
+                Ok(env) => FaultyEnv::new(env, cfg.fault_spec.clone()),
+                Err(e) => return fail(e),
+            };
+            attempt_on(&env, req, alg, &spec, &policy)
         }
         EnvKind::Mmap { root } => {
             let job_root = root.join(format!("job{}", job.id));
-            let env = MmapEnv::new(MmapEnvConfig {
+            let env = match MmapEnv::new(MmapEnvConfig {
                 root: job_root.clone(),
                 num_disks: req.workload.rel.d,
                 page_size: PAGE,
-            })
-            .map_err(|e| e.to_string())?;
-            let run = || -> Result<(JoinOutput, bool), String> {
-                let rels = build(&env, &req.workload).map_err(|e| e.to_string())?;
-                let out = join(&env, &rels, alg, &spec).map_err(|e| e.to_string())?;
-                let verified = verify(&out, &rels).is_ok();
-                Ok((out, verified))
+            }) {
+                Ok(env) => FaultyEnv::new(env, cfg.fault_spec.clone()),
+                Err(e) => return fail(e),
             };
-            let outcome = run();
+            let attempt = attempt_on(&env, req, alg, &spec, &policy);
             drop(env);
             let _ = std::fs::remove_dir_all(&job_root);
-            outcome
+            attempt
         }
+    }
+}
+
+/// Build the relations on the wrapper's inner env, run the join through
+/// the wrapper under the retry layer, and collect the fault counters.
+fn attempt_on<E: mmjoin_env::Env>(
+    env: &FaultyEnv<E>,
+    req: &JobRequest,
+    alg: Algo,
+    spec: &JoinSpec,
+    policy: &RetryPolicy,
+) -> Attempt {
+    let rels = match build(env.inner(), &req.workload) {
+        Ok(rels) => rels,
+        Err(e) => {
+            return Attempt {
+                result: Err(e),
+                report: RetryReport::default(),
+                faults: env.fault_stats().total(),
+            }
+        }
+    };
+    let (result, report) = join_with_retry_report(env, &rels, alg, spec, policy);
+    Attempt {
+        result: result.map(|out| {
+            let verified = verify(&out, &rels).is_ok();
+            (out, verified)
+        }),
+        report,
+        faults: env.fault_stats().total(),
     }
 }
 
@@ -384,7 +588,7 @@ mod tests {
 
     #[test]
     fn oversized_job_is_rejected_at_submit() {
-        let svc = Service::start(ServeConfig::sim(8 * PAGE, 1));
+        let svc = Service::start(ServeConfig::sim(8 * PAGE, 1)).unwrap();
         // footprint = 16 pages × 2 disks = 32 pages > 8-page budget.
         let err = svc.submit(tiny_job(1, 16)).unwrap_err();
         assert!(err.contains("exceeds the global budget"), "{err}");
@@ -396,7 +600,7 @@ mod tests {
 
     #[test]
     fn single_job_runs_and_verifies() {
-        let svc = Service::start(ServeConfig::sim(64 * PAGE, 2));
+        let svc = Service::start(ServeConfig::sim(64 * PAGE, 2)).unwrap();
         let id = svc.submit(tiny_job(7, 8)).unwrap();
         assert_eq!(id, 1);
         let (results, stats) = svc.finish();
@@ -417,7 +621,7 @@ mod tests {
     fn budget_is_never_exceeded_under_contention() {
         // 8 jobs of 16 pages each against a 32-page budget: at most two
         // run at once even with four workers.
-        let svc = Service::start(ServeConfig::sim(32 * PAGE, 4));
+        let svc = Service::start(ServeConfig::sim(32 * PAGE, 4)).unwrap();
         for seed in 0..8 {
             svc.submit(tiny_job(seed, 8)).unwrap();
         }
@@ -431,7 +635,7 @@ mod tests {
 
     #[test]
     fn submit_script_reports_bad_lines() {
-        let svc = Service::start(ServeConfig::sim(256 * PAGE, 1));
+        let svc = Service::start(ServeConfig::sim(256 * PAGE, 1)).unwrap();
         let err = svc
             .submit_script("# fine\nobjects=800 d=2\nalg=bogus\n")
             .unwrap_err();

@@ -28,6 +28,22 @@ pub struct ServiceStats {
     pub exec_wall_seconds: f64,
     /// Total environment-reported elapsed seconds (virtual on `SimEnv`).
     pub env_elapsed_seconds: f64,
+    /// Faults the injection layer fired across all jobs.
+    pub faults_injected: u64,
+    /// Transient errors absorbed by retrying, across all jobs.
+    pub retries: u64,
+    /// `DiskFull` degradations: times a job was re-planned with a
+    /// halved memory footprint instead of failing.
+    pub degraded: u64,
+    /// Jobs stopped at their wall-clock deadline.
+    pub deadline_exceeded: u64,
+    /// Worker panics isolated by `catch_unwind`.
+    pub panics: u64,
+    /// Orphaned temporary files deleted by recovery.
+    pub cleaned_files: u64,
+    /// Reserved budget still outstanding at snapshot time with no job
+    /// running — nonzero after a drain means an accounting leak.
+    pub budget_leak_bytes: u64,
     /// Every process counter of every job, folded into one set
     /// ([`mmjoin_env::EnvStats::folded`] summed across jobs).
     pub agg: ProcStats,
@@ -45,6 +61,16 @@ impl ServiceStats {
         self.queue_wait_seconds += result.queue_wait;
         self.exec_wall_seconds += result.exec_wall;
         self.env_elapsed_seconds += result.env_elapsed;
+        self.faults_injected += result.faults_injected;
+        self.retries += result.retries;
+        self.degraded += result.degraded as u64;
+        self.cleaned_files += result.cleaned_files;
+        if result.deadline_hit {
+            self.deadline_exceeded += 1;
+        }
+        if result.panicked {
+            self.panics += 1;
+        }
         if let Some(p) = folded {
             self.agg.absorb(p);
         }
@@ -62,10 +88,12 @@ impl ServiceStats {
             concat!(
                 "{{\"jobs\":{{\"submitted\":{},\"rejected\":{},\"completed\":{},",
                 "\"failed\":{},\"in_flight\":{}}},",
-                "\"budget\":{{\"bytes\":{},\"peak_bytes\":{}}},",
+                "\"budget\":{{\"bytes\":{},\"peak_bytes\":{},\"leak_bytes\":{}}},",
                 "\"seconds\":{{\"queue_wait\":{:.6},\"exec_wall\":{:.6},",
                 "\"env_elapsed\":{:.6},\"io\":{:.6}}},",
-                "\"faults\":{{\"read_blocks\":{},\"write_blocks\":{},\"page_hits\":{}}}}}"
+                "\"faults\":{{\"read_blocks\":{},\"write_blocks\":{},\"page_hits\":{}}},",
+                "\"recovery\":{{\"faults_injected\":{},\"retries\":{},\"degraded\":{},",
+                "\"deadline_exceeded\":{},\"panics\":{},\"cleaned_files\":{}}}}}"
             ),
             self.submitted,
             self.rejected,
@@ -74,6 +102,7 @@ impl ServiceStats {
             self.in_flight(),
             self.budget_bytes,
             self.peak_budget_bytes,
+            self.budget_leak_bytes,
             self.queue_wait_seconds,
             self.exec_wall_seconds,
             self.env_elapsed_seconds,
@@ -81,6 +110,12 @@ impl ServiceStats {
             self.agg.fault_read_blocks,
             self.agg.fault_write_blocks,
             self.agg.page_hits,
+            self.faults_injected,
+            self.retries,
+            self.degraded,
+            self.deadline_exceeded,
+            self.panics,
+            self.cleaned_files,
         )
     }
 }
@@ -116,6 +151,13 @@ mod tests {
             exec_wall: 1.5,
             read_faults: 7,
             write_backs: 3,
+            attempts: if ok { 1 } else { 3 },
+            retries: if ok { 0 } else { 2 },
+            faults_injected: if ok { 0 } else { 2 },
+            degraded: 0,
+            cleaned_files: if ok { 0 } else { 4 },
+            deadline_hit: false,
+            panicked: false,
             error: if ok { None } else { Some("boom".into()) },
         }
     }
@@ -138,6 +180,11 @@ mod tests {
         assert_eq!(s.agg.fault_read_blocks, 7);
         assert!((s.queue_wait_seconds - 1.0).abs() < 1e-12);
         assert!((s.exec_wall_seconds - 3.0).abs() < 1e-12);
+        assert_eq!(s.faults_injected, 2);
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.cleaned_files, 4);
+        assert_eq!(s.deadline_exceeded, 0);
+        assert_eq!(s.panics, 0);
     }
 
     #[test]
@@ -154,10 +201,12 @@ mod tests {
         assert!(j.contains("\"submitted\":1"));
         assert!(j.contains("\"completed\":1"));
         assert!(j.contains("\"peak_bytes\":512"));
+        assert!(j.contains("\"leak_bytes\":0"));
+        assert!(j.contains("\"recovery\":{\"faults_injected\":0"));
         // Balanced braces — cheap structural sanity without a parser.
         let open = j.matches('{').count();
         assert_eq!(open, j.matches('}').count());
-        assert_eq!(open, 5);
+        assert_eq!(open, 6);
     }
 
     #[test]

@@ -616,6 +616,12 @@ impl Env for SimEnv {
         Ok(())
     }
 
+    fn list_files(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.files.read().by_name.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
     fn cpu(&self, proc: ProcId, op: CpuOp, count: u64) {
         if count == 0 {
             return;

@@ -1,0 +1,134 @@
+//! Fault-injection and recovery invariants, cross-crate:
+//!
+//! * `FaultyEnv` with an empty `FaultSpec` is byte-identical passthrough
+//!   (property-tested over workload shapes, for all three paper joins);
+//! * injection traces are seed-deterministic at the join level;
+//! * the retry layer heals transient faults and never leaks temp files.
+
+use mmjoin::{join, join_with_retry, verify, Algo, ExecMode, JoinSpec, RetryPolicy};
+use mmjoin_env::{Env, EnvStats, FaultSpec, FaultyEnv};
+use mmjoin_relstore::{build, PointerDist, RelConfig, WorkloadSpec};
+use mmjoin_vmsim::{SimConfig, SimEnv};
+use proptest::prelude::*;
+
+const PAGE: u64 = 4096;
+
+fn workload(objects_per_disk: u64, d: u32, seed: u64, dist: PointerDist) -> WorkloadSpec {
+    WorkloadSpec {
+        rel: RelConfig {
+            r_size: 32,
+            s_size: 32,
+            d,
+            r_objects: objects_per_disk * d as u64,
+            s_objects: objects_per_disk * d as u64,
+        },
+        dist,
+        seed,
+        prefix: String::new(),
+    }
+}
+
+fn sim(d: u32, pages: usize) -> SimEnv {
+    let mut cfg = SimConfig::waterloo96(d);
+    cfg.rproc_pages = pages;
+    cfg.sproc_pages = pages;
+    SimEnv::new(cfg).expect("valid test config")
+}
+
+/// Run one join on `env`, returning everything observable: the output
+/// and the full per-process counter set.
+fn observe<E: Env>(env: &E, w: &WorkloadSpec, alg: Algo, pages: u64) -> (u64, u64, f64, EnvStats) {
+    let rels = build(env, w).expect("workload builds");
+    let spec = JoinSpec::new(pages * PAGE, pages * PAGE).with_mode(ExecMode::Sequential);
+    let out = join(env, &rels, alg, &spec).expect("join runs");
+    verify(&out, &rels).expect("join result matches oracle");
+    (out.pairs, out.checksum, out.elapsed, env.stats())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole passthrough property: wrapping any environment in
+    /// `FaultyEnv` with an *empty* spec changes nothing — same pairs,
+    /// same checksum, same virtual elapsed time, and byte-identical
+    /// `ProcStats` for every process — on all three paper joins.
+    #[test]
+    fn empty_spec_is_byte_identical_passthrough(
+        seed in 0u64..5_000,
+        d in 1u32..=4,
+        pages in 4u64..=12,
+        zipf in proptest::bool::ANY,
+    ) {
+        let dist = if zipf {
+            PointerDist::Zipf { theta: 0.6 }
+        } else {
+            PointerDist::Uniform
+        };
+        let w = workload(200, d, seed, dist);
+        for alg in [Algo::NestedLoops, Algo::SortMerge, Algo::Grace] {
+            let bare = observe(&sim(d, pages as usize), &w, alg, pages);
+            let wrapped = observe(
+                &FaultyEnv::new(sim(d, pages as usize), FaultSpec::none()),
+                &w,
+                alg,
+                pages,
+            );
+            prop_assert_eq!(bare.0, wrapped.0, "pairs ({})", alg.name());
+            prop_assert_eq!(bare.1, wrapped.1, "checksum ({})", alg.name());
+            prop_assert_eq!(bare.2, wrapped.2, "elapsed ({})", alg.name());
+            // ProcStats derives PartialEq: every counter and every
+            // clock must agree exactly.
+            prop_assert_eq!(&bare.3, &wrapped.3, "ProcStats ({})", alg.name());
+        }
+    }
+}
+
+/// A join under a seeded nonzero spec produces the same fault counters
+/// on every run (sequential mode fixes the op order).
+#[test]
+fn injection_trace_is_seed_deterministic_at_join_level() {
+    let run = |spec_seed: u64| {
+        let spec = FaultSpec::parse(&format!("seed={spec_seed};read:p=0.01:count=1000")).unwrap();
+        let env = FaultyEnv::new(sim(2, 8), spec);
+        let w = workload(300, 2, 5, PointerDist::Uniform);
+        let rels = build(env.inner(), &w).unwrap();
+        let jspec = JoinSpec::new(8 * PAGE, 8 * PAGE).with_mode(ExecMode::Sequential);
+        let _ = join_with_retry(&env, &rels, Algo::Grace, &jspec, &RetryPolicy::attempts(50));
+        env.fault_stats()
+    };
+    let a = run(11);
+    assert_eq!(a, run(11), "same seed, same trace");
+    assert!(a.total() > 0, "p=0.01 over a whole join must fire");
+}
+
+/// End-to-end healing: a join that hits injected transient faults in
+/// every pass still produces the oracle answer, and the environment's
+/// file table ends exactly as a fault-free run leaves it.
+#[test]
+fn retry_heals_transient_faults_without_leaking_files() {
+    let w = workload(300, 2, 23, PointerDist::Uniform);
+    let jspec = JoinSpec::new(8 * PAGE, 8 * PAGE).with_mode(ExecMode::Sequential);
+
+    // Reference: the file table after a clean run.
+    let clean_env = sim(2, 8);
+    let clean_rels = build(&clean_env, &w).unwrap();
+    let clean_out = join(&clean_env, &clean_rels, Algo::Grace, &jspec).unwrap();
+    let reference_files = clean_env.list_files();
+
+    // One write fault in re-partitioning pass 0 (RP temporaries) and one
+    // read fault in the join pass (RS temporaries): two distinct passes
+    // must each restart and heal.
+    let spec =
+        FaultSpec::parse("seed=9;write:file=RP:count=1:after=3;read:file=RS:count=1").unwrap();
+    let env = FaultyEnv::new(sim(2, 8), spec);
+    let rels = build(env.inner(), &w).unwrap();
+    let (out, report) =
+        join_with_retry(&env, &rels, Algo::Grace, &jspec, &RetryPolicy::attempts(8))
+            .expect("retry heals all transient faults");
+    verify(&out, &rels).unwrap();
+    assert_eq!(out.pairs, clean_out.pairs);
+    assert_eq!(out.checksum, clean_out.checksum);
+    assert!(report.retried(), "{report:?}");
+    assert!(env.fault_stats().total() >= 2, "{:?}", env.fault_stats());
+    assert_eq!(env.list_files(), reference_files, "leaked or lost files");
+}

@@ -31,7 +31,7 @@ fn batch() -> Vec<JobRequest> {
 
 /// Run the whole batch under one policy; return id → (pairs, checksum).
 fn run_batch(policy: AdmissionPolicy, budget_pages: u64) -> BTreeMap<u64, (u64, u64)> {
-    let svc = Service::start(ServeConfig::sim(budget_pages * PAGE, 4).with_policy(policy));
+    let svc = Service::start(ServeConfig::sim(budget_pages * PAGE, 4).with_policy(policy)).unwrap();
     let batch = batch();
     let combined: u64 = batch.iter().map(JobRequest::footprint).sum();
     assert!(
@@ -84,9 +84,49 @@ fn oversubscribed_batch_completes_under_both_policies() {
     assert_eq!(fifo, spf);
 }
 
+/// ISSUE acceptance: the serve batch under a nonzero fault spec with a
+/// fixed seed completes with zero budget-accounting leaks, every
+/// non-failed job's join output verifies, and the service counters show
+/// the injector fired and the retry layer healed.
+#[test]
+fn chaos_batch_heals_and_leaks_nothing() {
+    let spec = mmjoin_env::FaultSpec::parse("seed=7;read:p=1:after=60:count=2").unwrap();
+    assert!(!spec.is_empty());
+    let svc = Service::start(
+        ServeConfig::sim(64 * PAGE, 4)
+            .with_faults(spec)
+            .with_retries(4),
+    )
+    .unwrap();
+    for req in batch() {
+        svc.submit(req).unwrap();
+    }
+    let (results, stats) = svc.finish();
+
+    assert_eq!(results.len(), 10);
+    for r in &results {
+        if r.error.is_none() {
+            assert!(r.verified, "job {} completed but did not verify", r.id);
+        }
+        assert!(!r.panicked, "job {} panicked", r.id);
+    }
+    assert_eq!(stats.in_flight(), 0);
+    assert_eq!(stats.budget_leak_bytes, 0, "budget accounting leaked");
+    assert!(
+        stats.faults_injected > 0,
+        "fault spec never fired: {stats:?}"
+    );
+    assert!(stats.retries > 0, "retry layer never engaged: {stats:?}");
+    // The default spec is fully healable: two transient read faults per
+    // job, four attempts of budget — nothing should actually fail.
+    let errors: Vec<_> = results.iter().filter_map(|r| r.error.as_deref()).collect();
+    assert_eq!(stats.failed, 0, "{errors:?}");
+    assert_eq!(stats.completed, 10);
+}
+
 #[test]
 fn service_stats_snapshot_reflects_the_run() {
-    let svc = Service::start(ServeConfig::sim(64 * PAGE, 2));
+    let svc = Service::start(ServeConfig::sim(64 * PAGE, 2)).unwrap();
     for req in batch().into_iter().take(4) {
         svc.submit(req).unwrap();
     }
