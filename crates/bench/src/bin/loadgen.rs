@@ -1,6 +1,7 @@
 //! Load generator for the mmjoin-serve service: submit `--jobs N`
 //! randomized join jobs against a budget-constrained service and report
-//! throughput plus p50/p95 client latency.
+//! throughput plus the p50/p90/p99/p99.9 client latency ladder from the
+//! service's fixed-memory log-scale histograms.
 //!
 //! ```sh
 //! cargo run --release -p mmjoin-bench --bin loadgen -- \
@@ -8,7 +9,7 @@
 //! ```
 
 use mmjoin_bench::load::{opt, random_job};
-use mmjoin_serve::{percentile, AdmissionPolicy, ServeConfig, Service, PAGE};
+use mmjoin_serve::{AdmissionPolicy, ServeConfig, Service, PAGE};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -43,11 +44,12 @@ fn main() {
     let (results, stats) = svc.finish();
     let wall = started.elapsed().as_secs_f64();
 
-    let latencies: Vec<f64> = results.iter().map(|r| r.latency()).collect();
     let failed = results.iter().filter(|r| r.error.is_some()).count();
     let throughput = accepted as f64 / wall;
-    let p50 = percentile(&latencies, 50.0);
-    let p95 = percentile(&latencies, 95.0);
+    // Quantiles come from the service's latency histogram, not a
+    // sorted sample vector — same numbers a long-running service would
+    // report from constant memory.
+    let lat = &stats.latency_hist;
 
     println!(
         "loadgen: {accepted}/{jobs} jobs accepted, policy {}",
@@ -63,9 +65,11 @@ fn main() {
     );
     println!("throughput: {throughput:.1} jobs/s");
     println!(
-        "latency:    p50 {:.1} ms, p95 {:.1} ms",
-        p50 * 1e3,
-        p95 * 1e3
+        "latency:    p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms, p99.9 {:.1} ms",
+        lat.p50() * 1e3,
+        lat.p90() * 1e3,
+        lat.p99() * 1e3,
+        lat.p999() * 1e3
     );
     println!(
         "queue wait: {:.3} s total across jobs; exec {:.3} s",
@@ -79,7 +83,7 @@ fn main() {
                 "{{\"jobs\":{},\"accepted\":{},\"failed\":{},\"policy\":\"{}\",",
                 "\"budget_pages\":{},\"workers\":{},\"wall_seconds\":{:.6},",
                 "\"throughput_jobs_per_sec\":{:.3},",
-                "\"latency_p50_seconds\":{:.6},\"latency_p95_seconds\":{:.6},",
+                "\"latency\":{},",
                 "\"service\":{}}}"
             ),
             jobs,
@@ -90,8 +94,7 @@ fn main() {
             workers,
             wall,
             throughput,
-            p50,
-            p95,
+            lat.to_json(),
             stats.to_json()
         ),
     );

@@ -18,7 +18,7 @@
 use std::process::ExitCode;
 
 use mmjoin::{choose, explain, join_with_retry, verify, Algo, ExecMode, JoinSpec, RetryPolicy};
-use mmjoin_env::{FaultSpec, FaultyEnv};
+use mmjoin_env::{FaultSpec, FaultyEnv, JsonlSink, TraceSink};
 use mmjoin_relstore::{build, PointerDist, RelConfig, WorkloadSpec};
 use mmjoin_vmsim::{
     calibrated_params, measure_dtt, CalibrationSpec, DiskParams, SimConfig, SimEnv,
@@ -111,6 +111,16 @@ fn workload_from(args: &Args) -> Result<WorkloadSpec, String> {
     })
 }
 
+/// Open the JSONL trace sink requested with `--trace`, if any.
+fn trace_sink_from(args: &Args) -> Result<Option<std::sync::Arc<JsonlSink>>, String> {
+    match args.get("trace") {
+        None => Ok(None),
+        Some(path) => JsonlSink::create(path)
+            .map(|s| Some(std::sync::Arc::new(s)))
+            .map_err(|e| format!("--trace: cannot create '{path}': {e}")),
+    }
+}
+
 fn cmd_join(args: &Args) -> Result<(), String> {
     let w = workload_from(args)?;
     let pages: u64 = args.get_or("mem-pages", 160)?;
@@ -126,6 +136,7 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     let policy = RetryPolicy::attempts(retries);
     let spec = JoinSpec::new(pages * 4096, pages * 4096).with_mode(mode);
     let env_kind = args.get("env").unwrap_or("sim");
+    let sink = trace_sink_from(args)?;
 
     // The workload is built on the inner env (setup is not in the fault
     // domain); the join runs through the injecting wrapper.
@@ -140,6 +151,11 @@ fn cmd_join(args: &Args) -> Result<(), String> {
             let env = SimEnv::new(cfg).map_err(|e| e.to_string())?;
             let env = FaultyEnv::new(env, fault_spec.clone());
             let rels = build(env.inner(), &w).map_err(|e| e.to_string())?;
+            if let Some(s) = &sink {
+                // Attach after the workload build so the trace covers
+                // the join itself, not relation generation.
+                env.inner().set_trace_sink(s.clone());
+            }
             let (out, report) =
                 join_with_retry(&env, &rels, alg, &spec, &policy).map_err(|e| e.to_string())?;
             verify(&out, &rels).map_err(|e| format!("verification failed: {e}"))?;
@@ -157,6 +173,9 @@ fn cmd_join(args: &Args) -> Result<(), String> {
             .map_err(|e| e.to_string())?;
             let env = FaultyEnv::new(env, fault_spec.clone());
             let rels = build(env.inner(), &w).map_err(|e| e.to_string())?;
+            if let Some(s) = &sink {
+                env.inner().set_trace_sink(s.clone());
+            }
             let (out, report) =
                 join_with_retry(&env, &rels, alg, &spec, &policy).map_err(|e| e.to_string())?;
             verify(&out, &rels).map_err(|e| format!("verification failed: {e}"))?;
@@ -192,6 +211,14 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     );
     for (name, t) in &out.stage_times {
         println!("  stage {name:<16} done at {t:>9.3} s");
+    }
+    if let Some(s) = &sink {
+        s.flush()
+            .map_err(|e| format!("--trace: flush failed: {e}"))?;
+        println!(
+            "trace:       {} (structured JSONL events)",
+            args.get("trace").unwrap_or("?")
+        );
     }
     Ok(())
 }
@@ -272,6 +299,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
     };
 
+    let sink = trace_sink_from(args)?;
     let mut cfg = ServeConfig {
         budget_bytes: budget_pages * PAGE,
         workers,
@@ -280,6 +308,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         fault_spec,
         retries: retries.max(1),
         deadline: None,
+        trace: match &sink {
+            Some(s) => s.clone() as std::sync::Arc<dyn TraceSink>,
+            None => mmjoin_env::null_sink(),
+        },
     };
     if deadline_ms > 0 {
         cfg.deadline = Some(std::time::Duration::from_millis(deadline_ms));
@@ -337,6 +369,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     } else if args.flag("json") {
         println!("{}", stats.to_json());
     }
+    if let Some(s) = &sink {
+        s.flush()
+            .map_err(|e| format!("--trace: flush failed: {e}"))?;
+    }
     if stats.failed > 0 {
         return Err(format!("{} job(s) failed", stats.failed));
     }
@@ -368,13 +404,14 @@ fn usage() {
     println!("  mmjoin join  [--alg A] [--objects N] [--d D] [--obj-size B]");
     println!("               [--mem-pages P] [--seed S] [--dist uniform|zipf:T|cross]");
     println!("               [--env sim|mmap] [--threads] [--fault-spec SPEC]");
-    println!("               [--retries N]");
+    println!("               [--retries N] [--trace FILE.jsonl]");
     println!("  mmjoin plan  [--objects N] [--d D] [--obj-size B] [--mem-pages P]");
     println!("               [--skew X] [--explain A]");
     println!("  mmjoin serve [--jobs FILE] [--budget-pages N] [--workers N]");
     println!("               [--policy fifo|spf] [--env sim|mmap] [--json]");
     println!("               [--stats-json FILE] [--fault-spec SPEC] [--retries N]");
-    println!("               [--deadline-ms MS]   (reads job lines from stdin");
+    println!("               [--deadline-ms MS] [--trace FILE.jsonl]");
+    println!("               (reads job lines from stdin");
     println!("               without --jobs; one job per line, key=value tokens:");
     println!("               name alg objects obj-size d mem-pages seed dist mode)");
     println!("  mmjoin calibrate");
@@ -383,6 +420,10 @@ fn usage() {
     println!("  read write create open delete sfetch diskfull delay and keys");
     println!("  p count after disk file ms, plus 'seed=N' (e.g.");
     println!("  'seed=7;read:p=0.05:count=3;delay:ms=5'); empty = no faults");
+    println!();
+    println!("--trace FILE.jsonl writes one structured trace event per line:");
+    println!("  pass/phase boundaries, map setup/teardown, fault injections,");
+    println!("  retries, and (under serve) job lifecycle events");
     let names: Vec<&str> = Algo::ALL.iter().map(|a| a.name()).collect();
     println!();
     println!("algorithms: {}", names.join(", "));

@@ -4,7 +4,7 @@
 
 use std::sync::{Arc, Barrier, Mutex};
 
-use mmjoin_env::{Env, EnvError, EnvStats, ProcId, Result, SPtr};
+use mmjoin_env::{Env, EnvError, EnvStats, Histogram, ProcId, Result, SPtr};
 use mmjoin_relstore::{pair_digest, s_key, Relations};
 
 /// How the `D` Rprocs execute.
@@ -117,6 +117,9 @@ pub struct JoinOutput {
     pub stats: EnvStats,
     /// Max-over-procs completion time of each stage boundary, in order.
     pub stage_times: Vec<(String, f64)>,
+    /// Log-scale histogram of per-process stage durations (setup and
+    /// every pass/phase contribute one sample per Rproc).
+    pub pass_seconds: Histogram,
 }
 
 /// The request batcher implementing §5.1's shared buffer of size `G`:
@@ -214,7 +217,10 @@ where
     match mode {
         ExecMode::Sequential => {
             let mut states: Vec<S> = (0..d).map(&init).collect();
-            let mut times = vec![Vec::with_capacity(stages); d as usize];
+            let mut times = vec![Vec::with_capacity(stages + 1); d as usize];
+            for (i, t) in times.iter_mut().enumerate() {
+                t.push(env.now(ProcId(i as u32)));
+            }
             for stage in 0..stages {
                 for (i, state) in states.iter_mut().enumerate() {
                     stage_fn(stage, i as u32, state)?;
@@ -236,7 +242,8 @@ where
                     let failure = &failure;
                     handles.push(scope.spawn(move || {
                         let mut state = init(i);
-                        let mut times = Vec::with_capacity(stages);
+                        let mut times = Vec::with_capacity(stages + 1);
+                        times.push(env.now(ProcId(i)));
                         let mut dead = false;
                         for stage in 0..stages {
                             if !dead && failure.lock().expect("lock").is_none() {
@@ -271,6 +278,8 @@ where
 }
 
 /// Fold per-proc stage completion times into max-over-procs boundaries.
+/// `times[i][0]` is proc `i`'s start-of-run clock; entry `s + 1` is its
+/// stage-`s` completion (the shape [`run_stages`] returns).
 pub fn stage_summary(names: &[&str], times: &[Vec<f64>]) -> Vec<(String, f64)> {
     names
         .iter()
@@ -278,19 +287,34 @@ pub fn stage_summary(names: &[&str], times: &[Vec<f64>]) -> Vec<(String, f64)> {
         .map(|(s, name)| {
             let t = times
                 .iter()
-                .map(|per_proc| per_proc.get(s).copied().unwrap_or(0.0))
+                .map(|per_proc| per_proc.get(s + 1).copied().unwrap_or(0.0))
                 .fold(0.0, f64::max);
             (name.to_string(), t)
         })
         .collect()
 }
 
-/// Assemble the final output once all procs finished.
+/// Fold per-proc stage boundary clocks into a log-scale histogram of
+/// stage durations: one sample per `(proc, stage)` pair.
+pub fn pass_histogram(times: &[Vec<f64>]) -> Histogram {
+    let mut hist = Histogram::new();
+    for per_proc in times {
+        for w in per_proc.windows(2) {
+            hist.record((w[1] - w[0]).max(0.0));
+        }
+    }
+    hist
+}
+
+/// Assemble the final output once all procs finished. `times` is the
+/// per-proc stage boundary clocks from [`run_stages`]; stage durations
+/// derived from it feed the output's latency histogram.
 pub fn finish<E: Env>(
     env: &E,
     d: u32,
     accs: impl IntoIterator<Item = JoinAcc>,
     stage_times: Vec<(String, f64)>,
+    times: &[Vec<f64>],
 ) -> JoinOutput {
     let mut total = JoinAcc::default();
     for acc in accs {
@@ -303,6 +327,7 @@ pub fn finish<E: Env>(
         elapsed: stats.elapsed_rprocs(d),
         stats,
         stage_times,
+        pass_seconds: pass_histogram(times),
     }
 }
 
@@ -386,10 +411,14 @@ mod tests {
 
     #[test]
     fn stage_summary_takes_max() {
-        let times = vec![vec![1.0, 5.0], vec![2.0, 3.0]];
+        let times = vec![vec![0.0, 1.0, 5.0], vec![0.5, 2.0, 3.0]];
         let s = stage_summary(&["a", "b"], &times);
         assert_eq!(s[0], ("a".to_string(), 2.0));
         assert_eq!(s[1], ("b".to_string(), 5.0));
+        let h = pass_histogram(&times);
+        // Four (proc, stage) durations: 1.0, 4.0, 1.5, 1.0.
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.max(), 4.0);
     }
 
     #[test]
@@ -541,7 +570,8 @@ mod tests {
             assert_eq!(&st[1..], &[100, 101, 102, 103]);
         }
         assert_eq!(times.len(), 3);
-        assert!(times.iter().all(|t| t.len() == 4));
+        // Stage boundary clocks carry a leading start-of-run entry.
+        assert!(times.iter().all(|t| t.len() == 5));
     }
 
     #[test]

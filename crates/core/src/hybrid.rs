@@ -18,7 +18,7 @@
 //! any phase, `S_j` (bucket-0 range included) is touched by exactly one
 //! Rproc.
 
-use mmjoin_env::{CpuOp, DiskId, Env, MoveKind, ProcId, Result, SPtr};
+use mmjoin_env::{CpuOp, DiskId, Env, MoveKind, ProcId, Result, SPtr, TraceEvent};
 use mmjoin_model::{choose_k, choose_tsize};
 use mmjoin_relstore::{chunked_capacity, names, r_key, r_sptr, ChunkedFile, ObjScan, Relations};
 
@@ -166,8 +166,19 @@ pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOut
                     let rf = state.rf.clone().expect("setup ran");
                     let rp = state.rp.as_ref().expect("setup ran").clone();
                     let rs = state.rs.as_ref().expect("setup ran").clone();
+                    env.trace(
+                        proc,
+                        TraceEvent::PassStart {
+                            proc: i,
+                            pass: 0,
+                            phase: 0,
+                            disk: i,
+                            area: format!("R_{i}"),
+                        },
+                    );
+                    let ri_objects = rels.rel.r_per_part();
                     let mut batcher = SBatcher::new(env, proc, i, rels, spec.g_buffer);
-                    let mut scan = ObjScan::new(&rf, 0, r_size, rels.rel.r_per_part());
+                    let mut scan = ObjScan::new(&rf, 0, r_size, ri_objects);
                     let mut obj = vec![0u8; r_size as usize];
                     while scan.next_into(proc, &mut obj)? {
                         env.cpu(proc, CpuOp::Map, 1);
@@ -187,7 +198,20 @@ pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOut
                             env.move_bytes(proc, MoveKind::PP, r_size as u64);
                         }
                     }
-                    batcher.flush(&mut state.acc)
+                    batcher.flush(&mut state.acc)?;
+                    env.trace(
+                        proc,
+                        TraceEvent::PassEnd {
+                            proc: i,
+                            pass: 0,
+                            phase: 0,
+                            disk: i,
+                            area: format!("R_{i}"),
+                            bytes: ri_objects * r_size as u64,
+                            objects: ri_objects,
+                        },
+                    );
+                    Ok(())
                 }
                 s if s < stages - 1 => {
                     // ---- pass 1, phase t: drain RP_(i,partner); route
@@ -195,12 +219,24 @@ pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOut
                     // of the partner's RS ----
                     let t = (s - 1) as u32;
                     let j = phase_partner(i, t, d);
+                    env.trace(
+                        proc,
+                        TraceEvent::PassStart {
+                            proc: i,
+                            pass: 1,
+                            phase: t,
+                            disk: j,
+                            area: format!("R({i},{j})"),
+                        },
+                    );
                     let rp = state.rp.as_ref().expect("pass 0 ran");
                     let rs_j = slots.get(j);
                     let mut batcher = SBatcher::new(env, proc, j, rels, spec.g_buffer);
                     let mut reader = rp.stream_reader(j);
                     let mut obj = vec![0u8; r_size as usize];
+                    let mut objects = 0u64;
                     while reader.next_into(proc, &mut obj)? {
+                        objects += 1;
                         env.cpu(proc, CpuOp::Hash, 1);
                         let ptr = r_sptr(&obj);
                         match hash.route(ptr) {
@@ -211,7 +247,20 @@ pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOut
                             }
                         }
                     }
-                    batcher.flush(&mut state.acc)
+                    batcher.flush(&mut state.acc)?;
+                    env.trace(
+                        proc,
+                        TraceEvent::PassEnd {
+                            proc: i,
+                            pass: 1,
+                            phase: t,
+                            disk: j,
+                            area: format!("R({i},{j})"),
+                            bytes: objects * r_size as u64,
+                            objects,
+                        },
+                    );
+                    Ok(())
                 }
                 _ => spill_join(env, rels, spec, i, &plan, state),
             }
@@ -223,7 +272,13 @@ pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOut
     stage_names.push("spill-join".into());
     let refs: Vec<&str> = stage_names.iter().map(|s| s.as_str()).collect();
     let summary = stage_summary(&refs, &times);
-    Ok(finish(env, d, states.into_iter().map(|s| s.acc), summary))
+    Ok(finish(
+        env,
+        d,
+        states.into_iter().map(|s| s.acc),
+        summary,
+        &times,
+    ))
 }
 
 /// Grace-style per-bucket join over the spilled buckets only.
@@ -238,13 +293,25 @@ fn spill_join<E: Env>(
     let proc = ProcId::rproc(i);
     let rs = state.rs.take().expect("setup ran");
     let part_bytes = rels.rel.s_part_bytes();
+    env.trace(
+        proc,
+        TraceEvent::PassStart {
+            proc: i,
+            pass: 2,
+            phase: 0,
+            disk: i,
+            area: format!("RS_{i}"),
+        },
+    );
     let mut batcher = SBatcher::new(env, proc, i, rels, spec.g_buffer);
     let mut obj = vec![0u8; rels.rel.r_size as usize];
+    let mut objects = 0u64;
     for bucket in 0..plan.k as u32 {
         let len = rs.stream_len(bucket);
         if len == 0 {
             continue;
         }
+        objects += len;
         let tsize = choose_tsize(len);
         let hash = HybridHashFn::new(part_bytes, plan);
         let mut table: Vec<Vec<(SPtr, u64)>> = vec![Vec::new(); tsize as usize];
@@ -264,7 +331,20 @@ fn spill_join<E: Env>(
             }
         }
     }
-    batcher.flush(&mut state.acc)
+    batcher.flush(&mut state.acc)?;
+    env.trace(
+        proc,
+        TraceEvent::PassEnd {
+            proc: i,
+            pass: 2,
+            phase: 0,
+            disk: i,
+            area: format!("RS_{i}"),
+            bytes: objects * rels.rel.r_size as u64,
+            objects,
+        },
+    );
+    Ok(())
 }
 
 #[cfg(test)]

@@ -52,5 +52,5 @@ pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOut
         },
     )?;
     let summary = stage_summary(&["all"], &times);
-    Ok(finish(env, d, states, summary))
+    Ok(finish(env, d, states, summary, &times))
 }

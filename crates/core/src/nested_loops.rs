@@ -12,7 +12,7 @@
 //! default (§5.1 measured ≤0.5% difference); `JoinSpec::sync_phases`
 //! inserts barriers for that ablation.
 
-use mmjoin_env::{CpuOp, DiskId, Env, MoveKind, ProcId, Result};
+use mmjoin_env::{CpuOp, DiskId, Env, MoveKind, ProcId, Result, TraceEvent};
 use mmjoin_relstore::{chunked_capacity, names, r_key, r_sptr, ChunkedFile, ObjScan, Relations};
 
 use crate::exec::{
@@ -62,6 +62,16 @@ pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOut
                 let rp = ChunkedFile::new(rp_file, d, r_size, page)?;
 
                 // ---- pass 0 ----
+                env.trace(
+                    proc,
+                    TraceEvent::PassStart {
+                        proc: i,
+                        pass: 0,
+                        phase: 0,
+                        disk: i,
+                        area: format!("R_{i}"),
+                    },
+                );
                 let part_bytes = rels.rel.s_part_bytes();
                 let mut batcher = SBatcher::new(env, proc, i, rels, spec.g_buffer);
                 let mut scan = ObjScan::new(&rf, 0, r_size, ri_objects);
@@ -80,6 +90,18 @@ pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOut
                 }
                 batcher.flush(&mut state.acc)?;
                 state.rp = Some(rp);
+                env.trace(
+                    proc,
+                    TraceEvent::PassEnd {
+                        proc: i,
+                        pass: 0,
+                        phase: 0,
+                        disk: i,
+                        area: format!("R_{i}"),
+                        bytes: ri_objects * r_size as u64,
+                        objects: ri_objects,
+                    },
+                );
 
                 if !sync {
                     // ---- pass 1, free-running phases ----
@@ -104,7 +126,13 @@ pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOut
     };
     let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
     let summary = stage_summary(&name_refs, &times);
-    Ok(finish(env, d, states.into_iter().map(|s| s.acc), summary))
+    Ok(finish(
+        env,
+        d,
+        states.into_iter().map(|s| s.acc),
+        summary,
+        &times,
+    ))
 }
 
 fn run_phase<E: Env>(
@@ -118,12 +146,37 @@ fn run_phase<E: Env>(
     let d = rels.rel.d;
     let proc = ProcId::rproc(i);
     let j = phase_partner(i, t, d);
+    env.trace(
+        proc,
+        TraceEvent::PassStart {
+            proc: i,
+            pass: 1,
+            phase: t,
+            disk: j,
+            area: format!("R({i},{j})"),
+        },
+    );
     let rp = state.rp.as_ref().expect("pass 0 ran");
     let mut batcher = SBatcher::new(env, proc, j, rels, spec.g_buffer);
     let mut reader = rp.stream_reader(j);
     let mut obj = vec![0u8; rels.rel.r_size as usize];
+    let mut objects = 0u64;
     while reader.next_into(proc, &mut obj)? {
         batcher.add(r_key(&obj), r_sptr(&obj), &mut state.acc)?;
+        objects += 1;
     }
-    batcher.flush(&mut state.acc)
+    batcher.flush(&mut state.acc)?;
+    env.trace(
+        proc,
+        TraceEvent::PassEnd {
+            proc: i,
+            pass: 1,
+            phase: t,
+            disk: j,
+            area: format!("R({i},{j})"),
+            bytes: objects * rels.rel.r_size as u64,
+            objects,
+        },
+    );
+    Ok(())
 }

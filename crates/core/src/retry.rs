@@ -26,7 +26,7 @@
 
 use std::time::Duration;
 
-use mmjoin_env::{Env, EnvError, ProcId, Result};
+use mmjoin_env::{Env, EnvError, ProcId, Result, TraceEvent};
 use mmjoin_relstore::Relations;
 
 use crate::exec::{JoinOutput, JoinSpec};
@@ -161,6 +161,12 @@ pub fn join_with_retry_report<E: Env>(
     let mut report = RetryReport::default();
     loop {
         report.attempts += 1;
+        env.trace(
+            ProcId(0),
+            TraceEvent::RetryAttempt {
+                attempt: report.attempts,
+            },
+        );
         match crate::join(env, rels, alg, spec) {
             Ok(out) => return (Ok(out), report),
             Err(e) => {
@@ -175,6 +181,13 @@ pub fn join_with_retry_report<E: Env>(
                 }
                 report.transient_errors += 1;
                 let backoff = policy.backoff(report.attempts);
+                env.trace(
+                    ProcId(0),
+                    TraceEvent::RetryBackoff {
+                        attempt: report.attempts,
+                        millis: backoff.as_millis() as u64,
+                    },
+                );
                 if !backoff.is_zero() {
                     std::thread::sleep(backoff);
                 }

@@ -17,7 +17,7 @@
 //! Unlike nested loops, phases here are synchronized (§6.3), hence the
 //! per-phase stages.
 
-use mmjoin_env::{CpuOp, DiskId, Env, EnvError, MoveKind, ProcId, Result, SPtr};
+use mmjoin_env::{CpuOp, DiskId, Env, EnvError, MoveKind, ProcId, Result, SPtr, TraceEvent};
 use mmjoin_model::{choose_irun, choose_nrun_abl, choose_nrun_last, merge_plan, MergePlan};
 use mmjoin_relstore::{chunked_capacity, names, r_key, r_sptr, ChunkedFile, ObjScan, Relations};
 
@@ -114,7 +114,13 @@ pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOut
     names.push("sort+merge+join".into());
     let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
     let summary = stage_summary(&refs, &times);
-    Ok(finish(env, d, states.into_iter().map(|s| s.acc), summary))
+    Ok(finish(
+        env,
+        d,
+        states.into_iter().map(|s| s.acc),
+        summary,
+        &times,
+    ))
 }
 
 fn pass0<E: Env>(
@@ -130,7 +136,18 @@ fn pass0<E: Env>(
     let part_bytes = rels.rel.s_part_bytes();
     let rp = state.rp.as_ref().expect("setup ran").clone();
     let rs = state.rs.as_ref().expect("setup ran").clone();
-    let mut scan = ObjScan::new(&rf, 0, r_size, rels.rel.r_per_part());
+    env.trace(
+        proc,
+        TraceEvent::PassStart {
+            proc: i,
+            pass: 0,
+            phase: 0,
+            disk: i,
+            area: format!("R_{i}"),
+        },
+    );
+    let ri_objects = rels.rel.r_per_part();
+    let mut scan = ObjScan::new(&rf, 0, r_size, ri_objects);
     let mut obj = vec![0u8; r_size as usize];
     while scan.next_into(proc, &mut obj)? {
         env.cpu(proc, CpuOp::Map, 1);
@@ -143,6 +160,18 @@ fn pass0<E: Env>(
         }
         env.move_bytes(proc, MoveKind::PP, r_size as u64);
     }
+    env.trace(
+        proc,
+        TraceEvent::PassEnd {
+            proc: i,
+            pass: 0,
+            phase: 0,
+            disk: i,
+            area: format!("R_{i}"),
+            bytes: ri_objects * r_size as u64,
+            objects: ri_objects,
+        },
+    );
     let _ = spec;
     Ok(())
 }
@@ -158,14 +187,38 @@ fn phase<E: Env>(
     let proc = ProcId::rproc(i);
     let d = rels.rel.d;
     let j = phase_partner(i, t, d);
+    env.trace(
+        proc,
+        TraceEvent::PassStart {
+            proc: i,
+            pass: 1,
+            phase: t,
+            disk: j,
+            area: format!("R({i},{j})"),
+        },
+    );
     let rp = state.rp.as_ref().expect("pass 0 ran");
     let rs_j = slots.get(j);
     let mut reader = rp.stream_reader(j);
     let mut obj = vec![0u8; rels.rel.r_size as usize];
+    let mut objects = 0u64;
     while reader.next_into(proc, &mut obj)? {
         rs_j.append(proc, 0, &obj)?;
         env.move_bytes(proc, MoveKind::PP, rels.rel.r_size as u64);
+        objects += 1;
     }
+    env.trace(
+        proc,
+        TraceEvent::PassEnd {
+            proc: i,
+            pass: 1,
+            phase: t,
+            disk: j,
+            area: format!("R({i},{j})"),
+            bytes: objects * rels.rel.r_size as u64,
+            objects,
+        },
+    );
     Ok(())
 }
 
@@ -180,9 +233,30 @@ fn local_sort_merge_join<E: Env>(
     let r_size = rels.rel.r_size as usize;
     let rs = state.rs.take().expect("setup ran");
     let n = rs.stream_len(0);
+    env.trace(
+        proc,
+        TraceEvent::PassStart {
+            proc: i,
+            pass: 2,
+            phase: 0,
+            disk: i,
+            area: format!("RS_{i}"),
+        },
+    );
+    let pass_end = |objects: u64| TraceEvent::PassEnd {
+        proc: i,
+        pass: 2,
+        phase: 0,
+        disk: i,
+        area: format!("RS_{i}"),
+        bytes: objects * r_size as u64,
+        objects,
+    };
     let mut batcher = SBatcher::new(env, proc, i, rels, spec.g_buffer);
     if n == 0 {
-        return batcher.flush(&mut state.acc);
+        batcher.flush(&mut state.acc)?;
+        env.trace(proc, pass_end(0));
+        return Ok(());
     }
 
     // ---- run formation (pass 2) ----
@@ -273,6 +347,7 @@ fn local_sort_merge_join<E: Env>(
         Some(&mut batcher),
         &mut state.acc,
     )?;
+    env.trace(proc, pass_end(n));
     Ok(())
 }
 

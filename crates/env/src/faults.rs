@@ -51,6 +51,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::error::{EnvError, Result};
+use crate::trace::{TraceEvent, TraceSink};
 use crate::{CpuOp, DiskId, Env, EnvStats, FileOps, MoveKind, ProcId, SCatalog, SPtr};
 
 /// Operations a fault rule can target.
@@ -446,6 +447,45 @@ struct FaultyInner<E: Env> {
     disks: Mutex<HashMap<String, DiskId>>,
 }
 
+impl<E: Env> FaultyInner<E> {
+    /// Run the injector for one candidate op, mirroring every injection
+    /// — transient errors, `DiskFull`, and delay spikes alike — into the
+    /// wrapped environment's structured trace. An empty spec stays a
+    /// strict no-op: no draws, no events.
+    fn check(&self, proc: ProcId, op: FaultKind, disk: Option<DiskId>, name: &str) -> Result<()> {
+        if self.injector.spec.is_empty() {
+            return Ok(());
+        }
+        let sink = self.env.trace_sink();
+        if !sink.enabled() {
+            return self.injector.check(op, disk, name);
+        }
+        let before = self.injector.stats_mut().total();
+        let result = self.injector.check(op, disk, name);
+        let after = self.injector.stats_mut().total();
+        if after > before {
+            let kind = match &result {
+                Err(EnvError::DiskFull(_)) => FaultKind::DiskFull.name(),
+                Err(_) => op.name(),
+                // `check` only bumps counters without erroring for
+                // latency spikes.
+                Ok(()) => FaultKind::Delay.name(),
+            };
+            self.env.trace(
+                proc,
+                TraceEvent::FaultInjected {
+                    proc: proc.0,
+                    op: op.name().to_string(),
+                    kind: kind.to_string(),
+                    name: name.to_string(),
+                    disk: disk.map(|d| d.0),
+                },
+            );
+        }
+        result
+    }
+}
+
 /// An [`Env`] wrapper injecting seeded deterministic faults (see the
 /// module docs). With an empty [`FaultSpec`] every call forwards
 /// unchanged — same results, same measured costs.
@@ -518,15 +558,13 @@ impl<E: Env> FileOps for FaultyFile<E> {
 
     fn read_at(&self, proc: ProcId, offset: u64, buf: &mut [u8]) -> Result<()> {
         self.inner
-            .injector
-            .check(FaultKind::Read, self.disk, &self.name)?;
+            .check(proc, FaultKind::Read, self.disk, &self.name)?;
         self.file.read_at(proc, offset, buf)
     }
 
     fn write_at(&self, proc: ProcId, offset: u64, buf: &[u8]) -> Result<()> {
         self.inner
-            .injector
-            .check(FaultKind::Write, self.disk, &self.name)?;
+            .check(proc, FaultKind::Write, self.disk, &self.name)?;
         self.file.write_at(proc, offset, buf)
     }
 }
@@ -550,8 +588,7 @@ impl<E: Env> Env for FaultyEnv<E> {
         bytes: u64,
     ) -> Result<Self::File> {
         self.inner
-            .injector
-            .check(FaultKind::Create, Some(disk), name)?;
+            .check(proc, FaultKind::Create, Some(disk), name)?;
         let file = self.inner.env.create_file(proc, name, disk, bytes)?;
         self.inner
             .disks
@@ -568,7 +605,7 @@ impl<E: Env> Env for FaultyEnv<E> {
 
     fn open_file(&self, proc: ProcId, name: &str) -> Result<Self::File> {
         let disk = self.disk_of(name);
-        self.inner.injector.check(FaultKind::Open, disk, name)?;
+        self.inner.check(proc, FaultKind::Open, disk, name)?;
         let file = self.inner.env.open_file(proc, name)?;
         Ok(FaultyFile {
             file,
@@ -580,7 +617,7 @@ impl<E: Env> Env for FaultyEnv<E> {
 
     fn delete_file(&self, proc: ProcId, name: &str) -> Result<()> {
         let disk = self.disk_of(name);
-        self.inner.injector.check(FaultKind::Delete, disk, name)?;
+        self.inner.check(proc, FaultKind::Delete, disk, name)?;
         self.inner.env.delete_file(proc, name)?;
         self.inner
             .disks
@@ -619,8 +656,7 @@ impl<E: Env> Env for FaultyEnv<E> {
         out: &mut Vec<u8>,
     ) -> Result<()> {
         self.inner
-            .injector
-            .check(FaultKind::SFetch, Some(DiskId(spart)), "S_fetch")?;
+            .check(proc, FaultKind::SFetch, Some(DiskId(spart)), "S_fetch")?;
         self.inner
             .env
             .s_fetch_batch(proc, spart, ptrs, req_bytes_each, out)
@@ -645,6 +681,12 @@ impl<E: Env> Env for FaultyEnv<E> {
 
     fn stats(&self) -> EnvStats {
         self.inner.env.stats()
+    }
+
+    fn trace_sink(&self) -> std::sync::Arc<dyn TraceSink> {
+        // Wrapper events (fault injections) and inner events (map ops,
+        // passes) interleave into the one sink the inner env holds.
+        self.inner.env.trace_sink()
     }
 }
 

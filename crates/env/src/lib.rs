@@ -25,15 +25,21 @@
 pub mod cost;
 pub mod error;
 pub mod faults;
+pub mod hist;
 pub mod ids;
 pub mod layout;
 pub mod machine;
 pub mod stats;
+pub mod trace;
 pub mod traits;
 
 pub use cost::{CpuOp, MoveKind};
 pub use error::{EnvError, Result};
 pub use faults::{FaultKind, FaultSpec, FaultStats, FaultyEnv, FaultyFile};
+pub use hist::Histogram;
 pub use ids::{DiskId, ProcId, SPtr};
 pub use stats::{EnvStats, ProcStats};
+pub use trace::{
+    null_sink, CollectingSink, JsonlSink, MapOp, NullSink, TraceEvent, TraceRecord, TraceSink,
+};
 pub use traits::{Env, FileOps, SCatalog};

@@ -1,0 +1,577 @@
+//! Structured trace events for joins, environments, and the service.
+//!
+//! The paper's central claims are *schedule* claims — pass 1's staggered
+//! phases `offset(i,t) = ((i+t-1) mod D) + 1` keep every disk owned by
+//! exactly one process per phase (§5) — yet counters alone cannot show a
+//! schedule. This module defines a small event vocabulary
+//! ([`TraceEvent`]) and a pluggable sink ([`TraceSink`]) so that the
+//! algorithms, the environments, the fault injector, the retry layer,
+//! and the job service can all narrate what they do. The in-memory
+//! [`CollectingSink`] turns executions into test oracles (see
+//! `tests/trace_schedule.rs`); the [`JsonlSink`] backs the `--trace`
+//! CLI flag.
+//!
+//! Events carry no timestamps themselves; the emitting environment
+//! stamps each one with the emitting process's clock (virtual seconds in
+//! the simulator, wall seconds in the real store) into a
+//! [`TraceRecord`]. Comparing event *sequences* across environments is
+//! therefore exact: strip the `t` fields and the remaining payloads must
+//! be identical (asserted in `tests/cross_env_equivalence.rs`).
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// How a mapping came into being: a fresh file (`newMap`) or an existing
+/// one re-opened (`openMap`), mirroring the Fig. 1b cost taxonomy.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MapOp {
+    /// `newMap`: the file was created.
+    New,
+    /// `openMap`: an existing file was opened.
+    Open,
+}
+
+impl MapOp {
+    /// Stable lowercase name used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MapOp::New => "new",
+            MapOp::Open => "open",
+        }
+    }
+}
+
+/// One structured event. Variants cover the join passes (the schedule),
+/// mapping setup/teardown (Fig. 1b operations), fault injections, retry
+/// attempts, and service job lifecycle transitions.
+///
+/// Field conventions: `proc` is the emitting [`ProcId`](crate::ProcId)
+/// index; `pass` is 0 (scan/scatter), 1 (staggered phases), or 2 (the
+/// algorithm-specific local join pass); `phase` is the paper's `t`
+/// (0 for passes without phases); `disk` is the disk the pass touches;
+/// `area` names the storage area in the paper's notation (`R_i`,
+/// `R(i,j)` for the sub-partition `R_{i,j}` held in `RP_i`, `RS_i`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A join pass (or one phase of pass 1) begins on `proc`.
+    PassStart {
+        /// Emitting process.
+        proc: u32,
+        /// Pass id: 0 scan, 1 staggered phases, 2 local join.
+        pass: u32,
+        /// Phase `t` within pass 1 (0 elsewhere).
+        phase: u32,
+        /// Disk this pass touches.
+        disk: u32,
+        /// Storage area in paper notation (`R_i`, `R(i,j)`, `RS_i`).
+        area: String,
+    },
+    /// The matching end of a [`TraceEvent::PassStart`].
+    PassEnd {
+        /// Emitting process.
+        proc: u32,
+        /// Pass id: 0 scan, 1 staggered phases, 2 local join.
+        pass: u32,
+        /// Phase `t` within pass 1 (0 elsewhere).
+        phase: u32,
+        /// Disk this pass touched.
+        disk: u32,
+        /// Storage area in paper notation.
+        area: String,
+        /// Bytes of R-objects processed by the pass.
+        bytes: u64,
+        /// R-objects processed by the pass.
+        objects: u64,
+    },
+    /// A mapping was established (`newMap`/`openMap`).
+    MapSetup {
+        /// Process performing the operation.
+        proc: u32,
+        /// Whether the file was created or re-opened.
+        op: MapOp,
+        /// File name.
+        name: String,
+        /// Disk holding the file.
+        disk: u32,
+        /// Logical file size in bytes.
+        bytes: u64,
+    },
+    /// A mapping was destroyed (`deleteMap`).
+    MapTeardown {
+        /// Process performing the operation.
+        proc: u32,
+        /// File name.
+        name: String,
+        /// Disk that held the file.
+        disk: u32,
+    },
+    /// The fault injector fired a rule.
+    FaultInjected {
+        /// Process whose operation was faulted.
+        proc: u32,
+        /// Operation label (`read`, `write`, `create`, ...).
+        op: String,
+        /// What was injected: the op label for transient errors,
+        /// `diskfull`, or `delay`.
+        kind: String,
+        /// File (or `S_fetch` partition) the operation targeted.
+        name: String,
+        /// Disk, when the operation names one.
+        disk: Option<u32>,
+    },
+    /// `join_with_retry` starts attempt `attempt` (1-based).
+    RetryAttempt {
+        /// Attempt number, starting at 1.
+        attempt: u32,
+    },
+    /// A transient failure was caught; sleeping before the next attempt.
+    RetryBackoff {
+        /// The attempt that just failed.
+        attempt: u32,
+        /// Backoff sleep in milliseconds.
+        millis: u64,
+    },
+    /// A job entered the service queue.
+    JobSubmitted {
+        /// Service job id.
+        job: u64,
+        /// Reserved footprint `m_rproc × D` in bytes.
+        footprint: u64,
+    },
+    /// The admission controller dispatched a queued job to a worker.
+    JobAdmitted {
+        /// Service job id.
+        job: u64,
+        /// Reserved footprint in bytes.
+        footprint: u64,
+        /// Budget bytes in use after this admission.
+        used: u64,
+    },
+    /// A job degraded to a smaller memory grant after `DiskFull`.
+    JobDegraded {
+        /// Service job id.
+        job: u64,
+        /// New (reduced) footprint in bytes.
+        footprint: u64,
+        /// Bytes returned to the global budget.
+        released: u64,
+    },
+    /// A job left the service (successfully or not).
+    JobCompleted {
+        /// Service job id.
+        job: u64,
+        /// Whether the job produced a verified result.
+        ok: bool,
+        /// How many times the job degraded.
+        degraded: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case tag used as the `"ev"` field in JSONL.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            TraceEvent::PassStart { .. } => "pass_start",
+            TraceEvent::PassEnd { .. } => "pass_end",
+            TraceEvent::MapSetup { .. } => "map_setup",
+            TraceEvent::MapTeardown { .. } => "map_teardown",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::RetryAttempt { .. } => "retry_attempt",
+            TraceEvent::RetryBackoff { .. } => "retry_backoff",
+            TraceEvent::JobSubmitted { .. } => "job_submitted",
+            TraceEvent::JobAdmitted { .. } => "job_admitted",
+            TraceEvent::JobDegraded { .. } => "job_degraded",
+            TraceEvent::JobCompleted { .. } => "job_completed",
+        }
+    }
+}
+
+/// A timestamped event: `t` is the emitting process's clock in seconds
+/// (virtual in `SimEnv`, wall since environment creation in `MmapEnv`,
+/// wall since service start for job lifecycle events).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceRecord {
+    /// Timestamp in seconds.
+    pub t: f64,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+impl TraceRecord {
+    /// Encode as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        encode(self.t, &self.event)
+    }
+}
+
+/// Destination for trace events. Implementations must be cheap enough to
+/// call from inside the join inner loops' pass boundaries.
+pub trait TraceSink: Send + Sync {
+    /// Record one event stamped at `t` seconds.
+    fn emit(&self, t: f64, event: TraceEvent);
+    /// False when emissions are guaranteed to be discarded, letting
+    /// callers skip event construction entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A sink that discards everything; the default for every environment.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&self, _t: f64, _event: TraceEvent) {}
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// The process-wide shared null sink.
+pub fn null_sink() -> Arc<dyn TraceSink> {
+    static NULL: OnceLock<Arc<NullSink>> = OnceLock::new();
+    NULL.get_or_init(|| Arc::new(NullSink)).clone()
+}
+
+/// An in-memory sink for tests: collects every record in order.
+#[derive(Default)]
+pub struct CollectingSink {
+    records: Mutex<Vec<TraceRecord>>,
+}
+
+impl CollectingSink {
+    /// A fresh, empty, shareable collecting sink.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Snapshot of every record collected so far, in emission order.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.records.lock().unwrap().clone()
+    }
+
+    /// The event payloads only (timestamps stripped) — the shape two
+    /// environments must agree on.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.records
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|r| r.event.clone())
+            .collect()
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap().len()
+    }
+
+    /// True when nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop everything collected so far.
+    pub fn clear(&self) {
+        self.records.lock().unwrap().clear();
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn emit(&self, t: f64, event: TraceEvent) {
+        self.records.lock().unwrap().push(TraceRecord { t, event });
+    }
+}
+
+/// A sink writing one JSON object per line to a file (the `--trace`
+/// flag's backend). Lines are flushed when the sink is dropped.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncating) the trace file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            out: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Flush buffered lines to disk.
+    pub fn flush(&self) -> io::Result<()> {
+        self.out.lock().unwrap().flush()
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn emit(&self, t: f64, event: TraceEvent) {
+        let line = encode(t, &event);
+        let mut out = self.out.lock().unwrap();
+        // A failed trace write must not fail the traced operation.
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn esc(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Encode one record as a JSON object (no trailing newline).
+pub fn encode(t: f64, event: &TraceEvent) -> String {
+    use fmt::Write as _;
+    let mut s = String::with_capacity(96);
+    let _ = write!(s, "{{\"t\":{t:.9},\"ev\":\"{}\"", event.tag());
+    match event {
+        TraceEvent::PassStart {
+            proc,
+            pass,
+            phase,
+            disk,
+            area,
+        } => {
+            let _ = write!(
+                s,
+                ",\"proc\":{proc},\"pass\":{pass},\"phase\":{phase},\"disk\":{disk},\"area\":\""
+            );
+            esc(area, &mut s);
+            s.push('"');
+        }
+        TraceEvent::PassEnd {
+            proc,
+            pass,
+            phase,
+            disk,
+            area,
+            bytes,
+            objects,
+        } => {
+            let _ = write!(
+                s,
+                ",\"proc\":{proc},\"pass\":{pass},\"phase\":{phase},\"disk\":{disk},\"area\":\""
+            );
+            esc(area, &mut s);
+            let _ = write!(s, "\",\"bytes\":{bytes},\"objects\":{objects}");
+        }
+        TraceEvent::MapSetup {
+            proc,
+            op,
+            name,
+            disk,
+            bytes,
+        } => {
+            let _ = write!(s, ",\"proc\":{proc},\"op\":\"{}\",\"name\":\"", op.as_str());
+            esc(name, &mut s);
+            let _ = write!(s, "\",\"disk\":{disk},\"bytes\":{bytes}");
+        }
+        TraceEvent::MapTeardown { proc, name, disk } => {
+            let _ = write!(s, ",\"proc\":{proc},\"name\":\"");
+            esc(name, &mut s);
+            let _ = write!(s, "\",\"disk\":{disk}");
+        }
+        TraceEvent::FaultInjected {
+            proc,
+            op,
+            kind,
+            name,
+            disk,
+        } => {
+            let _ = write!(s, ",\"proc\":{proc},\"op\":\"");
+            esc(op, &mut s);
+            s.push_str("\",\"kind\":\"");
+            esc(kind, &mut s);
+            s.push_str("\",\"name\":\"");
+            esc(name, &mut s);
+            s.push('"');
+            match disk {
+                Some(d) => {
+                    let _ = write!(s, ",\"disk\":{d}");
+                }
+                None => s.push_str(",\"disk\":null"),
+            }
+        }
+        TraceEvent::RetryAttempt { attempt } => {
+            let _ = write!(s, ",\"attempt\":{attempt}");
+        }
+        TraceEvent::RetryBackoff { attempt, millis } => {
+            let _ = write!(s, ",\"attempt\":{attempt},\"millis\":{millis}");
+        }
+        TraceEvent::JobSubmitted { job, footprint } => {
+            let _ = write!(s, ",\"job\":{job},\"footprint\":{footprint}");
+        }
+        TraceEvent::JobAdmitted {
+            job,
+            footprint,
+            used,
+        } => {
+            let _ = write!(
+                s,
+                ",\"job\":{job},\"footprint\":{footprint},\"used\":{used}"
+            );
+        }
+        TraceEvent::JobDegraded {
+            job,
+            footprint,
+            released,
+        } => {
+            let _ = write!(
+                s,
+                ",\"job\":{job},\"footprint\":{footprint},\"released\":{released}"
+            );
+        }
+        TraceEvent::JobCompleted { job, ok, degraded } => {
+            let _ = write!(s, ",\"job\":{job},\"ok\":{ok},\"degraded\":{degraded}");
+        }
+    }
+    s.push('}');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled_and_shared() {
+        let a = null_sink();
+        let b = null_sink();
+        assert!(!a.enabled());
+        assert!(Arc::ptr_eq(&a, &b));
+        a.emit(1.0, TraceEvent::RetryAttempt { attempt: 1 });
+    }
+
+    #[test]
+    fn collecting_sink_preserves_order_and_payloads() {
+        let sink = CollectingSink::new();
+        sink.emit(0.5, TraceEvent::RetryAttempt { attempt: 1 });
+        sink.emit(
+            1.5,
+            TraceEvent::PassStart {
+                proc: 0,
+                pass: 1,
+                phase: 2,
+                disk: 3,
+                area: "R(0,3)".into(),
+            },
+        );
+        let recs = sink.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].t, 0.5);
+        assert_eq!(recs[0].event, TraceEvent::RetryAttempt { attempt: 1 });
+        assert_eq!(sink.events()[1].tag(), "pass_start");
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_encoding_is_one_flat_object() {
+        let line = encode(
+            0.25,
+            &TraceEvent::PassEnd {
+                proc: 1,
+                pass: 1,
+                phase: 3,
+                disk: 0,
+                area: "R(1,0)".into(),
+                bytes: 4096,
+                objects: 32,
+            },
+        );
+        assert!(line.starts_with("{\"t\":0.250000000,\"ev\":\"pass_end\""));
+        assert!(line.ends_with('}'));
+        assert!(line.contains("\"disk\":0"));
+        assert!(line.contains("\"bytes\":4096"));
+        assert!(line.contains("\"objects\":32"));
+        assert_eq!(line.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let line = encode(
+            0.0,
+            &TraceEvent::MapTeardown {
+                proc: 0,
+                name: "we\"ird\\name\n".into(),
+                disk: 2,
+            },
+        );
+        assert!(line.contains("we\\\"ird\\\\name\\n"));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path =
+            std::env::temp_dir().join(format!("mmjoin_trace_test_{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.emit(0.0, TraceEvent::RetryAttempt { attempt: 1 });
+            sink.emit(
+                1.0,
+                TraceEvent::JobCompleted {
+                    job: 7,
+                    ok: true,
+                    degraded: 0,
+                },
+            );
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+        assert!(lines[1].contains("\"ok\":true"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fault_event_encodes_optional_disk() {
+        let with = encode(
+            0.0,
+            &TraceEvent::FaultInjected {
+                proc: 2,
+                op: "read".into(),
+                kind: "read".into(),
+                name: "w.RP_1#t2".into(),
+                disk: Some(1),
+            },
+        );
+        assert!(with.contains("\"disk\":1"));
+        let without = encode(
+            0.0,
+            &TraceEvent::FaultInjected {
+                proc: 2,
+                op: "delete".into(),
+                kind: "delay".into(),
+                name: "x".into(),
+                disk: None,
+            },
+        );
+        assert!(without.contains("\"disk\":null"));
+    }
+}

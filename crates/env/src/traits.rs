@@ -23,7 +23,9 @@
 //!   the costs are incurred physically.
 
 use crate::error::Result;
+use crate::trace::{null_sink, TraceEvent, TraceSink};
 use crate::{CpuOp, DiskId, EnvStats, MoveKind, ProcId, SPtr};
+use std::sync::Arc;
 
 /// Byte-addressed access to one mapped file (a relation partition or a
 /// temporary area).
@@ -152,4 +154,21 @@ pub trait Env: Send + Sync {
 
     /// Snapshot all per-process counters.
     fn stats(&self) -> EnvStats;
+
+    /// The structured trace sink this environment emits to. Defaults to
+    /// the shared [`NullSink`](crate::NullSink) (tracing off); concrete
+    /// environments override this with a settable sink.
+    fn trace_sink(&self) -> Arc<dyn TraceSink> {
+        null_sink()
+    }
+
+    /// Emit a structured trace event stamped with `proc`'s current
+    /// clock. Wrappers (e.g. `FaultyEnv`) inherit the inner sink via
+    /// [`Env::trace_sink`], so events flow to one place.
+    fn trace(&self, proc: ProcId, event: TraceEvent) {
+        let sink = self.trace_sink();
+        if sink.enabled() {
+            sink.emit(self.now(proc), event);
+        }
+    }
 }

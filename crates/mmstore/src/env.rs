@@ -29,6 +29,7 @@ use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use memmap2::MmapRaw;
+use mmjoin_env::trace::{null_sink, MapOp, TraceEvent, TraceSink};
 use mmjoin_env::{
     CpuOp, DiskId, Env, EnvError, EnvStats, FileOps, MoveKind, ProcId, ProcStats, Result, SCatalog,
     SPtr,
@@ -52,6 +53,7 @@ struct MappedFile {
     path: PathBuf,
     map: MmapRaw,
     len: u64,
+    disk: DiskId,
     // Keep the file open for the mapping's lifetime.
     _file: std::fs::File,
 }
@@ -115,6 +117,7 @@ struct Inner {
     procs: Vec<Mutex<ProcStats>>,
     origin: Mutex<Instant>,
     s_service: Mutex<Option<SService>>,
+    sink: RwLock<Arc<dyn TraceSink>>,
 }
 
 /// The real memory-mapped environment (cheap to clone).
@@ -148,6 +151,7 @@ impl MmapEnv {
                 procs,
                 origin: Mutex::new(Instant::now()),
                 s_service: Mutex::new(None),
+                sink: RwLock::new(null_sink()),
             }),
         })
     }
@@ -162,6 +166,15 @@ impl MmapEnv {
 
     fn bump_map_ops(&self, proc: ProcId) {
         self.inner.procs[proc.0 as usize].lock().map_ops += 1;
+    }
+
+    /// Install a structured trace sink (`mmjoin_env::trace`). Map
+    /// setup/teardown events from this environment and pass events from
+    /// the join algorithms flow to it, stamped with wall seconds since
+    /// the environment's origin. Event payloads match `SimEnv`'s
+    /// byte-for-byte, so cross-environment sequences compare equal.
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) {
+        *self.inner.sink.write() = sink;
     }
 }
 
@@ -220,6 +233,7 @@ impl Env for MmapEnv {
             path,
             map,
             len: bytes,
+            disk,
             _file: file,
         });
         self.inner
@@ -227,6 +241,16 @@ impl Env for MmapEnv {
             .write()
             .insert(name.to_string(), mapped.clone());
         self.bump_map_ops(proc);
+        self.trace(
+            proc,
+            TraceEvent::MapSetup {
+                proc: proc.0,
+                op: MapOp::New,
+                name: name.to_string(),
+                disk: disk.0,
+                bytes,
+            },
+        );
         Ok(MmapFile { file: mapped })
     }
 
@@ -239,6 +263,16 @@ impl Env for MmapEnv {
             .cloned()
             .ok_or_else(|| EnvError::NotFound(name.into()))?;
         self.bump_map_ops(proc);
+        self.trace(
+            proc,
+            TraceEvent::MapSetup {
+                proc: proc.0,
+                op: MapOp::Open,
+                name: name.to_string(),
+                disk: file.disk.0,
+                bytes: file.len,
+            },
+        );
         Ok(MmapFile { file })
     }
 
@@ -251,6 +285,14 @@ impl Env for MmapEnv {
             .ok_or_else(|| EnvError::NotFound(name.into()))?;
         std::fs::remove_file(&file.path)?;
         self.bump_map_ops(proc);
+        self.trace(
+            proc,
+            TraceEvent::MapTeardown {
+                proc: proc.0,
+                name: name.to_string(),
+                disk: file.disk.0,
+            },
+        );
         Ok(())
     }
 
@@ -429,6 +471,10 @@ impl Env for MmapEnv {
                 })
                 .collect(),
         }
+    }
+
+    fn trace_sink(&self) -> Arc<dyn TraceSink> {
+        self.inner.sink.read().clone()
     }
 }
 

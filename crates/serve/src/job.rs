@@ -181,6 +181,9 @@ pub struct JobResult {
     /// Times the job was re-planned with a halved memory footprint
     /// after `DiskFull`.
     pub degraded: u32,
+    /// Bytes of the job's original budget reservation returned to the
+    /// global pool mid-run by degradations.
+    pub released_bytes: u64,
     /// Orphaned temporary files deleted by recovery.
     pub cleaned_files: u64,
     /// The job stopped because it exceeded its wall-clock deadline.

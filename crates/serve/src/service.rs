@@ -18,7 +18,9 @@ use mmjoin::{
     RetryReport,
 };
 use mmjoin_env::machine::MachineParams;
-use mmjoin_env::{EnvError, FaultSpec, FaultyEnv, ProcStats};
+use mmjoin_env::{
+    null_sink, EnvError, FaultSpec, FaultyEnv, Histogram, ProcStats, TraceEvent, TraceSink,
+};
 use mmjoin_mmstore::{MmapEnv, MmapEnvConfig};
 use mmjoin_relstore::build;
 use mmjoin_vmsim::{calibrated_params, DiskParams, SimConfig, SimEnv};
@@ -42,7 +44,7 @@ pub enum EnvKind {
 }
 
 /// Service configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Global memory budget in bytes that concurrently-running jobs'
     /// `m_rproc × D` footprints must fit into.
@@ -64,6 +66,27 @@ pub struct ServeConfig {
     /// Per-job wall-clock deadline, checked between attempts; `None`
     /// means unlimited.
     pub deadline: Option<Duration>,
+    /// Structured trace sink. Job lifecycle events (submission,
+    /// admission, degradation, completion) are emitted here with
+    /// service wall-clock timestamps; the sink is also installed on
+    /// every job's environment, so pass/map/fault events land in the
+    /// same stream (with env-local timestamps).
+    pub trace: Arc<dyn TraceSink>,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("budget_bytes", &self.budget_bytes)
+            .field("workers", &self.workers)
+            .field("policy", &self.policy)
+            .field("env", &self.env)
+            .field("fault_spec", &self.fault_spec)
+            .field("retries", &self.retries)
+            .field("deadline", &self.deadline)
+            .field("trace_enabled", &self.trace.enabled())
+            .finish()
+    }
 }
 
 /// How many times a job may halve its footprint on `DiskFull` before
@@ -81,6 +104,7 @@ impl ServeConfig {
             fault_spec: FaultSpec::none(),
             retries: 3,
             deadline: None,
+            trace: null_sink(),
         }
     }
 
@@ -105,6 +129,12 @@ impl ServeConfig {
     /// Same config with a per-job deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Same config with a structured trace sink.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = sink;
         self
     }
 }
@@ -150,11 +180,22 @@ struct Shared {
     work: Condvar,
     /// Signalled when a job completes (for [`Service::drain`]).
     done: Condvar,
+    /// Service start; lifecycle trace timestamps are seconds since it.
+    origin: Instant,
 }
 
 impl Shared {
     fn lock(&self) -> MutexGuard<'_, State> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Emit a job lifecycle event at the service wall clock.
+    fn trace(&self, event: TraceEvent) {
+        if self.cfg.trace.enabled() {
+            self.cfg
+                .trace
+                .emit(self.origin.elapsed().as_secs_f64(), event);
+        }
     }
 }
 
@@ -176,6 +217,7 @@ impl Service {
             state: Mutex::new(State::default()),
             work: Condvar::new(),
             done: Condvar::new(),
+            origin: Instant::now(),
         });
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
@@ -231,6 +273,8 @@ impl Service {
             enqueued: Instant::now(),
         });
         drop(st);
+        self.shared
+            .trace(TraceEvent::JobSubmitted { job: id, footprint });
         self.shared.work.notify_all();
         Ok(id)
     }
@@ -340,14 +384,28 @@ fn worker_loop(shared: &Shared) {
         st.used_bytes += footprint;
         st.stats.peak_budget_bytes = st.stats.peak_budget_bytes.max(st.used_bytes);
         st.running += 1;
+        let used = st.used_bytes;
         drop(st);
+        shared.trace(TraceEvent::JobAdmitted {
+            job: job.id,
+            footprint,
+            used,
+        });
 
-        let (result, folded) = run_job(shared, job);
+        let (result, folded, passes) = run_job(shared, job);
 
         let mut st = shared.lock();
-        st.used_bytes -= footprint;
+        // Degradations already returned part of the reservation; only
+        // the remainder is still held.
+        st.used_bytes -= footprint - result.released_bytes;
         st.running -= 1;
-        st.stats.record(&result, folded.as_ref());
+        st.stats.record(&result, folded.as_ref(), passes.as_ref());
+        let ok = result.error.is_none() && result.verified;
+        shared.trace(TraceEvent::JobCompleted {
+            job: result.id,
+            ok,
+            degraded: result.degraded,
+        });
         st.results.push(result);
         drop(st);
         // Freed budget may admit a queued job; a finished job may
@@ -378,7 +436,7 @@ struct Attempt {
 ///   `m_sproc` (graceful degradation), up to [`MAX_DEGRADE`] times;
 /// * **transient faults** — absorbed inside `join_with_retry` with
 ///   bounded exponential backoff and orphan cleanup.
-fn run_job(shared: &Shared, job: Queued) -> (JobResult, Option<ProcStats>) {
+fn run_job(shared: &Shared, job: Queued) -> (JobResult, Option<ProcStats>, Option<Histogram>) {
     let queue_wait = job.enqueued.elapsed().as_secs_f64();
     let cfg = &shared.cfg;
     let started = Instant::now();
@@ -404,6 +462,7 @@ fn run_job(shared: &Shared, job: Queued) -> (JobResult, Option<ProcStats>) {
         retries: 0,
         faults_injected: 0,
         degraded: 0,
+        released_bytes: 0,
         cleaned_files: 0,
         deadline_hit: false,
         panicked: false,
@@ -444,10 +503,28 @@ fn run_job(shared: &Shared, job: Queued) -> (JobResult, Option<ProcStats>) {
             Ok(ok) => break Ok(ok),
             Err(EnvError::DiskFull(_)) if result.degraded < MAX_DEGRADE && m_rproc / 2 >= PAGE => {
                 // Graceful degradation: halve the footprint and re-plan
-                // rather than failing the job.
+                // rather than failing the job. The halved reservation is
+                // returned to the global budget immediately, so queued
+                // jobs can be admitted while this one re-runs smaller.
+                let d = job.req.workload.rel.d as u64;
+                let freed = (m_rproc - m_rproc / 2) * d;
                 m_rproc /= 2;
                 m_sproc = (m_sproc / 2).max(PAGE);
                 result.degraded += 1;
+                result.released_bytes += freed;
+                // Emit before releasing: a trace consumer must see the
+                // cause (degradation) before its effect (another job's
+                // admission into the freed room).
+                shared.trace(TraceEvent::JobDegraded {
+                    job: job.id,
+                    footprint: m_rproc * d,
+                    released: freed,
+                });
+                {
+                    let mut st = shared.lock();
+                    st.used_bytes -= freed;
+                }
+                shared.work.notify_all();
             }
             Err(e) => break Err(e.to_string()),
         }
@@ -465,11 +542,11 @@ fn run_job(shared: &Shared, job: Queued) -> (JobResult, Option<ProcStats>) {
             if !verified {
                 result.error = Some("join result failed oracle verification".into());
             }
-            (result, Some(folded))
+            (result, Some(folded), Some(out.pass_seconds))
         }
         Err(e) => {
             result.error = Some(e);
-            (result, None)
+            (result, None, None)
         }
     }
 }
@@ -525,7 +602,10 @@ fn execute(cfg: &ServeConfig, job: &Queued, alg: Algo, m_rproc: u64, m_sproc: u6
             sim_cfg.rproc_pages = (m_rproc / PAGE).max(1) as usize;
             sim_cfg.sproc_pages = (m_sproc / PAGE).max(1) as usize;
             let env = match SimEnv::new(sim_cfg) {
-                Ok(env) => FaultyEnv::new(env, cfg.fault_spec.clone()),
+                Ok(env) => {
+                    env.set_trace_sink(cfg.trace.clone());
+                    FaultyEnv::new(env, cfg.fault_spec.clone())
+                }
                 Err(e) => return fail(e),
             };
             attempt_on(&env, req, alg, &spec, &policy)
@@ -537,7 +617,10 @@ fn execute(cfg: &ServeConfig, job: &Queued, alg: Algo, m_rproc: u64, m_sproc: u6
                 num_disks: req.workload.rel.d,
                 page_size: PAGE,
             }) {
-                Ok(env) => FaultyEnv::new(env, cfg.fault_spec.clone()),
+                Ok(env) => {
+                    env.set_trace_sink(cfg.trace.clone());
+                    FaultyEnv::new(env, cfg.fault_spec.clone())
+                }
                 Err(e) => return fail(e),
             };
             let attempt = attempt_on(&env, req, alg, &spec, &policy);

@@ -2,7 +2,7 @@
 //! counters a long-running service can report, plus a JSON snapshot for
 //! machine consumption.
 
-use mmjoin_env::ProcStats;
+use mmjoin_env::{Histogram, ProcStats};
 
 use crate::job::JobResult;
 
@@ -47,12 +47,27 @@ pub struct ServiceStats {
     /// Every process counter of every job, folded into one set
     /// ([`mmjoin_env::EnvStats::folded`] summed across jobs).
     pub agg: ProcStats,
+    /// Client-observed latency (queue wait + execution) per job.
+    pub latency_hist: Histogram,
+    /// Queue wait per job.
+    pub queue_hist: Histogram,
+    /// Execution wall time per job.
+    pub exec_hist: Histogram,
+    /// Per-pass (stage) durations across every job, merged from each
+    /// job's `JoinOutput::pass_seconds`.
+    pub pass_hist: Histogram,
 }
 
 impl ServiceStats {
     /// Fold one finished job in. `folded` is the job's
-    /// `EnvStats::folded()` when it ran far enough to have stats.
-    pub fn record(&mut self, result: &JobResult, folded: Option<&ProcStats>) {
+    /// `EnvStats::folded()` when it ran far enough to have stats;
+    /// `passes` its per-pass duration histogram, likewise.
+    pub fn record(
+        &mut self,
+        result: &JobResult,
+        folded: Option<&ProcStats>,
+        passes: Option<&Histogram>,
+    ) {
         if result.error.is_none() && result.verified {
             self.completed += 1;
         } else {
@@ -74,6 +89,12 @@ impl ServiceStats {
         if let Some(p) = folded {
             self.agg.absorb(p);
         }
+        self.latency_hist.record(result.latency());
+        self.queue_hist.record(result.queue_wait);
+        self.exec_hist.record(result.exec_wall);
+        if let Some(h) = passes {
+            self.pass_hist.merge(h);
+        }
     }
 
     /// Jobs still queued or running.
@@ -93,7 +114,8 @@ impl ServiceStats {
                 "\"env_elapsed\":{:.6},\"io\":{:.6}}},",
                 "\"faults\":{{\"read_blocks\":{},\"write_blocks\":{},\"page_hits\":{}}},",
                 "\"recovery\":{{\"faults_injected\":{},\"retries\":{},\"degraded\":{},",
-                "\"deadline_exceeded\":{},\"panics\":{},\"cleaned_files\":{}}}}}"
+                "\"deadline_exceeded\":{},\"panics\":{},\"cleaned_files\":{}}},",
+                "\"latency\":{},\"queue\":{},\"exec\":{},\"pass\":{}}}"
             ),
             self.submitted,
             self.rejected,
@@ -116,6 +138,10 @@ impl ServiceStats {
             self.deadline_exceeded,
             self.panics,
             self.cleaned_files,
+            self.latency_hist.to_json(),
+            self.queue_hist.to_json(),
+            self.exec_hist.to_json(),
+            self.pass_hist.to_json(),
         )
     }
 }
@@ -155,6 +181,7 @@ mod tests {
             retries: if ok { 0 } else { 2 },
             faults_injected: if ok { 0 } else { 2 },
             degraded: 0,
+            released_bytes: 0,
             cleaned_files: if ok { 0 } else { 4 },
             deadline_hit: false,
             panicked: false,
@@ -172,8 +199,8 @@ mod tests {
             fault_read_blocks: 7,
             ..Default::default()
         };
-        s.record(&result(true), Some(&p));
-        s.record(&result(false), None);
+        s.record(&result(true), Some(&p), None);
+        s.record(&result(false), None, None);
         assert_eq!(s.completed, 1);
         assert_eq!(s.failed, 1);
         assert_eq!(s.in_flight(), 0);
@@ -185,6 +212,12 @@ mod tests {
         assert_eq!(s.cleaned_files, 4);
         assert_eq!(s.deadline_exceeded, 0);
         assert_eq!(s.panics, 0);
+        // Both jobs land in the latency histograms either way.
+        assert_eq!(s.latency_hist.count(), 2);
+        assert_eq!(s.queue_hist.count(), 2);
+        assert_eq!(s.exec_hist.count(), 2);
+        assert!(s.pass_hist.is_empty());
+        assert!((s.latency_hist.max() - 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -195,7 +228,7 @@ mod tests {
             peak_budget_bytes: 512,
             ..Default::default()
         };
-        s.record(&result(true), None);
+        s.record(&result(true), None, None);
         let j = s.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"submitted\":1"));
@@ -203,10 +236,15 @@ mod tests {
         assert!(j.contains("\"peak_bytes\":512"));
         assert!(j.contains("\"leak_bytes\":0"));
         assert!(j.contains("\"recovery\":{\"faults_injected\":0"));
+        for key in ["latency", "queue", "exec", "pass"] {
+            assert!(j.contains(&format!("\"{key}\":{{\"count\":")), "{key}: {j}");
+        }
+        assert!(j.contains("\"p999\":"));
         // Balanced braces — cheap structural sanity without a parser.
         let open = j.matches('{').count();
         assert_eq!(open, j.matches('}').count());
-        assert_eq!(open, 6);
+        // Six section objects plus four histogram objects.
+        assert_eq!(open, 10);
     }
 
     #[test]

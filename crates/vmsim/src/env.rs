@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use mmjoin_env::machine::MachineParams;
+use mmjoin_env::trace::{null_sink, MapOp, TraceEvent as StructuredEvent, TraceSink};
 use mmjoin_env::{
     CpuOp, DiskId, Env, EnvError, EnvStats, FileOps, MoveKind, ProcId, ProcStats, Result, SCatalog,
     SPtr,
@@ -212,6 +213,9 @@ struct SimInner {
     procs: Vec<Mutex<ProcState>>,
     s_state: RwLock<Option<SState>>,
     trace: Mutex<Vec<TraceEvent>>,
+    /// Structured event sink (`mmjoin_env::trace`), distinct from the
+    /// low-level per-access `trace` above.
+    sink: RwLock<Arc<dyn TraceSink>>,
 }
 
 /// Which physical operation to charge.
@@ -273,6 +277,7 @@ impl SimEnv {
                 procs,
                 s_state: RwLock::new(None),
                 trace: Mutex::new(Vec::new()),
+                sink: RwLock::new(null_sink()),
             }),
         })
     }
@@ -299,6 +304,14 @@ impl SimEnv {
     /// `SimConfig::trace` was set).
     pub fn take_trace(&self) -> Vec<TraceEvent> {
         std::mem::take(&mut self.inner.trace.lock())
+    }
+
+    /// Install a structured trace sink (`mmjoin_env::trace`). Map
+    /// setup/teardown events from this environment and pass events from
+    /// the join algorithms flow to it, stamped with the emitting
+    /// process's virtual clock.
+    pub fn set_trace_sink(&self, sink: Arc<dyn TraceSink>) {
+        *self.inner.sink.write() = sink;
     }
 
     /// Per-disk counters.
@@ -561,6 +574,16 @@ impl Env for SimEnv {
             idx
         };
         self.charge_map_op(proc, self.inner.cfg.machine.map_cost.new_map(blocks));
+        self.trace(
+            proc,
+            StructuredEvent::MapSetup {
+                proc: proc.0,
+                op: MapOp::New,
+                name: name.to_string(),
+                disk: disk.0,
+                bytes,
+            },
+        );
         Ok(SimFile {
             inner: self.inner.clone(),
             idx,
@@ -582,6 +605,16 @@ impl Env for SimEnv {
         };
         let blocks = entry.blocks(self.page_size());
         self.charge_map_op(proc, self.inner.cfg.machine.map_cost.open_map(blocks));
+        self.trace(
+            proc,
+            StructuredEvent::MapSetup {
+                proc: proc.0,
+                op: MapOp::Open,
+                name: name.to_string(),
+                disk: entry.disk.0,
+                bytes: entry.bytes,
+            },
+        );
         Ok(SimFile {
             inner: self.inner.clone(),
             idx,
@@ -613,6 +646,14 @@ impl Env for SimEnv {
             ds.free.push((entry.start_block, blocks));
         }
         self.charge_map_op(proc, self.inner.cfg.machine.map_cost.delete_map(blocks));
+        self.trace(
+            proc,
+            StructuredEvent::MapTeardown {
+                proc: proc.0,
+                name: name.to_string(),
+                disk: entry.disk.0,
+            },
+        );
         Ok(())
     }
 
@@ -767,6 +808,10 @@ impl Env for SimEnv {
                 .map(|p| p.lock().stats.clone())
                 .collect(),
         }
+    }
+
+    fn trace_sink(&self) -> Arc<dyn TraceSink> {
+        self.inner.sink.read().clone()
     }
 }
 

@@ -6,7 +6,10 @@
 //! This is the reproduction's strongest correctness statement: the same
 //! algorithm text, two radically different machines, one answer.
 
+use std::sync::Arc;
+
 use mmjoin::{join, verify, Algo, ExecMode, JoinSpec};
+use mmjoin_env::{CollectingSink, FaultSpec, FaultyEnv, TraceEvent, TraceSink};
 use mmjoin_mmstore::{MmapEnv, MmapEnvConfig};
 use mmjoin_relstore::{build, PointerDist, RelConfig, WorkloadSpec};
 use mmjoin_vmsim::{SimConfig, SimEnv};
@@ -110,6 +113,78 @@ fn mmap_event_counters_match_sim_protocol_counters() {
             alg.name()
         );
     }
+}
+
+#[test]
+fn trace_event_sequences_match_across_environments() {
+    // Events carry no timestamps (the sink record does), so the event
+    // *sequence* of a deterministic sequential join is an
+    // environment-independent fact: the simulator and the real mmap
+    // store must narrate the identical story, payload for payload.
+    let w = workload(2, 2_000, 13);
+    for alg in [Algo::NestedLoops, Algo::Grace] {
+        let sim = sim_env(2);
+        let sim_rels = build(&sim, &w).unwrap();
+        let sim_sink = CollectingSink::new();
+        sim.set_trace_sink(sim_sink.clone() as Arc<dyn TraceSink>);
+        let spec = JoinSpec::new(24 * 4096, 24 * 4096).with_mode(ExecMode::Sequential);
+        join(&sim, &sim_rels, alg, &spec).unwrap();
+
+        let (mm, root) = mmap_env(2, &format!("trace-{}", alg.name()));
+        let mm_rels = build(&mm, &w).unwrap();
+        let mm_sink = CollectingSink::new();
+        mm.set_trace_sink(mm_sink.clone() as Arc<dyn TraceSink>);
+        join(&mm, &mm_rels, alg, &spec).unwrap();
+        std::fs::remove_dir_all(&root).unwrap();
+
+        let sim_events = sim_sink.events();
+        let mm_events = mm_sink.events();
+        assert!(!sim_events.is_empty(), "{}", alg.name());
+        assert_eq!(
+            sim_events.len(),
+            mm_events.len(),
+            "{}: event counts differ",
+            alg.name()
+        );
+        for (i, (a, b)) in sim_events.iter().zip(&mm_events).enumerate() {
+            assert_eq!(a, b, "{}: event {i} differs", alg.name());
+        }
+    }
+}
+
+#[test]
+fn empty_fault_spec_adds_zero_trace_events() {
+    // FaultyEnv with an empty spec must be a pure passthrough at the
+    // trace level too: the exact same event sequence as the bare
+    // environment, and in particular no FaultInjected events.
+    let w = workload(2, 2_000, 13);
+    let spec = JoinSpec::new(24 * 4096, 24 * 4096).with_mode(ExecMode::Sequential);
+
+    let bare = sim_env(2);
+    let bare_rels = build(&bare, &w).unwrap();
+    let bare_sink = CollectingSink::new();
+    bare.set_trace_sink(bare_sink.clone() as Arc<dyn TraceSink>);
+    join(&bare, &bare_rels, Algo::Grace, &spec).unwrap();
+
+    let inner = sim_env(2);
+    let rels = build(&inner, &w).unwrap();
+    let sink = CollectingSink::new();
+    inner.set_trace_sink(sink.clone() as Arc<dyn TraceSink>);
+    let faulty = FaultyEnv::new(inner, FaultSpec::none());
+    join(&faulty, &rels, Algo::Grace, &spec).unwrap();
+
+    let events = sink.events();
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::FaultInjected { .. })),
+        "empty spec must inject nothing"
+    );
+    assert_eq!(
+        bare_sink.events(),
+        events,
+        "fault wrapper with empty spec must add zero events"
+    );
 }
 
 #[test]

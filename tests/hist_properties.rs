@@ -1,0 +1,131 @@
+//! Property tests for the fixed-bucket log-scale [`Histogram`]: merge
+//! is commutative and associative on the bucket counts and preserves
+//! the total count exactly; the quantile ladder is monotone; and every
+//! quantile estimate brackets the true nearest-rank sample value to
+//! within the width of the bucket holding it.
+
+use mmjoin_env::Histogram;
+use proptest::prelude::*;
+
+fn hist(samples: &[f64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Exact nearest-rank quantile over the raw samples — the value the
+/// histogram estimate must bracket.
+fn nearest_rank(samples: &[f64], q: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Sample durations spanning the histogram's interesting range
+/// (microseconds to minutes), with occasional excursions into the
+/// sub-nanosecond underflow and >1000 s overflow buckets.
+fn samples() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec((0u32..8, 1e-6f64..100.0), 1..200).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(sel, v)| match sel {
+                0 => v * 1e-12, // underflow bucket
+                1 => v * 20.0,  // up to 2000 s: sometimes overflow
+                _ => v,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merge_is_commutative(a in samples(), b in samples()) {
+        let (ha, hb) = (hist(&a), hist(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab.buckets(), ba.buckets());
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.min(), ba.min());
+        prop_assert_eq!(ab.max(), ba.max());
+        prop_assert!((ab.sum() - ba.sum()).abs() <= 1e-9 * ab.sum().abs().max(1.0));
+    }
+
+    #[test]
+    fn merge_is_associative(a in samples(), b in samples(), c in samples()) {
+        let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+        // (a ∪ b) ∪ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ∪ (b ∪ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left.buckets(), right.buckets());
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+        prop_assert!((left.sum() - right.sum()).abs() <= 1e-9 * left.sum().abs().max(1.0));
+    }
+
+    #[test]
+    fn merge_preserves_count_exactly(a in samples(), b in samples()) {
+        let mut m = hist(&a);
+        m.merge(&hist(&b));
+        prop_assert_eq!(m.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(
+            m.buckets().iter().sum::<u64>(),
+            (a.len() + b.len()) as u64,
+            "every sample lands in exactly one bucket"
+        );
+        // Merging an empty histogram changes nothing.
+        let before = m.clone();
+        m.merge(&Histogram::new());
+        prop_assert_eq!(m.buckets(), before.buckets());
+        prop_assert_eq!(m.count(), before.count());
+        prop_assert_eq!(m.min(), before.min());
+        prop_assert_eq!(m.max(), before.max());
+    }
+
+    #[test]
+    fn quantile_ladder_is_monotone(a in samples()) {
+        let h = hist(&a);
+        prop_assert!(h.min() <= h.p50());
+        prop_assert!(h.p50() <= h.p90());
+        prop_assert!(h.p90() <= h.p99());
+        prop_assert!(h.p99() <= h.p999());
+        prop_assert!(h.p999() <= h.max());
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_by_bucket_width(
+        a in samples(),
+        q_millis in 1u32..1000,
+    ) {
+        let q = f64::from(q_millis) / 1000.0;
+        let h = hist(&a);
+        let est = h.quantile(q);
+        let truth = nearest_rank(&a, q);
+        // Never undershoots the true nearest-rank value...
+        prop_assert!(
+            est >= truth,
+            "q={q}: estimate {est} undershoots true {truth}"
+        );
+        // ...and overshoots it by at most the width of its bucket
+        // (tighter when clamped to the recorded max).
+        let (_, upper) = Histogram::bucket_bounds(Histogram::bucket_index(truth));
+        let bound = upper.min(h.max());
+        prop_assert!(
+            est <= bound,
+            "q={q}: estimate {est} exceeds bucket bound {bound} for true {truth}"
+        );
+    }
+}

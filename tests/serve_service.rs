@@ -3,7 +3,9 @@
 //! footprint, under both admission policies.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use mmjoin_env::{CollectingSink, TraceEvent, TraceSink};
 use mmjoin_serve::{AdmissionPolicy, JobRequest, ServeConfig, Service, PAGE};
 
 /// A mixed batch of 10 jobs: different sizes, memories, distributions.
@@ -122,6 +124,75 @@ fn chaos_batch_heals_and_leaks_nothing() {
     let errors: Vec<_> = results.iter().filter_map(|r| r.error.as_deref()).collect();
     assert_eq!(stats.failed, 0, "{errors:?}");
     assert_eq!(stats.completed, 10);
+}
+
+/// Degradation must *release* budget, not just shrink the job: a queued
+/// job that cannot fit next to the victim's original reservation must
+/// be admitted as soon as the first degradation returns bytes to the
+/// global pool — provably before the victim leaves the service.
+#[test]
+fn degradation_releases_budget_and_admits_queued_job() {
+    // Job A ("victim"): 8 pages × 4 disks = 32 pages reserved. A
+    // diskfull rule scoped to its file prefix fires on every attempt,
+    // so A degrades MAX_DEGRADE times and ultimately fails.
+    let mut a = JobRequest::new(8_000, 64, 4, 8, 41);
+    a.name = "victim".into();
+    a.workload.prefix = "victim".into();
+    // Job B: 4 pages × 4 disks = 16 pages. Budget is 36 pages, so B
+    // cannot be admitted (36 − 32 = 4 free) until A's first degradation
+    // frees (8 − 4) × 4 = 16 pages.
+    let b = JobRequest::new(800, 64, 4, 4, 42);
+    let budget = 36 * PAGE;
+    assert!(budget - a.footprint() < b.footprint());
+
+    let spec = mmjoin_env::FaultSpec::parse("seed=3;diskfull:file=victim").unwrap();
+    let sink = CollectingSink::new();
+    let svc = Service::start(
+        ServeConfig::sim(budget, 2)
+            .with_faults(spec)
+            .with_trace(sink.clone() as Arc<dyn TraceSink>),
+    )
+    .unwrap();
+    let a_id = svc.submit(a).unwrap();
+    let b_id = svc.submit(b).unwrap();
+    let (results, stats) = svc.finish();
+
+    let ra = results.iter().find(|r| r.id == a_id).unwrap();
+    let rb = results.iter().find(|r| r.id == b_id).unwrap();
+    assert!(ra.degraded >= 1, "victim never degraded: {ra:?}");
+    assert!(ra.released_bytes > 0);
+    assert!(
+        ra.released_bytes < 32 * PAGE,
+        "cannot release more than reserved"
+    );
+    assert!(ra.error.is_some(), "diskfull on every attempt must fail A");
+    assert!(rb.error.is_none(), "B must complete: {:?}", rb.error);
+    assert!(rb.verified);
+
+    // Accounting stays exact across mid-run releases: no leak, and the
+    // high-water mark never exceeded the budget.
+    assert_eq!(stats.budget_leak_bytes, 0);
+    assert!(stats.peak_budget_bytes <= budget);
+    assert_eq!(stats.degraded, ra.degraded as u64);
+
+    // The trace proves the ordering: B's admission comes after A's
+    // first degradation (the release made room) and before A completes.
+    let events = sink.events();
+    let pos = |pred: &dyn Fn(&TraceEvent) -> bool| events.iter().position(pred);
+    let a_degraded = pos(&|e| matches!(e, TraceEvent::JobDegraded { job, .. } if *job == a_id))
+        .expect("no JobDegraded event for A");
+    let b_admitted = pos(&|e| matches!(e, TraceEvent::JobAdmitted { job, .. } if *job == b_id))
+        .expect("no JobAdmitted event for B");
+    let a_completed = pos(&|e| matches!(e, TraceEvent::JobCompleted { job, .. } if *job == a_id))
+        .expect("no JobCompleted event for A");
+    assert!(
+        a_degraded < b_admitted,
+        "B admitted at {b_admitted} before A degraded at {a_degraded}"
+    );
+    assert!(
+        b_admitted < a_completed,
+        "B admitted at {b_admitted} only after A completed at {a_completed}"
+    );
 }
 
 #[test]
