@@ -7,22 +7,145 @@
 //! cargo run --release -p mmjoin-bench --bin loadgen -- \
 //!     --jobs 32 --budget-pages 128 --workers 4 --policy spf [--json]
 //! ```
+//!
+//! With `--shards N` (N > 1) it becomes a sweep: the **same** job list
+//! under the **same** fault spec is run twice — once through the
+//! single-queue [`Service`], once through the N-shard
+//! [`ShardedService`] — and the two throughput/latency profiles are
+//! compared side by side (JSON lands in `results/loadgen_shards.json`).
+//! The default mix injects small real I/O stalls ([`CONTENDED_SPEC`]),
+//! which a single admission queue serializes and shards overlap.
 
-use mmjoin_bench::load::{opt, random_job};
-use mmjoin_serve::{AdmissionPolicy, ServeConfig, Service, PAGE};
+use mmjoin_bench::load::{opt, random_job, CONTENDED_SPEC};
+use mmjoin_env::FaultSpec;
+use mmjoin_serve::{
+    AdmissionPolicy, JobRequest, JoinService, PlacementKind, ServeConfig, Service, ShardedService,
+    PAGE,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// One run's worth of reportable numbers.
+struct RunSummary {
+    label: String,
+    wall: f64,
+    accepted: u64,
+    failed: u64,
+    completed: u64,
+    throughput: f64,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+    p999_ms: f64,
+    peak_pages: u64,
+    stolen: u64,
+    per_shard_completed: Vec<u64>,
+    stats_json: String,
+}
+
+fn run(label: &str, svc: Box<dyn JoinService>, jobs: &[JobRequest]) -> RunSummary {
+    let started = std::time::Instant::now();
+    let mut accepted = 0u64;
+    for (i, req) in jobs.iter().enumerate() {
+        match svc.submit(req.clone()) {
+            Ok(_) => accepted += 1,
+            Err(e) => eprintln!("{label}: job {i}: {e}"),
+        }
+    }
+    svc.drain();
+    let results = svc.results();
+    let stats = svc.stats();
+    let wall = started.elapsed().as_secs_f64();
+    let failed = results.iter().filter(|r| r.error.is_some()).count() as u64;
+    let lat = &stats.latency_hist;
+    RunSummary {
+        label: label.to_string(),
+        wall,
+        accepted,
+        failed,
+        completed: stats.completed,
+        throughput: accepted as f64 / wall,
+        p50_ms: lat.p50() * 1e3,
+        p90_ms: lat.p90() * 1e3,
+        p99_ms: lat.p99() * 1e3,
+        p999_ms: lat.p999() * 1e3,
+        peak_pages: stats.peak_budget_bytes / PAGE,
+        stolen: stats.stolen,
+        per_shard_completed: svc.shard_stats().iter().map(|s| s.completed).collect(),
+        stats_json: stats.to_json(),
+    }
+}
+
+impl RunSummary {
+    fn print(&self) {
+        println!(
+            "{:<12} {:>8.3} s  {:>7.1} jobs/s  p50 {:>7.1} ms  p99 {:>8.1} ms  \
+             {} ok / {} failed{}",
+            self.label,
+            self.wall,
+            self.throughput,
+            self.p50_ms,
+            self.p99_ms,
+            self.completed,
+            self.failed,
+            if self.stolen > 0 {
+                format!("  ({} stolen)", self.stolen)
+            } else {
+                String::new()
+            }
+        );
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"wall_seconds\":{:.6},\"accepted\":{},",
+                "\"failed\":{},\"completed\":{},\"throughput_jobs_per_sec\":{:.3},",
+                "\"p50_ms\":{:.3},\"p90_ms\":{:.3},\"p99_ms\":{:.3},\"p999_ms\":{:.3},",
+                "\"peak_pages\":{},\"stolen\":{},\"per_shard_completed\":[{}]}}"
+            ),
+            self.label,
+            self.wall,
+            self.accepted,
+            self.failed,
+            self.completed,
+            self.throughput,
+            self.p50_ms,
+            self.p90_ms,
+            self.p99_ms,
+            self.p999_ms,
+            self.peak_pages,
+            self.stolen,
+            self.per_shard_completed
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        )
+    }
+}
 
 fn main() {
     let jobs: u64 = opt("--jobs", 32);
     let budget_pages: u64 = opt("--budget-pages", 128);
     let workers: usize = opt("--workers", 4);
     let seed: u64 = opt("--seed", 1996);
+    let shards: u32 = opt("--shards", 1);
     let policy_name: String = opt("--policy", "fifo".to_string());
+    let placement_name: String = opt("--placement", "pred".to_string());
     let Some(policy) = AdmissionPolicy::from_name(&policy_name) else {
         eprintln!("--policy: unknown policy '{policy_name}' (fifo | spf)");
         std::process::exit(2);
     };
+    let Some(placement) = PlacementKind::from_name(&placement_name) else {
+        eprintln!("--placement: unknown placement '{placement_name}' (rr | load | pred)");
+        std::process::exit(2);
+    };
+
+    if shards > 1 {
+        sweep(jobs, budget_pages, workers, seed, shards, policy, placement);
+        return;
+    }
 
     let mut rng = StdRng::seed_from_u64(seed);
     let svc =
@@ -104,6 +227,102 @@ fn main() {
         "admission exceeded the global budget"
     );
     if failed > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// Run the identical contended job list through the single-queue
+/// service and the sharded service, and compare.
+fn sweep(
+    jobs: u64,
+    budget_pages: u64,
+    workers: usize,
+    seed: u64,
+    shards: u32,
+    policy: AdmissionPolicy,
+    placement: PlacementKind,
+) {
+    let spec_str: String = opt("--fault-spec", CONTENDED_SPEC.to_string());
+    let fault_spec = match FaultSpec::parse(&spec_str) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("--fault-spec: {e}");
+            std::process::exit(2);
+        }
+    };
+    // One fixed job list: both services see the same arrivals in the
+    // same order, so the comparison isolates the service structure.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let reqs: Vec<JobRequest> = (0..jobs).map(|i| random_job(&mut rng, i + 1)).collect();
+    let cfg = || {
+        let mut c = ServeConfig::sim(budget_pages * PAGE, workers).with_policy(policy);
+        c.fault_spec = fault_spec.clone();
+        c
+    };
+
+    println!(
+        "loadgen sweep: {jobs} jobs, budget {budget_pages} pages, \
+         {workers} worker(s)/queue, policy {}, fault spec '{spec_str}'",
+        policy.name()
+    );
+    let single = match Service::start(cfg()) {
+        Ok(svc) => run("single-queue", Box::new(svc), &reqs),
+        Err(e) => {
+            eprintln!("cannot start single-queue service: {e}");
+            std::process::exit(2);
+        }
+    };
+    single.print();
+    let sharded = match ShardedService::start(cfg(), shards, placement.build()) {
+        Ok(svc) => run(
+            &format!("{shards}-shard/{}", placement.name()),
+            Box::new(svc),
+            &reqs,
+        ),
+        Err(e) => {
+            eprintln!("cannot start sharded service: {e}");
+            std::process::exit(2);
+        }
+    };
+    sharded.print();
+
+    let speedup = sharded.throughput / single.throughput;
+    println!(
+        "speedup:     {speedup:.2}x throughput, p99 {:.1} ms -> {:.1} ms",
+        single.p99_ms, sharded.p99_ms
+    );
+
+    mmjoin_bench::maybe_write_json(
+        "loadgen_shards",
+        &format!(
+            concat!(
+                "{{\"jobs\":{},\"seed\":{},\"budget_pages\":{},\"workers_per_queue\":{},",
+                "\"shards\":{},\"policy\":\"{}\",\"placement\":\"{}\",",
+                "\"fault_spec\":\"{}\",\"speedup\":{:.3},",
+                "\"single\":{},\"sharded\":{},",
+                "\"single_service\":{},\"sharded_service\":{}}}"
+            ),
+            jobs,
+            seed,
+            budget_pages,
+            workers,
+            shards,
+            policy.name(),
+            placement.name(),
+            spec_str,
+            speedup,
+            single.to_json(),
+            sharded.to_json(),
+            single.stats_json,
+            sharded.stats_json
+        ),
+    );
+
+    assert!(
+        single.peak_pages <= budget_pages && sharded.peak_pages <= budget_pages,
+        "admission exceeded the global budget"
+    );
+    if single.failed + sharded.failed > 0 {
         std::process::exit(1);
     }
 }

@@ -15,6 +15,14 @@ pub fn opt<T: std::str::FromStr>(key: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+/// The default contended mix for the `--shards` sweep: every page-level
+/// I/O has a small chance of a real 2 ms stall (`FaultKind::Delay`
+/// sleeps the worker thread). A single-queue service serializes those
+/// stalls behind one admission queue; a sharded service overlaps them
+/// across shards — which is exactly the contention the sweep measures,
+/// and it does not depend on spare CPU cores.
+pub const CONTENDED_SPEC: &str = "seed=7;delay:p=0.1:ms=4";
+
 /// One randomized job: the shapes stay small enough that a 32-job run
 /// finishes in seconds, while footprints (4–16 pages × D) still
 /// oversubscribe the default budget and exercise the queue.

@@ -5,6 +5,7 @@
 //!              [--dist uniform|zipf:T|cross] [--env sim|mmap] [--threads]
 //! mmjoin plan  [--objects N] [--d D] [--mem-pages P] [--skew X] [--explain A]
 //! mmjoin serve [--jobs FILE] [--budget-pages N] [--workers N] [--policy fifo|spf]
+//!              [--shards N] [--placement rr|load|pred]
 //! mmjoin calibrate
 //! mmjoin help
 //! ```
@@ -266,10 +267,16 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    use mmjoin_serve::{AdmissionPolicy, EnvKind, ServeConfig, Service, PAGE};
+    use mmjoin_serve::{
+        AdmissionPolicy, EnvKind, JoinService, PlacementKind, ServeConfig, Service, ShardedService,
+        PAGE,
+    };
 
     let budget_pages: u64 = args.get_or("budget-pages", 256)?;
     let workers: usize = args.get_or("workers", 4)?;
+    let shards: u32 = args.get_or("shards", 1)?;
+    let placement = PlacementKind::from_name(args.get("placement").unwrap_or("pred"))
+        .ok_or_else(|| "unknown placement (rr | load | pred)".to_string())?;
     let policy = AdmissionPolicy::from_name(args.get("policy").unwrap_or("fifo"))
         .ok_or_else(|| "unknown policy (fifo | spf)".to_string())?;
     let fault_spec = FaultSpec::parse(args.get("fault-spec").unwrap_or(""))
@@ -316,18 +323,34 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if deadline_ms > 0 {
         cfg.deadline = Some(std::time::Duration::from_millis(deadline_ms));
     }
-    let svc = Service::start(cfg)?;
+    let svc: Box<dyn JoinService> = if shards > 1 {
+        Box::new(ShardedService::start(cfg, shards, placement.build())?)
+    } else {
+        Box::new(Service::start(cfg)?)
+    };
     let ids = svc.submit_script(&script)?;
-    println!(
-        "serving {} job(s): budget {budget_pages} pages, {workers} worker(s), policy {}",
-        ids.len(),
-        policy.name()
-    );
-    let (mut results, stats) = svc.finish();
+    if shards > 1 {
+        println!(
+            "serving {} job(s): budget {budget_pages} pages over {shards} shard(s), \
+             {workers} worker(s)/shard, policy {}, placement {}",
+            ids.len(),
+            policy.name(),
+            placement.name()
+        );
+    } else {
+        println!(
+            "serving {} job(s): budget {budget_pages} pages, {workers} worker(s), policy {}",
+            ids.len(),
+            policy.name()
+        );
+    }
+    svc.drain();
+    let mut results = svc.results();
+    let stats = svc.stats();
     results.sort_by_key(|r| r.id);
     println!(
-        "{:>4}  {:<12} {:<14} {:>10} {:>9} {:>9} {:>9}  status",
-        "id", "name", "algorithm", "pairs", "pred(s)", "wait(s)", "exec(s)"
+        "{:>4} {:>5}  {:<12} {:<14} {:>10} {:>9} {:>9} {:>9}  status",
+        "id", "shard", "name", "algorithm", "pairs", "pred(s)", "wait(s)", "exec(s)"
     );
     for r in &results {
         let status = match &r.error {
@@ -335,8 +358,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             Some(e) => format!("FAILED: {e}"),
         };
         println!(
-            "{:>4}  {:<12} {:<14} {:>10} {:>9.2} {:>9.3} {:>9.3}  {status}",
+            "{:>4} {:>5}  {:<12} {:<14} {:>10} {:>9.2} {:>9.3} {:>9.3}  {status}",
             r.id,
+            r.shard,
             if r.name.is_empty() { "-" } else { &r.name },
             r.alg.name(),
             r.pairs,
@@ -352,6 +376,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         stats.peak_budget_bytes / PAGE,
         budget_pages
     );
+    if shards > 1 {
+        for (i, s) in svc.shard_stats().iter().enumerate() {
+            println!(
+                "  shard {i}: {} done, {} stolen in, peak {} of {} pages",
+                s.completed,
+                s.stolen,
+                s.peak_budget_bytes / PAGE,
+                s.budget_bytes / PAGE
+            );
+        }
+    }
     if stats.faults_injected > 0 {
         println!(
             "recovery: {} fault(s) injected, {} retried, {} degraded, \
@@ -408,12 +443,18 @@ fn usage() {
     println!("  mmjoin plan  [--objects N] [--d D] [--obj-size B] [--mem-pages P]");
     println!("               [--skew X] [--explain A]");
     println!("  mmjoin serve [--jobs FILE] [--budget-pages N] [--workers N]");
-    println!("               [--policy fifo|spf] [--env sim|mmap] [--json]");
-    println!("               [--stats-json FILE] [--fault-spec SPEC] [--retries N]");
+    println!("               [--policy fifo|spf] [--shards N] [--placement rr|load|pred]");
+    println!("               [--env sim|mmap] [--json] [--stats-json FILE]");
+    println!("               [--fault-spec SPEC] [--retries N]");
     println!("               [--deadline-ms MS] [--trace FILE.jsonl]");
     println!("               (reads job lines from stdin");
     println!("               without --jobs; one job per line, key=value tokens:");
     println!("               name alg objects obj-size d mem-pages seed dist mode)");
+    println!();
+    println!("--shards N > 1 partitions the budget across N shards, each with");
+    println!("  its own queue and N --workers threads; --placement picks the");
+    println!("  shard per job (rr round-robin, load least-reserved-bytes, pred");
+    println!("  planner-predicted backlog balance); idle shards steal queued jobs");
     println!("  mmjoin calibrate");
     println!();
     println!("fault specs: ';'-separated rules 'kind:key=val:...' with kinds");

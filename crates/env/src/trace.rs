@@ -140,6 +140,9 @@ pub enum TraceEvent {
         job: u64,
         /// Reserved footprint `m_rproc × D` in bytes.
         footprint: u64,
+        /// Shard the placement policy assigned the job to (0 on the
+        /// single-queue service).
+        shard: u32,
     },
     /// The admission controller dispatched a queued job to a worker.
     JobAdmitted {
@@ -147,8 +150,24 @@ pub enum TraceEvent {
         job: u64,
         /// Reserved footprint in bytes.
         footprint: u64,
-        /// Budget bytes in use after this admission.
+        /// Budget bytes in use on the admitting shard after this
+        /// admission (the whole global budget on the single-queue
+        /// service).
         used: u64,
+        /// Shard whose worker admitted the job (0 on the single-queue
+        /// service); differs from the [`TraceEvent::JobSubmitted`] shard
+        /// when the job was stolen.
+        shard: u32,
+    },
+    /// An idle shard stole a queued-but-unadmitted job from an
+    /// overloaded sibling (sharded service only).
+    JobStolen {
+        /// Service job id.
+        job: u64,
+        /// Shard the job was queued on.
+        from: u32,
+        /// Shard that stole it.
+        to: u32,
     },
     /// A job degraded to a smaller memory grant after `DiskFull`.
     JobDegraded {
@@ -183,6 +202,7 @@ impl TraceEvent {
             TraceEvent::RetryBackoff { .. } => "retry_backoff",
             TraceEvent::JobSubmitted { .. } => "job_submitted",
             TraceEvent::JobAdmitted { .. } => "job_admitted",
+            TraceEvent::JobStolen { .. } => "job_stolen",
             TraceEvent::JobDegraded { .. } => "job_degraded",
             TraceEvent::JobCompleted { .. } => "job_completed",
         }
@@ -421,18 +441,29 @@ pub fn encode(t: f64, event: &TraceEvent) -> String {
         TraceEvent::RetryBackoff { attempt, millis } => {
             let _ = write!(s, ",\"attempt\":{attempt},\"millis\":{millis}");
         }
-        TraceEvent::JobSubmitted { job, footprint } => {
-            let _ = write!(s, ",\"job\":{job},\"footprint\":{footprint}");
+        TraceEvent::JobSubmitted {
+            job,
+            footprint,
+            shard,
+        } => {
+            let _ = write!(
+                s,
+                ",\"job\":{job},\"footprint\":{footprint},\"shard\":{shard}"
+            );
         }
         TraceEvent::JobAdmitted {
             job,
             footprint,
             used,
+            shard,
         } => {
             let _ = write!(
                 s,
-                ",\"job\":{job},\"footprint\":{footprint},\"used\":{used}"
+                ",\"job\":{job},\"footprint\":{footprint},\"used\":{used},\"shard\":{shard}"
             );
+        }
+        TraceEvent::JobStolen { job, from, to } => {
+            let _ = write!(s, ",\"job\":{job},\"from\":{from},\"to\":{to}");
         }
         TraceEvent::JobDegraded {
             job,
@@ -547,6 +578,41 @@ mod tests {
         }
         assert!(lines[1].contains("\"ok\":true"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn job_events_carry_shard_ids() {
+        let submitted = encode(
+            0.0,
+            &TraceEvent::JobSubmitted {
+                job: 3,
+                footprint: 8192,
+                shard: 2,
+            },
+        );
+        assert!(submitted.contains("\"ev\":\"job_submitted\""));
+        assert!(submitted.contains("\"shard\":2"));
+        let admitted = encode(
+            0.0,
+            &TraceEvent::JobAdmitted {
+                job: 3,
+                footprint: 8192,
+                used: 8192,
+                shard: 1,
+            },
+        );
+        assert!(admitted.contains("\"used\":8192"));
+        assert!(admitted.contains("\"shard\":1"));
+        let stolen = encode(
+            0.0,
+            &TraceEvent::JobStolen {
+                job: 3,
+                from: 2,
+                to: 1,
+            },
+        );
+        assert!(stolen.contains("\"ev\":\"job_stolen\""));
+        assert!(stolen.contains("\"from\":2") && stolen.contains("\"to\":1"));
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //!   store, through the same `mmjoin::join` entry point the single-query
 //!   tools use;
 //! * a **service stats layer** ([`ServiceStats`]) folding per-job
-//!   process counters into service-level totals, with a JSON snapshot.
+//!   process counters into service-level totals, with a JSON snapshot;
+//! * a **sharded service** ([`ShardedService`]) that partitions the
+//!   global budget across N shards — each with its own queue, worker
+//!   pool, and counters — with pluggable cross-shard [`Placement`]
+//!   policies and work stealing between shards. Both services implement
+//!   the [`JoinService`] trait, so callers can switch between them.
 //!
 //! ```
 //! use mmjoin_serve::{JobRequest, ServeConfig, Service, PAGE};
@@ -31,13 +36,43 @@
 //! assert!(results.iter().all(|r| r.verified));
 //! assert!(stats.peak_budget_bytes <= stats.budget_bytes);
 //! ```
+//!
+//! The sharded service is a drop-in replacement behind [`JoinService`]:
+//!
+//! ```
+//! use mmjoin_serve::{
+//!     JobRequest, JoinService, PlacementKind, ServeConfig, ShardedService, PAGE,
+//! };
+//!
+//! let svc = ShardedService::start(
+//!     ServeConfig::sim(32 * PAGE, 2),
+//!     4,
+//!     PlacementKind::PredictedBalanced.build(),
+//! )
+//! .unwrap();
+//! for seed in 0..4 {
+//!     svc.submit(JobRequest::new(800, 32, 2, 4, seed)).unwrap();
+//! }
+//! let (results, stats) = svc.finish();
+//! assert_eq!(results.len(), 4);
+//! assert!(results.iter().all(|r| r.verified));
+//! // Per-shard slices sum to the global budget, so the merged peak
+//! // still respects it.
+//! assert!(stats.peak_budget_bytes <= stats.budget_bytes);
+//! ```
 
 pub mod admission;
 pub mod job;
+pub mod placement;
 pub mod service;
+pub mod shard;
 pub mod stats;
 
 pub use admission::{AdmissionPolicy, Candidate};
 pub use job::{JobId, JobRequest, JobResult, PAGE};
-pub use service::{service_machine, EnvKind, ServeConfig, Service};
+pub use placement::{
+    LeastLoaded, Placement, PlacementKind, PredictedBalanced, RoundRobin, ShardLoad,
+};
+pub use service::{service_machine, EnvKind, JoinService, ServeConfig, Service};
+pub use shard::ShardedService;
 pub use stats::{percentile, ServiceStats};

@@ -154,11 +154,73 @@ pub fn service_machine() -> Result<&'static MachineParams, String> {
         .map_err(Clone::clone)
 }
 
-struct Queued {
-    id: JobId,
-    req: JobRequest,
-    plan: PlanChoice,
-    enqueued: Instant,
+/// A planned job waiting for admission. Shared with the sharded
+/// service, whose queues hold the same unit of work.
+pub(crate) struct Queued {
+    pub(crate) id: JobId,
+    pub(crate) req: JobRequest,
+    pub(crate) plan: PlanChoice,
+    pub(crate) enqueued: Instant,
+}
+
+/// What the execution core ([`run_job`]) needs from whatever owns the
+/// job: configuration, a trace clock, and a way to return degraded
+/// reservations to the right budget pool mid-run. The single-queue
+/// [`Service`] and each shard of the sharded service implement it.
+pub(crate) trait JobHost: Sync {
+    /// Service configuration (deadline, retries, faults, env, trace).
+    fn cfg(&self) -> &ServeConfig;
+    /// Emit a job lifecycle event at the service wall clock.
+    fn trace(&self, event: TraceEvent);
+    /// Return `bytes` of a running job's reservation to the budget pool
+    /// mid-run (graceful degradation), waking admission waiters.
+    fn release(&self, bytes: u64);
+}
+
+/// The common surface of the single-queue [`Service`] and the sharded
+/// `ShardedService`: submit jobs, wait for them, read results and
+/// counters. Dropping an implementation shuts its workers down, so a
+/// `drain` + `results` + `stats` sequence through this trait observes
+/// the same final state `finish` would return.
+pub trait JoinService: Send + Sync {
+    /// Plan and enqueue one job; returns its id or a submit-time
+    /// rejection.
+    fn submit(&self, req: JobRequest) -> Result<JobId, String>;
+
+    /// Block until every submitted job has completed.
+    fn drain(&self);
+
+    /// Results completed so far, in completion order.
+    fn results(&self) -> Vec<JobResult>;
+
+    /// Merged snapshot of the service counters.
+    fn stats(&self) -> ServiceStats;
+
+    /// Per-shard snapshots (a single-element vector on the single-queue
+    /// service).
+    fn shard_stats(&self) -> Vec<ServiceStats>;
+
+    /// Number of shards (1 for the single-queue service).
+    fn shards(&self) -> u32;
+
+    /// Parse and submit every job line of `text` (see
+    /// [`JobRequest::parse_line`]). Returns the accepted ids; a line
+    /// that fails to parse or is rejected aborts with an error naming
+    /// its line number.
+    fn submit_script(&self, text: &str) -> Result<Vec<JobId>, String> {
+        let mut ids = Vec::new();
+        for (no, line) in text.lines().enumerate() {
+            match JobRequest::parse_line(line) {
+                Ok(None) => {}
+                Ok(Some(req)) => match self.submit(req) {
+                    Ok(id) => ids.push(id),
+                    Err(e) => return Err(format!("line {}: {e}", no + 1)),
+                },
+                Err(e) => return Err(format!("line {}: {e}", no + 1)),
+            }
+        }
+        Ok(ids)
+    }
 }
 
 #[derive(Default)]
@@ -188,14 +250,27 @@ impl Shared {
     fn lock(&self) -> MutexGuard<'_, State> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
+}
 
-    /// Emit a job lifecycle event at the service wall clock.
+impl JobHost for Shared {
+    fn cfg(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
     fn trace(&self, event: TraceEvent) {
         if self.cfg.trace.enabled() {
             self.cfg
                 .trace
                 .emit(self.origin.elapsed().as_secs_f64(), event);
         }
+    }
+
+    fn release(&self, bytes: u64) {
+        {
+            let mut st = self.lock();
+            st.used_bytes -= bytes;
+        }
+        self.work.notify_all();
     }
 }
 
@@ -273,29 +348,13 @@ impl Service {
             enqueued: Instant::now(),
         });
         drop(st);
-        self.shared
-            .trace(TraceEvent::JobSubmitted { job: id, footprint });
+        self.shared.trace(TraceEvent::JobSubmitted {
+            job: id,
+            footprint,
+            shard: 0,
+        });
         self.shared.work.notify_all();
         Ok(id)
-    }
-
-    /// Parse and submit every job line of `text` (see
-    /// [`JobRequest::parse_line`]). Returns the accepted ids; a line
-    /// that fails to parse or is rejected aborts with an error naming
-    /// its line number.
-    pub fn submit_script(&self, text: &str) -> Result<Vec<JobId>, String> {
-        let mut ids = Vec::new();
-        for (no, line) in text.lines().enumerate() {
-            match JobRequest::parse_line(line) {
-                Ok(None) => {}
-                Ok(Some(req)) => match self.submit(req) {
-                    Ok(id) => ids.push(id),
-                    Err(e) => return Err(format!("line {}: {e}", no + 1)),
-                },
-                Err(e) => return Err(format!("line {}: {e}", no + 1)),
-            }
-        }
-        Ok(ids)
     }
 
     /// Block until every submitted job has completed.
@@ -351,6 +410,32 @@ impl Drop for Service {
     }
 }
 
+impl JoinService for Service {
+    fn submit(&self, req: JobRequest) -> Result<JobId, String> {
+        Service::submit(self, req)
+    }
+
+    fn drain(&self) {
+        Service::drain(self)
+    }
+
+    fn results(&self) -> Vec<JobResult> {
+        Service::results(self)
+    }
+
+    fn stats(&self) -> ServiceStats {
+        Service::stats(self)
+    }
+
+    fn shard_stats(&self) -> Vec<ServiceStats> {
+        vec![Service::stats(self)]
+    }
+
+    fn shards(&self) -> u32 {
+        1
+    }
+}
+
 fn worker_loop(shared: &Shared) {
     loop {
         let mut st = shared.lock();
@@ -390,13 +475,18 @@ fn worker_loop(shared: &Shared) {
             job: job.id,
             footprint,
             used,
+            shard: 0,
         });
 
-        let (result, folded, passes) = run_job(shared, job);
+        let (result, folded, passes) = run_job(shared, job, 0);
 
         let mut st = shared.lock();
-        // Degradations already returned part of the reservation; only
-        // the remainder is still held.
+        // Terminal release — success, error, deadline, and panic paths
+        // alike: degradations already returned part of the reservation
+        // mid-run, so exactly the remainder is still held. Releasing
+        // anything else here (e.g. the degraded job's *halved* footprint)
+        // would leak budget on every degraded-then-failed job.
+        debug_assert!(result.released_bytes <= footprint);
         st.used_bytes -= footprint - result.released_bytes;
         st.running -= 1;
         st.stats.record(&result, folded.as_ref(), passes.as_ref());
@@ -436,14 +526,19 @@ struct Attempt {
 ///   `m_sproc` (graceful degradation), up to [`MAX_DEGRADE`] times;
 /// * **transient faults** — absorbed inside `join_with_retry` with
 ///   bounded exponential backoff and orphan cleanup.
-fn run_job(shared: &Shared, job: Queued) -> (JobResult, Option<ProcStats>, Option<Histogram>) {
+pub(crate) fn run_job(
+    host: &impl JobHost,
+    job: Queued,
+    exec_shard: u32,
+) -> (JobResult, Option<ProcStats>, Option<Histogram>) {
     let queue_wait = job.enqueued.elapsed().as_secs_f64();
-    let cfg = &shared.cfg;
+    let cfg = host.cfg();
     let started = Instant::now();
     let mut m_rproc = job.req.m_rproc;
     let mut m_sproc = job.req.m_sproc;
     let mut result = JobResult {
         id: job.id,
+        shard: exec_shard,
         name: job.req.name.clone(),
         alg: job
             .req
@@ -515,16 +610,12 @@ fn run_job(shared: &Shared, job: Queued) -> (JobResult, Option<ProcStats>, Optio
                 // Emit before releasing: a trace consumer must see the
                 // cause (degradation) before its effect (another job's
                 // admission into the freed room).
-                shared.trace(TraceEvent::JobDegraded {
+                host.trace(TraceEvent::JobDegraded {
                     job: job.id,
                     footprint: m_rproc * d,
                     released: freed,
                 });
-                {
-                    let mut st = shared.lock();
-                    st.used_bytes -= freed;
-                }
-                shared.work.notify_all();
+                host.release(freed);
             }
             Err(e) => break Err(e.to_string()),
         }

@@ -17,6 +17,9 @@ pub struct ServiceStats {
     pub completed: u64,
     /// Jobs that finished with an error or failed verification.
     pub failed: u64,
+    /// Jobs this shard's workers stole from an overloaded sibling's
+    /// queue and ran locally (always 0 on the single-queue service).
+    pub stolen: u64,
     /// Global budget the service was configured with, in bytes.
     pub budget_bytes: u64,
     /// High-water mark of reserved budget, in bytes. Never exceeds
@@ -98,8 +101,52 @@ impl ServiceStats {
     }
 
     /// Jobs still queued or running.
+    ///
+    /// On a per-shard snapshot `submitted` counts jobs *placed* on the
+    /// shard while completions land on the shard that *ran* the job, so
+    /// stealing moves a job between shards mid-flight and a single
+    /// shard's difference can be off (or negative, hence saturating).
+    /// The merged stats' in-flight is exact: every placement and every
+    /// completion is counted exactly once across shards.
     pub fn in_flight(&self) -> u64 {
-        self.submitted - self.completed - self.failed
+        self.submitted.saturating_sub(self.completed + self.failed)
+    }
+
+    /// Fold another stats snapshot into this one: counters add,
+    /// process counters absorb, histograms merge bucket-exactly (see
+    /// `tests/hist_properties.rs` — merge is commutative and
+    /// associative, so any grouping of per-shard snapshots yields the
+    /// same merged result as folding every job into one snapshot).
+    ///
+    /// `budget_bytes` and `peak_budget_bytes` sum: shards hold disjoint
+    /// partitions of the global budget, so the summed peak is an upper
+    /// bound on the true global high-water mark and still never exceeds
+    /// the summed budget. `stolen` is intentionally *not* merged into
+    /// `submitted` — a stolen job was already counted submitted on the
+    /// shard that placed it.
+    pub fn merge(&mut self, other: &ServiceStats) {
+        self.submitted += other.submitted;
+        self.rejected += other.rejected;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.stolen += other.stolen;
+        self.budget_bytes += other.budget_bytes;
+        self.peak_budget_bytes += other.peak_budget_bytes;
+        self.queue_wait_seconds += other.queue_wait_seconds;
+        self.exec_wall_seconds += other.exec_wall_seconds;
+        self.env_elapsed_seconds += other.env_elapsed_seconds;
+        self.faults_injected += other.faults_injected;
+        self.retries += other.retries;
+        self.degraded += other.degraded;
+        self.deadline_exceeded += other.deadline_exceeded;
+        self.panics += other.panics;
+        self.cleaned_files += other.cleaned_files;
+        self.budget_leak_bytes += other.budget_leak_bytes;
+        self.agg.absorb(&other.agg);
+        self.latency_hist.merge(&other.latency_hist);
+        self.queue_hist.merge(&other.queue_hist);
+        self.exec_hist.merge(&other.exec_hist);
+        self.pass_hist.merge(&other.pass_hist);
     }
 
     /// Snapshot as a JSON object (hand-rolled: every value is a number,
@@ -108,7 +155,7 @@ impl ServiceStats {
         format!(
             concat!(
                 "{{\"jobs\":{{\"submitted\":{},\"rejected\":{},\"completed\":{},",
-                "\"failed\":{},\"in_flight\":{}}},",
+                "\"failed\":{},\"stolen\":{},\"in_flight\":{}}},",
                 "\"budget\":{{\"bytes\":{},\"peak_bytes\":{},\"leak_bytes\":{}}},",
                 "\"seconds\":{{\"queue_wait\":{:.6},\"exec_wall\":{:.6},",
                 "\"env_elapsed\":{:.6},\"io\":{:.6}}},",
@@ -121,6 +168,7 @@ impl ServiceStats {
             self.rejected,
             self.completed,
             self.failed,
+            self.stolen,
             self.in_flight(),
             self.budget_bytes,
             self.peak_budget_bytes,
@@ -166,6 +214,7 @@ mod tests {
     fn result(ok: bool) -> JobResult {
         JobResult {
             id: 1,
+            shard: 0,
             name: String::new(),
             alg: Algo::Grace,
             predicted_seconds: 1.0,
@@ -245,6 +294,38 @@ mod tests {
         assert_eq!(open, j.matches('}').count());
         // Six section objects plus four histogram objects.
         assert_eq!(open, 10);
+    }
+
+    #[test]
+    fn merge_equals_single_fold() {
+        // Folding jobs into two per-shard snapshots and merging must
+        // give the same counters and bucket-exact histograms as folding
+        // them all into one snapshot.
+        let mut a = ServiceStats::default();
+        let mut b = ServiceStats::default();
+        let mut whole = ServiceStats::default();
+        for i in 0..6u64 {
+            let mut r = result(i % 3 != 0);
+            r.queue_wait = 0.1 * (i + 1) as f64;
+            r.exec_wall = 0.3 * (i + 1) as f64;
+            let target = if i % 2 == 0 { &mut a } else { &mut b };
+            target.submitted += 1;
+            target.record(&r, None, None);
+            whole.submitted += 1;
+            whole.record(&r, None, None);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.submitted, whole.submitted);
+        assert_eq!(merged.completed, whole.completed);
+        assert_eq!(merged.failed, whole.failed);
+        assert_eq!(merged.in_flight(), 0);
+        assert_eq!(merged.latency_hist.buckets(), whole.latency_hist.buckets());
+        assert_eq!(merged.queue_hist.buckets(), whole.queue_hist.buckets());
+        assert_eq!(merged.exec_hist.buckets(), whole.exec_hist.buckets());
+        assert_eq!(merged.latency_hist.count(), whole.latency_hist.count());
+        assert_eq!(merged.latency_hist.min(), whole.latency_hist.min());
+        assert_eq!(merged.latency_hist.max(), whole.latency_hist.max());
     }
 
     #[test]

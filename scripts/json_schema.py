@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Emit the key-path skeleton of a JSON document, one path per line.
+
+Used by CI to diff the *shape* of the benchmark JSON artifacts in
+`results/` against the checked-in goldens in `results/schemas/`, so a
+field rename or removal fails the build while value changes (and
+value-type wobbles such as a model seconds field being null on one
+machine and a float on another) do not.
+
+Paths are dotted object keys; array elements collapse to `[]` (every
+element contributes its paths, so heterogeneous arrays union their
+shapes). Output is sorted and deduplicated, hence diff-stable.
+
+Usage: json_schema.py FILE.json
+"""
+
+import json
+import sys
+
+
+def walk(value, prefix, out):
+    if isinstance(value, dict):
+        if not value:
+            out.add(prefix + "{}")
+        for key, child in value.items():
+            path = f"{prefix}.{key}" if prefix else key
+            walk(child, path, out)
+    elif isinstance(value, list):
+        if not value:
+            out.add(prefix + "[]")
+        for child in value:
+            walk(child, prefix + "[]", out)
+    else:
+        out.add(prefix)
+
+
+def schema(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = set()
+    walk(doc, "", out)
+    return sorted(out)
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__.strip())
+    for line in schema(sys.argv[1]):
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

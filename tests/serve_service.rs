@@ -175,24 +175,70 @@ fn degradation_releases_budget_and_admits_queued_job() {
     assert!(stats.peak_budget_bytes <= budget);
     assert_eq!(stats.degraded, ra.degraded as u64);
 
-    // The trace proves the ordering: B's admission comes after A's
-    // first degradation (the release made room) and before A completes.
+    // The trace proves the causality: B's admission comes after A's
+    // first degradation — the release made room; B's footprint did not
+    // fit before it. (Whether B is admitted before or after A *leaves*
+    // is a worker-scheduling race — A's remaining fast-failing attempts
+    // can beat B's worker waking up — so the test does not order those.)
     let events = sink.events();
     let pos = |pred: &dyn Fn(&TraceEvent) -> bool| events.iter().position(pred);
     let a_degraded = pos(&|e| matches!(e, TraceEvent::JobDegraded { job, .. } if *job == a_id))
         .expect("no JobDegraded event for A");
     let b_admitted = pos(&|e| matches!(e, TraceEvent::JobAdmitted { job, .. } if *job == b_id))
         .expect("no JobAdmitted event for B");
-    let a_completed = pos(&|e| matches!(e, TraceEvent::JobCompleted { job, .. } if *job == a_id))
-        .expect("no JobCompleted event for A");
     assert!(
         a_degraded < b_admitted,
         "B admitted at {b_admitted} before A degraded at {a_degraded}"
     );
+}
+
+/// Regression: a job that degrades and *then fails terminally* must
+/// release its entire remaining reservation — not just the
+/// already-released degradation bytes, and not the original footprint
+/// twice. The proof is behavioral: after the victim dies, a follow-up
+/// job whose footprint equals the **whole** budget must still be
+/// admitted (any residual reservation would starve it forever), and the
+/// drained service must report zero leaked bytes.
+#[test]
+fn degraded_then_failed_job_releases_entire_reservation() {
+    // Victim: 8 pages × 4 disks = 32 pages — the whole budget. A
+    // diskfull rule scoped to its files fires on every attempt, so it
+    // degrades MAX_DEGRADE times (releasing bytes mid-run each time)
+    // and then fails terminally with only part of its original
+    // reservation still held.
+    let mut victim = JobRequest::new(8_000, 64, 4, 8, 51);
+    victim.name = "victim".into();
+    victim.workload.prefix = "victim".into();
+    let budget = 32 * PAGE;
+    assert_eq!(victim.footprint(), budget);
+
+    // Follower: also exactly the whole budget, unaffected by the fault
+    // rule. It can only ever be admitted if the victim's terminal
+    // release returned every byte the degradations had not already.
+    let follower = JobRequest::new(800, 64, 4, 8, 52);
+    assert_eq!(follower.footprint(), budget);
+
+    let spec = mmjoin_env::FaultSpec::parse("seed=3;diskfull:file=victim").unwrap();
+    let svc = Service::start(ServeConfig::sim(budget, 2).with_faults(spec)).unwrap();
+    let victim_id = svc.submit(victim).unwrap();
+    let follower_id = svc.submit(follower).unwrap();
+    let (results, stats) = svc.finish();
+
+    let rv = results.iter().find(|r| r.id == victim_id).unwrap();
+    let rf = results.iter().find(|r| r.id == follower_id).unwrap();
+    assert!(rv.degraded >= 1, "victim never degraded: {rv:?}");
     assert!(
-        b_admitted < a_completed,
-        "B admitted at {b_admitted} only after A completed at {a_completed}"
+        rv.error.is_some(),
+        "persistent diskfull must fail the victim"
     );
+    assert!(rv.released_bytes > 0);
+    assert!(rv.released_bytes < budget, "cannot release more than held");
+    assert!(rf.error.is_none(), "follower must complete: {:?}", rf.error);
+    assert!(rf.verified);
+
+    assert_eq!(stats.budget_leak_bytes, 0, "terminal release leaked bytes");
+    assert_eq!(stats.in_flight(), 0);
+    assert!(stats.peak_budget_bytes <= budget);
 }
 
 #[test]
