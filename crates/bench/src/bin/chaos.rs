@@ -19,7 +19,7 @@
 //!     --jobs 16 --seed 1996 --fault-spec 'seed=7;read:p=1:after=60:count=2' [--json]
 //! ```
 
-use mmjoin_bench::load::{opt, random_job};
+use mmjoin_bench::load::{machine_override, opt, random_job};
 use mmjoin_env::FaultSpec;
 use mmjoin_serve::{AdmissionPolicy, ServeConfig, Service, PAGE};
 use rand::rngs::StdRng;
@@ -55,10 +55,18 @@ fn main() {
         }
     };
 
-    let cfg = ServeConfig::sim(budget_pages * PAGE, workers)
+    let mut cfg = ServeConfig::sim(budget_pages * PAGE, workers)
         .with_policy(AdmissionPolicy::Fifo)
         .with_faults(fault_spec.clone())
         .with_retries(retries);
+    match machine_override() {
+        Ok(Some(m)) => cfg = cfg.with_machine(m),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("--machine-profile: {e}");
+            std::process::exit(2);
+        }
+    }
     let svc = match Service::start(cfg) {
         Ok(svc) => svc,
         Err(e) => {

@@ -16,7 +16,7 @@
 //! The default mix injects small real I/O stalls ([`CONTENDED_SPEC`]),
 //! which a single admission queue serializes and shards overlap.
 
-use mmjoin_bench::load::{opt, random_job, CONTENDED_SPEC};
+use mmjoin_bench::load::{machine_override, opt, random_job, CONTENDED_SPEC};
 use mmjoin_env::FaultSpec;
 use mmjoin_serve::{
     AdmissionPolicy, JobRequest, JoinService, PlacementKind, ServeConfig, Service, ShardedService,
@@ -141,21 +141,40 @@ fn main() {
         eprintln!("--placement: unknown placement '{placement_name}' (rr | load | pred)");
         std::process::exit(2);
     };
+    let machine = match machine_override() {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("--machine-profile: {e}");
+            std::process::exit(2);
+        }
+    };
 
     if shards > 1 {
-        sweep(jobs, budget_pages, workers, seed, shards, policy, placement);
+        sweep(
+            jobs,
+            budget_pages,
+            workers,
+            seed,
+            shards,
+            policy,
+            placement,
+            machine,
+        );
         return;
     }
 
     let mut rng = StdRng::seed_from_u64(seed);
-    let svc =
-        match Service::start(ServeConfig::sim(budget_pages * PAGE, workers).with_policy(policy)) {
-            Ok(svc) => svc,
-            Err(e) => {
-                eprintln!("cannot start service: {e}");
-                std::process::exit(2);
-            }
-        };
+    let mut start_cfg = ServeConfig::sim(budget_pages * PAGE, workers).with_policy(policy);
+    if let Some(m) = machine {
+        start_cfg = start_cfg.with_machine(m);
+    }
+    let svc = match Service::start(start_cfg) {
+        Ok(svc) => svc,
+        Err(e) => {
+            eprintln!("cannot start service: {e}");
+            std::process::exit(2);
+        }
+    };
     let started = std::time::Instant::now();
     let mut accepted = 0u64;
     for i in 0..jobs {
@@ -233,6 +252,7 @@ fn main() {
 
 /// Run the identical contended job list through the single-queue
 /// service and the sharded service, and compare.
+#[allow(clippy::too_many_arguments)]
 fn sweep(
     jobs: u64,
     budget_pages: u64,
@@ -241,6 +261,7 @@ fn sweep(
     shards: u32,
     policy: AdmissionPolicy,
     placement: PlacementKind,
+    machine: Option<std::sync::Arc<mmjoin_env::machine::MachineParams>>,
 ) {
     let spec_str: String = opt("--fault-spec", CONTENDED_SPEC.to_string());
     let fault_spec = match FaultSpec::parse(&spec_str) {
@@ -257,6 +278,9 @@ fn sweep(
     let cfg = || {
         let mut c = ServeConfig::sim(budget_pages * PAGE, workers).with_policy(policy);
         c.fault_spec = fault_spec.clone();
+        if let Some(m) = &machine {
+            c = c.with_machine(m.clone());
+        }
         c
     };
 

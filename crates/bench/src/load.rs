@@ -15,6 +15,26 @@ pub fn opt<T: std::str::FromStr>(key: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
+/// `--machine-profile FILE` lookup for the load binaries: load a
+/// calibrated [`MachineProfile`](mmjoin_calibrate::MachineProfile) and
+/// return its parameters for [`ServeConfig::with_machine`], or `None`
+/// when the flag is absent (the service then uses the built-in
+/// waterloo96-derived default).
+pub fn machine_override(
+) -> Result<Option<std::sync::Arc<mmjoin_env::machine::MachineParams>>, String> {
+    let path: String = opt("--machine-profile", String::new());
+    if path.is_empty() {
+        return Ok(None);
+    }
+    let profile = mmjoin_calibrate::MachineProfile::load(std::path::Path::new(&path))
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "machine profile: {} (host {}, quick={})",
+        path, profile.provenance.host, profile.provenance.quick
+    );
+    Ok(Some(std::sync::Arc::new(profile.machine)))
+}
+
 /// The default contended mix for the `--shards` sweep: every page-level
 /// I/O has a small chance of a real 2 ms stall (`FaultKind::Delay`
 /// sleeps the worker thread). A single-queue service serializes those

@@ -1,0 +1,112 @@
+//! Noise control and least-squares fitting for probe samples.
+//!
+//! Every probe repeats its measurement and keeps the **median** (robust
+//! against scheduler noise and one-off cache misses); the Fig. 1b map
+//! costs are then fitted to the paper's `base + slope·blocks` linear
+//! shape by ordinary least squares, with the RMS residual recorded in
+//! the profile's provenance so a consumer can judge the fit quality.
+
+use mmjoin_env::{EnvError, Result};
+
+/// One `y = base + slope·x` least-squares fit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinearFit {
+    /// Fitted intercept.
+    pub base: f64,
+    /// Fitted slope.
+    pub slope: f64,
+    /// Root-mean-square residual of the fit, in `y` units.
+    pub residual: f64,
+}
+
+/// Ordinary least squares over `(x, y)` points. Needs at least two
+/// distinct `x` values.
+pub fn fit_linear(points: &[(f64, f64)]) -> Result<LinearFit> {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return Err(EnvError::InvalidConfig(
+            "linear fit needs at least two points".into(),
+        ));
+    }
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return Err(EnvError::InvalidConfig(
+            "linear fit needs at least two distinct x values".into(),
+        ));
+    }
+    let sxy: f64 = points.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
+    let slope = sxy / sxx;
+    let base = mean_y - slope * mean_x;
+    let residual = (points
+        .iter()
+        .map(|&(x, y)| (y - (base + slope * x)).powi(2))
+        .sum::<f64>()
+        / n)
+        .sqrt();
+    Ok(LinearFit {
+        base,
+        slope,
+        residual,
+    })
+}
+
+/// The median of a sample set (mean of the middle two for even counts).
+/// Panics on an empty slice — probes always run at least one rep.
+pub fn median(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty(), "median of no samples");
+    samples.sort_by(f64::total_cmp);
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_has_zero_residual() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let fit = fit_linear(&pts).unwrap();
+        assert!((fit.base - 3.0).abs() < 1e-9);
+        assert!((fit.slope - 2.0).abs() < 1e-9);
+        assert!(fit.residual < 1e-9);
+    }
+
+    #[test]
+    fn noisy_line_recovers_coefficients() {
+        // Symmetric noise around y = 0.05 + 9e-4 x (the waterloo96
+        // newMap shape).
+        let pts: Vec<(f64, f64)> = (1..=64)
+            .map(|i| {
+                let x = (i * 200) as f64;
+                let noise = if i % 2 == 0 { 1.0e-3 } else { -1.0e-3 };
+                (x, 0.05 + 9.0e-4 * x + noise)
+            })
+            .collect();
+        let fit = fit_linear(&pts).unwrap();
+        assert!((fit.base - 0.05).abs() < 2e-3, "base {}", fit.base);
+        assert!((fit.slope - 9.0e-4).abs() < 1e-6, "slope {}", fit.slope);
+        assert!((fit.residual - 1.0e-3).abs() < 1e-4);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_rejected() {
+        assert!(fit_linear(&[]).is_err());
+        assert!(fit_linear(&[(1.0, 2.0)]).is_err());
+        assert!(fit_linear(&[(1.0, 2.0), (1.0, 3.0)]).is_err());
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        let mut odd = vec![3.0, 1.0, 100.0];
+        assert_eq!(median(&mut odd), 3.0);
+        let mut even = vec![4.0, 1.0, 2.0, 100.0];
+        assert_eq!(median(&mut even), 3.0);
+    }
+}

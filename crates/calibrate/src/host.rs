@@ -1,0 +1,244 @@
+//! The calibration driver: run every probe, stamp provenance, return a
+//! versioned [`MachineProfile`].
+//!
+//! Each probe is bracketed by [`TraceEvent::ProbeStart`] /
+//! [`TraceEvent::ProbeEnd`] on the caller's sink, and every linear fit
+//! emits a [`TraceEvent::ProbeFit`] with its coefficients and RMS
+//! residual, so a calibration run leaves the same kind of structured
+//! trail the joins do.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use mmjoin_env::machine::{DttCurve, MachineParams};
+use mmjoin_env::{null_sink, Result, TraceEvent, TraceSink};
+
+use crate::probes::{
+    probe_context_switch, probe_cpu, probe_dtt, probe_map_costs, probe_memcpy, ProbeSpec,
+};
+use crate::profile::{MachineProfile, Provenance, PROFILE_VERSION};
+
+/// Everything a calibration run needs to know.
+#[derive(Clone)]
+pub struct CalibrateOptions {
+    /// Probe sizing (see [`ProbeSpec::quick`] / [`ProbeSpec::full`]).
+    pub spec: ProbeSpec,
+    /// Disk sweep target: an existing file or block device **whose
+    /// contents the sweep overwrites**, or a path to create and remove.
+    /// `None` uses a scratch file in the system temp directory.
+    pub device: Option<PathBuf>,
+    /// Recorded in provenance as the `quick` flag.
+    pub quick: bool,
+    /// Where probe lifecycle events go.
+    pub trace: Arc<dyn TraceSink>,
+}
+
+impl CalibrateOptions {
+    /// The reduced CI-sized calibration, tracing discarded.
+    pub fn quick() -> Self {
+        CalibrateOptions {
+            spec: ProbeSpec::quick(),
+            device: None,
+            quick: true,
+            trace: null_sink(),
+        }
+    }
+
+    /// The full calibration, tracing discarded.
+    pub fn full() -> Self {
+        CalibrateOptions {
+            spec: ProbeSpec::full(),
+            device: None,
+            quick: false,
+            trace: null_sink(),
+        }
+    }
+}
+
+/// The measured machine's hostname, best-effort.
+fn hostname() -> String {
+    if let Ok(name) = std::fs::read_to_string("/proc/sys/kernel/hostname") {
+        let name = name.trim();
+        if !name.is_empty() {
+            return name.to_string();
+        }
+    }
+    std::env::var("HOSTNAME").unwrap_or_else(|_| "unknown".to_string())
+}
+
+fn now_unix() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Run the full measurement suite against this host and package the
+/// result as a persistable profile.
+pub fn calibrate_host(opts: &CalibrateOptions) -> Result<MachineProfile> {
+    let spec = &opts.spec;
+    let started = Instant::now();
+    let bracket = |probe: &str, run: &mut dyn FnMut() -> Result<()>| -> Result<()> {
+        opts.trace.emit(
+            started.elapsed().as_secs_f64(),
+            TraceEvent::ProbeStart {
+                probe: probe.to_string(),
+                reps: spec.reps,
+            },
+        );
+        let probe_started = Instant::now();
+        run()?;
+        opts.trace.emit(
+            started.elapsed().as_secs_f64(),
+            TraceEvent::ProbeEnd {
+                probe: probe.to_string(),
+                reps: spec.reps,
+                seconds: probe_started.elapsed().as_secs_f64(),
+            },
+        );
+        Ok(())
+    };
+
+    let device = opts
+        .device
+        .clone()
+        .unwrap_or_else(|| scratch_path("dtt-scratch"));
+    let mut dtt = None;
+    bracket("dtt", &mut || {
+        dtt = Some(probe_dtt(&device, spec)?);
+        Ok(())
+    })?;
+    let dtt = dtt.expect("probe ran");
+
+    let map_dir = scratch_path("map-scratch");
+    let mut map = None;
+    bracket("map", &mut || {
+        map = Some(probe_map_costs(&map_dir, spec)?);
+        Ok(())
+    })?;
+    let map = map.expect("probe ran");
+    for (name, fit) in [
+        ("map_new", &map.fits[0]),
+        ("map_open", &map.fits[1]),
+        ("map_delete", &map.fits[2]),
+    ] {
+        opts.trace.emit(
+            started.elapsed().as_secs_f64(),
+            TraceEvent::ProbeFit {
+                fit: name.to_string(),
+                base: fit.base,
+                slope: fit.slope,
+                residual: fit.residual,
+            },
+        );
+    }
+
+    let mut mt = [0.0f64; 4];
+    bracket("mt", &mut || {
+        mt = probe_memcpy(spec)?;
+        Ok(())
+    })?;
+    let mut cs = 0.0f64;
+    bracket("cs", &mut || {
+        cs = probe_context_switch(spec)?;
+        Ok(())
+    })?;
+    let mut cpu = [0.0f64; 6];
+    bracket("cpu", &mut || {
+        cpu = probe_cpu(spec)?;
+        Ok(())
+    })?;
+
+    let curve = |pick: fn(&mmjoin_vmsim::DttSample) -> f64| -> Result<DttCurve> {
+        DttCurve::from_points(
+            dtt.samples
+                .iter()
+                .map(|s| (s.band as f64, pick(s)))
+                .collect(),
+        )
+    };
+    let machine = MachineParams {
+        page_size: spec.block_bytes,
+        cs,
+        mt,
+        cpu,
+        dttr: curve(|s| s.read)?,
+        dttw: curve(|s| s.write)?,
+        map_cost: map.model,
+    };
+    Ok(MachineProfile {
+        version: PROFILE_VERSION,
+        provenance: Provenance {
+            host: hostname(),
+            device: device.display().to_string(),
+            created_unix: now_unix(),
+            direct_io: dtt.direct_io,
+            quick: opts.quick,
+            reps: spec.reps,
+            warmup: spec.warmup,
+            fit_residuals: [
+                map.fits[0].residual,
+                map.fits[1].residual,
+                map.fits[2].residual,
+            ],
+        },
+        machine,
+    })
+}
+
+fn scratch_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mmjoin-calibrate-{tag}-{}", std::process::id()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmjoin_env::CollectingSink;
+
+    #[test]
+    fn quick_calibration_produces_a_valid_traced_profile() {
+        let sink = CollectingSink::new();
+        let mut opts = CalibrateOptions::quick();
+        // Trim the already-quick spec further: this is a mechanics test.
+        opts.spec.band_sizes = vec![1, 8, 32];
+        opts.spec.area_blocks = 128;
+        opts.spec.reps = 2;
+        opts.spec.warmup = 0;
+        opts.spec.cpu_iters = 20_000;
+        opts.spec.map_blocks = vec![4, 16, 64];
+        opts.spec.cs_rounds = 200;
+        opts.spec.fault_pages = 64;
+        opts.spec.memcpy_bytes = 256 << 10;
+        opts.trace = sink.clone();
+        let profile = calibrate_host(&opts).unwrap();
+
+        assert_eq!(profile.version, PROFILE_VERSION);
+        assert!(profile.provenance.quick);
+        assert_eq!(profile.provenance.reps, 2);
+        assert!(profile.machine.cs > 0.0);
+        assert!(profile.machine.mt.iter().all(|&t| t > 0.0));
+        assert!(profile.machine.cpu.iter().all(|&t| t > 0.0));
+        assert_eq!(profile.machine.dttr.points().len(), 3);
+
+        // The trace must bracket all five probes and carry three fits.
+        let events = sink.events();
+        let starts = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ProbeStart { .. }))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ProbeEnd { .. }))
+            .count();
+        let fits = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::ProbeFit { .. }))
+            .count();
+        assert_eq!((starts, ends, fits), (5, 5, 3));
+
+        // And the profile must survive serialization bitwise.
+        let back = MachineProfile::from_json(&profile.to_json()).unwrap();
+        assert_eq!(back, profile);
+    }
+}

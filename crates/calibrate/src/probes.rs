@@ -1,0 +1,724 @@
+//! The host measurement procedures — the paper's §3 measurements, run
+//! against the machine executing this process instead of the 1996
+//! Sequent testbed.
+//!
+//! * [`probe_dtt`] — Fig. 1a: per-block transfer time as a function of
+//!   the band size over which random access occurs, measured with
+//!   `O_DIRECT` reads/writes against a scratch file or device, falling
+//!   back to buffered I/O (flagged) where direct I/O is unavailable
+//!   (tmpfs, some network filesystems);
+//! * [`probe_map_costs`] — Fig. 1b: `newMap`/`openMap`/`deleteMap` wall
+//!   costs over a range of mapping sizes, least-squares fitted to the
+//!   paper's linear `base + slope·blocks` shape;
+//! * [`probe_memcpy`] — the `MT{pp,ps,sp,ss}` per-byte transfer rates,
+//!   between private (heap) and shared (`MAP_SHARED` anonymous)
+//!   memory;
+//! * [`probe_context_switch`] — `CS`, via a two-thread ping-pong;
+//! * [`probe_cpu`] — timed micro-loops for the `map`/`hash`/`compare`/
+//!   `swap`/`transfer` CPU constants plus the per-fault overhead
+//!   (first-touch cost of anonymous pages).
+//!
+//! Every probe runs `warmup` unrecorded repetitions followed by `reps`
+//! recorded ones and keeps the **median** (see [`crate::fit`]).
+
+use std::fs::{File, OpenOptions};
+use std::hint::black_box;
+use std::os::unix::fs::{FileExt, OpenOptionsExt};
+use std::path::Path;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use mmjoin_env::machine::MapCostModel;
+use mmjoin_env::{CpuOp, EnvError, MoveKind, Result};
+use mmjoin_mmstore::{measure_map_costs, MapCostSample};
+use mmjoin_vmsim::{DttSample, SplitMix64};
+
+use crate::fit::{fit_linear, median, LinearFit};
+
+/// `O_DIRECT` differs between Linux architectures (0o200000 on ARM,
+/// 0o40000 elsewhere); the shimmed `libc` does not carry it.
+#[cfg(any(target_arch = "aarch64", target_arch = "arm"))]
+const O_DIRECT: i32 = 0o200000;
+#[cfg(not(any(target_arch = "aarch64", target_arch = "arm")))]
+const O_DIRECT: i32 = 0o40000;
+
+/// Clocks can be coarse and micro-ops fast; no measured constant is
+/// allowed to collapse to zero (the model divides by none of them, but
+/// `DttCurve` requires positive times and a zero rate is a lie anyway).
+const MIN_SECONDS: f64 = 1.0e-12;
+
+/// Controls for one calibration run.
+#[derive(Clone, Debug)]
+pub struct ProbeSpec {
+    /// Band sizes (blocks) for the Fig. 1a sweep, strictly increasing.
+    pub band_sizes: Vec<u64>,
+    /// Scratch area swept per band size, in blocks.
+    pub area_blocks: u64,
+    /// Block (page) size in bytes; also the `O_DIRECT` alignment.
+    pub block_bytes: u64,
+    /// Recorded repetitions per measurement (median-of-k).
+    pub reps: u32,
+    /// Unrecorded warmup repetitions per measurement.
+    pub warmup: u32,
+    /// Iterations per CPU micro-loop.
+    pub cpu_iters: u64,
+    /// Mapping sizes (blocks) for the Fig. 1b sweep.
+    pub map_blocks: Vec<u64>,
+    /// Ping-pong round trips for the context-switch probe.
+    pub cs_rounds: u32,
+    /// Pages first-touched by the fault-overhead probe.
+    pub fault_pages: u64,
+    /// Bytes per memcpy-rate measurement.
+    pub memcpy_bytes: usize,
+    /// RNG seed for the in-band permutations.
+    pub seed: u64,
+}
+
+impl ProbeSpec {
+    /// The full calibration: minutes of wall time, spans the paper's
+    /// Fig. 1a band range.
+    pub fn full() -> Self {
+        ProbeSpec {
+            band_sizes: vec![1, 64, 256, 1024, 3200, 6400, 12800],
+            area_blocks: 25_600,
+            block_bytes: 4096,
+            reps: 5,
+            warmup: 1,
+            cpu_iters: 4_000_000,
+            map_blocks: vec![64, 256, 1024, 4096],
+            cs_rounds: 20_000,
+            fault_pages: 4096,
+            memcpy_bytes: 4 << 20,
+            seed: 0x1996_0226,
+        }
+    }
+
+    /// A seconds-scale calibration for CI smoke and tests: same
+    /// procedures, smaller sweeps.
+    pub fn quick() -> Self {
+        ProbeSpec {
+            band_sizes: vec![1, 16, 64, 256],
+            area_blocks: 1024,
+            block_bytes: 4096,
+            reps: 3,
+            warmup: 1,
+            cpu_iters: 200_000,
+            map_blocks: vec![16, 64, 256],
+            cs_rounds: 2_000,
+            fault_pages: 512,
+            memcpy_bytes: 1 << 20,
+            seed: 0x1996_0226,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.band_sizes.is_empty() || self.map_blocks.is_empty() {
+            return Err(EnvError::InvalidConfig(
+                "probe spec needs band and map sizes".into(),
+            ));
+        }
+        if self.band_sizes.windows(2).any(|w| w[1] <= w[0]) {
+            return Err(EnvError::InvalidConfig(
+                "band sizes must strictly increase".into(),
+            ));
+        }
+        let max_band = *self.band_sizes.last().unwrap();
+        if max_band > self.area_blocks {
+            return Err(EnvError::InvalidConfig(format!(
+                "largest band ({max_band} blocks) exceeds the scratch area ({} blocks)",
+                self.area_blocks
+            )));
+        }
+        if self.block_bytes == 0 || !self.block_bytes.is_multiple_of(512) {
+            return Err(EnvError::InvalidConfig(
+                "block size must be a positive multiple of 512".into(),
+            ));
+        }
+        if self.reps == 0 {
+            return Err(EnvError::InvalidConfig("reps must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// A page-aligned I/O buffer, as `O_DIRECT` requires.
+struct AlignedBuf {
+    ptr: *mut u8,
+    len: usize,
+    layout: std::alloc::Layout,
+}
+
+impl AlignedBuf {
+    fn new(len: usize, align: usize) -> AlignedBuf {
+        let layout = std::alloc::Layout::from_size_align(len, align).expect("valid layout");
+        let ptr = unsafe { std::alloc::alloc_zeroed(layout) };
+        assert!(!ptr.is_null(), "aligned allocation failed");
+        AlignedBuf { ptr, len, layout }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    fn as_mut_slice(&mut self) -> &mut [u8] {
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        unsafe { std::alloc::dealloc(self.ptr, self.layout) };
+    }
+}
+
+/// The Fig. 1a measurement outcome.
+#[derive(Clone, Debug)]
+pub struct DttProbe {
+    /// Per-band medians, one row per requested band size.
+    pub samples: Vec<DttSample>,
+    /// Whether the sweep ran under `O_DIRECT`. When false the numbers
+    /// include the page cache and mostly measure memory, not the disk —
+    /// the profile records the flag so consumers know.
+    pub direct_io: bool,
+}
+
+/// Where the scratch area came from, so cleanup only removes what the
+/// probe itself created.
+struct Scratch {
+    file: File,
+    owned: Option<std::path::PathBuf>,
+    direct_io: bool,
+    area_blocks: u64,
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        if let Some(path) = &self.owned {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Open (or create) the scratch target, preferring `O_DIRECT`.
+///
+/// An existing `target` — a pre-made scratch file or a block device the
+/// caller may clobber — is used at its current size; a missing one is
+/// created at `area_blocks × block_bytes`, filled once, and removed
+/// when the probe finishes. **The target's contents are overwritten**
+/// by the write sweep either way.
+fn open_scratch(target: &Path, spec: &ProbeSpec) -> Result<Scratch> {
+    let exists = target.exists();
+    let open = |direct: bool| {
+        let mut opts = OpenOptions::new();
+        opts.read(true).write(true).create(!exists);
+        if direct {
+            opts.custom_flags(O_DIRECT);
+        }
+        opts.open(target)
+    };
+    let (file, direct_io) = match open(true) {
+        Ok(f) => (f, true),
+        Err(_) => (open(false)?, false),
+    };
+    let bytes = spec.area_blocks * spec.block_bytes;
+    let len = file.metadata()?.len();
+    let area_blocks = if exists && len > 0 {
+        let blocks = len / spec.block_bytes;
+        let needed = *spec.band_sizes.last().unwrap();
+        if blocks < needed {
+            return Err(EnvError::InvalidConfig(format!(
+                "--device target holds {blocks} blocks; the largest band needs {needed}"
+            )));
+        }
+        blocks.min(spec.area_blocks)
+    } else {
+        file.set_len(bytes)?;
+        spec.area_blocks
+    };
+    let mut scratch = Scratch {
+        file,
+        owned: (!exists).then(|| target.to_path_buf()),
+        direct_io,
+        area_blocks,
+    };
+    // Fill the measured area once so reads hit allocated blocks, not
+    // holes; direct-I/O probing of unwritten extents would measure the
+    // filesystem's zero path instead of the disk. Also verifies the
+    // O_DIRECT handle actually accepts aligned transfers — some
+    // filesystems fail only at I/O time; fall back to buffered there.
+    let mut buf = AlignedBuf::new(spec.block_bytes as usize, spec.block_bytes as usize);
+    buf.as_mut_slice().fill(0xA5);
+    if let Err(e) = scratch.file.write_all_at(buf.as_slice(), 0) {
+        if scratch.direct_io {
+            scratch.file = open(false)?;
+            scratch.direct_io = false;
+        } else {
+            return Err(e.into());
+        }
+    }
+    for block in 0..scratch.area_blocks {
+        scratch
+            .file
+            .write_all_at(buf.as_slice(), block * spec.block_bytes)?;
+    }
+    scratch.file.sync_all()?;
+    Ok(scratch)
+}
+
+/// One timed sweep over the whole area at band size `band`: bands are
+/// visited in sequence, blocks within a band in random order, each
+/// exactly once (the paper's "no duplicates").
+fn dtt_sweep(
+    scratch: &Scratch,
+    spec: &ProbeSpec,
+    band: u64,
+    write: bool,
+    rng: &mut SplitMix64,
+    buf: &mut AlignedBuf,
+) -> Result<f64> {
+    let mut perm: Vec<u64> = Vec::with_capacity(band as usize);
+    let mut blocks = 0u64;
+    let started = Instant::now();
+    let mut base = 0u64;
+    while base + band <= scratch.area_blocks {
+        perm.clear();
+        perm.extend(base..base + band);
+        if band > 1 {
+            rng.shuffle(&mut perm);
+        }
+        for &b in &perm {
+            let offset = b * spec.block_bytes;
+            if write {
+                scratch.file.write_all_at(buf.as_slice(), offset)?;
+            } else {
+                scratch.file.read_exact_at(buf.as_mut_slice(), offset)?;
+                black_box(buf.as_slice()[0]);
+            }
+            blocks += 1;
+        }
+        base += band;
+    }
+    if write {
+        // The paper's dttw includes the deferred write-back the OS
+        // performs on the job's behalf; charge the flush to the sweep.
+        scratch.file.sync_all()?;
+    }
+    Ok((started.elapsed().as_secs_f64() / blocks.max(1) as f64).max(MIN_SECONDS))
+}
+
+/// Run the Fig. 1a band sweep against `target`.
+pub fn probe_dtt(target: &Path, spec: &ProbeSpec) -> Result<DttProbe> {
+    spec.validate()?;
+    let scratch = open_scratch(target, spec)?;
+    let mut buf = AlignedBuf::new(spec.block_bytes as usize, spec.block_bytes as usize);
+    buf.as_mut_slice().fill(0x5A);
+    let mut samples = Vec::with_capacity(spec.band_sizes.len());
+    for &band in &spec.band_sizes {
+        let mut one = |write: bool| -> Result<f64> {
+            let mut rng = SplitMix64::new(spec.seed ^ band.wrapping_mul(0x51ED));
+            for _ in 0..spec.warmup {
+                dtt_sweep(&scratch, spec, band, write, &mut rng, &mut buf)?;
+            }
+            let mut times = Vec::with_capacity(spec.reps as usize);
+            for _ in 0..spec.reps {
+                times.push(dtt_sweep(&scratch, spec, band, write, &mut rng, &mut buf)?);
+            }
+            Ok(median(&mut times))
+        };
+        samples.push(DttSample {
+            band,
+            read: one(false)?,
+            write: one(true)?,
+        });
+    }
+    Ok(DttProbe {
+        samples,
+        direct_io: scratch.direct_io,
+    })
+}
+
+/// The Fig. 1b measurement outcome.
+#[derive(Clone, Debug)]
+pub struct MapProbe {
+    /// Raw per-size samples (averages over `reps` iterations).
+    pub samples: Vec<MapCostSample>,
+    /// The three linear fits packaged in model shape.
+    pub model: MapCostModel,
+    /// Fits for `newMap`, `openMap`, `deleteMap`, in that order.
+    pub fits: [LinearFit; 3],
+}
+
+/// Measure and fit the three map-setup cost lines inside `dir`
+/// (created if missing, removed afterwards).
+pub fn probe_map_costs(dir: &Path, spec: &ProbeSpec) -> Result<MapProbe> {
+    spec.validate()?;
+    let samples = measure_map_costs(dir, spec.block_bytes, &spec.map_blocks, spec.reps)?;
+    let _ = std::fs::remove_dir_all(dir);
+    let series = |f: fn(&MapCostSample) -> f64| -> Vec<(f64, f64)> {
+        samples.iter().map(|s| (s.blocks as f64, f(s))).collect()
+    };
+    let fits = [
+        fit_linear(&series(|s| s.new_map))?,
+        fit_linear(&series(|s| s.open_map))?,
+        fit_linear(&series(|s| s.delete_map))?,
+    ];
+    // A negative fitted intercept (possible under noise when the slope
+    // dominates) would make tiny maps cost negative time in the model;
+    // clamp to zero, the slope carries the signal.
+    let model = MapCostModel {
+        new_base: fits[0].base.max(0.0),
+        new_per_block: fits[0].slope.max(0.0),
+        open_base: fits[1].base.max(0.0),
+        open_per_block: fits[1].slope.max(0.0),
+        delete_base: fits[2].base.max(0.0),
+        delete_per_block: fits[2].slope.max(0.0),
+    };
+    Ok(MapProbe {
+        samples,
+        model,
+        fits,
+    })
+}
+
+/// An anonymous `MAP_SHARED` region — the "shared portion of a
+/// segment" in the paper's `MT` taxonomy.
+struct SharedBuf {
+    ptr: *mut u8,
+    len: usize,
+}
+
+impl SharedBuf {
+    fn new(len: usize) -> Result<SharedBuf> {
+        let ptr = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_SHARED | libc::MAP_ANONYMOUS,
+                -1,
+                0,
+            )
+        };
+        if ptr == libc::MAP_FAILED {
+            return Err(EnvError::InvalidConfig(
+                "cannot map anonymous shared memory".into(),
+            ));
+        }
+        Ok(SharedBuf {
+            ptr: ptr as *mut u8,
+            len,
+        })
+    }
+
+    fn ptr(&self) -> *mut u8 {
+        self.ptr
+    }
+}
+
+impl Drop for SharedBuf {
+    fn drop(&mut self) {
+        unsafe { libc::munmap(self.ptr as *mut libc::c_void, self.len) };
+    }
+}
+
+/// Measure the four `MT` per-byte transfer rates. Returned array is
+/// indexed by [`MoveKind::index`].
+pub fn probe_memcpy(spec: &ProbeSpec) -> Result<[f64; 4]> {
+    spec.validate()?;
+    let len = spec.memcpy_bytes;
+    let mut private_a = vec![1u8; len];
+    let mut private_b = vec![2u8; len];
+    let shared_a = SharedBuf::new(len)?;
+    let shared_b = SharedBuf::new(len)?;
+    // First-touch both shared regions so the timed copies measure
+    // steady-state transfers, not page instantiation.
+    unsafe {
+        std::ptr::write_bytes(shared_a.ptr(), 3, len);
+        std::ptr::write_bytes(shared_b.ptr(), 4, len);
+    }
+    let mut out = [0.0f64; 4];
+    for kind in MoveKind::ALL {
+        let (src, dst): (*const u8, *mut u8) = match kind {
+            MoveKind::PP => (private_a.as_ptr(), private_b.as_mut_ptr()),
+            MoveKind::PS => (private_a.as_ptr(), shared_b.ptr()),
+            MoveKind::SP => (shared_a.ptr(), private_b.as_mut_ptr()),
+            MoveKind::SS => (shared_a.ptr(), shared_b.ptr()),
+        };
+        let run = || {
+            let started = Instant::now();
+            unsafe { std::ptr::copy_nonoverlapping(src, dst, len) };
+            black_box(unsafe { *dst });
+            started.elapsed().as_secs_f64() / len as f64
+        };
+        for _ in 0..spec.warmup {
+            run();
+        }
+        let mut times: Vec<f64> = (0..spec.reps).map(|_| run()).collect();
+        out[kind.index()] = median(&mut times).max(MIN_SECONDS);
+    }
+    black_box(private_a.as_mut_slice());
+    black_box(private_b.as_mut_slice());
+    Ok(out)
+}
+
+/// Two threads alternating through a mutex + condvar: each round trip
+/// is two scheduler handoffs, so `CS = elapsed / (2 × rounds)`.
+pub fn probe_context_switch(spec: &ProbeSpec) -> Result<f64> {
+    spec.validate()?;
+    let run = || -> Result<f64> {
+        let shared = std::sync::Arc::new((Mutex::new(0u32), Condvar::new()));
+        let rounds = spec.cs_rounds;
+        let peer = std::sync::Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("mmjoin-cal-cs".into())
+            .spawn(move || {
+                let (lock, cv) = &*peer;
+                let mut turn = lock.lock().unwrap_or_else(|e| e.into_inner());
+                for _ in 0..rounds {
+                    while *turn % 2 == 0 {
+                        turn = cv.wait(turn).unwrap_or_else(|e| e.into_inner());
+                    }
+                    *turn += 1;
+                    cv.notify_one();
+                }
+            })
+            .map_err(|e| EnvError::InvalidConfig(format!("cannot spawn cs probe thread: {e}")))?;
+        let started = Instant::now();
+        {
+            let (lock, cv) = &*shared;
+            let mut turn = lock.lock().unwrap_or_else(|e| e.into_inner());
+            for _ in 0..rounds {
+                *turn += 1;
+                cv.notify_one();
+                while *turn % 2 == 1 {
+                    turn = cv.wait(turn).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        handle
+            .join()
+            .map_err(|_| EnvError::InvalidConfig("cs probe thread panicked".into()))?;
+        Ok(elapsed / (2.0 * rounds as f64))
+    };
+    for _ in 0..spec.warmup {
+        run()?;
+    }
+    let mut times = Vec::with_capacity(spec.reps as usize);
+    for _ in 0..spec.reps {
+        times.push(run()?);
+    }
+    Ok(median(&mut times).max(MIN_SECONDS))
+}
+
+/// Time `iters` iterations of `body` and return seconds per iteration.
+fn micro_loop(iters: u64, mut body: impl FnMut(u64)) -> f64 {
+    let started = Instant::now();
+    for i in 0..iters {
+        body(i);
+    }
+    (started.elapsed().as_secs_f64() / iters.max(1) as f64).max(MIN_SECONDS)
+}
+
+/// Median-of-reps around a micro-loop.
+fn timed_op(spec: &ProbeSpec, mut run: impl FnMut() -> f64) -> f64 {
+    for _ in 0..spec.warmup {
+        run();
+    }
+    let mut times: Vec<f64> = (0..spec.reps).map(|_| run()).collect();
+    median(&mut times)
+}
+
+/// Measure the six per-operation CPU constants. Returned array is
+/// indexed by [`CpuOp::index`].
+pub fn probe_cpu(spec: &ProbeSpec) -> Result<[f64; 6]> {
+    spec.validate()?;
+    let iters = spec.cpu_iters.max(1);
+    let mut out = [0.0f64; 6];
+
+    // MAP(sptr): partition arithmetic on a virtual pointer.
+    out[CpuOp::Map.index()] = timed_op(spec, || {
+        let mut acc = 0u64;
+        let t = micro_loop(iters, |i| {
+            let sptr = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            acc = acc.wrapping_add((sptr >> 12) % 17);
+        });
+        black_box(acc);
+        t
+    });
+
+    // hash: one multiplicative-xor hash step per key, the shape the
+    // Grace/hybrid partitioning and hash-table chains use.
+    out[CpuOp::Hash.index()] = timed_op(spec, || {
+        let mut acc = 0u64;
+        let t = micro_loop(iters, |i| {
+            let mut z = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            acc ^= z ^ (z >> 27);
+        });
+        black_box(acc);
+        t
+    });
+
+    // compare / swap / transfer: heap-of-pointers operations over a
+    // working set bigger than L1 so the constants include realistic
+    // cache behaviour.
+    let n = 1usize << 14;
+    let mask = (n - 1) as u64;
+    let mut keys: Vec<u64> = (0..n as u64)
+        .map(|i| i.wrapping_mul(0x51ED) & mask)
+        .collect();
+    out[CpuOp::Compare.index()] = timed_op(spec, || {
+        let mut acc = 0u64;
+        let t = micro_loop(iters, |i| {
+            let a = keys[(i & mask) as usize];
+            let b = keys[(i.wrapping_mul(7) & mask) as usize];
+            acc += u64::from(a < b);
+        });
+        black_box(acc);
+        t
+    });
+    out[CpuOp::Swap.index()] = timed_op(spec, || {
+        let t = micro_loop(iters, |i| {
+            keys.swap((i & mask) as usize, (i.wrapping_mul(13) & mask) as usize);
+        });
+        black_box(keys.as_slice());
+        t
+    });
+    let mut heap_src: Vec<(u64, u64)> = (0..n as u64).map(|i| (i, i ^ 0xFF)).collect();
+    let mut heap_dst: Vec<(u64, u64)> = vec![(0, 0); n];
+    out[CpuOp::HeapTransfer.index()] = timed_op(spec, || {
+        let t = micro_loop(iters, |i| {
+            let from = (i & mask) as usize;
+            let to = (i.wrapping_mul(31) & mask) as usize;
+            heap_dst[to] = heap_src[from];
+        });
+        black_box(heap_dst.as_slice());
+        heap_src[0].0 = heap_dst[0].0;
+        t
+    });
+
+    // Fault overhead: first touch of anonymous pages — the kernel's
+    // fault-in path (trap, page allocation, page-table update), the
+    // §8 residual the model prices explicitly.
+    let page = spec.block_bytes as usize;
+    out[CpuOp::FaultOverhead.index()] = timed_op(spec, || {
+        let pages = spec.fault_pages.max(1) as usize;
+        let region = SharedBuf::new(pages * page).expect("anonymous map");
+        let started = Instant::now();
+        for p in 0..pages {
+            unsafe { region.ptr().add(p * page).write(1) };
+        }
+        black_box(unsafe { region.ptr().read() });
+        (started.elapsed().as_secs_f64() / pages as f64).max(MIN_SECONDS)
+    });
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ProbeSpec {
+        let mut s = ProbeSpec::quick();
+        // Tiny sweeps: these tests check mechanics, not noise floors.
+        s.band_sizes = vec![1, 4, 16];
+        s.area_blocks = 64;
+        s.reps = 2;
+        s.warmup = 0;
+        s.cpu_iters = 10_000;
+        s.map_blocks = vec![4, 16, 64];
+        s.cs_rounds = 200;
+        s.fault_pages = 32;
+        s.memcpy_bytes = 64 << 10;
+        s
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mmjoin-cal-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn probe_spec_validation_catches_bad_shapes() {
+        let mut s = spec();
+        s.band_sizes = vec![4, 4];
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.band_sizes = vec![1, 1024];
+        s.area_blocks = 64;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.block_bytes = 1000;
+        assert!(s.validate().is_err());
+        let mut s = spec();
+        s.reps = 0;
+        assert!(s.validate().is_err());
+        assert!(spec().validate().is_ok());
+    }
+
+    #[test]
+    fn dtt_probe_produces_positive_increasing_bands() {
+        let target = tmp("dtt");
+        let s = spec();
+        let probe = probe_dtt(&target, &s).unwrap();
+        assert!(!target.exists(), "scratch file must be cleaned up");
+        assert_eq!(probe.samples.len(), s.band_sizes.len());
+        for (sample, &band) in probe.samples.iter().zip(&s.band_sizes) {
+            assert_eq!(sample.band, band);
+            assert!(sample.read > 0.0 && sample.write > 0.0);
+        }
+    }
+
+    #[test]
+    fn dtt_probe_reuses_and_keeps_existing_target() {
+        let target = tmp("dtt-existing");
+        std::fs::write(&target, vec![0u8; 64 * 4096]).unwrap();
+        let s = spec();
+        let probe = probe_dtt(&target, &s).unwrap();
+        assert!(target.exists(), "caller-provided target must survive");
+        assert_eq!(probe.samples.len(), s.band_sizes.len());
+        std::fs::remove_file(&target).unwrap();
+    }
+
+    #[test]
+    fn dtt_probe_rejects_undersized_target() {
+        let target = tmp("dtt-small");
+        std::fs::write(&target, vec![0u8; 4 * 4096]).unwrap();
+        let err = probe_dtt(&target, &spec()).unwrap_err().to_string();
+        assert!(err.contains("largest band"), "{err}");
+        std::fs::remove_file(&target).unwrap();
+    }
+
+    #[test]
+    fn map_probe_fits_positive_model() {
+        let dir = tmp("mapdir");
+        let probe = probe_map_costs(&dir, &spec()).unwrap();
+        assert!(!dir.exists(), "map scratch dir must be cleaned up");
+        assert_eq!(probe.samples.len(), 3);
+        assert!(probe.model.new_map(64) > 0.0);
+        assert!(probe.model.open_map(64) > 0.0);
+        assert!(probe.model.delete_map(64) >= 0.0);
+        for fit in probe.fits {
+            assert!(fit.residual.is_finite() && fit.residual >= 0.0);
+        }
+    }
+
+    #[test]
+    fn memcpy_and_cpu_probes_return_positive_constants() {
+        let s = spec();
+        let mt = probe_memcpy(&s).unwrap();
+        assert!(mt.iter().all(|&t| t > 0.0));
+        // A byte moves in well under a microsecond on anything modern.
+        assert!(mt.iter().all(|&t| t < 1e-6), "{mt:?}");
+        let cpu = probe_cpu(&s).unwrap();
+        assert!(cpu.iter().all(|&t| t > 0.0));
+        // Fault-in costs more than one hash step.
+        assert!(
+            cpu[CpuOp::FaultOverhead.index()] > cpu[CpuOp::Hash.index()],
+            "{cpu:?}"
+        );
+        let cs = probe_context_switch(&s).unwrap();
+        assert!(cs > 0.0 && cs < 1e-2, "cs {cs}");
+    }
+}

@@ -3,22 +3,34 @@
 //! ```text
 //! mmjoin join  [--alg A] [--objects N] [--d D] [--mem-pages P] [--seed S]
 //!              [--dist uniform|zipf:T|cross] [--env sim|mmap] [--threads]
+//!              [--machine-profile FILE]
 //! mmjoin plan  [--objects N] [--d D] [--mem-pages P] [--skew X] [--explain A]
+//!              [--machine-profile FILE]
 //! mmjoin serve [--jobs FILE] [--budget-pages N] [--workers N] [--policy fifo|spf]
-//!              [--shards N] [--placement rr|load|pred]
-//! mmjoin calibrate
+//!              [--shards N] [--placement rr|load|pred] [--machine-profile FILE]
+//! mmjoin calibrate      [--out FILE] [--device PATH] [--quick] [--sim]
+//! mmjoin validate-model [--machine-profile FILE] [--objects N] [--d D]
+//!                       [--mem-pages P]
 //! mmjoin help
 //! ```
 //!
 //! `join` runs one parallel pointer-based join and verifies it against
 //! the workload oracle; `plan` queries the analytical model the way a
 //! query optimizer would; `serve` runs many jobs concurrently under the
-//! admission-controlled service; `calibrate` prints the measured
-//! `dttr`/`dttw` curves of the simulated drive (Fig. 1a's procedure).
+//! admission-controlled service; `calibrate` measures the paper's §3
+//! machine parameters on this host and persists them as a versioned
+//! JSON machine profile (or, with `--sim`, prints the simulated drive's
+//! `dttr`/`dttw` curves); `validate-model` runs the paper's three
+//! algorithms on the real memory-mapped store and prints per-pass
+//! measured-vs-predicted times. Every planning/simulating command
+//! accepts `--machine-profile FILE` to use a calibrated profile in
+//! place of the built-in waterloo96 preset.
 
 use std::process::ExitCode;
 
 use mmjoin::{choose, explain, join_with_retry, verify, Algo, ExecMode, JoinSpec, RetryPolicy};
+use mmjoin_calibrate::{calibrate_host, CalibrateOptions, MachineProfile};
+use mmjoin_env::machine::MachineParams;
 use mmjoin_env::{FaultSpec, FaultyEnv, JsonlSink, TraceSink};
 use mmjoin_relstore::{build, PointerDist, RelConfig, WorkloadSpec};
 use mmjoin_vmsim::{
@@ -112,6 +124,36 @@ fn workload_from(args: &Args) -> Result<WorkloadSpec, String> {
     })
 }
 
+/// The default machine when no profile is supplied: the waterloo96
+/// preset with its `dtt` curves re-measured from the simulated drive —
+/// the single place the preset is named, so every command degrades to
+/// the same machine.
+fn default_machine() -> Result<MachineParams, String> {
+    calibrated_params(&DiskParams::waterloo96()).map_err(|e| e.to_string())
+}
+
+/// The machine a command should plan/simulate against: the profile
+/// named by `--machine-profile`, else [`default_machine`].
+fn machine_from(args: &Args) -> Result<MachineParams, String> {
+    match args.get("machine-profile") {
+        None => default_machine(),
+        Some(path) => {
+            let profile = MachineProfile::load(std::path::Path::new(path))
+                .map_err(|e| format!("--machine-profile: {e}"))?;
+            let p = &profile.provenance;
+            eprintln!(
+                "machine profile: {path} (host {}, device {}, direct_io {}, reps {}{})",
+                p.host,
+                p.device,
+                p.direct_io,
+                p.reps,
+                if p.quick { ", quick" } else { "" }
+            );
+            Ok(profile.machine)
+        }
+    }
+}
+
 /// Open the JSONL trace sink requested with `--trace`, if any.
 fn trace_sink_from(args: &Args) -> Result<Option<std::sync::Arc<JsonlSink>>, String> {
     match args.get("trace") {
@@ -143,8 +185,7 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     // domain); the join runs through the injecting wrapper.
     let (out, report, faults) = match env_kind {
         "sim" => {
-            let machine =
-                calibrated_params(&DiskParams::waterloo96()).map_err(|e| e.to_string())?;
+            let machine = machine_from(args)?;
             let mut cfg = SimConfig::waterloo96(w.rel.d);
             cfg.machine = machine;
             cfg.rproc_pages = pages as usize;
@@ -228,7 +269,7 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
     let w = workload_from(args)?;
     let pages: u64 = args.get_or("mem-pages", 160)?;
     let skew: f64 = args.get_or("skew", 1.0)?;
-    let machine = calibrated_params(&DiskParams::waterloo96()).map_err(|e| e.to_string())?;
+    let machine = machine_from(args)?;
     // Plan from statistics alone — no data is generated.
     let inputs = mmjoin_model::JoinInputs {
         r_objects: w.rel.r_objects,
@@ -307,6 +348,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     };
 
     let sink = trace_sink_from(args)?;
+    // Only an explicit profile becomes a config override; without one
+    // the service keeps its own process-wide calibrated default.
+    let machine = match args.get("machine-profile") {
+        Some(_) => Some(std::sync::Arc::new(machine_from(args)?)),
+        None => None,
+    };
     let mut cfg = ServeConfig {
         budget_bytes: budget_pages * PAGE,
         workers,
@@ -319,6 +366,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             Some(s) => s.clone() as std::sync::Arc<dyn TraceSink>,
             None => mmjoin_env::null_sink(),
         },
+        machine,
     };
     if deadline_ms > 0 {
         cfg.deadline = Some(std::time::Duration::from_millis(deadline_ms));
@@ -414,21 +462,265 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_calibrate() -> Result<(), String> {
-    let disk = DiskParams::waterloo96();
-    println!("measuring dtt curves from the simulated drive (Fig. 1a procedure)");
+fn cmd_calibrate(args: &Args) -> Result<(), String> {
+    if args.flag("sim") {
+        // The original behaviour: the paper's Fig. 1a procedure against
+        // the *simulated* waterloo96 drive.
+        let disk = DiskParams::waterloo96();
+        println!("measuring dtt curves from the simulated drive (Fig. 1a procedure)");
+        println!(
+            "{:>12} {:>14} {:>14}",
+            "band (blks)", "dttr (ms/blk)", "dttw (ms/blk)"
+        );
+        for s in measure_dtt(&disk, &CalibrationSpec::default()) {
+            println!(
+                "{:>12} {:>14.2} {:>14.2}",
+                s.band,
+                s.read * 1e3,
+                s.write * 1e3
+            );
+        }
+        return Ok(());
+    }
+
+    let sink = trace_sink_from(args)?;
+    let mut opts = if args.flag("quick") {
+        CalibrateOptions::quick()
+    } else {
+        CalibrateOptions::full()
+    };
+    opts.device = args.get("device").map(std::path::PathBuf::from);
+    if let Some(s) = &sink {
+        opts.trace = s.clone() as std::sync::Arc<dyn TraceSink>;
+    }
+    println!(
+        "calibrating this host ({} probes, {} reps each){}",
+        if opts.quick { "quick" } else { "full" },
+        opts.spec.reps,
+        match &opts.device {
+            Some(d) => format!(", disk sweep on {}", d.display()),
+            None => ", disk sweep on a temp scratch file".to_string(),
+        }
+    );
+    let profile = calibrate_host(&opts).map_err(|e| e.to_string())?;
+
+    let p = &profile.provenance;
+    let m = &profile.machine;
+    println!(
+        "host {}  device {}  direct_io {}",
+        p.host, p.device, p.direct_io
+    );
+    if !p.direct_io {
+        println!("NOTE: O_DIRECT unavailable; dtt curves include the page cache");
+    }
     println!(
         "{:>12} {:>14} {:>14}",
         "band (blks)", "dttr (ms/blk)", "dttw (ms/blk)"
     );
-    for s in measure_dtt(&disk, &CalibrationSpec::default()) {
-        println!(
-            "{:>12} {:>14.2} {:>14.2}",
-            s.band,
-            s.read * 1e3,
-            s.write * 1e3
+    for &(band, read) in m.dttr.points() {
+        let write = m.dttw.eval(band);
+        println!("{band:>12} {:>14.4} {:>14.4}", read * 1e3, write * 1e3);
+    }
+    println!(
+        "map costs (s): new {:.6}+{:.2e}/blk  open {:.6}+{:.2e}/blk  delete {:.6}+{:.2e}/blk",
+        m.map_cost.new_base,
+        m.map_cost.new_per_block,
+        m.map_cost.open_base,
+        m.map_cost.open_per_block,
+        m.map_cost.delete_base,
+        m.map_cost.delete_per_block
+    );
+    println!(
+        "fit residuals (s): new {:.2e}  open {:.2e}  delete {:.2e}",
+        p.fit_residuals[0], p.fit_residuals[1], p.fit_residuals[2]
+    );
+    println!(
+        "MT (ns/B): pp {:.3}  ps {:.3}  sp {:.3}  ss {:.3}",
+        m.mt[0] * 1e9,
+        m.mt[1] * 1e9,
+        m.mt[2] * 1e9,
+        m.mt[3] * 1e9
+    );
+    println!(
+        "CPU (ns/op): map {:.1}  hash {:.1}  compare {:.1}  swap {:.1}  transfer {:.1}  fault {:.1}",
+        m.cpu[0] * 1e9,
+        m.cpu[1] * 1e9,
+        m.cpu[2] * 1e9,
+        m.cpu[3] * 1e9,
+        m.cpu[4] * 1e9,
+        m.cpu[5] * 1e9
+    );
+    println!("CS: {:.2} us", m.cs * 1e6);
+
+    if let Some(path) = args.get("out") {
+        profile
+            .save(std::path::Path::new(path))
+            .map_err(|e| format!("--out: {e}"))?;
+        println!("profile written to {path}");
+    }
+    if let Some(s) = &sink {
+        s.flush()
+            .map_err(|e| format!("--trace: flush failed: {e}"))?;
+    }
+    Ok(())
+}
+
+/// One row of the validate-model comparison: a named group of passes
+/// with its measured and predicted seconds.
+struct PassRow {
+    group: &'static str,
+    measured: f64,
+    predicted: f64,
+}
+
+/// Fold executed stage durations and model pass predictions into
+/// comparable groups: `setup`, `pass0` (combined into `setup+pass0`
+/// for synchronized nested loops), the `pass1` phase sweep, and the
+/// algorithm's final local pass (sort+merge+join / bucket-join).
+fn pass_rows(
+    stage_durations: &[(String, f64)],
+    breakdown: &mmjoin_model::CostBreakdown,
+) -> Vec<PassRow> {
+    let measured_group = |name: &str| -> &'static str {
+        match name {
+            "setup" => "setup",
+            "pass0" => "pass0",
+            "setup+pass0" => "setup+pass0",
+            n if n.starts_with("phase") => "pass1",
+            _ => "local",
+        }
+    };
+    let predicted_group = |pass: &str, combined: bool| -> &'static str {
+        match pass {
+            "setup" if combined => "setup+pass0",
+            "pass0" if combined => "setup+pass0",
+            "setup" => "setup",
+            "pass0" => "pass0",
+            "pass1" => "pass1",
+            _ => "local",
+        }
+    };
+    let combined = stage_durations.iter().any(|(n, _)| n == "setup+pass0");
+    let mut rows: Vec<PassRow> = Vec::new();
+    let mut add = |group: &'static str, measured: f64, predicted: f64| {
+        if let Some(row) = rows.iter_mut().find(|r| r.group == group) {
+            row.measured += measured;
+            row.predicted += predicted;
+        } else {
+            rows.push(PassRow {
+                group,
+                measured,
+                predicted,
+            });
+        }
+    };
+    for (name, dur) in stage_durations {
+        add(measured_group(name), *dur, 0.0);
+    }
+    for pass in breakdown.passes() {
+        add(
+            predicted_group(pass, combined),
+            0.0,
+            breakdown.total_pass(pass),
         );
     }
+    rows
+}
+
+fn cmd_validate_model(args: &Args) -> Result<(), String> {
+    use mmjoin_env::{Env as _, ProcId};
+
+    let w = workload_from(args)?;
+    let pages: u64 = args.get_or("mem-pages", 160)?;
+    let machine = machine_from(args)?;
+    let inputs = mmjoin_model::JoinInputs {
+        r_objects: w.rel.r_objects,
+        s_objects: w.rel.s_objects,
+        r_size: w.rel.r_size,
+        s_size: w.rel.s_size,
+        sptr_size: mmjoin_relstore::SPTR_SIZE,
+        d: w.rel.d,
+        skew: 1.0,
+        m_rproc: pages * 4096,
+        m_sproc: pages * 4096,
+        g_buffer: 4096,
+    };
+
+    let root = std::env::temp_dir().join(format!("mmjoin-validate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let env = mmjoin_mmstore::MmapEnv::new(mmjoin_mmstore::MmapEnvConfig {
+        root: root.clone(),
+        num_disks: w.rel.d,
+        page_size: 4096,
+    })
+    .map_err(|e| e.to_string())?;
+    let rels = build(&env, &w).map_err(|e| e.to_string())?;
+
+    println!(
+        "model validation on the memory-mapped store: |R| = |S| = {} x {} B, \
+         D = {}, {pages} pages/proc",
+        w.rel.r_objects, w.rel.r_size, w.rel.d
+    );
+    println!(
+        "{:<14} {:<12} {:>12} {:>12} {:>9}",
+        "algorithm", "pass", "measured(s)", "predicted(s)", "ratio"
+    );
+    for (alg, model_alg) in [
+        (Algo::NestedLoops, mmjoin_model::Algorithm::NestedLoops),
+        (Algo::SortMerge, mmjoin_model::Algorithm::SortMerge),
+        (Algo::Grace, mmjoin_model::Algorithm::Grace),
+    ] {
+        let mut spec =
+            JoinSpec::new(pages * 4096, pages * 4096).with_tag(&format!("val-{}", alg.name()));
+        // Synchronized phases give nested loops the same stage
+        // boundaries the model prices.
+        spec.sync_phases = true;
+        let start = (0..w.rel.d).map(|i| env.now(ProcId(i))).fold(0.0, f64::max);
+        let out = mmjoin::join(&env, &rels, alg, &spec).map_err(|e| e.to_string())?;
+        verify(&out, &rels).map_err(|e| format!("{}: verification failed: {e}", alg.name()))?;
+
+        // stage_times are cumulative max-over-procs boundary clocks;
+        // successive differences are per-stage durations.
+        let mut durations: Vec<(String, f64)> = Vec::new();
+        let mut prev = start;
+        for (name, t) in &out.stage_times {
+            durations.push((name.clone(), (t - prev).max(0.0)));
+            prev = *t;
+        }
+        let breakdown = explain(&machine, &inputs, model_alg);
+        let mut measured_total = 0.0;
+        let mut predicted_total = 0.0;
+        for row in pass_rows(&durations, &breakdown) {
+            measured_total += row.measured;
+            predicted_total += row.predicted;
+            let ratio = if row.predicted > 0.0 {
+                format!("{:>9.3}", row.measured / row.predicted)
+            } else {
+                format!("{:>9}", "-")
+            };
+            println!(
+                "{:<14} {:<12} {:>12.3} {:>12.3} {ratio}",
+                alg.name(),
+                row.group,
+                row.measured,
+                row.predicted
+            );
+        }
+        let ratio = if predicted_total > 0.0 {
+            format!("{:>9.3}", measured_total / predicted_total)
+        } else {
+            format!("{:>9}", "-")
+        };
+        println!(
+            "{:<14} {:<12} {:>12.3} {:>12.3} {ratio}",
+            alg.name(),
+            "TOTAL",
+            measured_total,
+            predicted_total
+        );
+    }
+    drop(env);
+    let _ = std::fs::remove_dir_all(&root);
     Ok(())
 }
 
@@ -436,26 +728,41 @@ fn usage() {
     println!("mmjoin — parallel pointer-based joins in memory-mapped environments");
     println!();
     println!("usage:");
-    println!("  mmjoin join  [--alg A] [--objects N] [--d D] [--obj-size B]");
-    println!("               [--mem-pages P] [--seed S] [--dist uniform|zipf:T|cross]");
-    println!("               [--env sim|mmap] [--threads] [--fault-spec SPEC]");
-    println!("               [--retries N] [--trace FILE.jsonl]");
-    println!("  mmjoin plan  [--objects N] [--d D] [--obj-size B] [--mem-pages P]");
-    println!("               [--skew X] [--explain A]");
-    println!("  mmjoin serve [--jobs FILE] [--budget-pages N] [--workers N]");
-    println!("               [--policy fifo|spf] [--shards N] [--placement rr|load|pred]");
-    println!("               [--env sim|mmap] [--json] [--stats-json FILE]");
-    println!("               [--fault-spec SPEC] [--retries N]");
-    println!("               [--deadline-ms MS] [--trace FILE.jsonl]");
-    println!("               (reads job lines from stdin");
-    println!("               without --jobs; one job per line, key=value tokens:");
-    println!("               name alg objects obj-size d mem-pages seed dist mode)");
+    println!("  mmjoin join      [--alg A] [--objects N] [--d D] [--obj-size B]");
+    println!("                   [--mem-pages P] [--seed S] [--dist uniform|zipf:T|cross]");
+    println!("                   [--env sim|mmap] [--threads] [--fault-spec SPEC]");
+    println!("                   [--retries N] [--trace FILE.jsonl]");
+    println!("                   [--machine-profile FILE]");
+    println!("  mmjoin plan      [--objects N] [--d D] [--obj-size B] [--mem-pages P]");
+    println!("                   [--skew X] [--explain A] [--machine-profile FILE]");
+    println!("  mmjoin serve     [--jobs FILE] [--budget-pages N] [--workers N]");
+    println!("                   [--policy fifo|spf] [--shards N] [--placement rr|load|pred]");
+    println!("                   [--env sim|mmap] [--json] [--stats-json FILE]");
+    println!("                   [--fault-spec SPEC] [--retries N]");
+    println!("                   [--deadline-ms MS] [--trace FILE.jsonl]");
+    println!("                   [--machine-profile FILE]");
+    println!("                   (reads job lines from stdin");
+    println!("                   without --jobs; one job per line, key=value tokens:");
+    println!("                   name alg objects obj-size d mem-pages seed dist mode)");
+    println!("  mmjoin calibrate [--out FILE] [--device PATH] [--quick] [--sim]");
+    println!("                   [--trace FILE.jsonl]");
+    println!("  mmjoin validate-model [--machine-profile FILE] [--objects N] [--d D]");
+    println!("                   [--obj-size B] [--mem-pages P] [--seed S]");
     println!();
     println!("--shards N > 1 partitions the budget across N shards, each with");
     println!("  its own queue and N --workers threads; --placement picks the");
     println!("  shard per job (rr round-robin, load least-reserved-bytes, pred");
     println!("  planner-predicted backlog balance); idle shards steal queued jobs");
-    println!("  mmjoin calibrate");
+    println!();
+    println!("calibrate measures this host (O_DIRECT disk band sweep, map setup");
+    println!("  costs, memcpy rates, context switches, CPU micro-ops) and writes");
+    println!("  a versioned JSON machine profile with --out; --quick shrinks the");
+    println!("  sweeps to CI scale, --device aims the disk sweep at a file or");
+    println!("  block device (contents overwritten!), --sim instead prints the");
+    println!("  simulated drive's dtt curves (the old behaviour)");
+    println!();
+    println!("--machine-profile FILE makes join/plan/serve/validate-model use a");
+    println!("  calibrated profile instead of the built-in waterloo96 preset");
     println!();
     println!("fault specs: ';'-separated rules 'kind:key=val:...' with kinds");
     println!("  read write create open delete sfetch diskfull delay and keys");
@@ -487,13 +794,14 @@ fn main() -> ExitCode {
         "join" => cmd_join(&rest),
         "plan" => cmd_plan(&rest),
         "serve" => cmd_serve(&rest),
-        "calibrate" => cmd_calibrate(),
+        "calibrate" => cmd_calibrate(&rest),
+        "validate-model" => cmd_validate_model(&rest),
         "help" | "--help" | "-h" => {
             usage();
             Ok(())
         }
         other => Err(format!(
-            "unknown command '{other}' (join | plan | serve | calibrate | help)"
+            "unknown command '{other}' (join | plan | serve | calibrate | validate-model | help)"
         )),
     };
     match result {
@@ -573,5 +881,97 @@ mod tests {
         let w = workload_from(&args(&["--d", "2", "--objects", "1000"])).unwrap();
         assert_eq!(w.rel.d, 2);
         assert_eq!(w.rel.r_objects, 1000);
+    }
+
+    #[test]
+    fn machine_from_without_profile_is_the_shared_default() {
+        let m = machine_from(&args(&[])).unwrap();
+        assert_eq!(m, default_machine().unwrap());
+    }
+
+    #[test]
+    fn machine_from_rejects_missing_and_malformed_profiles() {
+        let err = machine_from(&args(&["--machine-profile", "/no/such/profile.json"])).unwrap_err();
+        assert!(err.contains("machine-profile"), "{err}");
+        let path = std::env::temp_dir().join(format!("mmjoin-cli-bad-{}.json", std::process::id()));
+        std::fs::write(&path, "{\"format\": \"bogus\"}").unwrap();
+        let err = machine_from(&args(&["--machine-profile", path.to_str().unwrap()])).unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert!(err.contains("not a machine profile"), "{err}");
+    }
+
+    #[test]
+    fn machine_from_round_trips_a_saved_profile() {
+        let profile = MachineProfile {
+            version: mmjoin_calibrate::PROFILE_VERSION,
+            provenance: mmjoin_calibrate::Provenance {
+                host: "cli-test".into(),
+                device: "/dev/null".into(),
+                created_unix: 0,
+                direct_io: false,
+                quick: true,
+                reps: 1,
+                warmup: 0,
+                fit_residuals: [0.0; 3],
+            },
+            machine: MachineParams::waterloo96(),
+        };
+        let path =
+            std::env::temp_dir().join(format!("mmjoin-cli-prof-{}.json", std::process::id()));
+        profile.save(&path).unwrap();
+        let m = machine_from(&args(&["--machine-profile", path.to_str().unwrap()])).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(m, profile.machine);
+    }
+
+    #[test]
+    fn pass_rows_group_stages_against_model_passes() {
+        let machine = MachineParams::waterloo96();
+        let inputs = mmjoin_model::JoinInputs {
+            r_objects: 10_000,
+            s_objects: 10_000,
+            r_size: 128,
+            s_size: 128,
+            sptr_size: 8,
+            d: 4,
+            skew: 1.0,
+            m_rproc: 160 * 4096,
+            m_sproc: 160 * 4096,
+            g_buffer: 4096,
+        };
+        // Sort-merge stage layout: distinct setup/pass0, phases fold
+        // into pass1, the trailing local pass collects the rest.
+        let b = explain(&machine, &inputs, mmjoin_model::Algorithm::SortMerge);
+        let stages = vec![
+            ("setup".to_string(), 1.0),
+            ("pass0".to_string(), 2.0),
+            ("phase1".to_string(), 0.5),
+            ("phase2".to_string(), 0.5),
+            ("phase3".to_string(), 0.5),
+            ("sort+merge+join".to_string(), 4.0),
+        ];
+        let rows = pass_rows(&stages, &b);
+        let groups: Vec<&str> = rows.iter().map(|r| r.group).collect();
+        assert_eq!(groups, vec!["setup", "pass0", "pass1", "local"]);
+        let pass1 = rows.iter().find(|r| r.group == "pass1").unwrap();
+        assert!((pass1.measured - 1.5).abs() < 1e-12);
+        assert!((pass1.predicted - b.total_pass("pass1")).abs() < 1e-12);
+        let total_pred: f64 = rows.iter().map(|r| r.predicted).sum();
+        assert!((total_pred - b.total()).abs() < 1e-9);
+
+        // Synchronized nested loops fold setup+pass0 into one stage on
+        // both sides.
+        let b = explain(&machine, &inputs, mmjoin_model::Algorithm::NestedLoops);
+        let stages = vec![
+            ("setup+pass0".to_string(), 3.0),
+            ("phase1".to_string(), 1.0),
+            ("phase2".to_string(), 1.0),
+            ("phase3".to_string(), 1.0),
+        ];
+        let rows = pass_rows(&stages, &b);
+        let combined = rows.iter().find(|r| r.group == "setup+pass0").unwrap();
+        assert!((combined.predicted - b.total_pass("setup") - b.total_pass("pass0")).abs() < 1e-12);
+        let total_pred: f64 = rows.iter().map(|r| r.predicted).sum();
+        assert!((total_pred - b.total()).abs() < 1e-9);
     }
 }

@@ -126,7 +126,11 @@ impl MapCostModel {
 }
 
 /// The full set of measured machine parameters from paper §3.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` is field-exact (bitwise on the floats): two parameter
+/// sets compare equal iff every model evaluation over them is
+/// identical, which is what the profile round-trip tests assert.
+#[derive(Clone, Debug, PartialEq)]
 pub struct MachineParams {
     /// `B`: virtual-memory page (block) size in bytes.
     pub page_size: u64,

@@ -187,6 +187,34 @@ pub enum TraceEvent {
         /// How many times the job degraded.
         degraded: u32,
     },
+    /// A host-calibration probe began (mmjoin-calibrate).
+    ProbeStart {
+        /// Probe name (`dtt`, `map`, `mt`, `cs`, `cpu`).
+        probe: String,
+        /// Repetitions the probe will run (median-of-k).
+        reps: u32,
+    },
+    /// The matching end of a [`TraceEvent::ProbeStart`].
+    ProbeEnd {
+        /// Probe name.
+        probe: String,
+        /// Repetitions actually run.
+        reps: u32,
+        /// Wall seconds the whole probe took.
+        seconds: f64,
+    },
+    /// A least-squares fit of probe samples into a model coefficient
+    /// pair (mmjoin-calibrate: the Fig. 1b `base + slope·blocks` fits).
+    ProbeFit {
+        /// Fit name (`map_new`, `map_open`, `map_delete`).
+        fit: String,
+        /// Fitted fixed cost in seconds.
+        base: f64,
+        /// Fitted per-block slope in seconds/block.
+        slope: f64,
+        /// RMS residual of the fit in seconds.
+        residual: f64,
+    },
 }
 
 impl TraceEvent {
@@ -205,6 +233,9 @@ impl TraceEvent {
             TraceEvent::JobStolen { .. } => "job_stolen",
             TraceEvent::JobDegraded { .. } => "job_degraded",
             TraceEvent::JobCompleted { .. } => "job_completed",
+            TraceEvent::ProbeStart { .. } => "probe_start",
+            TraceEvent::ProbeEnd { .. } => "probe_end",
+            TraceEvent::ProbeFit { .. } => "probe_fit",
         }
     }
 }
@@ -478,6 +509,33 @@ pub fn encode(t: f64, event: &TraceEvent) -> String {
         TraceEvent::JobCompleted { job, ok, degraded } => {
             let _ = write!(s, ",\"job\":{job},\"ok\":{ok},\"degraded\":{degraded}");
         }
+        TraceEvent::ProbeStart { probe, reps } => {
+            s.push_str(",\"probe\":\"");
+            esc(probe, &mut s);
+            let _ = write!(s, "\",\"reps\":{reps}");
+        }
+        TraceEvent::ProbeEnd {
+            probe,
+            reps,
+            seconds,
+        } => {
+            s.push_str(",\"probe\":\"");
+            esc(probe, &mut s);
+            let _ = write!(s, "\",\"reps\":{reps},\"seconds\":{seconds:.9}");
+        }
+        TraceEvent::ProbeFit {
+            fit,
+            base,
+            slope,
+            residual,
+        } => {
+            s.push_str(",\"fit\":\"");
+            esc(fit, &mut s);
+            let _ = write!(
+                s,
+                "\",\"base\":{base:.12},\"slope\":{slope:.12},\"residual\":{residual:.12}"
+            );
+        }
     }
     s.push('}');
     s
@@ -613,6 +671,40 @@ mod tests {
         );
         assert!(stolen.contains("\"ev\":\"job_stolen\""));
         assert!(stolen.contains("\"from\":2") && stolen.contains("\"to\":1"));
+    }
+
+    #[test]
+    fn probe_events_encode_name_reps_and_fit() {
+        let start = encode(
+            0.0,
+            &TraceEvent::ProbeStart {
+                probe: "dttr".into(),
+                reps: 5,
+            },
+        );
+        assert!(start.contains("\"ev\":\"probe_start\""));
+        assert!(start.contains("\"probe\":\"dttr\"") && start.contains("\"reps\":5"));
+        let end = encode(
+            1.0,
+            &TraceEvent::ProbeEnd {
+                probe: "dttr".into(),
+                reps: 5,
+                seconds: 0.25,
+            },
+        );
+        assert!(end.contains("\"ev\":\"probe_end\""));
+        assert!(end.contains("\"seconds\":0.250000000"));
+        let fit = encode(
+            2.0,
+            &TraceEvent::ProbeFit {
+                fit: "map_new".into(),
+                base: 0.05,
+                slope: 9.0e-4,
+                residual: 1.0e-6,
+            },
+        );
+        assert!(fit.contains("\"ev\":\"probe_fit\""));
+        assert!(fit.contains("\"fit\":\"map_new\"") && fit.contains("\"base\":0.050000000000"));
     }
 
     #[test]

@@ -72,6 +72,12 @@ pub struct ServeConfig {
     /// every job's environment, so pass/map/fault events land in the
     /// same stream (with env-local timestamps).
     pub trace: Arc<dyn TraceSink>,
+    /// The machine every job is planned and (in [`EnvKind::Sim`])
+    /// executed against. `None` falls back to the process-wide
+    /// [`service_machine`] calibrated from the simulated waterloo96
+    /// disk; services built from a measured host profile install it
+    /// here via [`ServeConfig::with_machine`].
+    pub machine: Option<Arc<MachineParams>>,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -85,6 +91,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("retries", &self.retries)
             .field("deadline", &self.deadline)
             .field("trace_enabled", &self.trace.enabled())
+            .field("machine_override", &self.machine.is_some())
             .finish()
     }
 }
@@ -105,6 +112,7 @@ impl ServeConfig {
             retries: 3,
             deadline: None,
             trace: null_sink(),
+            machine: None,
         }
     }
 
@@ -136,6 +144,22 @@ impl ServeConfig {
     pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.trace = sink;
         self
+    }
+
+    /// Same config planned and simulated against `machine` (a loaded
+    /// host profile) instead of the process-wide calibrated default.
+    pub fn with_machine(mut self, machine: Arc<MachineParams>) -> Self {
+        self.machine = Some(machine);
+        self
+    }
+
+    /// The machine in effect: the installed override, else the
+    /// process-wide calibrated default.
+    pub fn machine(&self) -> Result<&MachineParams, String> {
+        match &self.machine {
+            Some(m) => Ok(m),
+            None => service_machine(),
+        }
     }
 }
 
@@ -329,7 +353,7 @@ impl Service {
     /// it), so it is refused here instead.
     pub fn submit(&self, req: JobRequest) -> Result<JobId, String> {
         let footprint = req.footprint();
-        let plan = choose(service_machine()?, &req.planner_inputs());
+        let plan = choose(self.shared.cfg.machine()?, &req.planner_inputs());
         let mut st = self.shared.lock();
         if footprint > self.shared.cfg.budget_bytes {
             st.stats.rejected += 1;
@@ -574,7 +598,7 @@ pub(crate) fn run_job(
         // Re-plan under the (possibly degraded) budgets. Jobs that
         // pinned an algorithm keep it; `auto` jobs ask the planner what
         // is cheapest at this footprint.
-        let alg = match plan_algorithm(&job, m_rproc, m_sproc) {
+        let alg = match plan_algorithm(host.cfg(), &job, m_rproc, m_sproc) {
             Ok(alg) => alg,
             Err(e) => break Err(e),
         };
@@ -643,7 +667,12 @@ pub(crate) fn run_job(
 }
 
 /// The algorithm to run at the given (possibly degraded) budgets.
-fn plan_algorithm(job: &Queued, m_rproc: u64, m_sproc: u64) -> Result<Algo, String> {
+fn plan_algorithm(
+    cfg: &ServeConfig,
+    job: &Queued,
+    m_rproc: u64,
+    m_sproc: u64,
+) -> Result<Algo, String> {
     if let Some(alg) = job.req.alg {
         return Ok(alg);
     }
@@ -653,7 +682,7 @@ fn plan_algorithm(job: &Queued, m_rproc: u64, m_sproc: u64) -> Result<Algo, Stri
     let mut inputs = job.req.planner_inputs();
     inputs.m_rproc = m_rproc;
     inputs.m_sproc = m_sproc;
-    Ok(Algo::from(choose(service_machine()?, &inputs).algorithm))
+    Ok(Algo::from(choose(cfg.machine()?, &inputs).algorithm))
 }
 
 /// Best-effort text from a caught panic payload.
@@ -686,7 +715,7 @@ fn execute(cfg: &ServeConfig, job: &Queued, alg: Algo, m_rproc: u64, m_sproc: u6
     match &cfg.env {
         EnvKind::Sim => {
             let mut sim_cfg = SimConfig::waterloo96(req.workload.rel.d);
-            sim_cfg.machine = match service_machine() {
+            sim_cfg.machine = match cfg.machine() {
                 Ok(m) => m.clone(),
                 Err(e) => return fail(EnvError::InvalidConfig(e)),
             };

@@ -274,7 +274,7 @@ impl JoinService for ShardedService {
     /// the whole budget).
     fn submit(&self, req: JobRequest) -> Result<JobId, String> {
         let footprint = req.footprint();
-        let plan = choose(crate::service::service_machine()?, &req.planner_inputs());
+        let plan = choose(self.inner.cfg.machine()?, &req.planner_inputs());
         let cand = Candidate {
             footprint,
             predicted_seconds: plan.predicted_seconds(),

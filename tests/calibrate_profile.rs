@@ -1,0 +1,218 @@
+//! Machine-profile persistence properties: serialization is a bitwise
+//! identity, malformed and mis-versioned documents are rejected with
+//! useful errors, and a profile that made a round trip through disk
+//! drives the analytical model to *exactly* the same predictions as the
+//! in-memory original — the property that makes persisted profiles a
+//! safe substitute for in-process calibration.
+
+use mmjoin_calibrate::{MachineProfile, Provenance, PROFILE_VERSION};
+use mmjoin_env::machine::{DttCurve, MachineParams, MapCostModel};
+use mmjoin_model::{predict, Algorithm, JoinInputs};
+use proptest::prelude::*;
+
+/// A strictly increasing, positive dtt curve from arbitrary raw floats.
+fn curve_strategy() -> impl Strategy<Value = DttCurve> {
+    proptest::collection::vec((1.0e-6f64..1.0, 1.0e-6f64..0.1), 1..8).prop_map(|steps| {
+        let mut band = 0.0f64;
+        let points = steps
+            .into_iter()
+            .map(|(dband, sec)| {
+                band += 1.0 + dband * 1000.0;
+                (band.floor(), sec)
+            })
+            .collect();
+        DttCurve::from_points(points).expect("constructed increasing")
+    })
+}
+
+fn machine_strategy() -> impl Strategy<Value = MachineParams> {
+    (
+        (
+            0usize..4, // index into the page-size table below
+            1.0e-7f64..1.0e-3,
+            (
+                1.0e-10f64..1.0e-6,
+                1.0e-10f64..1.0e-6,
+                1.0e-10f64..1.0e-6,
+                1.0e-10f64..1.0e-6,
+            ),
+        ),
+        (
+            1.0e-9f64..1.0e-4,
+            1.0e-9f64..1.0e-4,
+            1.0e-9f64..1.0e-4,
+            1.0e-9f64..1.0e-4,
+            1.0e-9f64..1.0e-4,
+            1.0e-9f64..1.0e-2,
+        ),
+        curve_strategy(),
+        curve_strategy(),
+        (
+            0.0f64..0.5,
+            0.0f64..1.0e-2,
+            0.0f64..0.5,
+            0.0f64..1.0e-2,
+            0.0f64..0.5,
+            0.0f64..1.0e-2,
+        ),
+    )
+        .prop_map(|((page_idx, cs, mt), cpu, dttr, dttw, mc)| MachineParams {
+            page_size: [512u64, 4096, 8192, 16384][page_idx],
+            cs,
+            mt: [mt.0, mt.1, mt.2, mt.3],
+            cpu: [cpu.0, cpu.1, cpu.2, cpu.3, cpu.4, cpu.5],
+            dttr,
+            dttw,
+            map_cost: MapCostModel {
+                new_base: mc.0,
+                new_per_block: mc.1,
+                open_base: mc.2,
+                open_per_block: mc.3,
+                delete_base: mc.4,
+                delete_per_block: mc.5,
+            },
+        })
+}
+
+fn profile_with(machine: MachineParams) -> MachineProfile {
+    MachineProfile {
+        version: PROFILE_VERSION,
+        provenance: Provenance {
+            host: "prop-host".into(),
+            device: "/tmp/prop \"device\"".into(),
+            created_unix: 1_754_000_000,
+            direct_io: true,
+            quick: false,
+            reps: 5,
+            warmup: 1,
+            fit_residuals: [3.0e-4, 1.0e-5, 0.0],
+        },
+        machine,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// MachineParams → JSON → MachineParams is the identity, bitwise:
+    /// `MachineParams` equality is float-exact, so this pins down that
+    /// the emitter's shortest-roundtrip float formatting loses nothing.
+    #[test]
+    fn profile_round_trip_is_identity(machine in machine_strategy()) {
+        let profile = profile_with(machine);
+        let text = profile.to_json();
+        let back = MachineProfile::from_json(&text).expect("own output parses");
+        prop_assert_eq!(back, profile);
+    }
+
+    /// A loaded profile drives the model to bit-identical predictions —
+    /// every pass of every algorithm.
+    #[test]
+    fn loaded_profile_predicts_identically(machine in machine_strategy()) {
+        let profile = profile_with(machine);
+        let loaded = MachineProfile::from_json(&profile.to_json()).unwrap();
+        let w = JoinInputs {
+            r_objects: 102_400,
+            s_objects: 102_400,
+            r_size: 128,
+            s_size: 128,
+            sptr_size: 8,
+            d: 4,
+            skew: 1.0,
+            m_rproc: 4 << 20,
+            m_sproc: 4 << 20,
+            g_buffer: profile.machine.page_size,
+        };
+        for alg in Algorithm::ALL {
+            let original = predict(alg, &profile.machine, &w);
+            let reloaded = predict(alg, &loaded.machine, &w);
+            prop_assert_eq!(
+                original.total().to_bits(),
+                reloaded.total().to_bits(),
+                "{} total diverged", alg.name()
+            );
+            for pass in original.passes() {
+                prop_assert_eq!(
+                    original.total_pass(pass).to_bits(),
+                    reloaded.total_pass(pass).to_bits(),
+                    "{} pass {} diverged", alg.name(), pass
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn malformed_profiles_are_rejected() {
+    let good = profile_with(MachineParams::waterloo96()).to_json();
+    assert!(MachineProfile::from_json(&good).is_ok());
+
+    // Structurally broken documents.
+    for bad in [
+        "",
+        "{",
+        "not json at all",
+        "{\"format\": \"mmjoin-machine-profile\"}",
+        "[]",
+        "42",
+    ] {
+        assert!(MachineProfile::from_json(bad).is_err(), "accepted: {bad}");
+    }
+
+    // Well-formed JSON that is not a valid profile.
+    let truncated = good.replace("\"cs\":", "\"not_cs\":");
+    let err = MachineProfile::from_json(&truncated)
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("cs"), "error should name the field: {err}");
+
+    let wrong_type = good.replace("\"direct_io\": true", "\"direct_io\": \"yes\"");
+    assert!(MachineProfile::from_json(&wrong_type).is_err());
+}
+
+#[test]
+fn version_mismatch_is_rejected_with_guidance() {
+    let good = profile_with(MachineParams::waterloo96()).to_json();
+    let future = good.replace("\"version\": 1,", "\"version\": 2,");
+    let err = MachineProfile::from_json(&future).unwrap_err().to_string();
+    assert!(
+        err.contains("version 2") && err.contains("calibrate"),
+        "error should state the version and the remedy: {err}"
+    );
+    let not_a_profile = good.replace("mmjoin-machine-profile", "mmjoin-trace");
+    let err = MachineProfile::from_json(&not_a_profile)
+        .unwrap_err()
+        .to_string();
+    assert!(err.contains("not a machine profile"), "{err}");
+}
+
+#[test]
+fn checked_in_ci_profile_loads_and_predicts() {
+    // The sample profile under results/profiles must stay loadable; it
+    // is what docs and smoke jobs point at.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/profiles/ci-host.json");
+    let profile = MachineProfile::load(&path).expect("checked-in profile loads");
+    assert_eq!(profile.version, PROFILE_VERSION);
+    assert!(profile.provenance.quick);
+    let w = JoinInputs {
+        r_objects: 10_000,
+        s_objects: 10_000,
+        r_size: 128,
+        s_size: 128,
+        sptr_size: 8,
+        d: 2,
+        skew: 1.0,
+        m_rproc: 1 << 20,
+        m_sproc: 1 << 20,
+        g_buffer: profile.machine.page_size,
+    };
+    for alg in Algorithm::PAPER {
+        let cost = predict(alg, &profile.machine, &w);
+        assert!(
+            cost.total().is_finite() && cost.total() > 0.0,
+            "{}: non-positive prediction from the CI profile",
+            alg.name()
+        );
+    }
+}
