@@ -43,6 +43,7 @@ fn main() {
     let seed: u64 = opt("--seed", 1996);
     let spec_text: String = opt("--fault-spec", DEFAULT_SPEC.to_string());
     let retries: u32 = opt("--retries", 4);
+    let journal: String = opt("--journal", String::new());
     let fault_spec = match FaultSpec::parse(&spec_text) {
         Ok(s) if !s.is_empty() => s,
         Ok(_) => {
@@ -59,6 +60,9 @@ fn main() {
         .with_policy(AdmissionPolicy::Fifo)
         .with_faults(fault_spec.clone())
         .with_retries(retries);
+    if !journal.is_empty() {
+        cfg = cfg.with_journal(journal.clone().into());
+    }
     match machine_override() {
         Ok(Some(m)) => cfg = cfg.with_machine(m),
         Ok(None) => {}
@@ -125,6 +129,22 @@ fn main() {
     }
     if stats.retries == 0 {
         fail("no retries — the recovery layer never engaged");
+    }
+    // Invariant 4 (with --journal): every admission and completion was
+    // durably committed — one commit per submit and one per finish, and
+    // checkpoint/area records ride along (appends >= commits).
+    if !journal.is_empty() {
+        if stats.journal_commits < stats.submitted + stats.completed + stats.failed {
+            fail(&format!(
+                "journal committed {} times for {} submits and {} finishes",
+                stats.journal_commits,
+                stats.submitted,
+                stats.completed + stats.failed
+            ));
+        }
+        if stats.journal_appended_records < stats.journal_commits {
+            fail("journal appended fewer records than it committed");
+        }
     }
     println!("chaos: all invariants held");
 }

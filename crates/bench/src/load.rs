@@ -17,7 +17,9 @@ pub fn opt<T: std::str::FromStr>(key: &str, default: T) -> T {
 
 /// `--machine-profile FILE` lookup for the load binaries: load a
 /// calibrated [`MachineProfile`](mmjoin_calibrate::MachineProfile) and
-/// return its parameters for [`ServeConfig::with_machine`], or `None`
+/// return its parameters for
+/// [`ServeConfig::with_machine`](mmjoin_serve::ServeConfig::with_machine),
+/// or `None`
 /// when the flag is absent (the service then uses the built-in
 /// waterloo96-derived default).
 pub fn machine_override(

@@ -324,19 +324,31 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("--fault-spec: {e}"))?;
     let retries: u32 = args.get_or("retries", 3)?;
     let deadline_ms: u64 = args.get_or("deadline-ms", 0)?;
+    let journal_dir = args.get("journal").map(std::path::PathBuf::from);
+    let resume = args.flag("resume");
+    if resume && journal_dir.is_none() {
+        return Err("--resume requires --journal DIR".to_string());
+    }
     let env = match args.get("env").unwrap_or("sim") {
         "sim" => EnvKind::Sim,
         "mmap" => EnvKind::Mmap {
-            root: std::env::temp_dir().join(format!("mmjoin-serve-{}", std::process::id())),
+            root: match &journal_dir {
+                // Pin the store next to the journal so a restarted serve
+                // finds (and garbage-collects) the previous life's areas.
+                Some(dir) => dir.join("store"),
+                None => std::env::temp_dir().join(format!("mmjoin-serve-{}", std::process::id())),
+            },
         },
         other => return Err(format!("unknown env '{other}' (sim | mmap)")),
     };
 
-    // Job script: a file via --jobs, or stdin.
+    // Job script: a file via --jobs, or stdin. A resumed serve may run
+    // purely from the journal, so only fall back to stdin when fresh.
     let script = match args.get("jobs") {
         Some(path) => {
             std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?
         }
+        None if resume => String::new(),
         None => {
             use std::io::Read as _;
             let mut s = String::new();
@@ -367,6 +379,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             None => mmjoin_env::null_sink(),
         },
         machine,
+        journal_dir,
+        resume,
     };
     if deadline_ms > 0 {
         cfg.deadline = Some(std::time::Duration::from_millis(deadline_ms));
@@ -401,10 +415,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "id", "shard", "name", "algorithm", "pairs", "pred(s)", "wait(s)", "exec(s)"
     );
     for r in &results {
-        let status = match &r.error {
+        let mut status = match &r.error {
             None => "ok".to_string(),
             Some(e) => format!("FAILED: {e}"),
         };
+        if r.resumed {
+            status.push_str(" (resumed)");
+        }
         println!(
             "{:>4} {:>5}  {:<12} {:<14} {:>10} {:>9.2} {:>9.3} {:>9.3}  {status}",
             r.id,
@@ -445,6 +462,40 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             stats.deadline_exceeded,
             stats.cleaned_files
         );
+    }
+    if stats.journal_appended_records + stats.journal_replayed_records > 0 {
+        println!(
+            "journal: {} record(s) appended in {} commit(s); replay saw {} record(s) \
+             ({} torn byte(s)), deleted {} orphaned area(s), resumed {} job(s)",
+            stats.journal_appended_records,
+            stats.journal_commits,
+            stats.journal_replayed_records,
+            stats.journal_torn_bytes,
+            stats.journal_orphans_deleted,
+            stats.journal_resumed_jobs
+        );
+    }
+    if let Some(path) = args.get("results-json") {
+        let mut out = String::from("[");
+        for (i, r) in results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"name\":{:?},\"alg\":{:?},\"pairs\":{},\"checksum\":{},\
+                 \"ok\":{},\"resumed\":{}}}",
+                r.id,
+                r.name,
+                r.alg.name(),
+                r.pairs,
+                r.checksum,
+                r.error.is_none() && r.verified,
+                r.resumed
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("results written to {path}");
     }
     if let Some(path) = args.get("stats-json") {
         std::fs::write(path, stats.to_json()).map_err(|e| format!("cannot write '{path}': {e}"))?;
@@ -741,6 +792,7 @@ fn usage() {
     println!("                   [--fault-spec SPEC] [--retries N]");
     println!("                   [--deadline-ms MS] [--trace FILE.jsonl]");
     println!("                   [--machine-profile FILE]");
+    println!("                   [--journal DIR] [--resume] [--results-json FILE]");
     println!("                   (reads job lines from stdin");
     println!("                   without --jobs; one job per line, key=value tokens:");
     println!("                   name alg objects obj-size d mem-pages seed dist mode)");
@@ -764,10 +816,21 @@ fn usage() {
     println!("--machine-profile FILE makes join/plan/serve/validate-model use a");
     println!("  calibrated profile instead of the built-in waterloo96 preset");
     println!();
+    println!("--journal DIR gives serve a write-ahead journal (plus, under");
+    println!("  --env mmap, a persistent store at DIR/store): job admission,");
+    println!("  area lifecycle, and per-pass checkpoints are logged with CRCs");
+    println!("  and flushed before commit; --resume reopens DIR after a crash,");
+    println!("  replays the journal, deletes orphaned areas, re-reports");
+    println!("  completed jobs, and re-runs unfinished ones; --results-json");
+    println!("  FILE writes the per-job outcome array for comparing runs");
+    println!();
     println!("fault specs: ';'-separated rules 'kind:key=val:...' with kinds");
-    println!("  read write create open delete sfetch diskfull delay and keys");
-    println!("  p count after disk file ms, plus 'seed=N' (e.g.");
-    println!("  'seed=7;read:p=0.05:count=3;delay:ms=5'); empty = no faults");
+    println!("  read write create open delete sfetch diskfull delay");
+    println!("  torn_write bit_corrupt crash and keys p count after disk file");
+    println!("  ms frac hard, plus 'seed=N' (e.g.");
+    println!("  'seed=7;read:p=0.05:count=3;delay:ms=5'); empty = no faults;");
+    println!("  torn_write persists a 'frac' prefix of one write, bit_corrupt");
+    println!("  flips a byte, crash aborts the process (hard=1) or errors");
     println!();
     println!("--trace FILE.jsonl writes one structured trace event per line:");
     println!("  pass/phase boundaries, map setup/teardown, fault injections,");

@@ -1,0 +1,121 @@
+//! Chaos acceptance test for the crash-consistent serve path: a serve
+//! killed mid-join (`crash:hard=1`, the in-process equivalent of
+//! `kill -9`) must, after `--resume`, replay its write-ahead journal,
+//! garbage-collect every orphaned area, and emit the exact same join
+//! output set as an uninterrupted run — no lost jobs, no duplicates.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+use std::process::Command;
+
+const JOBS: &str = "\
+name=a alg=grace objects=800 obj-size=32 d=2 mem-pages=8 seed=1 dist=uniform mode=seq
+name=b alg=sort-merge objects=800 obj-size=32 d=2 mem-pages=8 seed=2 dist=uniform mode=seq
+name=c objects=800 obj-size=32 d=2 mem-pages=8 seed=3 dist=zipf:0.8 mode=seq
+";
+
+fn mmjoin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mmjoin"))
+}
+
+/// Parse a --results-json array into the comparable per-job outcome
+/// set: (id, name, alg, pairs, checksum, ok). `resumed` is excluded —
+/// it legitimately differs between the reference and restarted runs.
+fn outcome_set(path: &Path) -> BTreeSet<String> {
+    let text = std::fs::read_to_string(path).unwrap();
+    text.split("},{")
+        .map(|chunk| {
+            let trimmed = chunk.trim_matches(|c| "[]{}\n".contains(c));
+            let stop = trimmed.find(",\"resumed\"").unwrap_or(trimmed.len());
+            trimmed[..stop].to_string()
+        })
+        .collect()
+}
+
+fn leftover_job_stores(root: &Path) -> Vec<String> {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return Vec::new();
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("job"))
+        .collect()
+}
+
+#[test]
+fn killed_serve_resumes_to_the_reference_output_set() {
+    let dir = std::env::temp_dir().join(format!("mmjoin-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let jobs = dir.join("jobs.txt");
+    std::fs::write(&jobs, JOBS).unwrap();
+
+    // Reference: the same script, journaled but never interrupted.
+    let ref_json = dir.join("ref.json");
+    let status = mmjoin()
+        .args(["serve", "--env", "mmap", "--workers", "1"])
+        .arg("--journal")
+        .arg(dir.join("ref"))
+        .arg("--jobs")
+        .arg(&jobs)
+        .arg("--results-json")
+        .arg(&ref_json)
+        .status()
+        .unwrap();
+    assert!(status.success(), "reference serve failed");
+    let reference = outcome_set(&ref_json);
+    assert_eq!(reference.len(), 3);
+
+    // Chaos: identical script, fresh journal, hard crash mid-join.
+    let crash_dir = dir.join("crash");
+    let output = mmjoin()
+        .args(["serve", "--env", "mmap", "--workers", "1"])
+        .arg("--journal")
+        .arg(&crash_dir)
+        .arg("--jobs")
+        .arg(&jobs)
+        // The delay rule throttles the worker's first ops so all three
+        // admissions commit to the journal before the abort fires.
+        .args(["--fault-spec", "delay:ms=5:count=60;crash:hard=1:after=200"])
+        .output()
+        .unwrap();
+    assert!(
+        !output.status.success(),
+        "crash run should have aborted, got: {}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    assert!(
+        !leftover_job_stores(&crash_dir.join("store")).is_empty(),
+        "the abort should strand at least one job store"
+    );
+
+    // Restart: no --jobs at all — the journal alone drives recovery.
+    let out_json = dir.join("out.json");
+    let output = mmjoin()
+        .args(["serve", "--env", "mmap", "--workers", "1", "--resume"])
+        .arg("--journal")
+        .arg(&crash_dir)
+        .arg("--results-json")
+        .arg(&out_json)
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "resume failed: {}\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("resumed 3 job(s)"), "{stdout}");
+
+    // Exact same output set — every job, no loss, no duplicates — and
+    // zero orphaned areas under the recovered store root.
+    assert_eq!(outcome_set(&out_json), reference);
+    assert_eq!(
+        leftover_job_stores(&crash_dir.join("store")),
+        Vec::<String>::new()
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

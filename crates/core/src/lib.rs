@@ -61,7 +61,8 @@ pub use exec::{
 };
 pub use planner::{choose, explain, inputs_for, PlanChoice};
 pub use retry::{
-    join_with_retry, join_with_retry_report, new_files_since, RetryPolicy, RetryReport,
+    join_with_retry, join_with_retry_report, new_files_since, new_files_since_tagged, RetryPolicy,
+    RetryReport,
 };
 
 use mmjoin_env::{Env, Result};

@@ -101,6 +101,21 @@ pub fn new_files_since<E: Env>(env: &E, before: &[String]) -> Vec<String> {
         .collect()
 }
 
+/// Like [`new_files_since`], but scoped to one run's tag: when `tag` is
+/// non-empty, only files carrying its `#tag` suffix are returned —
+/// including shard-suffixed temporaries like `RP_3#tag`, whose suffix
+/// position is the same because [`JoinSpec::temp_name`] appends the tag
+/// *after* the shard index. A tagged run's cleanup must never delete a
+/// concurrent sibling run's files just because they postdate its
+/// snapshot.
+pub fn new_files_since_tagged<E: Env>(env: &E, before: &[String], tag: &str) -> Vec<String> {
+    let suffix = format!("#{tag}");
+    new_files_since(env, before)
+        .into_iter()
+        .filter(|name| tag.is_empty() || name.ends_with(&suffix))
+        .collect()
+}
+
 /// Delete every file in `orphans`, tolerating `NotFound` (another
 /// process of the failed join may have deleted it) and retrying
 /// transient delete failures a few times. Returns how many files were
@@ -170,7 +185,7 @@ pub fn join_with_retry_report<E: Env>(
         match crate::join(env, rels, alg, spec) {
             Ok(out) => return (Ok(out), report),
             Err(e) => {
-                let orphans = new_files_since(env, &before);
+                let orphans = new_files_since_tagged(env, &before, &spec.tag);
                 match clean_orphans(env, &orphans) {
                     Ok(n) => report.cleaned_files += n,
                     Err(cleanup_err) => return (Err(cleanup_err), report),
@@ -324,6 +339,35 @@ mod tests {
         // Only the single DiskFull injection was available, so exactly
         // one attempt ran.
         assert_eq!(env.fault_stats().disk_full, 1);
+    }
+
+    #[test]
+    fn tagged_cleanup_spares_sibling_runs_files() {
+        use mmjoin_env::DiskId;
+        // A failing tagged run shares its env with a sibling tagged run
+        // whose file postdates the snapshot: cleanup must delete only
+        // its own `#ja` temporaries, never the sibling's.
+        let env = FaultyEnv::new(
+            sim(2),
+            FaultSpec::parse("seed=3;create:file=RP:count=100").unwrap(),
+        );
+        let rels = build(&env, &workload(2, 11)).unwrap();
+        let before = env.list_files();
+        env.inner()
+            .create_file(ProcId(0), "RP_0#jb", DiskId(0), 4096)
+            .unwrap();
+        let err = join_with_retry(
+            &env,
+            &rels,
+            Algo::Grace,
+            &spec().with_tag("ja"),
+            &RetryPolicy::attempts(2),
+        )
+        .unwrap_err();
+        assert!(err.is_transient());
+        // Exactly the sibling's file survived the failed run's cleanup.
+        assert_eq!(new_files_since(&env, &before), vec!["RP_0#jb".to_string()]);
+        assert!(new_files_since_tagged(&env, &before, "ja").is_empty());
     }
 
     #[test]

@@ -19,17 +19,32 @@
 //! item  := 'seed=' N | rule
 //! rule  := kind (':' key '=' value)*
 //! kind  := read | write | create | open | delete | sfetch | diskfull | delay
+//!        | torn_write | bit_corrupt | crash
 //! key   := p      injection probability per matching op   (default 1.0)
 //!        | count  max injections for this rule            (default 1)
 //!        | after  matching ops skipped before arming      (default 0)
 //!        | disk   only ops touching this disk             (default any)
 //!        | file   only files whose name contains this     (default any)
 //!        | ms     delay kind only: spike length in ms     (default 10)
+//!        | frac   torn_write only: persisted prefix frac  (default 0.5)
+//!        | hard   crash only: 1 = abort the whole process (default 0)
 //! ```
 //!
 //! Example: `seed=7;read:p=0.05:count=3:disk=1;delay:p=0.01:ms=5:count=20`
 //! injects up to three transient read errors on disk 1 with 5%
 //! probability each, plus up to twenty 5 ms latency spikes.
+//!
+//! The three crash-consistency kinds model storage failures rather than
+//! transient errors. `torn_write` silently persists only a prefix of the
+//! buffer (`frac` of its length) — the op *appears* to succeed, exactly
+//! like a write torn by power loss; the journal's CRC32 record checksums
+//! are what detect it. `bit_corrupt` flips one seeded bit of the buffer
+//! before persisting it. `crash` stops execution at a seeded point
+//! (counted across every read/write/map/sfetch candidate op): by default
+//! it fails the operation with a *non-transient* error so the current
+//! iteration aborts; with `hard=1` it calls `std::process::abort()` —
+//! the in-process equivalent of `kill -9`, used by the chaos-restart
+//! tests to kill a serve mid-job at a deterministic op index.
 //!
 //! Because the temporary areas of the join algorithms have pass-specific
 //! names (`R_i` is read in pass 0, `RP_i` written in pass 0 and read in
@@ -74,6 +89,14 @@ pub enum FaultKind {
     DiskFull,
     /// Wall-clock latency spike on `read_at`/`write_at` (no error).
     Delay,
+    /// Silently persist only a prefix of a `write_at` buffer (the op
+    /// reports success), modeling a write torn by power loss.
+    TornWrite,
+    /// Flip one seeded bit of a `write_at` buffer before persisting.
+    BitCorrupt,
+    /// Stop at a seeded point: non-transient failure of the op, or
+    /// `std::process::abort()` when the rule sets `hard=1`.
+    Crash,
 }
 
 impl FaultKind {
@@ -88,6 +111,9 @@ impl FaultKind {
             "sfetch" => FaultKind::SFetch,
             "diskfull" => FaultKind::DiskFull,
             "delay" => FaultKind::Delay,
+            "torn_write" => FaultKind::TornWrite,
+            "bit_corrupt" => FaultKind::BitCorrupt,
+            "crash" => FaultKind::Crash,
             _ => return None,
         })
     }
@@ -103,6 +129,9 @@ impl FaultKind {
             FaultKind::SFetch => "sfetch",
             FaultKind::DiskFull => "diskfull",
             FaultKind::Delay => "delay",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::BitCorrupt => "bit_corrupt",
+            FaultKind::Crash => "crash",
         }
     }
 
@@ -112,6 +141,11 @@ impl FaultKind {
             // DiskFull arms on creates; Delay arms on reads and writes.
             FaultKind::DiskFull => op == FaultKind::Create,
             FaultKind::Delay => matches!(op, FaultKind::Read | FaultKind::Write),
+            // Data-mutating kinds only make sense on writes.
+            FaultKind::TornWrite | FaultKind::BitCorrupt => op == FaultKind::Write,
+            // A crash point is counted across every candidate op, so
+            // `after=K` names the K-th environment operation of any kind.
+            FaultKind::Crash => true,
             k => op == k,
         }
     }
@@ -134,6 +168,10 @@ pub struct FaultRule {
     pub file: Option<String>,
     /// Spike length for `delay` rules, in milliseconds.
     pub delay_ms: u64,
+    /// Fraction of the buffer persisted by `torn_write` rules.
+    pub frac: f64,
+    /// `crash` rules: abort the whole process instead of failing the op.
+    pub hard: bool,
 }
 
 impl FaultRule {
@@ -146,6 +184,8 @@ impl FaultRule {
             disk: None,
             file: None,
             delay_ms: 10,
+            frac: 0.5,
+            hard: false,
         }
     }
 
@@ -200,7 +240,8 @@ impl FaultSpec {
             let kind = FaultKind::from_name(kind_name).ok_or_else(|| {
                 format!(
                     "unknown fault kind '{kind_name}' \
-                     (read|write|create|open|delete|sfetch|diskfull|delay)"
+                     (read|write|create|open|delete|sfetch|diskfull|delay\
+                     |torn_write|bit_corrupt|crash)"
                 )
             })?;
             let mut rule = FaultRule::new(kind);
@@ -239,6 +280,21 @@ impl FaultSpec {
                         rule.delay_ms = value
                             .parse()
                             .map_err(|_| format!("ms: cannot parse '{value}'"))?;
+                    }
+                    "frac" => {
+                        rule.frac = value
+                            .parse()
+                            .map_err(|_| format!("frac: cannot parse '{value}'"))?;
+                        if !(0.0..=1.0).contains(&rule.frac) {
+                            return Err(format!("frac must be in [0,1], got {value}"));
+                        }
+                    }
+                    "hard" => {
+                        rule.hard = match value {
+                            "0" => false,
+                            "1" => true,
+                            _ => return Err(format!("hard must be 0 or 1, got '{value}'")),
+                        };
                     }
                     other => return Err(format!("unknown fault rule key '{other}'")),
                 }
@@ -283,6 +339,12 @@ impl std::fmt::Display for FaultSpec {
             if r.kind == FaultKind::Delay {
                 write!(f, ":ms={}", r.delay_ms)?;
             }
+            if r.kind == FaultKind::TornWrite && r.frac != 0.5 {
+                write!(f, ":frac={}", r.frac)?;
+            }
+            if r.hard {
+                write!(f, ":hard=1")?;
+            }
         }
         Ok(())
     }
@@ -306,6 +368,13 @@ pub struct FaultStats {
     pub delays: u64,
     /// Total injected delay, in milliseconds.
     pub delay_ms: u64,
+    /// Writes persisted prefix-only by `torn_write` rules.
+    pub torn_writes: u64,
+    /// Writes with one bit flipped by `bit_corrupt` rules.
+    pub bit_corrupts: u64,
+    /// `crash` rules fired in soft (op-failing) mode. Hard crashes
+    /// abort the process and are never observed here.
+    pub crashes: u64,
 }
 
 impl FaultStats {
@@ -317,7 +386,31 @@ impl FaultStats {
             + self.sfetch_errors
             + self.disk_full
             + self.delays
+            + self.torn_writes
+            + self.bit_corrupts
+            + self.crashes
     }
+}
+
+/// What the injector decided to do to one candidate operation.
+#[derive(Debug)]
+pub enum Outcome {
+    /// Proceed unchanged.
+    Pass,
+    /// Fail the operation with this error.
+    Fail(EnvError),
+    /// Write ops only: silently persist only the first `len` bytes.
+    Torn {
+        /// Bytes of the buffer to persist.
+        len: usize,
+    },
+    /// Write ops only: flip `mask` in byte `byte` before persisting.
+    Corrupt {
+        /// Index of the byte to corrupt.
+        byte: usize,
+        /// Single-bit mask to XOR into the byte.
+        mask: u8,
+    },
 }
 
 /// Per-rule arming state.
@@ -372,11 +465,34 @@ impl Injector {
     }
 
     /// Consult every rule for one candidate `op`; sleeps for matching
-    /// delay rules and returns the first injected error.
+    /// delay rules and returns the first injected error. (Test-facing
+    /// wrapper over [`Injector::check_op`]; production callers go
+    /// through `FaultyInner`, which also mirrors trace events.)
+    #[cfg(test)]
     fn check(&self, op: FaultKind, disk: Option<DiskId>, name: &str) -> Result<()> {
-        if self.spec.is_empty() {
-            return Ok(());
+        match self.check_op(op, disk, name, None).0 {
+            Outcome::Pass | Outcome::Torn { .. } | Outcome::Corrupt { .. } => Ok(()),
+            Outcome::Fail(e) => Err(e),
         }
+    }
+
+    /// Consult every rule for one candidate `op`. `write_len` is the
+    /// buffer length for write ops (enabling the data-mutating
+    /// `torn_write`/`bit_corrupt` outcomes). Sleeps for matching delay
+    /// rules. Returns the outcome plus the fired rule kind's name (for
+    /// trace mirroring); a delay that fired without a later error
+    /// reports `Some("delay")`.
+    fn check_op(
+        &self,
+        op: FaultKind,
+        disk: Option<DiskId>,
+        name: &str,
+        write_len: Option<usize>,
+    ) -> (Outcome, Option<&'static str>) {
+        if self.spec.is_empty() {
+            return (Outcome::Pass, None);
+        }
+        let mut fired = None;
         for (rule, state) in self.spec.rules.iter().zip(&self.rule_states) {
             if !rule.matches(op, disk, name) {
                 continue;
@@ -398,23 +514,69 @@ impl Injector {
                     drop(stats);
                     std::thread::sleep(std::time::Duration::from_millis(rule.delay_ms));
                     // A spike is not an error; later rules still apply.
+                    fired = Some(FaultKind::Delay.name());
                     continue;
                 }
                 FaultKind::DiskFull => {
                     stats.disk_full += 1;
-                    return Err(EnvError::DiskFull(disk.unwrap_or(DiskId(0))));
+                    return (
+                        Outcome::Fail(EnvError::DiskFull(disk.unwrap_or(DiskId(0)))),
+                        Some(FaultKind::DiskFull.name()),
+                    );
+                }
+                FaultKind::TornWrite => {
+                    let Some(len) = write_len else { continue };
+                    stats.torn_writes += 1;
+                    let keep = (len as f64 * rule.frac) as usize;
+                    return (
+                        Outcome::Torn { len: keep.min(len) },
+                        Some(FaultKind::TornWrite.name()),
+                    );
+                }
+                FaultKind::BitCorrupt => {
+                    let Some(len) = write_len else { continue };
+                    if len == 0 {
+                        continue;
+                    }
+                    stats.bit_corrupts += 1;
+                    drop(stats);
+                    let byte = ((self.draw() * len as f64) as usize).min(len - 1);
+                    let mask = 1u8 << ((self.draw() * 8.0) as u32 & 7);
+                    return (
+                        Outcome::Corrupt { byte, mask },
+                        Some(FaultKind::BitCorrupt.name()),
+                    );
+                }
+                FaultKind::Crash => {
+                    if rule.hard {
+                        // The in-process `kill -9`: no unwinding, no
+                        // destructors, no journal flush. Recovery must
+                        // work from whatever was synced before this op.
+                        std::process::abort();
+                    }
+                    stats.crashes += 1;
+                    return (
+                        Outcome::Fail(EnvError::Faulted {
+                            op: format!("crash at {} {name}", op_label(op)),
+                            transient: false,
+                        }),
+                        Some(FaultKind::Crash.name()),
+                    );
                 }
                 FaultKind::Read => stats.read_errors += 1,
                 FaultKind::Write => stats.write_errors += 1,
                 FaultKind::Create | FaultKind::Open | FaultKind::Delete => stats.map_errors += 1,
                 FaultKind::SFetch => stats.sfetch_errors += 1,
             }
-            return Err(EnvError::Faulted {
-                op: format!("{} {name}", op_label(rule.kind)),
-                transient: true,
-            });
+            return (
+                Outcome::Fail(EnvError::Faulted {
+                    op: format!("{} {name}", op_label(rule.kind)),
+                    transient: true,
+                }),
+                Some(rule.kind.name()),
+            );
         }
-        Ok(())
+        (Outcome::Pass, fired)
     }
 }
 
@@ -426,7 +588,11 @@ fn op_label(kind: FaultKind) -> &'static str {
         FaultKind::Open => "open_file(openMap)",
         FaultKind::Delete => "delete_file(deleteMap)",
         FaultKind::SFetch => "s_fetch_batch",
-        FaultKind::DiskFull | FaultKind::Delay => "",
+        FaultKind::DiskFull
+        | FaultKind::Delay
+        | FaultKind::TornWrite
+        | FaultKind::BitCorrupt
+        | FaultKind::Crash => "",
     }
 }
 
@@ -449,28 +615,22 @@ struct FaultyInner<E: Env> {
 
 impl<E: Env> FaultyInner<E> {
     /// Run the injector for one candidate op, mirroring every injection
-    /// — transient errors, `DiskFull`, and delay spikes alike — into the
-    /// wrapped environment's structured trace. An empty spec stays a
-    /// strict no-op: no draws, no events.
-    fn check(&self, proc: ProcId, op: FaultKind, disk: Option<DiskId>, name: &str) -> Result<()> {
+    /// — transient errors, `DiskFull`, data mutations, and delay spikes
+    /// alike — into the wrapped environment's structured trace. An empty
+    /// spec stays a strict no-op: no draws, no events.
+    fn check_op(
+        &self,
+        proc: ProcId,
+        op: FaultKind,
+        disk: Option<DiskId>,
+        name: &str,
+        write_len: Option<usize>,
+    ) -> Outcome {
         if self.injector.spec.is_empty() {
-            return Ok(());
+            return Outcome::Pass;
         }
-        let sink = self.env.trace_sink();
-        if !sink.enabled() {
-            return self.injector.check(op, disk, name);
-        }
-        let before = self.injector.stats_mut().total();
-        let result = self.injector.check(op, disk, name);
-        let after = self.injector.stats_mut().total();
-        if after > before {
-            let kind = match &result {
-                Err(EnvError::DiskFull(_)) => FaultKind::DiskFull.name(),
-                Err(_) => op.name(),
-                // `check` only bumps counters without erroring for
-                // latency spikes.
-                Ok(()) => FaultKind::Delay.name(),
-            };
+        let (outcome, fired) = self.injector.check_op(op, disk, name, write_len);
+        if let Some(kind) = fired {
             self.env.trace(
                 proc,
                 TraceEvent::FaultInjected {
@@ -482,7 +642,14 @@ impl<E: Env> FaultyInner<E> {
                 },
             );
         }
-        result
+        outcome
+    }
+
+    fn check(&self, proc: ProcId, op: FaultKind, disk: Option<DiskId>, name: &str) -> Result<()> {
+        match self.check_op(proc, op, disk, name, None) {
+            Outcome::Pass | Outcome::Torn { .. } | Outcome::Corrupt { .. } => Ok(()),
+            Outcome::Fail(e) => Err(e),
+        }
     }
 }
 
@@ -563,9 +730,32 @@ impl<E: Env> FileOps for FaultyFile<E> {
     }
 
     fn write_at(&self, proc: ProcId, offset: u64, buf: &[u8]) -> Result<()> {
-        self.inner
-            .check(proc, FaultKind::Write, self.disk, &self.name)?;
-        self.file.write_at(proc, offset, buf)
+        match self.inner.check_op(
+            proc,
+            FaultKind::Write,
+            self.disk,
+            &self.name,
+            Some(buf.len()),
+        ) {
+            Outcome::Pass => self.file.write_at(proc, offset, buf),
+            Outcome::Fail(e) => Err(e),
+            // Persist only a prefix, then report success — the caller
+            // believes the whole buffer is durable, exactly as after a
+            // torn write. Checksums downstream are what catch this.
+            Outcome::Torn { len } => self.file.write_at(proc, offset, &buf[..len]),
+            Outcome::Corrupt { byte, mask } => {
+                let mut corrupted = buf.to_vec();
+                corrupted[byte] ^= mask;
+                self.file.write_at(proc, offset, &corrupted)
+            }
+        }
+    }
+
+    fn sync(&self, proc: ProcId) -> Result<()> {
+        // Flushes pass through uninstrumented: the fault model tears and
+        // corrupts data at write time, and an injected sync failure
+        // would be indistinguishable from a write error to callers.
+        self.file.sync(proc)
     }
 }
 
@@ -808,6 +998,92 @@ mod tests {
             .unwrap_err();
         assert!(err.is_transient());
         assert!(err.to_string().contains("s_fetch_batch"), "{err}");
+    }
+
+    #[test]
+    fn torn_write_yields_prefix_outcome() {
+        let spec = FaultSpec::parse("torn_write:frac=0.25:count=2").unwrap();
+        let inj = Injector::new(spec);
+        // Reads never match a torn_write rule.
+        assert!(matches!(
+            inj.check_op(FaultKind::Read, None, "R_0", None).0,
+            Outcome::Pass
+        ));
+        match inj.check_op(FaultKind::Write, None, "RP_0", Some(100)) {
+            (Outcome::Torn { len }, Some("torn_write")) => assert_eq!(len, 25),
+            other => panic!("expected torn outcome, got {other:?}"),
+        }
+        // frac=0 keeps nothing; still reported as success to the writer.
+        let spec = FaultSpec::parse("torn_write:frac=0").unwrap();
+        let inj = Injector::new(spec);
+        match inj.check_op(FaultKind::Write, None, "RP_0", Some(64)).0 {
+            Outcome::Torn { len } => assert_eq!(len, 0),
+            other => panic!("expected torn outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bit_corrupt_flips_exactly_one_seeded_bit() {
+        let spec = FaultSpec::parse("seed=9;bit_corrupt:count=100").unwrap();
+        let inj = Injector::new(spec);
+        for _ in 0..20 {
+            match inj.check_op(FaultKind::Write, None, "RS_1", Some(33)).0 {
+                Outcome::Corrupt { byte, mask } => {
+                    assert!(byte < 33);
+                    assert_eq!(mask.count_ones(), 1);
+                }
+                other => panic!("expected corrupt outcome, got {other:?}"),
+            }
+        }
+        // Determinism: the same seed picks the same byte/bit sequence.
+        let replay = |seed: u64| {
+            let spec = FaultSpec::parse(&format!("seed={seed};bit_corrupt:count=10")).unwrap();
+            let inj = Injector::new(spec);
+            (0..10)
+                .map(
+                    |_| match inj.check_op(FaultKind::Write, None, "x", Some(256)).0 {
+                        Outcome::Corrupt { byte, mask } => (byte, mask),
+                        other => panic!("{other:?}"),
+                    },
+                )
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(replay(5), replay(5));
+    }
+
+    #[test]
+    fn soft_crash_fails_non_transient_at_seeded_op_index() {
+        // `after` counts candidate ops of every kind.
+        let spec = FaultSpec::parse("crash:after=3").unwrap();
+        let inj = Injector::new(spec);
+        assert!(inj.check(FaultKind::Read, None, "R_0").is_ok());
+        assert!(inj
+            .check(FaultKind::Create, Some(DiskId(1)), "RP_1")
+            .is_ok());
+        assert!(inj.check(FaultKind::Write, None, "RP_1").is_ok());
+        let err = inj.check(FaultKind::Write, None, "RP_1").unwrap_err();
+        assert!(!err.is_transient(), "a crash must not be retried");
+        assert!(err.to_string().contains("crash"), "{err}");
+        assert_eq!(inj.stats_mut().crashes, 1);
+        // Exhausted after `count` (default 1).
+        assert!(inj.check(FaultKind::Write, None, "RP_1").is_ok());
+    }
+
+    #[test]
+    fn crash_consistency_grammar_round_trips() {
+        let s =
+            "seed=3;torn_write:frac=0.75:count=2:file=RS;bit_corrupt:p=0.5;crash:after=40:hard=1";
+        let spec = FaultSpec::parse(s).unwrap();
+        assert_eq!(spec.rules[0].kind, FaultKind::TornWrite);
+        assert_eq!(spec.rules[0].frac, 0.75);
+        assert_eq!(spec.rules[1].kind, FaultKind::BitCorrupt);
+        assert_eq!(spec.rules[2].kind, FaultKind::Crash);
+        assert!(spec.rules[2].hard);
+        let reparsed = FaultSpec::parse(&spec.to_string()).unwrap();
+        assert_eq!(reparsed.to_string(), spec.to_string());
+        // Bad values are rejected.
+        assert!(FaultSpec::parse("torn_write:frac=1.5").is_err());
+        assert!(FaultSpec::parse("crash:hard=yes").is_err());
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod traits;
 
 pub use cost::{CpuOp, MoveKind};
 pub use error::{EnvError, Result};
-pub use faults::{FaultKind, FaultSpec, FaultStats, FaultyEnv, FaultyFile};
+pub use faults::{FaultKind, FaultSpec, FaultStats, FaultyEnv, FaultyFile, Outcome};
 pub use hist::Histogram;
 pub use ids::{DiskId, ProcId, SPtr};
 pub use stats::{EnvStats, ProcStats};

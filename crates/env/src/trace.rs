@@ -187,6 +187,32 @@ pub enum TraceEvent {
         /// How many times the job degraded.
         degraded: u32,
     },
+    /// A record was appended to the write-ahead journal.
+    JournalAppend {
+        /// Record kind tag (`area_created`, `job_completed`, ...).
+        kind: String,
+        /// Encoded record length in bytes (framing + payload + CRC).
+        bytes: u64,
+    },
+    /// A pass-boundary checkpoint was made durable for a job.
+    Checkpoint {
+        /// Service job id.
+        job: u64,
+        /// The pass that completed (0 scan, 1 staggered phases, 2 local
+        /// join).
+        pass: u32,
+    },
+    /// A restarted service finished replaying its journal.
+    RecoveryReplayed {
+        /// CRC-valid records replayed.
+        records: u64,
+        /// Bytes of torn tail discarded after the last valid record.
+        torn: u64,
+        /// Orphaned areas deleted during garbage collection.
+        orphans_deleted: u64,
+        /// In-flight jobs re-submitted for execution.
+        resumed_jobs: u64,
+    },
     /// A host-calibration probe began (mmjoin-calibrate).
     ProbeStart {
         /// Probe name (`dtt`, `map`, `mt`, `cs`, `cpu`).
@@ -233,6 +259,9 @@ impl TraceEvent {
             TraceEvent::JobStolen { .. } => "job_stolen",
             TraceEvent::JobDegraded { .. } => "job_degraded",
             TraceEvent::JobCompleted { .. } => "job_completed",
+            TraceEvent::JournalAppend { .. } => "journal_append",
+            TraceEvent::Checkpoint { .. } => "checkpoint",
+            TraceEvent::RecoveryReplayed { .. } => "recovery_replayed",
             TraceEvent::ProbeStart { .. } => "probe_start",
             TraceEvent::ProbeEnd { .. } => "probe_end",
             TraceEvent::ProbeFit { .. } => "probe_fit",
@@ -509,6 +538,25 @@ pub fn encode(t: f64, event: &TraceEvent) -> String {
         TraceEvent::JobCompleted { job, ok, degraded } => {
             let _ = write!(s, ",\"job\":{job},\"ok\":{ok},\"degraded\":{degraded}");
         }
+        TraceEvent::JournalAppend { kind, bytes } => {
+            s.push_str(",\"kind\":\"");
+            esc(kind, &mut s);
+            let _ = write!(s, "\",\"bytes\":{bytes}");
+        }
+        TraceEvent::Checkpoint { job, pass } => {
+            let _ = write!(s, ",\"job\":{job},\"pass\":{pass}");
+        }
+        TraceEvent::RecoveryReplayed {
+            records,
+            torn,
+            orphans_deleted,
+            resumed_jobs,
+        } => {
+            let _ = write!(
+                s,
+                ",\"records\":{records},\"torn\":{torn},\"orphans_deleted\":{orphans_deleted},\"resumed_jobs\":{resumed_jobs}"
+            );
+        }
         TraceEvent::ProbeStart { probe, reps } => {
             s.push_str(",\"probe\":\"");
             esc(probe, &mut s);
@@ -705,6 +753,36 @@ mod tests {
         );
         assert!(fit.contains("\"ev\":\"probe_fit\""));
         assert!(fit.contains("\"fit\":\"map_new\"") && fit.contains("\"base\":0.050000000000"));
+    }
+
+    #[test]
+    fn recovery_events_encode_their_fields() {
+        let append = encode(
+            0.0,
+            &TraceEvent::JournalAppend {
+                kind: "area_created".into(),
+                bytes: 41,
+            },
+        );
+        assert!(append.contains("\"ev\":\"journal_append\""));
+        assert!(append.contains("\"kind\":\"area_created\"") && append.contains("\"bytes\":41"));
+        let ckpt = encode(0.0, &TraceEvent::Checkpoint { job: 4, pass: 1 });
+        assert!(ckpt.contains("\"ev\":\"checkpoint\""));
+        assert!(ckpt.contains("\"job\":4") && ckpt.contains("\"pass\":1"));
+        let replayed = encode(
+            0.0,
+            &TraceEvent::RecoveryReplayed {
+                records: 12,
+                torn: 3,
+                orphans_deleted: 2,
+                resumed_jobs: 1,
+            },
+        );
+        assert!(replayed.contains("\"ev\":\"recovery_replayed\""));
+        assert!(replayed.contains("\"records\":12"));
+        assert!(replayed.contains("\"torn\":3"));
+        assert!(replayed.contains("\"orphans_deleted\":2"));
+        assert!(replayed.contains("\"resumed_jobs\":1"));
     }
 
     #[test]

@@ -46,6 +46,28 @@ pub trait FileOps: Send + Sync {
     /// write-back happens on page replacement, as in a memory-mapped
     /// store.
     fn write_at(&self, proc: ProcId, offset: u64, buf: &[u8]) -> Result<()>;
+
+    /// Force every byte previously written through this handle to
+    /// durable storage before returning (`msync` semantics).
+    ///
+    /// This is the primitive behind the journal's *flush-before-commit*
+    /// ordering contract: a writer that performs
+    ///
+    /// 1. `write_at(data)` → `sync()` → 2. `write_at(commit)` → `sync()`
+    ///
+    /// is guaranteed that no post-crash state exists in which the commit
+    /// record is durable but the data it covers is not. Within a single
+    /// step writes may still be torn (persisted prefix-only) or
+    /// corrupted — that is what the journal's per-record checksums
+    /// detect.
+    ///
+    /// Environments with immediate durability (e.g. the simulator, whose
+    /// file bodies are updated synchronously at `write_at` time) may
+    /// implement this as a no-op; the default does exactly that.
+    fn sync(&self, proc: ProcId) -> Result<()> {
+        let _ = proc;
+        Ok(())
+    }
 }
 
 /// Catalog describing where the inner relation `S` lives, registered

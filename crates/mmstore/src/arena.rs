@@ -175,7 +175,12 @@ impl SegmentArena {
         if !addr.is_multiple_of(page) {
             return Err(EnvError::InvalidConfig("unaligned segment base".into()));
         }
-        if addr < self.base || addr + len > self.base + self.size {
+        // A corrupted header can record an absurd base; the sum must not
+        // wrap (debug builds would otherwise panic on overflow).
+        let end = addr.checked_add(len).ok_or_else(|| {
+            EnvError::InvalidConfig(format!("segment range {addr:#x}+{len} overflows"))
+        })?;
+        if addr < self.base || end > self.base + self.size {
             return Err(EnvError::InvalidConfig(format!(
                 "recorded base {addr:#x} outside arena [{:#x}, {:#x})",
                 self.base,

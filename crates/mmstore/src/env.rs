@@ -156,6 +156,59 @@ impl MmapEnv {
         })
     }
 
+    /// Open the environment over an existing root, adopting every file
+    /// found in the per-disk directories into the live file table — the
+    /// recovery-on-open path. A plain [`MmapEnv::new`] only knows about
+    /// files created through it; after a crash, the files of the previous
+    /// process are still on disk but invisible to `open_file`/
+    /// `list_files`/`delete_file`. `recover` re-maps them so journal
+    /// replay can enumerate, reopen, and garbage-collect them.
+    ///
+    /// Returns the environment plus the adopted file names (sorted).
+    /// File lengths are taken from filesystem metadata; a file created
+    /// with zero logical bytes reports its one-page on-disk minimum.
+    pub fn recover(cfg: MmapEnvConfig) -> Result<(Self, Vec<String>)> {
+        let env = MmapEnv::new(cfg)?;
+        let mut adopted = Vec::new();
+        for j in 0..env.inner.cfg.num_disks {
+            let disk = DiskId(j);
+            let dir = env.inner.cfg.root.join(format!("disk{j}"));
+            for entry in std::fs::read_dir(&dir)? {
+                let entry = entry?;
+                if !entry.file_type()?.is_file() {
+                    continue;
+                }
+                let name = entry.file_name().to_string_lossy().into_owned();
+                let path = entry.path();
+                let file = std::fs::OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(&path)?;
+                let len = file.metadata()?.len();
+                let map = MmapRaw::map_raw(&file)?;
+                let mapped = Arc::new(MappedFile {
+                    name: name.clone(),
+                    path,
+                    map,
+                    len,
+                    disk,
+                    _file: file,
+                });
+                // First adoption wins if the same name somehow exists on
+                // two disks (the workspace naming convention prevents
+                // this; duplicates would be orphans either way).
+                env.inner
+                    .files
+                    .write()
+                    .entry(name.clone())
+                    .or_insert(mapped);
+                adopted.push(name);
+            }
+        }
+        adopted.sort();
+        Ok((env, adopted))
+    }
+
     fn path_of(&self, name: &str, disk: DiskId) -> PathBuf {
         self.inner
             .cfg
@@ -189,6 +242,14 @@ impl FileOps for MmapFile {
 
     fn write_at(&self, _proc: ProcId, offset: u64, buf: &[u8]) -> Result<()> {
         self.file.write(offset, buf)
+    }
+
+    fn sync(&self, _proc: ProcId) -> Result<()> {
+        // `msync(MS_SYNC)` over the whole mapping: on return, every
+        // prior write through this handle is durable — the primitive the
+        // journal's flush-before-commit ordering contract builds on.
+        self.file.map.flush()?;
+        Ok(())
     }
 }
 
@@ -582,6 +643,7 @@ mod tests {
         let (e, root) = env(1);
         let f = e.create_file(P, "keep", DiskId(0), 4096).unwrap();
         f.write_at(P, 0, b"survives").unwrap();
+        f.sync(P).unwrap();
         drop(f);
         drop(e);
         // A new environment over the same root can remap the file by
@@ -589,6 +651,47 @@ mod tests {
         // so re-create the mapping manually).
         let raw = std::fs::read(root.join("disk0").join("keep")).unwrap();
         assert_eq!(&raw[0..8], b"survives");
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn recover_adopts_existing_files() {
+        let (e, root) = env(2);
+        let f = e.create_file(P, "R_0", DiskId(0), 4096).unwrap();
+        f.write_at(P, 0, b"pass0 data").unwrap();
+        f.sync(P).unwrap();
+        e.create_file(P, "RS_1", DiskId(1), 4096).unwrap();
+        drop(f);
+        // Simulate a crash: the process's file table dies with it.
+        drop(e);
+        let (e2, adopted) = MmapEnv::recover(MmapEnvConfig {
+            root: root.clone(),
+            num_disks: 2,
+            page_size: 4096,
+        })
+        .unwrap();
+        // Sorted byte-wise: 'S' < '_', so RS_1 precedes R_0.
+        assert_eq!(adopted, vec!["RS_1".to_string(), "R_0".to_string()]);
+        assert_eq!(e2.list_files(), adopted);
+        // Adopted files are readable through the normal open path...
+        let f = e2.open_file(P, "R_0").unwrap();
+        let mut buf = [0u8; 10];
+        f.read_at(P, 0, &mut buf).unwrap();
+        assert_eq!(&buf, b"pass0 data");
+        drop(f);
+        // ...and deletable, so orphan GC can reclaim them.
+        e2.delete_file(P, "RS_1").unwrap();
+        assert!(!root.join("disk1").join("RS_1").exists());
+        // A fresh (non-recovering) env still starts blind, as before.
+        drop(e2);
+        let e3 = MmapEnv::new(MmapEnvConfig {
+            root: root.clone(),
+            num_disks: 2,
+            page_size: 4096,
+        })
+        .unwrap();
+        assert!(e3.list_files().is_empty());
+        drop(e3);
         std::fs::remove_dir_all(&root).unwrap();
     }
 

@@ -98,25 +98,66 @@ impl Segment {
     /// possible. Check [`Segment::placement`]: if `Relocated`, stored
     /// absolute pointers must be adjusted by
     /// [`Segment::relocation_delta`] before use.
+    ///
+    /// Corrupted or truncated files — short headers, bad magic, a
+    /// recorded size larger than the backing file, allocator or
+    /// shared-split pointers outside the segment — are reported as
+    /// recoverable [`EnvError`]s, never panics: recovery code probes
+    /// crash leftovers with this function.
     pub fn open(arena: &SegmentArena, path: &Path) -> Result<Segment> {
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+        let file_len = file.metadata()?.len();
         let mut header = [0u8; 64];
-        file.read_exact(&mut header)?;
-        let get = |off: usize| u64::from_le_bytes(header[off..off + 8].try_into().expect("8"));
-        if get(OFF_MAGIC) != MAGIC {
+        file.read_exact(&mut header).map_err(|e| {
+            EnvError::InvalidConfig(format!(
+                "{}: truncated segment header ({file_len} bytes): {e}",
+                path.display()
+            ))
+        })?;
+        let get = |off: usize| -> Result<u64> {
+            let bytes = header
+                .get(off..off + 8)
+                .and_then(|s| <[u8; 8]>::try_from(s).ok())
+                .ok_or_else(|| {
+                    EnvError::InvalidConfig(format!("segment header field at {off} out of range"))
+                })?;
+            Ok(u64::from_le_bytes(bytes))
+        };
+        if get(OFF_MAGIC)? != MAGIC {
             return Err(EnvError::InvalidConfig(format!(
                 "{} is not a segment file",
                 path.display()
             )));
         }
-        if get(OFF_VERSION) != VERSION as u64 {
+        if get(OFF_VERSION)? != VERSION as u64 {
             return Err(EnvError::InvalidConfig(format!(
                 "segment version {} unsupported",
-                get(OFF_VERSION)
+                get(OFF_VERSION)?
             )));
         }
-        let total = get(OFF_TOTAL);
-        let recorded = get(OFF_BASE) as usize;
+        let total = get(OFF_TOTAL)?;
+        if total < HEADER_SIZE || total > file_len {
+            return Err(EnvError::InvalidConfig(format!(
+                "{}: corrupt segment size {total} (file is {file_len} bytes, header is \
+                 {HEADER_SIZE})",
+                path.display()
+            )));
+        }
+        let alloc = get(OFF_ALLOC)?;
+        if alloc < HEADER_SIZE || alloc > total {
+            return Err(EnvError::InvalidConfig(format!(
+                "{}: corrupt allocator pointer {alloc} outside [{HEADER_SIZE}, {total}]",
+                path.display()
+            )));
+        }
+        let shared = get(OFF_SHARED)?;
+        if shared < HEADER_SIZE || shared > total {
+            return Err(EnvError::InvalidConfig(format!(
+                "{}: corrupt shared split {shared} outside [{HEADER_SIZE}, {total}]",
+                path.display()
+            )));
+        }
+        let recorded = get(OFF_BASE)? as usize;
         let (addr, placement) = match arena.claim_at(recorded, total as usize) {
             Ok(a) => (a, Placement::ExactlyPositioned),
             Err(_) => (arena.claim(total as usize)?, Placement::Relocated),
@@ -529,6 +570,58 @@ mod tests {
         assert!(seg.set_shared_split(0).is_err());
         assert!(seg.set_shared_split(u64::MAX).is_err());
         drop(seg);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_and_truncated_segments_error_instead_of_panicking() {
+        let dir = tmpdir();
+        let arena = SegmentArena::reserve(0, 1 << 24).unwrap();
+
+        // A file shorter than the header.
+        let short = dir.join("short.seg");
+        std::fs::write(&short, b"tiny").unwrap();
+        let err = Segment::open(&arena, &short).err().unwrap();
+        assert!(err.to_string().contains("truncated"), "{err}");
+
+        // Helper: create a valid segment, then smash one header field.
+        let corrupt = |name: &str, off: usize, val: u64| -> PathBuf {
+            let path = dir.join(name);
+            let seg = Segment::create(&arena, &path, 4096).unwrap();
+            seg.flush().unwrap();
+            drop(seg);
+            let mut bytes = std::fs::read(&path).unwrap();
+            bytes[off..off + 8].copy_from_slice(&val.to_le_bytes());
+            std::fs::write(&path, &bytes).unwrap();
+            path
+        };
+
+        // Recorded total larger than the backing file: mapping it would
+        // SIGBUS on access, so open must refuse.
+        let big = corrupt("big.seg", OFF_TOTAL, 1 << 40);
+        let err = Segment::open(&arena, &big).err().unwrap();
+        assert!(err.to_string().contains("corrupt segment size"), "{err}");
+
+        // Total below the header page: data_len would underflow.
+        let small = corrupt("small.seg", OFF_TOTAL, 64);
+        assert!(Segment::open(&arena, &small).is_err());
+
+        // Allocator pointer outside the segment: alloc would underflow.
+        let alloc = corrupt("alloc.seg", OFF_ALLOC, u64::MAX);
+        let err = Segment::open(&arena, &alloc).err().unwrap();
+        assert!(err.to_string().contains("allocator pointer"), "{err}");
+
+        // Shared split outside the segment.
+        let split = corrupt("split.seg2", OFF_SHARED, u64::MAX);
+        let err = Segment::open(&arena, &split).err().unwrap();
+        assert!(err.to_string().contains("shared split"), "{err}");
+
+        // An absurd recorded base must relocate (or error), not panic.
+        let based = corrupt("base.seg", OFF_BASE, u64::MAX - 4095);
+        let seg = Segment::open(&arena, &based).unwrap();
+        assert_eq!(seg.placement(), Placement::Relocated);
+        drop(seg);
+
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -136,6 +136,37 @@ impl JobRequest {
         req.workload.rel.validate().map_err(|e| e.to_string())?;
         Ok(Some(req))
     }
+
+    /// Re-encode this request in the job-file grammar accepted by
+    /// [`JobRequest::parse_line`]. This is what the write-ahead journal
+    /// stores at submission, so a restarted service can re-submit the
+    /// job verbatim; `parse_line(to_line())` round-trips every
+    /// parse-reachable request.
+    pub fn to_line(&self) -> String {
+        let dist = match self.workload.dist {
+            PointerDist::Uniform => "uniform".to_string(),
+            PointerDist::Zipf { theta } => format!("zipf:{theta}"),
+            PointerDist::CrossPartition => "cross".to_string(),
+        };
+        let mode = match self.mode {
+            ExecMode::Sequential => "seq",
+            ExecMode::Threaded => "threads",
+        };
+        let alg = self.alg.map_or("auto", |a| a.name());
+        let name = if self.name.is_empty() {
+            String::new()
+        } else {
+            format!("name={} ", self.name)
+        };
+        format!(
+            "{name}alg={alg} objects={} obj-size={} d={} mem-pages={} seed={} dist={dist} mode={mode}",
+            self.workload.rel.r_objects,
+            self.workload.rel.r_size,
+            self.workload.rel.d,
+            self.m_rproc / PAGE,
+            self.workload.seed,
+        )
+    }
 }
 
 fn parse_num(key: &str, value: &str) -> Result<u64, String> {
@@ -194,6 +225,9 @@ pub struct JobResult {
     pub deadline_hit: bool,
     /// The job's executor panicked (isolated by `catch_unwind`).
     pub panicked: bool,
+    /// The result was reconstructed from the write-ahead journal by a
+    /// restarted service rather than executed in this process.
+    pub resumed: bool,
     /// Failure message, if the job errored.
     pub error: Option<String>,
 }
@@ -229,6 +263,26 @@ mod tests {
         ));
         assert_eq!(req.mode, ExecMode::Threaded);
         assert_eq!(req.footprint(), 2 * 32 * PAGE);
+    }
+
+    #[test]
+    fn to_line_round_trips_through_parse_line() {
+        for line in [
+            "alg=auto objects=2000 obj-size=64 d=2 mem-pages=32 seed=9 dist=uniform mode=seq",
+            "name=q1 alg=grace objects=2000 obj-size=64 d=2 mem-pages=32 seed=9 dist=zipf:0.8 mode=threads",
+            "name=x alg=hybrid-hash objects=400 obj-size=32 d=4 mem-pages=8 seed=3 dist=cross mode=seq",
+        ] {
+            let req = JobRequest::parse_line(line).unwrap().unwrap();
+            let encoded = req.to_line();
+            let back = JobRequest::parse_line(&encoded).unwrap().unwrap();
+            assert_eq!(back.to_line(), encoded, "unstable encoding for {line}");
+            assert_eq!(back.name, req.name);
+            assert_eq!(back.alg, req.alg);
+            assert_eq!(back.workload.rel, req.workload.rel);
+            assert_eq!(back.workload.seed, req.workload.seed);
+            assert_eq!(back.m_rproc, req.m_rproc);
+            assert_eq!(back.mode, req.mode);
+        }
     }
 
     #[test]

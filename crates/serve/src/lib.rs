@@ -64,6 +64,7 @@
 pub mod admission;
 pub mod job;
 pub mod placement;
+mod recovery;
 pub mod service;
 pub mod shard;
 pub mod stats;

@@ -27,7 +27,9 @@ use mmjoin_vmsim::{calibrated_params, DiskParams, SimConfig, SimEnv};
 
 use crate::admission::{AdmissionPolicy, Candidate};
 use crate::job::{JobId, JobRequest, JobResult, PAGE};
+use crate::recovery::{plan_resume, CheckpointSink, ResumeOutcome, ServiceJournal};
 use crate::stats::ServiceStats;
+use mmjoin_recovery::JournalRecord;
 
 /// Which environment jobs execute on.
 #[derive(Clone, Debug)]
@@ -78,6 +80,15 @@ pub struct ServeConfig {
     /// disk; services built from a measured host profile install it
     /// here via [`ServeConfig::with_machine`].
     pub machine: Option<Arc<MachineParams>>,
+    /// Directory holding the service's write-ahead journal. `None`
+    /// disables journaling (and with it restart recovery).
+    pub journal_dir: Option<PathBuf>,
+    /// Replay an existing journal at startup instead of truncating it:
+    /// completed jobs are re-reported from their journaled results,
+    /// in-flight jobs re-run under their original ids, and leftover
+    /// per-job stores are garbage-collected. No-op without
+    /// `journal_dir`.
+    pub resume: bool,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -92,6 +103,8 @@ impl std::fmt::Debug for ServeConfig {
             .field("deadline", &self.deadline)
             .field("trace_enabled", &self.trace.enabled())
             .field("machine_override", &self.machine.is_some())
+            .field("journal_dir", &self.journal_dir)
+            .field("resume", &self.resume)
             .finish()
     }
 }
@@ -113,6 +126,8 @@ impl ServeConfig {
             deadline: None,
             trace: null_sink(),
             machine: None,
+            journal_dir: None,
+            resume: false,
         }
     }
 
@@ -150,6 +165,19 @@ impl ServeConfig {
     /// host profile) instead of the process-wide calibrated default.
     pub fn with_machine(mut self, machine: Arc<MachineParams>) -> Self {
         self.machine = Some(machine);
+        self
+    }
+
+    /// Same config with a write-ahead journal under `dir`.
+    pub fn with_journal(mut self, dir: PathBuf) -> Self {
+        self.journal_dir = Some(dir);
+        self
+    }
+
+    /// Same config replaying the journal at startup (see
+    /// [`ServeConfig::resume`]).
+    pub fn with_resume(mut self) -> Self {
+        self.resume = true;
         self
     }
 
@@ -199,6 +227,10 @@ pub(crate) trait JobHost: Sync {
     /// Return `bytes` of a running job's reservation to the budget pool
     /// mid-run (graceful degradation), waking admission waiters.
     fn release(&self, bytes: u64);
+    /// The service's write-ahead journal, if one is configured.
+    fn journal(&self) -> Option<&Arc<ServiceJournal>> {
+        None
+    }
 }
 
 /// The common surface of the single-queue [`Service`] and the sharded
@@ -260,6 +292,8 @@ struct State {
 
 struct Shared {
     cfg: ServeConfig,
+    /// Write-ahead journal, when `cfg.journal_dir` is set.
+    journal: Option<Arc<ServiceJournal>>,
     state: Mutex<State>,
     /// Signalled when work may have become admissible (new job, budget
     /// released, shutdown).
@@ -274,6 +308,57 @@ impl Shared {
     fn lock(&self) -> MutexGuard<'_, State> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
+
+    /// Overlay live journal counters onto a stats snapshot.
+    fn fold_journal(&self, stats: &mut ServiceStats) {
+        if let Some(j) = &self.journal {
+            let js = j.stats();
+            stats.journal_appended_records = js.appended_records;
+            stats.journal_commits = js.commits;
+        }
+    }
+}
+
+/// Install a replayed journal's outcome into a freshly-built service
+/// (before its workers start): completed jobs land in the results,
+/// in-flight jobs re-enter the queue under their original ids, and id
+/// assignment continues past everything the journal has seen.
+fn apply_resume(shared: &Shared, outcome: ResumeOutcome) -> Result<(), String> {
+    shared.trace(outcome.trace_event());
+    let mut submitted_traces = Vec::with_capacity(outcome.pending.len());
+    {
+        let mut st = shared.lock();
+        st.next_id = st.next_id.max(outcome.next_id);
+        st.stats.journal_replayed_records = outcome.records;
+        st.stats.journal_torn_bytes = outcome.torn_bytes;
+        st.stats.journal_orphans_deleted = outcome.orphans_deleted;
+        st.stats.journal_resumed_jobs = outcome.pending.len() as u64;
+        for r in outcome.finished {
+            st.stats.submitted += 1;
+            st.stats.record(&r, None, None);
+            st.results.push(r);
+        }
+        for (id, req) in outcome.pending {
+            let plan = choose(shared.cfg.machine()?, &req.planner_inputs());
+            submitted_traces.push((id, req.footprint()));
+            st.stats.submitted += 1;
+            st.pending.push_back(Queued {
+                id,
+                req,
+                plan,
+                enqueued: Instant::now(),
+            });
+        }
+    }
+    for (id, footprint) in submitted_traces {
+        shared.trace(TraceEvent::JobSubmitted {
+            job: id,
+            footprint,
+            shard: 0,
+        });
+    }
+    shared.work.notify_all();
+    Ok(())
 }
 
 impl JobHost for Shared {
@@ -296,6 +381,10 @@ impl JobHost for Shared {
         }
         self.work.notify_all();
     }
+
+    fn journal(&self) -> Option<&Arc<ServiceJournal>> {
+        self.journal.as_ref()
+    }
 }
 
 /// A running join service. Dropping it shuts the workers down; use
@@ -311,13 +400,28 @@ impl Service {
     /// down).
     pub fn start(cfg: ServeConfig) -> Result<Service, String> {
         let workers = cfg.workers.max(1);
+        let (journal, resume_plan) = match &cfg.journal_dir {
+            Some(dir) => {
+                let (j, plan) = ServiceJournal::open(dir, cfg.resume, cfg.trace.clone())?;
+                (Some(j), plan)
+            }
+            None => (None, None),
+        };
+        let outcome = match resume_plan {
+            Some(plan) => Some(plan_resume(&cfg, plan)?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             cfg,
+            journal,
             state: Mutex::new(State::default()),
             work: Condvar::new(),
             done: Condvar::new(),
             origin: Instant::now(),
         });
+        if let Some(outcome) = outcome {
+            apply_resume(&shared, outcome)?;
+        }
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
             let sh = Arc::clone(&shared);
@@ -364,6 +468,15 @@ impl Service {
         }
         st.next_id += 1;
         let id = st.next_id;
+        // Journal-before-queue, under the id-assigning lock: a client
+        // that got an id back will find its job after a crash, and
+        // journal order matches id order.
+        if let Some(j) = &self.shared.journal {
+            j.append_commit(&JournalRecord::JobSubmitted {
+                job: id,
+                line: req.to_line(),
+            });
+        }
         st.stats.submitted += 1;
         st.pending.push_back(Queued {
             id,
@@ -400,6 +513,8 @@ impl Service {
         let mut stats = st.stats.clone();
         stats.budget_bytes = self.shared.cfg.budget_bytes;
         stats.budget_leak_bytes = if st.running == 0 { st.used_bytes } else { 0 };
+        drop(st);
+        self.shared.fold_journal(&mut stats);
         stats
     }
 
@@ -416,6 +531,7 @@ impl Service {
         // accounting leak.
         stats.budget_leak_bytes = st.used_bytes;
         drop(st);
+        self.shared.fold_journal(&mut stats);
         (results, stats)
     }
 
@@ -504,6 +620,18 @@ fn worker_loop(shared: &Shared) {
 
         let (result, folded, passes) = run_job(shared, job, 0);
 
+        // Journal the terminal result (and any area records still
+        // riding) before it becomes visible in memory: a crash after
+        // this commit re-reports the job, never re-runs it.
+        if let Some(j) = &shared.journal {
+            j.append_commit(&JournalRecord::JobCompleted {
+                job: result.id,
+                pairs: result.pairs,
+                checksum: result.checksum,
+                ok: result.error.is_none() && result.verified,
+            });
+        }
+
         let mut st = shared.lock();
         // Terminal release — success, error, deadline, and panic paths
         // alike: degradations already returned part of the reservation
@@ -585,6 +713,7 @@ pub(crate) fn run_job(
         cleaned_files: 0,
         deadline_hit: false,
         panicked: false,
+        resumed: false,
         error: None,
     };
     let outcome: Result<(JoinOutput, bool), String> = loop {
@@ -604,7 +733,7 @@ pub(crate) fn run_job(
         };
         result.alg = alg;
         let attempt = catch_unwind(AssertUnwindSafe(|| {
-            execute(cfg, &job, alg, m_rproc, m_sproc)
+            execute(cfg, host.journal(), &job, alg, m_rproc, m_sproc)
         }));
         let attempt = match attempt {
             Ok(a) => a,
@@ -703,10 +832,33 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
 /// service's input, assumed to exist — the fault domain is the join
 /// itself (reads, writes, temp-file map setup), as in the paper's
 /// model. The join then runs through the [`FaultyEnv`] wrapper.
-fn execute(cfg: &ServeConfig, job: &Queued, alg: Algo, m_rproc: u64, m_sproc: u64) -> Attempt {
+fn execute(
+    cfg: &ServeConfig,
+    journal: Option<&Arc<ServiceJournal>>,
+    job: &Queued,
+    alg: Algo,
+    m_rproc: u64,
+    m_sproc: u64,
+) -> Attempt {
     let req = &job.req;
-    let spec = JoinSpec::new(m_rproc, m_sproc).with_mode(req.mode);
+    // Tag the job's temporary areas with its id so concurrent (or
+    // interrupted) jobs sharing a store can never collide — and so the
+    // retry layer's orphan cleanup can scope itself to this run.
+    let spec = JoinSpec::new(m_rproc, m_sproc)
+        .with_mode(req.mode)
+        .with_tag(&format!("j{}", job.id));
     let policy = RetryPolicy::attempts(cfg.retries);
+    // When journaling, tee the env's trace stream: pass boundaries
+    // become durable checkpoints and map setup/teardown become area
+    // lifecycle records.
+    let sink: Arc<dyn TraceSink> = match journal {
+        Some(j) => Arc::new(CheckpointSink::new(
+            cfg.trace.clone(),
+            Arc::clone(j),
+            job.id,
+        )),
+        None => cfg.trace.clone(),
+    };
     let fail = |e: EnvError| Attempt {
         result: Err(e),
         report: RetryReport::default(),
@@ -723,7 +875,7 @@ fn execute(cfg: &ServeConfig, job: &Queued, alg: Algo, m_rproc: u64, m_sproc: u6
             sim_cfg.sproc_pages = (m_sproc / PAGE).max(1) as usize;
             let env = match SimEnv::new(sim_cfg) {
                 Ok(env) => {
-                    env.set_trace_sink(cfg.trace.clone());
+                    env.set_trace_sink(sink);
                     FaultyEnv::new(env, cfg.fault_spec.clone())
                 }
                 Err(e) => return fail(e),
@@ -738,7 +890,7 @@ fn execute(cfg: &ServeConfig, job: &Queued, alg: Algo, m_rproc: u64, m_sproc: u6
                 page_size: PAGE,
             }) {
                 Ok(env) => {
-                    env.set_trace_sink(cfg.trace.clone());
+                    env.set_trace_sink(sink);
                     FaultyEnv::new(env, cfg.fault_spec.clone())
                 }
                 Err(e) => return fail(e),
@@ -834,6 +986,56 @@ mod tests {
         assert!(stats.peak_budget_bytes <= 32 * PAGE);
         assert_eq!(stats.completed, 8);
         assert_eq!(stats.in_flight(), 0);
+    }
+
+    #[test]
+    fn resume_replays_completed_jobs_and_reruns_pending_ones() {
+        let dir = std::env::temp_dir().join(format!("mmjoin-resume-single-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        // First life: run two jobs to completion under a journal.
+        let svc = Service::start(ServeConfig::sim(64 * PAGE, 1).with_journal(dir.clone())).unwrap();
+        svc.submit(tiny_job(1, 8)).unwrap();
+        svc.submit(tiny_job(2, 8)).unwrap();
+        let (mut first, stats) = svc.finish();
+        first.sort_by_key(|r| r.id);
+        assert!(stats.journal_commits >= 4, "{stats:?}");
+        // Area records ride later commits, so appends outnumber them.
+        assert!(stats.journal_appended_records >= stats.journal_commits);
+        // Simulate a job that was admitted but never finished before
+        // the "crash": journal its submission with no completion.
+        {
+            let (j, _) = ServiceJournal::open(&dir, true, null_sink()).unwrap();
+            j.append_commit(&JournalRecord::JobSubmitted {
+                job: 3,
+                line: tiny_job(5, 8).to_line(),
+            });
+        }
+        // Second life: resume.
+        let svc = Service::start(
+            ServeConfig::sim(64 * PAGE, 1)
+                .with_journal(dir.clone())
+                .with_resume(),
+        )
+        .unwrap();
+        // Id assignment continues past everything the journal saw.
+        assert_eq!(svc.submit(tiny_job(9, 8)).unwrap(), 4);
+        let (mut results, stats) = svc.finish();
+        results.sort_by_key(|r| r.id);
+        assert_eq!(results.len(), 4);
+        // Jobs 1 and 2: re-reported from the journal, same outputs.
+        for (r, f) in results[..2].iter().zip(&first) {
+            assert!(r.resumed);
+            assert_eq!((r.id, r.pairs, r.checksum), (f.id, f.pairs, f.checksum));
+            assert!(r.verified);
+        }
+        // Job 3: re-run live from its journaled submission line.
+        assert!(!results[2].resumed);
+        assert_eq!(results[2].id, 3);
+        assert!(results[2].verified, "{:?}", results[2].error);
+        assert_eq!(stats.journal_resumed_jobs, 1);
+        assert!(stats.journal_replayed_records >= 5);
+        assert_eq!(stats.completed, 4);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -37,10 +37,13 @@ use mmjoin_env::TraceEvent;
 use crate::admission::Candidate;
 use crate::job::{JobId, JobRequest, JobResult};
 use crate::placement::{Placement, ShardLoad};
+use crate::recovery::{plan_resume, ResumeOutcome, ServiceJournal};
 use crate::service::{run_job, JobHost, JoinService, Queued, ServeConfig};
 use crate::stats::ServiceStats;
 
 use mmjoin::choose;
+use mmjoin_recovery::JournalRecord;
+use std::sync::Arc;
 
 /// One budget slice with its queue and counters.
 struct Shard {
@@ -100,12 +103,20 @@ struct Global {
     finished: u64,
     rejected: u64,
     results: Vec<JobResult>,
+    /// Startup replay counters (`--resume`), reported through the
+    /// merged [`ServiceStats`].
+    journal_replayed_records: u64,
+    journal_torn_bytes: u64,
+    journal_orphans_deleted: u64,
+    journal_resumed_jobs: u64,
 }
 
 struct ShardedInner {
     cfg: ServeConfig,
     placement: Box<dyn Placement>,
     shards: Vec<Shard>,
+    /// Write-ahead journal shared by every shard, when configured.
+    journal: Option<Arc<ServiceJournal>>,
     global: Mutex<Global>,
     /// Signalled under `global` when a job completes (for `drain`).
     done: Condvar,
@@ -166,6 +177,10 @@ impl JobHost for ShardHost<'_> {
         }
         self.inner.kick_all();
     }
+
+    fn journal(&self) -> Option<&Arc<ServiceJournal>> {
+        self.inner.journal.as_ref()
+    }
 }
 
 /// A running sharded join service. Dropping it shuts the workers down;
@@ -195,14 +210,29 @@ impl ShardedService {
                 work: Condvar::new(),
             })
             .collect();
+        let (journal, resume_plan) = match &cfg.journal_dir {
+            Some(dir) => {
+                let (j, plan) = ServiceJournal::open(dir, cfg.resume, cfg.trace.clone())?;
+                (Some(j), plan)
+            }
+            None => (None, None),
+        };
+        let outcome = match resume_plan {
+            Some(plan) => Some(plan_resume(&cfg, plan)?),
+            None => None,
+        };
         let inner = std::sync::Arc::new(ShardedInner {
             cfg,
             placement,
             shards,
+            journal,
             global: Mutex::new(Global::default()),
             done: Condvar::new(),
             origin: Instant::now(),
         });
+        if let Some(outcome) = outcome {
+            apply_resume(&inner, outcome)?;
+        }
         let mut handles = Vec::with_capacity(n * workers_per_shard);
         for shard in 0..n {
             for w in 0..workers_per_shard {
@@ -291,7 +321,16 @@ impl JoinService for ShardedService {
             let mut g = self.inner.global_lock();
             g.next_id += 1;
             g.placed += 1;
-            g.next_id
+            let id = g.next_id;
+            // Journal-before-queue, under the id-assigning lock (see
+            // the single-queue submit).
+            if let Some(j) = &self.inner.journal {
+                j.append_commit(&JournalRecord::JobSubmitted {
+                    job: id,
+                    line: req.to_line(),
+                });
+            }
+            id
         };
         {
             let mut st = self.inner.shards[k].lock();
@@ -333,7 +372,19 @@ impl JoinService for ShardedService {
         for s in &self.inner.shards {
             merged.merge(&s.stats_snapshot());
         }
-        merged.rejected = self.inner.global_lock().rejected;
+        {
+            let g = self.inner.global_lock();
+            merged.rejected = g.rejected;
+            merged.journal_replayed_records = g.journal_replayed_records;
+            merged.journal_torn_bytes = g.journal_torn_bytes;
+            merged.journal_orphans_deleted = g.journal_orphans_deleted;
+            merged.journal_resumed_jobs = g.journal_resumed_jobs;
+        }
+        if let Some(j) = &self.inner.journal {
+            let js = j.stats();
+            merged.journal_appended_records = js.appended_records;
+            merged.journal_commits = js.commits;
+        }
         merged
     }
 
@@ -347,6 +398,104 @@ impl JoinService for ShardedService {
 
     fn shards(&self) -> u32 {
         self.inner.shards.len() as u32
+    }
+}
+
+/// Install a replayed journal's outcome into a freshly-built sharded
+/// service (before its workers start). Completed jobs are re-reported
+/// through shard 0's counters; in-flight jobs are re-placed under their
+/// original ids by the configured placement policy.
+fn apply_resume(inner: &ShardedInner, outcome: ResumeOutcome) -> Result<(), String> {
+    inner.trace(outcome.trace_event());
+    {
+        let mut g = inner.global_lock();
+        g.next_id = g.next_id.max(outcome.next_id);
+        g.journal_replayed_records = outcome.records;
+        g.journal_torn_bytes = outcome.torn_bytes;
+        g.journal_orphans_deleted = outcome.orphans_deleted;
+        g.journal_resumed_jobs = outcome.pending.len() as u64;
+    }
+    let finish = |r: JobResult| {
+        {
+            let mut st = inner.shards[0].lock();
+            st.stats.submitted += 1;
+            st.stats.record(&r, None, None);
+        }
+        let mut g = inner.global_lock();
+        g.placed += 1;
+        g.finished += 1;
+        g.results.push(r);
+    };
+    for r in outcome.finished {
+        finish(r);
+    }
+    for (id, req) in outcome.pending {
+        let footprint = req.footprint();
+        let plan = choose(inner.cfg.machine()?, &req.planner_inputs());
+        let cand = Candidate {
+            footprint,
+            predicted_seconds: plan.predicted_seconds(),
+        };
+        let Some(k) = inner.placement.place(&cand, &inner.loads()) else {
+            // The journal came from a differently-shaped service and no
+            // slice can ever hold this job: fail it visibly rather than
+            // queue it forever (which would hang every drain).
+            let mut r = resumed_failure(id, &req, &plan);
+            r.error = Some(format!(
+                "resumed job footprint {footprint} B exceeds every shard's budget slice"
+            ));
+            finish(r);
+            continue;
+        };
+        inner.global_lock().placed += 1;
+        {
+            let mut st = inner.shards[k].lock();
+            st.pending.push_back(Queued {
+                id,
+                req,
+                plan,
+                enqueued: Instant::now(),
+            });
+            st.queued_bytes += footprint;
+            st.backlog_seconds += cand.predicted_seconds;
+            st.stats.submitted += 1;
+        }
+        inner.trace(TraceEvent::JobSubmitted {
+            job: id,
+            footprint,
+            shard: k as u32,
+        });
+    }
+    inner.kick_all();
+    Ok(())
+}
+
+/// A terminal result for a resumed job that could not be re-queued.
+fn resumed_failure(id: JobId, req: &JobRequest, plan: &mmjoin::PlanChoice) -> JobResult {
+    JobResult {
+        id,
+        shard: 0,
+        name: req.name.clone(),
+        alg: req.alg.unwrap_or_else(|| plan.algorithm.into()),
+        predicted_seconds: plan.predicted_seconds(),
+        pairs: 0,
+        checksum: 0,
+        verified: false,
+        env_elapsed: 0.0,
+        queue_wait: 0.0,
+        exec_wall: 0.0,
+        read_faults: 0,
+        write_backs: 0,
+        attempts: 0,
+        retries: 0,
+        faults_injected: 0,
+        degraded: 0,
+        released_bytes: 0,
+        cleaned_files: 0,
+        deadline_hit: false,
+        panicked: false,
+        resumed: true,
+        error: None,
     }
 }
 
@@ -461,6 +610,17 @@ fn shard_worker(inner: &ShardedInner, me: usize) {
 
         let host = ShardHost { inner, shard: me };
         let (result, folded, passes) = run_job(&host, job, me as u32);
+
+        // Journal the terminal result before it becomes visible in
+        // memory: a crash after this commit re-reports, never re-runs.
+        if let Some(j) = &inner.journal {
+            j.append_commit(&JournalRecord::JobCompleted {
+                job: result.id,
+                pairs: result.pairs,
+                checksum: result.checksum,
+                ok: result.error.is_none() && result.verified,
+            });
+        }
 
         let mut st = shard.lock();
         debug_assert!(result.released_bytes <= footprint);
@@ -619,6 +779,71 @@ mod tests {
                 assert_eq!((*from, *to), (0, 1));
             }
         }
+    }
+
+    #[test]
+    fn sharded_jobs_with_faults_retry_and_all_verify() {
+        // Jobs run tagged (`#j<id>`), so a failing attempt's cleanup is
+        // scoped to its own temporaries; with retries every job heals.
+        let cfg = ServeConfig::sim(64 * PAGE, 2)
+            .with_faults(mmjoin_env::FaultSpec::parse("seed=5;write:p=0.001:count=2").unwrap())
+            .with_retries(6);
+        let svc = ShardedService::start(cfg, 2, PlacementKind::LeastLoaded.build()).unwrap();
+        for seed in 0..6 {
+            JoinService::submit(&svc, tiny_job(seed, 4)).unwrap();
+        }
+        let (results, stats) = svc.finish();
+        assert_eq!(results.len(), 6);
+        assert!(
+            results.iter().all(|r| r.verified && r.error.is_none()),
+            "{:?}",
+            results
+                .iter()
+                .filter(|r| !r.verified)
+                .map(|r| (&r.name, &r.error))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.in_flight(), 0);
+    }
+
+    #[test]
+    fn sharded_resume_replays_and_requeues_across_shards() {
+        let dir = std::env::temp_dir().join(format!("mmjoin-resume-shard-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = || ServeConfig::sim(64 * PAGE, 1).with_journal(dir.clone());
+        // First life: two completions on a 2-shard service.
+        let svc = ShardedService::start(cfg(), 2, PlacementKind::RoundRobin.build()).unwrap();
+        svc.submit(tiny_job(1, 4)).unwrap();
+        svc.submit(tiny_job(2, 4)).unwrap();
+        let (mut first, _) = svc.finish();
+        first.sort_by_key(|r| r.id);
+        // An in-flight job at "crash" time.
+        {
+            let (j, _) =
+                crate::recovery::ServiceJournal::open(&dir, true, mmjoin_env::null_sink()).unwrap();
+            j.append_commit(&JournalRecord::JobSubmitted {
+                job: 3,
+                line: tiny_job(7, 4).to_line(),
+            });
+        }
+        // Second life: resume on the sharded service.
+        let svc = ShardedService::start(cfg().with_resume(), 2, PlacementKind::LeastLoaded.build())
+            .unwrap();
+        assert_eq!(JoinService::submit(&svc, tiny_job(9, 4)).unwrap(), 4);
+        let (mut results, stats) = svc.finish();
+        results.sort_by_key(|r| r.id);
+        assert_eq!(results.len(), 4);
+        for (r, f) in results[..2].iter().zip(&first) {
+            assert!(r.resumed);
+            assert_eq!((r.id, r.pairs, r.checksum), (f.id, f.pairs, f.checksum));
+        }
+        assert!(!results[2].resumed);
+        assert!(results[2].verified, "{:?}", results[2].error);
+        assert_eq!(stats.journal_resumed_jobs, 1);
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.in_flight(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -47,6 +47,20 @@ pub struct ServiceStats {
     /// Reserved budget still outstanding at snapshot time with no job
     /// running — nonzero after a drain means an accounting leak.
     pub budget_leak_bytes: u64,
+    /// Write-ahead journal records appended by this process (0 when
+    /// journaling is disabled).
+    pub journal_appended_records: u64,
+    /// Journal commits (durable header flushes) performed.
+    pub journal_commits: u64,
+    /// CRC-valid records replayed at startup (`--resume`).
+    pub journal_replayed_records: u64,
+    /// Committed journal bytes lost to a torn or corrupted tail at
+    /// startup.
+    pub journal_torn_bytes: u64,
+    /// Orphaned storage areas garbage-collected at startup.
+    pub journal_orphans_deleted: u64,
+    /// In-flight jobs re-submitted from the journal at startup.
+    pub journal_resumed_jobs: u64,
     /// Every process counter of every job, folded into one set
     /// ([`mmjoin_env::EnvStats::folded`] summed across jobs).
     pub agg: ProcStats,
@@ -142,6 +156,12 @@ impl ServiceStats {
         self.panics += other.panics;
         self.cleaned_files += other.cleaned_files;
         self.budget_leak_bytes += other.budget_leak_bytes;
+        self.journal_appended_records += other.journal_appended_records;
+        self.journal_commits += other.journal_commits;
+        self.journal_replayed_records += other.journal_replayed_records;
+        self.journal_torn_bytes += other.journal_torn_bytes;
+        self.journal_orphans_deleted += other.journal_orphans_deleted;
+        self.journal_resumed_jobs += other.journal_resumed_jobs;
         self.agg.absorb(&other.agg);
         self.latency_hist.merge(&other.latency_hist);
         self.queue_hist.merge(&other.queue_hist);
@@ -162,6 +182,9 @@ impl ServiceStats {
                 "\"faults\":{{\"read_blocks\":{},\"write_blocks\":{},\"page_hits\":{}}},",
                 "\"recovery\":{{\"faults_injected\":{},\"retries\":{},\"degraded\":{},",
                 "\"deadline_exceeded\":{},\"panics\":{},\"cleaned_files\":{}}},",
+                "\"journal\":{{\"appended_records\":{},\"commits\":{},",
+                "\"replayed_records\":{},\"torn_bytes\":{},\"orphans_deleted\":{},",
+                "\"resumed_jobs\":{}}},",
                 "\"latency\":{},\"queue\":{},\"exec\":{},\"pass\":{}}}"
             ),
             self.submitted,
@@ -186,6 +209,12 @@ impl ServiceStats {
             self.deadline_exceeded,
             self.panics,
             self.cleaned_files,
+            self.journal_appended_records,
+            self.journal_commits,
+            self.journal_replayed_records,
+            self.journal_torn_bytes,
+            self.journal_orphans_deleted,
+            self.journal_resumed_jobs,
             self.latency_hist.to_json(),
             self.queue_hist.to_json(),
             self.exec_hist.to_json(),
@@ -234,6 +263,7 @@ mod tests {
             cleaned_files: if ok { 0 } else { 4 },
             deadline_hit: false,
             panicked: false,
+            resumed: false,
             error: if ok { None } else { Some("boom".into()) },
         }
     }
@@ -285,6 +315,7 @@ mod tests {
         assert!(j.contains("\"peak_bytes\":512"));
         assert!(j.contains("\"leak_bytes\":0"));
         assert!(j.contains("\"recovery\":{\"faults_injected\":0"));
+        assert!(j.contains("\"journal\":{\"appended_records\":0"));
         for key in ["latency", "queue", "exec", "pass"] {
             assert!(j.contains(&format!("\"{key}\":{{\"count\":")), "{key}: {j}");
         }
@@ -292,8 +323,8 @@ mod tests {
         // Balanced braces — cheap structural sanity without a parser.
         let open = j.matches('{').count();
         assert_eq!(open, j.matches('}').count());
-        // Six section objects plus four histogram objects.
-        assert_eq!(open, 10);
+        // Seven section objects plus four histogram objects.
+        assert_eq!(open, 11);
     }
 
     #[test]

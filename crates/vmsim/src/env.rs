@@ -515,6 +515,15 @@ impl FileOps for SimFile {
         body.data[offset as usize..offset as usize + buf.len()].copy_from_slice(buf);
         Ok(())
     }
+
+    fn sync(&self, _proc: ProcId) -> Result<()> {
+        // The simulator updates file bodies synchronously at `write_at`
+        // time (the pager only models *costs*), so durability is
+        // immediate and this honors the flush-before-commit contract as
+        // a no-op. Deliberately uncharged: the paper's model has no
+        // msync operation.
+        Ok(())
+    }
 }
 
 impl Env for SimEnv {
