@@ -15,8 +15,19 @@
 //! compared side by side (JSON lands in `results/loadgen_shards.json`).
 //! The default mix injects small real I/O stalls ([`CONTENDED_SPEC`]),
 //! which a single admission queue serializes and shards overlap.
+//!
+//! With `--nodes N` (N > 1) it becomes the **cluster** sweep: the same
+//! contended job list runs three times through a [`Coordinator`] over
+//! real TCP — against one worker node, against N nodes, and against N
+//! nodes with node 0 killed a third of the way through — and the run
+//! asserts >1.3x 1→N throughput scaling plus zero lost jobs under the
+//! kill (JSON lands in `results/loadgen_cluster.json`).
 
+use std::time::Duration;
+
+use mmjoin::RetryPolicy;
 use mmjoin_bench::load::{machine_override, opt, random_job, CONTENDED_SPEC};
+use mmjoin_cluster::{ClusterConfig, Coordinator, NodeServer};
 use mmjoin_env::FaultSpec;
 use mmjoin_serve::{
     AdmissionPolicy, JobRequest, JoinService, PlacementKind, ServeConfig, Service, ShardedService,
@@ -131,6 +142,7 @@ fn main() {
     let workers: usize = opt("--workers", 4);
     let seed: u64 = opt("--seed", 1996);
     let shards: u32 = opt("--shards", 1);
+    let nodes: u32 = opt("--nodes", 1);
     let policy_name: String = opt("--policy", "fifo".to_string());
     let placement_name: String = opt("--placement", "pred".to_string());
     let Some(policy) = AdmissionPolicy::from_name(&policy_name) else {
@@ -148,6 +160,15 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if nodes > 1 {
+        if shards > 1 {
+            eprintln!("--nodes and --shards are separate sweeps; pick one");
+            std::process::exit(2);
+        }
+        cluster_sweep(jobs, budget_pages, workers, seed, nodes, machine);
+        return;
+    }
 
     if shards > 1 {
         sweep(
@@ -349,4 +370,243 @@ fn sweep(
     if single.failed + sharded.failed > 0 {
         std::process::exit(1);
     }
+}
+
+/// One coordinator run's worth of reportable numbers.
+struct ClusterRun {
+    label: String,
+    nodes: u32,
+    wall: f64,
+    accepted: u64,
+    failed: u64,
+    completed: u64,
+    throughput: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    requeued: u64,
+    node_losses: u64,
+    duplicate_completions: u64,
+    budget_leak_bytes: u64,
+    stats_json: String,
+}
+
+impl ClusterRun {
+    fn print(&self) {
+        println!(
+            "{:<14} {:>8.3} s  {:>7.1} jobs/s  p50 {:>7.1} ms  p99 {:>8.1} ms  \
+             {} ok / {} failed{}",
+            self.label,
+            self.wall,
+            self.throughput,
+            self.p50_ms,
+            self.p99_ms,
+            self.completed - self.failed,
+            self.failed,
+            if self.node_losses > 0 {
+                format!(
+                    "  ({} lost node(s), {} requeue(s))",
+                    self.node_losses, self.requeued
+                )
+            } else {
+                String::new()
+            }
+        );
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"nodes\":{},\"wall_seconds\":{:.6},\"accepted\":{},",
+                "\"failed\":{},\"completed\":{},\"throughput_jobs_per_sec\":{:.3},",
+                "\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"requeued\":{},\"node_losses\":{},",
+                "\"duplicate_completions\":{},\"budget_leak_bytes\":{},\"cluster\":{}}}"
+            ),
+            self.label,
+            self.nodes,
+            self.wall,
+            self.accepted,
+            self.failed,
+            self.completed,
+            self.throughput,
+            self.p50_ms,
+            self.p99_ms,
+            self.requeued,
+            self.node_losses,
+            self.duplicate_completions,
+            self.budget_leak_bytes,
+            self.stats_json
+        )
+    }
+}
+
+/// Run the fixed job list through a coordinator over `node_count`
+/// in-process worker nodes (real TCP). With `kill_after`, node 0 is
+/// killed as soon as that many results have landed, forcing its queued
+/// and in-flight jobs onto the survivors.
+fn run_cluster(
+    label: &str,
+    node_count: u32,
+    kill_after: Option<usize>,
+    reqs: &[JobRequest],
+    node_cfg: &dyn Fn() -> ServeConfig,
+) -> ClusterRun {
+    let nodes: Vec<NodeServer> = (0..node_count)
+        .map(|i| {
+            NodeServer::start("127.0.0.1:0", &format!("bench-{i}"), node_cfg()).unwrap_or_else(
+                |e| {
+                    eprintln!("cannot start node {i}: {e}");
+                    std::process::exit(2);
+                },
+            )
+        })
+        .collect();
+    let addrs: Vec<String> = nodes.iter().map(|n| n.local_addr().to_string()).collect();
+    let cfg = ClusterConfig::new(addrs)
+        .with_heartbeat(Duration::from_millis(20))
+        .with_timeout(Duration::from_millis(250))
+        .with_retry(RetryPolicy::attempts(6));
+    let co = match Coordinator::start(cfg) {
+        Ok(co) => co,
+        Err(e) => {
+            eprintln!("cannot start coordinator: {e}");
+            std::process::exit(2);
+        }
+    };
+    let started = std::time::Instant::now();
+    let mut accepted = 0u64;
+    for (i, req) in reqs.iter().enumerate() {
+        match co.submit(req.clone()) {
+            Ok(_) => accepted += 1,
+            Err(e) => eprintln!("{label}: job {i}: {e}"),
+        }
+    }
+    if let Some(after) = kill_after {
+        // Wait for the first third of the results, then take node 0
+        // out from under its remaining claims.
+        let deadline = std::time::Instant::now() + Duration::from_secs(120);
+        while co.results().len() < after && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        nodes[0].kill();
+    }
+    let (_, stats) = co.finish();
+    let wall = started.elapsed().as_secs_f64();
+    ClusterRun {
+        label: label.to_string(),
+        nodes: node_count,
+        wall,
+        accepted,
+        failed: stats.failed,
+        completed: stats.completed,
+        throughput: accepted as f64 / wall,
+        p50_ms: stats.latency.p50() * 1e3,
+        p99_ms: stats.latency.p99() * 1e3,
+        requeued: stats.requeued,
+        node_losses: stats.node_losses,
+        duplicate_completions: stats.duplicate_completions,
+        budget_leak_bytes: stats.budget_leak_bytes,
+        stats_json: stats.to_json(),
+    }
+}
+
+/// The `--nodes N` cluster sweep: the same contended job list through
+/// one node, through N nodes, and through N nodes with node 0 killed
+/// mid-run. Asserts >1.3x 1→N throughput scaling and zero lost jobs.
+fn cluster_sweep(
+    jobs: u64,
+    budget_pages: u64,
+    workers: usize,
+    seed: u64,
+    nodes: u32,
+    machine: Option<std::sync::Arc<mmjoin_env::machine::MachineParams>>,
+) {
+    let spec_str: String = opt("--fault-spec", CONTENDED_SPEC.to_string());
+    let fault_spec = match FaultSpec::parse(&spec_str) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("--fault-spec: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let reqs: Vec<JobRequest> = (0..jobs).map(|i| random_job(&mut rng, i + 1)).collect();
+    let node_cfg = || {
+        let mut c = ServeConfig::sim(budget_pages * PAGE, workers);
+        c.fault_spec = fault_spec.clone();
+        if let Some(m) = &machine {
+            c = c.with_machine(m.clone());
+        }
+        c
+    };
+
+    println!(
+        "loadgen cluster sweep: {jobs} jobs, {budget_pages} pages and \
+         {workers} worker(s) per node, fault spec '{spec_str}'"
+    );
+    let single = run_cluster("1-node", 1, None, &reqs, &node_cfg);
+    single.print();
+    let multi = run_cluster(&format!("{nodes}-node"), nodes, None, &reqs, &node_cfg);
+    multi.print();
+    let kill_after = (jobs as usize / 3).max(1);
+    let chaos = run_cluster(
+        &format!("{nodes}-node-chaos"),
+        nodes,
+        Some(kill_after),
+        &reqs,
+        &node_cfg,
+    );
+    chaos.print();
+
+    let scaling = multi.throughput / single.throughput;
+    println!(
+        "scaling:       {scaling:.2}x throughput 1 -> {nodes} nodes, p99 {:.1} ms -> {:.1} ms",
+        single.p99_ms, multi.p99_ms
+    );
+
+    mmjoin_bench::maybe_write_json(
+        "loadgen_cluster",
+        &format!(
+            concat!(
+                "{{\"jobs\":{},\"seed\":{},\"budget_pages\":{},\"workers_per_node\":{},",
+                "\"nodes\":{},\"fault_spec\":\"{}\",\"scaling\":{:.3},",
+                "\"single\":{},\"multi\":{},\"chaos\":{}}}"
+            ),
+            jobs,
+            seed,
+            budget_pages,
+            workers,
+            nodes,
+            spec_str,
+            scaling,
+            single.to_json(),
+            multi.to_json(),
+            chaos.to_json()
+        ),
+    );
+
+    // Zero lost jobs in every leg — including the one that lost a node.
+    for run in [&single, &multi, &chaos] {
+        assert_eq!(
+            run.completed,
+            run.accepted,
+            "{}: {} of {} jobs went missing",
+            run.label,
+            run.accepted - run.completed,
+            run.accepted
+        );
+        assert_eq!(run.failed, 0, "{}: {} jobs failed", run.label, run.failed);
+        assert_eq!(
+            run.budget_leak_bytes, 0,
+            "{}: budget accounting leaked",
+            run.label
+        );
+    }
+    assert_eq!(
+        chaos.node_losses, 1,
+        "chaos leg must lose exactly the killed node"
+    );
+    assert!(
+        scaling > 1.3,
+        "1 -> {nodes} node scaling {scaling:.2}x is below the 1.3x floor"
+    );
 }

@@ -8,6 +8,10 @@
 //!              [--machine-profile FILE]
 //! mmjoin serve [--jobs FILE] [--budget-pages N] [--workers N] [--policy fifo|spf]
 //!              [--shards N] [--placement rr|load|pred] [--machine-profile FILE]
+//! mmjoin serve --node [--listen ADDR] [--node-name NAME] [--budget-pages N]
+//!              [--workers N] [--machine-profile FILE]
+//! mmjoin coordinator --nodes A:P,B:P [--jobs FILE] [--heartbeat-ms MS]
+//!              [--timeout-ms MS] [--max-requeues N] [--journal DIR] [--resume]
 //! mmjoin calibrate      [--out FILE] [--device PATH] [--quick] [--sim]
 //! mmjoin validate-model [--machine-profile FILE] [--objects N] [--d D]
 //!                       [--mem-pages P]
@@ -17,7 +21,11 @@
 //! `join` runs one parallel pointer-based join and verifies it against
 //! the workload oracle; `plan` queries the analytical model the way a
 //! query optimizer would; `serve` runs many jobs concurrently under the
-//! admission-controlled service; `calibrate` measures the paper's §3
+//! admission-controlled service (`serve --node` exposes that service
+//! over TCP as one worker node of a cluster); `coordinator` dispatches
+//! a job script across `--nodes` worker processes with heartbeats,
+//! dead-node re-queue, and an optional crash-recovery journal;
+//! `calibrate` measures the paper's §3
 //! machine parameters on this host and persists them as a versioned
 //! JSON machine profile (or, with `--sim`, prints the simulated drive's
 //! `dttr`/`dttw` curves); `validate-model` runs the paper's three
@@ -344,7 +352,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 
     // Job script: a file via --jobs, or stdin. A resumed serve may run
     // purely from the journal, so only fall back to stdin when fresh.
+    // A cluster node takes jobs from its coordinator, never a script.
     let script = match args.get("jobs") {
+        _ if args.flag("node") => String::new(),
         Some(path) => {
             std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?
         }
@@ -384,6 +394,29 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     };
     if deadline_ms > 0 {
         cfg.deadline = Some(std::time::Duration::from_millis(deadline_ms));
+    }
+    if args.flag("node") {
+        if shards > 1 {
+            return Err("--node wraps a single local service (drop --shards)".to_string());
+        }
+        let listen = args.get("listen").unwrap_or("127.0.0.1:0");
+        let default_name = format!("node-{}", std::process::id());
+        let name = args.get("node-name").unwrap_or(&default_name);
+        let node = mmjoin_cluster::NodeServer::start(listen, name, cfg)?;
+        // The chaos harness and CI smoke parse this line for the
+        // resolved ephemeral port; keep its shape stable.
+        println!(
+            "node {} listening on {} (budget {budget_pages} pages, {workers} worker(s))",
+            node.name(),
+            node.local_addr()
+        );
+        node.wait();
+        println!("node stopped");
+        if let Some(s) = &sink {
+            s.flush()
+                .map_err(|e| format!("--trace: flush failed: {e}"))?;
+        }
+        return Ok(());
     }
     let svc: Box<dyn JoinService> = if shards > 1 {
         Box::new(ShardedService::start(cfg, shards, placement.build())?)
@@ -491,6 +524,154 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 r.checksum,
                 r.error.is_none() && r.verified,
                 r.resumed
+            ));
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("results written to {path}");
+    }
+    if let Some(path) = args.get("stats-json") {
+        std::fs::write(path, stats.to_json()).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("stats written to {path}");
+    } else if args.flag("json") {
+        println!("{}", stats.to_json());
+    }
+    if let Some(s) = &sink {
+        s.flush()
+            .map_err(|e| format!("--trace: flush failed: {e}"))?;
+    }
+    if stats.failed > 0 {
+        return Err(format!("{} job(s) failed", stats.failed));
+    }
+    Ok(())
+}
+
+fn cmd_coordinator(args: &Args) -> Result<(), String> {
+    use mmjoin_cluster::{ClusterConfig, Coordinator};
+
+    let nodes: Vec<String> = args
+        .get("nodes")
+        .ok_or("--nodes HOST:PORT[,HOST:PORT...] is required")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if nodes.is_empty() {
+        return Err("--nodes lists no addresses".to_string());
+    }
+    let heartbeat_ms: u64 = args.get_or("heartbeat-ms", 100)?;
+    let timeout_ms: u64 = args.get_or("timeout-ms", 1500)?;
+    let max_requeues: u32 = args.get_or("max-requeues", 3)?;
+    let journal_dir = args.get("journal").map(std::path::PathBuf::from);
+    let resume = args.flag("resume");
+    if resume && journal_dir.is_none() {
+        return Err("--resume requires --journal DIR".to_string());
+    }
+    let sink = trace_sink_from(args)?;
+
+    let mut cfg = ClusterConfig::new(nodes.clone())
+        .with_heartbeat(std::time::Duration::from_millis(heartbeat_ms.max(1)))
+        .with_timeout(std::time::Duration::from_millis(timeout_ms.max(1)))
+        // N re-queues = N+1 dispatch attempts, mirroring the join
+        // retry layer's attempt accounting.
+        .with_retry(RetryPolicy::attempts(max_requeues + 1));
+    if let Some(dir) = journal_dir {
+        cfg = cfg.with_journal(dir);
+    }
+    if resume {
+        cfg = cfg.with_resume();
+    }
+    if let Some(s) = &sink {
+        cfg = cfg.with_trace(s.clone() as std::sync::Arc<dyn TraceSink>);
+    }
+
+    // Job script: a file via --jobs, or stdin; a resumed coordinator
+    // may run purely from its journal.
+    let script = match args.get("jobs") {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?
+        }
+        None if resume => String::new(),
+        None => {
+            use std::io::Read as _;
+            let mut s = String::new();
+            std::io::stdin()
+                .read_to_string(&mut s)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            s
+        }
+    };
+
+    let co = Coordinator::start(cfg)?;
+    let ids = co.submit_script(&script)?;
+    println!(
+        "coordinating {} job(s) across {} node(s): {}",
+        ids.len(),
+        nodes.len(),
+        nodes.join(", ")
+    );
+    let (mut results, stats) = co.finish();
+    results.sort_by_key(|r| r.id);
+
+    println!(
+        "{:>4}  {:<12} {:<14} {:<14} {:>10} {:>8} {:>9}  status",
+        "id", "name", "node", "algorithm", "pairs", "requeues", "exec(s)"
+    );
+    for r in &results {
+        let mut status = match &r.error {
+            None => "ok".to_string(),
+            Some(e) => format!("FAILED: {e}"),
+        };
+        if r.resumed {
+            status.push_str(" (resumed)");
+        }
+        println!(
+            "{:>4}  {:<12} {:<14} {:<14} {:>10} {:>8} {:>9.3}  {status}",
+            r.id,
+            if r.name.is_empty() { "-" } else { &r.name },
+            r.node,
+            r.alg,
+            r.pairs,
+            r.requeues,
+            r.latency
+        );
+    }
+    println!(
+        "completed {} / failed {} — {} requeue(s), {} node(s) joined, {} lost, \
+         {} duplicate completion(s) dropped",
+        stats.completed,
+        stats.failed,
+        stats.requeued,
+        stats.node_joins,
+        stats.node_losses,
+        stats.duplicate_completions
+    );
+    if stats.resumed_reported > 0 {
+        println!(
+            "resumed {} job(s) from the journal ({} record(s) replayed)",
+            stats.resumed_reported, stats.replayed_records
+        );
+    }
+    if let Some(j) = &stats.journal {
+        println!(
+            "journal: {} record(s) appended in {} commit(s); replay saw {} record(s) \
+             ({} torn byte(s))",
+            j.appended_records, j.commits, j.replayed_records, j.torn_bytes
+        );
+    }
+
+    if let Some(path) = args.get("results-json") {
+        // Leading keys match serve's --results-json so outcome sets
+        // from single-node and cluster runs compare directly.
+        let mut out = String::from("[");
+        for (i, r) in results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"id\":{},\"name\":{:?},\"alg\":{:?},\"pairs\":{},\"checksum\":{},\
+                 \"ok\":{},\"resumed\":{},\"node\":{:?},\"requeues\":{}}}",
+                r.id, r.name, r.alg, r.pairs, r.checksum, r.ok, r.resumed, r.node, r.requeues
             ));
         }
         out.push_str("]\n");
@@ -796,6 +977,15 @@ fn usage() {
     println!("                   (reads job lines from stdin");
     println!("                   without --jobs; one job per line, key=value tokens:");
     println!("                   name alg objects obj-size d mem-pages seed dist mode)");
+    println!("  mmjoin serve --node [--listen ADDR] [--node-name NAME]");
+    println!("                   [--budget-pages N] [--workers N] [--env sim|mmap]");
+    println!("                   [--fault-spec SPEC] [--machine-profile FILE]");
+    println!("                   [--trace FILE.jsonl]");
+    println!("  mmjoin coordinator --nodes HOST:PORT[,HOST:PORT...] [--jobs FILE]");
+    println!("                   [--heartbeat-ms MS] [--timeout-ms MS]");
+    println!("                   [--max-requeues N] [--journal DIR] [--resume]");
+    println!("                   [--results-json FILE] [--stats-json FILE] [--json]");
+    println!("                   [--trace FILE.jsonl]");
     println!("  mmjoin calibrate [--out FILE] [--device PATH] [--quick] [--sim]");
     println!("                   [--trace FILE.jsonl]");
     println!("  mmjoin validate-model [--machine-profile FILE] [--objects N] [--d D]");
@@ -815,6 +1005,19 @@ fn usage() {
     println!();
     println!("--machine-profile FILE makes join/plan/serve/validate-model use a");
     println!("  calibrated profile instead of the built-in waterloo96 preset");
+    println!();
+    println!("serve --node turns the service into one cluster worker: it listens");
+    println!("  on --listen (default 127.0.0.1:0, the chosen port is printed),");
+    println!("  registers its budget with the coordinator that connects, and runs");
+    println!("  dispatched jobs until told to shut down; each node can carry its");
+    println!("  own --machine-profile.  coordinator drives N such nodes: jobs are");
+    println!("  dispatched to nodes with free budget, heartbeats every");
+    println!("  --heartbeat-ms detect death after --timeout-ms of silence, a dead");
+    println!("  node's jobs re-queue onto survivors (at most --max-requeues");
+    println!("  times, with the retry layer's backoff), and --journal/--resume");
+    println!("  give the coordinator the same crash-recovery story as serve:");
+    println!("  finished jobs are re-reported, unfinished ones re-dispatched,");
+    println!("  never double-run");
     println!();
     println!("--journal DIR gives serve a write-ahead journal (plus, under");
     println!("  --env mmap, a persistent store at DIR/store): job admission,");
@@ -857,6 +1060,7 @@ fn main() -> ExitCode {
         "join" => cmd_join(&rest),
         "plan" => cmd_plan(&rest),
         "serve" => cmd_serve(&rest),
+        "coordinator" => cmd_coordinator(&rest),
         "calibrate" => cmd_calibrate(&rest),
         "validate-model" => cmd_validate_model(&rest),
         "help" | "--help" | "-h" => {
@@ -864,7 +1068,8 @@ fn main() -> ExitCode {
             Ok(())
         }
         other => Err(format!(
-            "unknown command '{other}' (join | plan | serve | calibrate | validate-model | help)"
+            "unknown command '{other}' \
+             (join | plan | serve | coordinator | calibrate | validate-model | help)"
         )),
     };
     match result {

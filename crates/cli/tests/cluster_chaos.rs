@@ -1,0 +1,171 @@
+//! Cluster chaos acceptance test with real processes: a coordinator
+//! driving two `mmjoin serve --node` workers must survive one of them
+//! being SIGKILLed mid-run — every job re-queues onto the survivor and
+//! the final output set (pairs + checksums) equals an uninterrupted
+//! single-node reference run, with zero lost and zero duplicated
+//! completions.
+
+use std::collections::BTreeSet;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const JOBS: &str = "\
+name=a objects=800 obj-size=32 d=2 mem-pages=8 seed=1
+name=b objects=700 obj-size=32 d=2 mem-pages=8 seed=2
+name=c objects=600 obj-size=32 d=2 mem-pages=8 seed=3 dist=zipf:0.8
+name=d objects=800 obj-size=32 d=2 mem-pages=8 seed=4
+name=e objects=700 obj-size=32 d=2 mem-pages=8 seed=5
+name=f objects=600 obj-size=32 d=2 mem-pages=8 seed=6
+";
+
+fn mmjoin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mmjoin"))
+}
+
+/// Kill the child on drop so a panicking assertion never strands a
+/// listening node process.
+struct Reaped(Child);
+
+impl Drop for Reaped {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+/// Start one worker node and return it with the address parsed from
+/// its "listening on" banner. The returned reader keeps the child's
+/// stdout pipe open — dropping it early would turn the node's own
+/// shutdown banner into a fatal broken pipe.
+fn spawn_node(fault_spec: &str) -> (Reaped, String, BufReader<std::process::ChildStdout>) {
+    let mut child = mmjoin()
+        .args([
+            "serve",
+            "--node",
+            "--listen",
+            "127.0.0.1:0",
+            "--budget-pages",
+            "64",
+            "--workers",
+            "2",
+            "--fault-spec",
+            fault_spec,
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut banner = String::new();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    reader.read_line(&mut banner).unwrap();
+    let addr = banner
+        .split("listening on ")
+        .nth(1)
+        .and_then(|rest| rest.split(' ').next())
+        .unwrap_or_else(|| panic!("no address in banner: {banner:?}"))
+        .to_string();
+    (Reaped(child), addr, reader)
+}
+
+/// The comparable per-job outcome set, exactly as chaos_restart.rs
+/// builds it: everything up to the `resumed` key — (id, name, alg,
+/// pairs, checksum, ok) — which both `serve` and `coordinator` emit in
+/// the same order.
+fn outcome_set(path: &Path) -> BTreeSet<String> {
+    let text = std::fs::read_to_string(path).unwrap();
+    text.split("},{")
+        .map(|chunk| {
+            let trimmed = chunk.trim_matches(|c| "[]{}\n".contains(c));
+            let stop = trimmed.find(",\"resumed\"").unwrap_or(trimmed.len());
+            trimmed[..stop].to_string()
+        })
+        .collect()
+}
+
+fn stat_field(path: &Path, key: &str) -> u64 {
+    let text = std::fs::read_to_string(path).unwrap();
+    let pat = format!("\"{key}\":");
+    let at = text
+        .find(&pat)
+        .unwrap_or_else(|| panic!("no {key} in {text}"));
+    text[at + pat.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap()
+}
+
+#[test]
+fn sigkilled_node_requeues_to_the_reference_output_set() {
+    let dir = std::env::temp_dir().join(format!("mmjoin-cluster-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let jobs = dir.join("jobs.txt");
+    std::fs::write(&jobs, JOBS).unwrap();
+
+    // Reference: the same script through one uninterrupted local serve.
+    let ref_json = dir.join("ref.json");
+    let status = mmjoin()
+        .args(["serve", "--workers", "2", "--budget-pages", "64"])
+        .arg("--jobs")
+        .arg(&jobs)
+        .arg("--results-json")
+        .arg(&ref_json)
+        .stdout(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "reference serve failed");
+    let reference = outcome_set(&ref_json);
+    assert_eq!(reference.len(), 6);
+
+    // The victim's fault injector stretches each of its jobs by
+    // ~400 ms, so the two it claims are still in flight when the
+    // SIGKILL lands; the survivor's are stretched only ~25 ms.
+    let (victim, victim_addr, _victim_out) = spawn_node("delay:ms=2:count=200");
+    let (_survivor, survivor_addr, _survivor_out) = spawn_node("delay:ms=1:count=25");
+
+    let out_json = dir.join("out.json");
+    let stats_json = dir.join("stats.json");
+    let coordinator = mmjoin()
+        .arg("coordinator")
+        .args(["--nodes", &format!("{victim_addr},{survivor_addr}")])
+        .args(["--heartbeat-ms", "30", "--timeout-ms", "300"])
+        .arg("--jobs")
+        .arg(&jobs)
+        .arg("--results-json")
+        .arg(&out_json)
+        .arg("--stats-json")
+        .arg(&stats_json)
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // SIGKILL the victim while its first claims are mid-join.
+    std::thread::sleep(Duration::from_millis(200));
+    {
+        let mut victim = victim;
+        victim.0.kill().unwrap();
+        victim.0.wait().unwrap();
+    }
+
+    let output = coordinator.wait_with_output().unwrap();
+    assert!(
+        output.status.success(),
+        "coordinator failed:\n{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+
+    // Zero lost, zero duplicated: the exact reference output set.
+    assert_eq!(outcome_set(&out_json), reference);
+    assert_eq!(stat_field(&stats_json, "node_losses"), 1);
+    assert!(
+        stat_field(&stats_json, "requeued") >= 1,
+        "the victim's in-flight jobs must have been re-queued"
+    );
+    assert_eq!(stat_field(&stats_json, "failed"), 0);
+    assert_eq!(stat_field(&stats_json, "budget_leak_bytes"), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

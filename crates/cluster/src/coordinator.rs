@@ -1,0 +1,1063 @@
+//! The cluster coordinator: dispatch, heartbeats, failure detection,
+//! node-loss re-queue, and the coordinator-side write-ahead journal.
+//!
+//! # Fault model
+//!
+//! One thread per configured node owns that node's TCP session:
+//! connect (with [`RetryPolicy`] backoff on transient errors — the same
+//! classification [`EnvError::is_transient`] gives the join retry
+//! layer), read the node's `Hello` registration, then loop: claim
+//! pending jobs that fit the node's advertised budget and free worker
+//! slots, send heartbeats, and absorb `Pong`/`JobDone` replies.
+//!
+//! A node is declared **dead** when its heartbeat goes unanswered for
+//! the configured timeout, when the connection drops and reconnect
+//! attempts are exhausted, or when the protocol stream is corrupt
+//! (non-transient). Death is handled exactly once per node:
+//!
+//! * its budget reservation is zeroed *once* — the re-queued jobs
+//!   re-reserve on whichever surviving node admits them, so releasing
+//!   again at completion would double-count (that double release is the
+//!   `budget_leak_bytes` bug this layer guards against with a
+//!   take-the-entry-or-do-nothing discipline);
+//! * every in-flight job is re-queued to the front of the pending
+//!   queue with a `ready_at` delay of `RetryPolicy::backoff(attempt)` —
+//!   the join retry layer's backoff semantics lifted to the cluster —
+//!   or failed terminally once its dispatch attempts are exhausted;
+//! * admission is re-planned against the survivors: any pending job
+//!   whose footprint no longer fits *any* live node fails instead of
+//!   waiting forever.
+//!
+//! # Exactly-once results over at-least-once dispatch
+//!
+//! Dispatch is at-least-once (re-queue can re-run a job whose first
+//! completion died with its node before reporting). Results are
+//! deduplicated by cluster job id: the first `JobDone` per id is
+//! journaled (commit-before-visibility) and reported; later duplicates
+//! increment a counter and are dropped. The write-ahead journal
+//! (`JobSubmitted`/`JobDispatched`/`NodeLost`/`JobCompleted` records,
+//! extending `crates/recovery`) makes the same invariant hold across a
+//! coordinator crash: `--resume` re-reports journaled completions
+//! without re-running them and re-dispatches only jobs with no durable
+//! completion.
+//!
+//! [`EnvError::is_transient`]: mmjoin_env::EnvError::is_transient
+
+use std::collections::{BTreeSet, VecDeque};
+use std::io;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mmjoin::RetryPolicy;
+use mmjoin_env::{null_sink, EnvError, ProcId, TraceEvent, TraceSink};
+use mmjoin_mmstore::{MmapEnv, MmapEnvConfig};
+use mmjoin_recovery::{Journal, JournalRecord, JournalStats, ReplayState};
+use mmjoin_serve::{JobRequest, PAGE};
+
+use crate::stats::ClusterStats;
+use crate::wire::{read_msg, write_msg, Message};
+
+/// Journal file name inside the coordinator's journal directory.
+const JOURNAL_FILE: &str = "coordinator.wal";
+const JOURNAL_CAPACITY: u64 = 4 << 20;
+const JOURNAL_PROC: ProcId = ProcId(0);
+
+/// Coordinator configuration.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Node addresses to connect to (`host:port`).
+    pub nodes: Vec<String>,
+    /// Heartbeat ping interval.
+    pub heartbeat: Duration,
+    /// Declare a node dead after this long without hearing from it.
+    pub timeout: Duration,
+    /// Bounds reconnect attempts and per-job dispatch attempts, and
+    /// supplies the backoff curve for both.
+    pub retry: RetryPolicy,
+    /// Write-ahead journal directory; `None` disables journaling.
+    pub journal_dir: Option<PathBuf>,
+    /// Replay an existing journal instead of starting fresh.
+    pub resume: bool,
+    /// Trace sink for node lifecycle and job events.
+    pub trace: Arc<dyn TraceSink>,
+}
+
+impl ClusterConfig {
+    /// A config for the given nodes with test-friendly timing defaults.
+    pub fn new(nodes: Vec<String>) -> ClusterConfig {
+        ClusterConfig {
+            nodes,
+            heartbeat: Duration::from_millis(100),
+            timeout: Duration::from_millis(1500),
+            retry: RetryPolicy::default(),
+            journal_dir: None,
+            resume: false,
+            trace: null_sink(),
+        }
+    }
+
+    /// Set the heartbeat interval.
+    pub fn with_heartbeat(mut self, heartbeat: Duration) -> Self {
+        self.heartbeat = heartbeat;
+        self
+    }
+
+    /// Set the failure-detection timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Set the reconnect/re-dispatch retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Enable the write-ahead journal under `dir`.
+    pub fn with_journal(mut self, dir: PathBuf) -> Self {
+        self.journal_dir = Some(dir);
+        self
+    }
+
+    /// Resume from an existing journal (pair with `with_journal`).
+    pub fn with_resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Install a trace sink.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = sink;
+        self
+    }
+}
+
+/// One terminal cluster job outcome.
+#[derive(Clone, Debug)]
+pub struct ClusterJobResult {
+    /// Cluster job id (submission order, continued across resumes).
+    pub id: u64,
+    /// Client label from the request.
+    pub name: String,
+    /// Node that reported the result (`journal` for resumed results,
+    /// `coordinator` for jobs failed without reaching a node).
+    pub node: String,
+    /// Algorithm that ran (name; `auto` when unknown).
+    pub alg: String,
+    /// Joined pairs produced.
+    pub pairs: u64,
+    /// Order-independent join checksum.
+    pub checksum: u64,
+    /// Whether the result verified on the node.
+    pub ok: bool,
+    /// Times the job was re-queued off a dead node.
+    pub requeues: u32,
+    /// Submit→completion wall seconds (0 for resumed results).
+    pub latency: f64,
+    /// Reconstructed from the journal rather than run in this life.
+    pub resumed: bool,
+    /// Failure message, if any.
+    pub error: Option<String>,
+}
+
+struct PendingJob {
+    id: u64,
+    req: JobRequest,
+    requeues: u32,
+    ready_at: Instant,
+    submitted: Instant,
+}
+
+struct InFlight {
+    req: JobRequest,
+    requeues: u32,
+    submitted: Instant,
+}
+
+#[derive(Default)]
+struct NodeState {
+    addr: String,
+    name: String,
+    registered: bool,
+    alive: bool,
+    /// The node's thread is done with it: dead, or departed cleanly.
+    terminal: bool,
+    budget: u64,
+    workers: u32,
+    reserved: u64,
+    in_flight: std::collections::BTreeMap<u64, InFlight>,
+}
+
+impl NodeState {
+    fn display_name(&self) -> &str {
+        if self.name.is_empty() {
+            &self.addr
+        } else {
+            &self.name
+        }
+    }
+}
+
+struct CoState {
+    pending: VecDeque<PendingJob>,
+    nodes: Vec<NodeState>,
+    results: Vec<ClusterJobResult>,
+    completed: BTreeSet<u64>,
+    stats: ClusterStats,
+    next_id: u64,
+    /// Finish was requested: stop dispatching once drained and send
+    /// each node a `Shutdown`.
+    halt: bool,
+}
+
+struct CoShared {
+    cfg: ClusterConfig,
+    state: Mutex<CoState>,
+    done: Condvar,
+    start: Instant,
+    journal: Option<Mutex<Journal<MmapEnv>>>,
+}
+
+impl CoShared {
+    fn lock(&self) -> MutexGuard<'_, CoState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    fn trace(&self, event: TraceEvent) {
+        if self.cfg.trace.enabled() {
+            self.cfg.trace.emit(self.now(), event);
+        }
+    }
+
+    /// Append and commit a journal record; failures are reported but
+    /// never take the cluster down (the journal is a recovery aid).
+    fn journal_commit(&self, rec: &JournalRecord) {
+        if let Some(j) = &self.journal {
+            let mut j = j.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = j.append_commit(rec) {
+                eprintln!(
+                    "mmjoin-cluster: journal commit ({}) failed: {e}",
+                    rec.kind()
+                );
+            }
+        }
+    }
+
+    fn journal_stats(&self) -> Option<JournalStats> {
+        self.journal
+            .as_ref()
+            .map(|j| j.lock().unwrap_or_else(|e| e.into_inner()).stats())
+    }
+
+    /// Could `footprint` ever be placed, given the nodes not yet
+    /// terminal? Nodes that have not registered yet count as possible
+    /// homes (their budget is unknown until their `Hello`).
+    fn placeable(st: &CoState, footprint: u64) -> bool {
+        st.nodes
+            .iter()
+            .any(|n| !n.terminal && (!n.registered || n.budget >= footprint))
+    }
+
+    /// Fail one job terminally (journaled, deduped, visible).
+    fn fail_job(&self, st: &mut CoState, id: u64, req: &JobRequest, requeues: u32, error: String) {
+        if !st.completed.insert(id) {
+            return;
+        }
+        self.journal_commit(&JournalRecord::JobCompleted {
+            job: id,
+            pairs: 0,
+            checksum: 0,
+            ok: false,
+        });
+        st.stats.completed += 1;
+        st.stats.failed += 1;
+        st.results.push(ClusterJobResult {
+            id,
+            name: req.name.clone(),
+            node: "coordinator".into(),
+            alg: req.alg.map_or("auto", |a| a.name()).to_string(),
+            pairs: 0,
+            checksum: 0,
+            ok: false,
+            requeues,
+            latency: 0.0,
+            resumed: false,
+            error: Some(error),
+        });
+        self.trace(TraceEvent::JobCompleted {
+            job: id,
+            ok: false,
+            degraded: 0,
+        });
+    }
+
+    /// Fail every pending job that no longer fits any live node — the
+    /// admission re-plan after capacity shrinks.
+    fn fail_unplaceable(&self, st: &mut CoState) {
+        let mut keep = VecDeque::with_capacity(st.pending.len());
+        while let Some(p) = st.pending.pop_front() {
+            if Self::placeable(st, p.req.footprint()) {
+                keep.push_back(p);
+            } else {
+                let err = format!(
+                    "job footprint {} no longer fits any surviving node",
+                    p.req.footprint()
+                );
+                self.fail_job(st, p.id, &p.req, p.requeues, err);
+            }
+        }
+        st.pending = keep;
+    }
+
+    /// Declare node `idx` dead exactly once: emit `node_lost`, journal
+    /// it, zero its reservation, and re-queue (or terminally fail) its
+    /// in-flight jobs.
+    fn declare_dead(&self, idx: usize, why: &str) {
+        let mut st = self.lock();
+        if st.nodes[idx].terminal {
+            return;
+        }
+        let node = &mut st.nodes[idx];
+        node.terminal = true;
+        let was_registered = node.registered;
+        node.alive = false;
+        let name = node.display_name().to_string();
+        let in_flight = std::mem::take(&mut node.in_flight);
+        // Release-once: the re-queued jobs will re-reserve on whichever
+        // node re-admits them; the completion path releases only when
+        // it finds the in-flight entry, which we just took. Zeroing
+        // here (rather than subtracting per job at completion) is what
+        // keeps `budget_leak_bytes` at zero across a death.
+        node.reserved = 0;
+        if was_registered {
+            st.stats.node_losses += 1;
+            eprintln!("mmjoin-cluster: node {name} lost ({why})");
+            self.trace(TraceEvent::NodeLost {
+                node: name.clone(),
+                in_flight: in_flight.len() as u64,
+            });
+            self.journal_commit(&JournalRecord::NodeLost { node: name.clone() });
+        }
+        let now = Instant::now();
+        for (id, fl) in in_flight {
+            let attempt = fl.requeues + 1;
+            if attempt >= self.cfg.retry.max_attempts {
+                let err = format!("lost with node {name} after {attempt} dispatch attempts");
+                self.fail_job(&mut st, id, &fl.req, fl.requeues, err);
+                continue;
+            }
+            if !Self::placeable(&st, fl.req.footprint()) {
+                let err = format!(
+                    "lost with node {name}; footprint {} fits no surviving node",
+                    fl.req.footprint()
+                );
+                self.fail_job(&mut st, id, &fl.req, fl.requeues, err);
+                continue;
+            }
+            st.stats.requeued += 1;
+            self.trace(TraceEvent::JobRequeued {
+                job: id,
+                from: name.clone(),
+                attempt,
+            });
+            st.pending.push_front(PendingJob {
+                id,
+                req: fl.req,
+                requeues: attempt,
+                ready_at: now + self.cfg.retry.backoff(attempt),
+                submitted: fl.submitted,
+            });
+        }
+        self.fail_unplaceable(&mut st);
+        drop(st);
+        self.done.notify_all();
+    }
+
+    /// Register a node's `Hello` (first connect or reconnect).
+    fn register(&self, idx: usize, name: &str, budget: u64, workers: u32) {
+        let mut st = self.lock();
+        let node = &mut st.nodes[idx];
+        node.name = name.to_string();
+        node.budget = budget;
+        node.workers = workers.max(1);
+        node.registered = true;
+        node.alive = true;
+        st.stats.node_joins += 1;
+        self.trace(TraceEvent::NodeJoined {
+            node: name.to_string(),
+            budget,
+            workers,
+        });
+        drop(st);
+        self.done.notify_all();
+    }
+
+    /// Claim the first ready pending job that fits node `idx`'s free
+    /// budget and worker slots. Reserves and journals the dispatch.
+    fn claim(&self, idx: usize) -> Option<(u64, String)> {
+        let mut st = self.lock();
+        let node = &st.nodes[idx];
+        if !node.alive || node.in_flight.len() >= node.workers as usize {
+            return None;
+        }
+        let free = node.budget.saturating_sub(node.reserved);
+        // A completion can land while its job still sits in pending
+        // (a node replaying its result cache ahead of re-dispatch);
+        // never hand out a job that already has a terminal result.
+        {
+            let CoState {
+                pending, completed, ..
+            } = &mut *st;
+            pending.retain(|p| !completed.contains(&p.id));
+        }
+        let now = Instant::now();
+        let pos = st
+            .pending
+            .iter()
+            .position(|p| p.ready_at <= now && p.req.footprint() <= free)?;
+        let p = st.pending.remove(pos).expect("position just found");
+        let node_name = st.nodes[idx].display_name().to_string();
+        let line = p.req.to_line();
+        let footprint = p.req.footprint();
+        st.nodes[idx].reserved += footprint;
+        st.stats.peak_reserved_bytes = st
+            .stats
+            .peak_reserved_bytes
+            .max(st.nodes.iter().map(|n| n.reserved).sum());
+        st.nodes[idx].in_flight.insert(
+            p.id,
+            InFlight {
+                req: p.req,
+                requeues: p.requeues,
+                submitted: p.submitted,
+            },
+        );
+        let id = p.id;
+        self.journal_commit(&JournalRecord::JobDispatched {
+            job: id,
+            node: node_name,
+        });
+        Some((id, line))
+    }
+
+    /// Absorb one `JobDone` from node `idx`: dedup by id, release the
+    /// reservation if this node holds the in-flight entry, journal
+    /// (commit-before-visibility), then publish the result.
+    #[allow(clippy::too_many_arguments)]
+    fn complete(
+        &self,
+        idx: usize,
+        job: u64,
+        alg: String,
+        pairs: u64,
+        checksum: u64,
+        ok: bool,
+        error: String,
+    ) {
+        let mut st = self.lock();
+        if st.completed.contains(&job) {
+            // The at-least-once resend path: this completion was
+            // already recorded (possibly from a previous connection or
+            // a re-run after re-queue). Drop it — and if this node
+            // still carries an in-flight entry for it, settle that
+            // reservation too (take-the-entry-or-do-nothing keeps the
+            // release single-shot).
+            st.stats.duplicate_completions += 1;
+            if let Some(fl) = st.nodes[idx].in_flight.remove(&job) {
+                let node = &mut st.nodes[idx];
+                node.reserved = node.reserved.saturating_sub(fl.req.footprint());
+            }
+            return;
+        }
+        let (name, requeues, submitted) = match st.nodes[idx].in_flight.remove(&job) {
+            Some(fl) => {
+                let footprint = fl.req.footprint();
+                let node = &mut st.nodes[idx];
+                debug_assert!(node.reserved >= footprint, "reservation underflow");
+                node.reserved = node.reserved.saturating_sub(footprint);
+                (fl.req.name.clone(), fl.requeues, Some(fl.submitted))
+            }
+            // A completion for a job this node no longer owns (e.g. it
+            // raced a re-queue decision): still a valid result.
+            None => (String::new(), 0, None),
+        };
+        // Durable before visible: a crash after this commit re-reports
+        // the job instead of re-running it.
+        self.journal_commit(&JournalRecord::JobCompleted {
+            job,
+            pairs,
+            checksum,
+            ok,
+        });
+        st.completed.insert(job);
+        st.stats.completed += 1;
+        if !ok {
+            st.stats.failed += 1;
+        }
+        let latency = submitted.map_or(0.0, |t| t.elapsed().as_secs_f64());
+        st.stats.latency.record(latency);
+        let node_name = st.nodes[idx].display_name().to_string();
+        st.results.push(ClusterJobResult {
+            id: job,
+            name,
+            node: node_name,
+            alg,
+            pairs,
+            checksum,
+            ok,
+            requeues,
+            latency,
+            resumed: false,
+            error: if error.is_empty() { None } else { Some(error) },
+        });
+        self.trace(TraceEvent::JobCompleted {
+            job,
+            ok,
+            degraded: 0,
+        });
+        drop(st);
+        self.done.notify_all();
+    }
+
+    /// True when finish was requested and node `idx` has nothing left
+    /// to do (no pending work anywhere, nothing in flight on it).
+    fn ready_to_part(&self, idx: usize) -> bool {
+        let st = self.lock();
+        st.halt && st.pending.is_empty() && st.nodes[idx].in_flight.is_empty()
+    }
+
+    /// True when the coordinator was dropped without `finish`: detach
+    /// from the node silently — it must keep serving (a restarted
+    /// coordinator will reconnect), so no `Shutdown` is sent.
+    fn abandoned(&self, idx: usize) -> bool {
+        let st = self.lock();
+        st.halt && st.nodes[idx].terminal
+    }
+
+    /// Mark node `idx` cleanly departed (finish-time `Shutdown`).
+    fn depart(&self, idx: usize) {
+        let mut st = self.lock();
+        st.nodes[idx].terminal = true;
+        st.nodes[idx].alive = false;
+        drop(st);
+        self.done.notify_all();
+    }
+}
+
+enum SessionEnd {
+    /// Clean departure (`Shutdown` sent at finish).
+    Parted,
+    /// Declared dead (heartbeat timeout or protocol corruption).
+    Dead(String),
+    /// Connection dropped; reconnect may help.
+    Dropped(io::Error),
+}
+
+/// Run one registered session over `stream`. Returns how it ended.
+fn session(shared: &CoShared, idx: usize, mut stream: TcpStream) -> SessionEnd {
+    let poll = Duration::from_millis(20).min(shared.cfg.heartbeat);
+    if let Err(e) = stream
+        .set_nodelay(true)
+        .and_then(|()| stream.set_read_timeout(Some(poll)))
+        .and_then(|()| stream.set_write_timeout(Some(shared.cfg.timeout)))
+    {
+        return SessionEnd::Dropped(e);
+    }
+    // Registration: the node speaks first.
+    let hello_deadline = Instant::now() + shared.cfg.timeout;
+    loop {
+        match read_msg(&mut stream) {
+            Ok(Some(Message::Hello {
+                node,
+                budget_bytes,
+                workers,
+            })) => {
+                shared.register(idx, &node, budget_bytes, workers);
+                break;
+            }
+            Ok(Some(_)) => {}
+            Ok(None) => {
+                return SessionEnd::Dropped(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "closed before hello",
+                ))
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if Instant::now() > hello_deadline {
+                    return SessionEnd::Dead("no hello within timeout".into());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return SessionEnd::Dead(format!("protocol error: {e}"));
+            }
+            Err(e) => return SessionEnd::Dropped(e),
+        }
+    }
+    let mut last_heard = Instant::now();
+    let mut last_ping = Instant::now();
+    let mut seq = 0u64;
+    loop {
+        if shared.abandoned(idx) {
+            return SessionEnd::Parted;
+        }
+        if shared.ready_to_part(idx) {
+            let _ = write_msg(&mut stream, &Message::Shutdown);
+            shared.depart(idx);
+            return SessionEnd::Parted;
+        }
+        while let Some((job, line)) = shared.claim(idx) {
+            if let Err(e) = write_msg(&mut stream, &Message::RunJob { job, line }) {
+                return SessionEnd::Dropped(e);
+            }
+        }
+        if last_ping.elapsed() >= shared.cfg.heartbeat {
+            seq += 1;
+            if let Err(e) = write_msg(&mut stream, &Message::Ping { seq }) {
+                return SessionEnd::Dropped(e);
+            }
+            last_ping = Instant::now();
+        }
+        match read_msg(&mut stream) {
+            Ok(Some(Message::Pong { .. })) => last_heard = Instant::now(),
+            Ok(Some(Message::JobDone {
+                job,
+                alg,
+                pairs,
+                checksum,
+                ok,
+                error,
+            })) => {
+                last_heard = Instant::now();
+                shared.complete(idx, job, alg, pairs, checksum, ok, error);
+            }
+            Ok(Some(_)) => last_heard = Instant::now(),
+            Ok(None) => {
+                return SessionEnd::Dropped(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "node closed the connection",
+                ))
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if last_heard.elapsed() > shared.cfg.timeout {
+                    return SessionEnd::Dead(format!(
+                        "heartbeat timeout ({} ms unanswered)",
+                        last_heard.elapsed().as_millis()
+                    ));
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                return SessionEnd::Dead(format!("protocol error: {e}"));
+            }
+            Err(e) => return SessionEnd::Dropped(e),
+        }
+    }
+}
+
+/// The per-node owner thread: connect with backoff, run sessions, and
+/// declare death when the retry budget is spent.
+fn node_loop(shared: Arc<CoShared>, idx: usize) {
+    let addr = shared.lock().nodes[idx].addr.clone();
+    let mut attempt = 0u32;
+    loop {
+        if shared.ready_to_part(idx) {
+            shared.depart(idx);
+            return;
+        }
+        if shared.lock().nodes[idx].terminal {
+            return;
+        }
+        let stream = match TcpStream::connect(&addr) {
+            Ok(s) => {
+                attempt = 0;
+                s
+            }
+            Err(e) => {
+                attempt += 1;
+                let transient = EnvError::from(e).is_transient();
+                if !transient || attempt >= shared.cfg.retry.max_attempts {
+                    shared.declare_dead(idx, &format!("connect to {addr} failed"));
+                    return;
+                }
+                std::thread::sleep(shared.cfg.retry.backoff(attempt));
+                continue;
+            }
+        };
+        match session(&shared, idx, stream) {
+            SessionEnd::Parted => return,
+            SessionEnd::Dead(why) => {
+                shared.declare_dead(idx, &why);
+                return;
+            }
+            SessionEnd::Dropped(e) => {
+                attempt += 1;
+                let transient = EnvError::from(e).is_transient();
+                if !transient || attempt >= shared.cfg.retry.max_attempts {
+                    shared.declare_dead(idx, &format!("connection to {addr} lost"));
+                    return;
+                }
+                std::thread::sleep(shared.cfg.retry.backoff(attempt));
+            }
+        }
+    }
+}
+
+/// What `--resume` replayed, surfaced for logging and tests.
+pub struct ResumeReport {
+    /// CRC-valid records adopted.
+    pub records: u64,
+    /// Committed bytes lost to a torn tail.
+    pub torn_bytes: u64,
+    /// Completed jobs re-reported from the journal.
+    pub finished: u64,
+    /// Pending jobs re-queued for dispatch.
+    pub pending: u64,
+}
+
+/// A running cluster coordinator.
+pub struct Coordinator {
+    shared: Arc<CoShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Connect to the configured nodes and start dispatching. With
+    /// `resume`, the journal is replayed first: completed jobs are
+    /// re-reported (marked `resumed`), in-flight and queued jobs are
+    /// re-queued under their original ids.
+    pub fn start(cfg: ClusterConfig) -> Result<Coordinator, String> {
+        if cfg.nodes.is_empty() {
+            return Err("no nodes configured".into());
+        }
+        let journal = match &cfg.journal_dir {
+            Some(dir) => Some(open_journal(dir, cfg.resume, Arc::clone(&cfg.trace))?),
+            None => None,
+        };
+        let (journal, replayed) = match journal {
+            Some((j, r)) => (Some(Mutex::new(j)), r),
+            None => (None, None),
+        };
+        let nodes: Vec<NodeState> = cfg
+            .nodes
+            .iter()
+            .map(|addr| NodeState {
+                addr: addr.clone(),
+                ..NodeState::default()
+            })
+            .collect();
+        let node_count = nodes.len() as u32;
+        let shared = Arc::new(CoShared {
+            state: Mutex::new(CoState {
+                pending: VecDeque::new(),
+                nodes,
+                results: Vec::new(),
+                completed: BTreeSet::new(),
+                stats: ClusterStats {
+                    nodes: node_count,
+                    ..ClusterStats::default()
+                },
+                next_id: 0,
+                halt: false,
+            }),
+            done: Condvar::new(),
+            start: Instant::now(),
+            cfg,
+            journal,
+        });
+        if let Some(replayed) = replayed {
+            let report = apply_resume(&shared, replayed)?;
+            shared.trace(TraceEvent::RecoveryReplayed {
+                records: report.records,
+                torn: report.torn_bytes,
+                orphans_deleted: 0,
+                resumed_jobs: report.pending,
+            });
+        }
+        let threads = (0..shared.lock().nodes.len())
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("cluster-node-{idx}"))
+                    .spawn(move || node_loop(shared, idx))
+                    .map_err(|e| format!("spawn node thread: {e}"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Coordinator { shared, threads })
+    }
+
+    /// Enqueue one job. Rejected when its footprint exceeds every
+    /// live node's budget (optimistically accepted while nodes are
+    /// still registering).
+    pub fn submit(&self, req: JobRequest) -> Result<u64, String> {
+        let footprint = req.footprint();
+        let mut st = self.shared.lock();
+        if st.halt {
+            return Err("coordinator is shutting down".into());
+        }
+        if st.nodes.iter().all(|n| n.terminal) {
+            st.stats.rejected += 1;
+            return Err("no live nodes".into());
+        }
+        let any_unregistered = st.nodes.iter().any(|n| !n.terminal && !n.registered);
+        if !any_unregistered && !CoShared::placeable(&st, footprint) {
+            st.stats.rejected += 1;
+            return Err(format!(
+                "job footprint {footprint} exceeds every node's budget"
+            ));
+        }
+        st.next_id += 1;
+        let id = st.next_id;
+        // Journal-before-queue, under the id-assigning lock: a client
+        // that got an id back will find its job after a crash.
+        self.shared.journal_commit(&JournalRecord::JobSubmitted {
+            job: id,
+            line: req.to_line(),
+        });
+        st.stats.submitted += 1;
+        self.shared.trace(TraceEvent::JobSubmitted {
+            job: id,
+            footprint,
+            shard: 0,
+        });
+        st.pending.push_back(PendingJob {
+            id,
+            req,
+            requeues: 0,
+            ready_at: Instant::now(),
+            submitted: Instant::now(),
+        });
+        Ok(id)
+    }
+
+    /// Parse and submit every job line of `text` (the job-file grammar
+    /// of [`JobRequest::parse_line`]). A bad line fails the whole call.
+    pub fn submit_script(&self, text: &str) -> Result<Vec<u64>, String> {
+        let mut ids = Vec::new();
+        for (no, line) in text.lines().enumerate() {
+            match JobRequest::parse_line(line) {
+                Ok(Some(req)) => ids.push(
+                    self.submit(req)
+                        .map_err(|e| format!("line {}: {e}", no + 1))?,
+                ),
+                Ok(None) => {}
+                Err(e) => return Err(format!("line {}: {e}", no + 1)),
+            }
+        }
+        Ok(ids)
+    }
+
+    /// Block until every accepted job has a terminal result. Jobs that
+    /// can no longer run anywhere (every node dead) fail rather than
+    /// wait forever.
+    pub fn drain(&self) {
+        let mut st = self.shared.lock();
+        loop {
+            {
+                let CoState {
+                    pending, completed, ..
+                } = &mut *st;
+                pending.retain(|p| !completed.contains(&p.id));
+            }
+            let in_flight: usize = st.nodes.iter().map(|n| n.in_flight.len()).sum();
+            if st.pending.is_empty() && in_flight == 0 {
+                return;
+            }
+            if st.nodes.iter().all(|n| n.terminal) {
+                // Capacity is gone for good: fail whatever is left so
+                // drain terminates with every job accounted for.
+                while let Some(p) = st.pending.pop_front() {
+                    self.shared
+                        .fail_job(&mut st, p.id, &p.req, p.requeues, "no live nodes".into());
+                }
+                return;
+            }
+            let (guard, _) = self
+                .shared
+                .done
+                .wait_timeout(st, Duration::from_millis(100))
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Terminal results so far, in completion order.
+    pub fn results(&self) -> Vec<ClusterJobResult> {
+        self.shared.lock().results.clone()
+    }
+
+    /// Counter snapshot: live aggregates (budget, reservations, leak
+    /// check) are computed from the current node table.
+    pub fn stats(&self) -> ClusterStats {
+        let st = self.shared.lock();
+        let mut stats = st.stats.clone();
+        stats.nodes_alive = st.nodes.iter().filter(|n| n.alive).count() as u32;
+        stats.budget_bytes = st.nodes.iter().filter(|n| n.alive).map(|n| n.budget).sum();
+        stats.reserved_bytes = st.nodes.iter().map(|n| n.reserved).sum();
+        // Any reserved byte not backed by an in-flight job is a leak:
+        // this is the invariant the release-once discipline protects.
+        stats.budget_leak_bytes = st
+            .nodes
+            .iter()
+            .map(|n| {
+                let backing: u64 = n.in_flight.values().map(|f| f.req.footprint()).sum();
+                n.reserved.saturating_sub(backing)
+            })
+            .sum();
+        stats.journal = self.shared.journal_stats();
+        stats
+    }
+
+    /// Drain, send every surviving node a `Shutdown`, and return the
+    /// final results and stats.
+    pub fn finish(mut self) -> (Vec<ClusterJobResult>, ClusterStats) {
+        self.drain();
+        {
+            let mut st = self.shared.lock();
+            st.halt = true;
+        }
+        self.shared.done.notify_all();
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+        let stats = self.stats();
+        let results = std::mem::take(&mut self.shared.lock().results);
+        (results, stats)
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.lock();
+            st.halt = true;
+            // An abandoned coordinator must not strand its threads in
+            // ready_to_part (pending jobs would hold them): mark every
+            // node terminal so the loops exit.
+            for n in st.nodes.iter_mut() {
+                n.terminal = true;
+            }
+        }
+        self.shared.done.notify_all();
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Open (or resume) the coordinator journal in its own single-disk
+/// mmap store under `dir` — the same arrangement as the serve journal.
+#[allow(clippy::type_complexity)]
+fn open_journal(
+    dir: &Path,
+    resume: bool,
+    sink: Arc<dyn TraceSink>,
+) -> Result<(Journal<MmapEnv>, Option<mmjoin_recovery::Replayed>), String> {
+    let cfg = MmapEnvConfig {
+        root: dir.to_path_buf(),
+        num_disks: 1,
+        page_size: PAGE,
+    };
+    if !resume {
+        let _ = std::fs::remove_dir_all(dir);
+        let env = MmapEnv::new(cfg).map_err(|e| format!("journal env: {e}"))?;
+        env.set_trace_sink(sink);
+        let journal = Journal::create(env, JOURNAL_FILE, JOURNAL_CAPACITY, JOURNAL_PROC)
+            .map_err(|e| format!("journal create: {e}"))?;
+        return Ok((journal, None));
+    }
+    let (env, adopted) = MmapEnv::recover(cfg).map_err(|e| format!("journal env: {e}"))?;
+    env.set_trace_sink(sink);
+    if adopted.iter().any(|n| n == JOURNAL_FILE) {
+        let (journal, replayed) = Journal::open(env, JOURNAL_FILE, JOURNAL_PROC)
+            .map_err(|e| format!("journal open: {e}"))?;
+        Ok((journal, Some(replayed)))
+    } else {
+        // --resume on a first start: nothing to replay yet.
+        let journal = Journal::create(env, JOURNAL_FILE, JOURNAL_CAPACITY, JOURNAL_PROC)
+            .map_err(|e| format!("journal create: {e}"))?;
+        Ok((journal, None))
+    }
+}
+
+/// Fold a replayed journal into the fresh coordinator state: re-report
+/// completed jobs exactly once, re-queue everything else under its
+/// original id, and continue id assignment above the replayed maximum.
+fn apply_resume(
+    shared: &CoShared,
+    replayed: mmjoin_recovery::Replayed,
+) -> Result<ResumeReport, String> {
+    let state = ReplayState::from_records(&replayed.records);
+    let mut st = shared.lock();
+    let mut finished = 0u64;
+    let mut pending = 0u64;
+    for (id, js) in &state.jobs {
+        let req = match JobRequest::parse_line(&js.line) {
+            Ok(Some(req)) => req,
+            Ok(None) | Err(_) => {
+                eprintln!(
+                    "mmjoin-cluster: journal job {id} has no usable submission line ({:?}); dropped",
+                    js.line
+                );
+                continue;
+            }
+        };
+        match js.completed {
+            Some((pairs, checksum, ok)) => {
+                finished += 1;
+                st.completed.insert(*id);
+                st.stats.completed += 1;
+                st.stats.resumed_reported += 1;
+                if !ok {
+                    st.stats.failed += 1;
+                }
+                st.results.push(ClusterJobResult {
+                    id: *id,
+                    name: req.name.clone(),
+                    node: "journal".into(),
+                    alg: req.alg.map_or("auto", |a| a.name()).to_string(),
+                    pairs,
+                    checksum,
+                    ok,
+                    requeues: 0,
+                    latency: 0.0,
+                    resumed: true,
+                    error: if ok {
+                        None
+                    } else {
+                        Some("failed before restart (replayed from journal)".into())
+                    },
+                });
+            }
+            None => {
+                pending += 1;
+                st.stats.submitted += 1;
+                st.pending.push_back(PendingJob {
+                    id: *id,
+                    req,
+                    requeues: 0,
+                    ready_at: Instant::now(),
+                    submitted: Instant::now(),
+                });
+            }
+        }
+    }
+    st.next_id = state.max_job_id().unwrap_or(0);
+    st.stats.replayed_records = replayed.records.len() as u64;
+    Ok(ResumeReport {
+        records: replayed.records.len() as u64,
+        torn_bytes: replayed.torn_bytes,
+        finished,
+        pending,
+    })
+}

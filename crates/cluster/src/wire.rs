@@ -1,0 +1,391 @@
+//! The coordinator ⇄ node RPC message vocabulary and its framed,
+//! checksummed binary encoding over TCP.
+//!
+//! The build environment has no serde, so the protocol is hand-rolled
+//! in exactly the journal-record idiom ([`mmjoin_recovery::JournalRecord`]):
+//!
+//! ```text
+//! [len: u32 LE] [type: u8] [payload ...] [crc: u32 LE]
+//! ```
+//!
+//! where `len` counts the type byte plus the payload and `crc` is the
+//! CRC32 of exactly those bytes. Strings are `u32 LE` length + UTF-8;
+//! integers are little-endian fixed width. Decoding is total: a frame
+//! that is short, oversized, checksum-invalid, or carries trailing
+//! payload bytes is rejected as `InvalidData`, never panicked on.
+//!
+//! I/O errors surface as `std::io::Error` so the caller can route them
+//! through [`EnvError::is_transient`](mmjoin_env::EnvError::is_transient)
+//! — connection drops are transient there, which is what lets the
+//! coordinator's reconnect/re-queue logic reuse the retry layer's
+//! classification instead of growing its own.
+
+use std::io::{self, Read, Write};
+
+use mmjoin_recovery::crc32;
+
+/// Upper bound on one frame's body (type byte + payload). Job lines and
+/// node names are short; anything larger is a corrupt length prefix.
+pub const MAX_FRAME: usize = 1 << 20;
+
+const T_HELLO: u8 = 1;
+const T_RUN_JOB: u8 = 2;
+const T_PING: u8 = 3;
+const T_PONG: u8 = 4;
+const T_JOB_DONE: u8 = 5;
+const T_SHUTDOWN: u8 = 6;
+
+/// One RPC message. The coordinator sends `RunJob`/`Ping`/`Shutdown`;
+/// a node sends `Hello` (once, on connect) and `Pong`/`JobDone`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message {
+    /// A node's registration, sent immediately after the coordinator
+    /// connects: its name and the capacity admission control plans
+    /// against.
+    Hello {
+        /// Node name (unique per cluster).
+        node: String,
+        /// Budget bytes the node's local service admits against.
+        budget_bytes: u64,
+        /// Worker threads the node runs.
+        workers: u32,
+    },
+    /// Dispatch one job. At-least-once: the coordinator may resend a
+    /// `RunJob` it is unsure about, and the node dedups by `job` id.
+    RunJob {
+        /// Cluster job id.
+        job: u64,
+        /// The request in the job-file grammar
+        /// ([`JobRequest::to_line`](mmjoin_serve::JobRequest::to_line)).
+        line: String,
+    },
+    /// Heartbeat probe.
+    Ping {
+        /// Echo-matched sequence number.
+        seq: u64,
+    },
+    /// Heartbeat reply.
+    Pong {
+        /// The probed sequence number.
+        seq: u64,
+    },
+    /// A job finished on the node. Resent verbatim on reconnect until
+    /// the coordinator has durably recorded it (dedup by `job` id makes
+    /// the resend harmless).
+    JobDone {
+        /// Cluster job id.
+        job: u64,
+        /// Algorithm that actually ran (planner-chosen on the node).
+        alg: String,
+        /// Joined pairs produced.
+        pairs: u64,
+        /// Order-independent join checksum.
+        checksum: u64,
+        /// Whether the result verified against the workload oracle.
+        ok: bool,
+        /// Failure message; empty means none.
+        error: String,
+    },
+    /// Orderly stop: the node exits its serve loop.
+    Shutdown,
+}
+
+impl Message {
+    /// Stable snake_case tag (log/debug labelling).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "hello",
+            Message::RunJob { .. } => "run_job",
+            Message::Ping { .. } => "ping",
+            Message::Pong { .. } => "pong",
+            Message::JobDone { .. } => "job_done",
+            Message::Shutdown => "shutdown",
+        }
+    }
+
+    /// Encode into the framed, checksummed wire form.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(48);
+        match self {
+            Message::Hello {
+                node,
+                budget_bytes,
+                workers,
+            } => {
+                body.push(T_HELLO);
+                put_str(&mut body, node);
+                body.extend_from_slice(&budget_bytes.to_le_bytes());
+                body.extend_from_slice(&workers.to_le_bytes());
+            }
+            Message::RunJob { job, line } => {
+                body.push(T_RUN_JOB);
+                body.extend_from_slice(&job.to_le_bytes());
+                put_str(&mut body, line);
+            }
+            Message::Ping { seq } => {
+                body.push(T_PING);
+                body.extend_from_slice(&seq.to_le_bytes());
+            }
+            Message::Pong { seq } => {
+                body.push(T_PONG);
+                body.extend_from_slice(&seq.to_le_bytes());
+            }
+            Message::JobDone {
+                job,
+                alg,
+                pairs,
+                checksum,
+                ok,
+                error,
+            } => {
+                body.push(T_JOB_DONE);
+                body.extend_from_slice(&job.to_le_bytes());
+                put_str(&mut body, alg);
+                body.extend_from_slice(&pairs.to_le_bytes());
+                body.extend_from_slice(&checksum.to_le_bytes());
+                body.push(*ok as u8);
+                put_str(&mut body, error);
+            }
+            Message::Shutdown => body.push(T_SHUTDOWN),
+        }
+        let mut out = Vec::with_capacity(body.len() + 8);
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&crc32(&body).to_le_bytes());
+        out
+    }
+
+    /// Decode one message from a complete frame body (the bytes `len`
+    /// counted, checksum already verified). Total: malformed input
+    /// yields `None`.
+    fn decode_body(body: &[u8]) -> Option<Message> {
+        let mut cur = Cursor { buf: body, pos: 0 };
+        let msg = match cur.u8()? {
+            T_HELLO => Message::Hello {
+                node: cur.string()?,
+                budget_bytes: cur.u64()?,
+                workers: cur.u32()?,
+            },
+            T_RUN_JOB => Message::RunJob {
+                job: cur.u64()?,
+                line: cur.string()?,
+            },
+            T_PING => Message::Ping { seq: cur.u64()? },
+            T_PONG => Message::Pong { seq: cur.u64()? },
+            T_JOB_DONE => Message::JobDone {
+                job: cur.u64()?,
+                alg: cur.string()?,
+                pairs: cur.u64()?,
+                checksum: cur.u64()?,
+                ok: cur.u8()? != 0,
+                error: cur.string()?,
+            },
+            T_SHUTDOWN => Message::Shutdown,
+            _ => return None,
+        };
+        // The payload must be exactly consumed; a valid checksum over a
+        // longer body (a future protocol version) is not accepted.
+        if cur.pos != body.len() {
+            return None;
+        }
+        Some(msg)
+    }
+}
+
+/// Write one message to `w` (unbuffered; messages are small and the
+/// protocol is latency- not throughput-bound).
+pub fn write_msg<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
+    w.write_all(&msg.encode())?;
+    w.flush()
+}
+
+/// Read one message from `r`. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer closed the connection); EOF mid-frame is
+/// `UnexpectedEof`, a bad checksum or malformed payload `InvalidData`.
+pub fn read_msg<R: Read>(r: &mut R) -> io::Result<Option<Message>> {
+    let mut len_buf = [0u8; 4];
+    // A clean close before any byte of the next frame is a normal end
+    // of stream, not an error.
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    let mut rest = vec![0u8; len + 4];
+    r.read_exact(&mut rest)?;
+    let (body, crc_bytes) = rest.split_at(len);
+    let crc = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte split"));
+    if crc32(body) != crc {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame checksum mismatch",
+        ));
+    }
+    match Message::decode_body(body) {
+        Some(msg) => Ok(Some(msg)),
+        None => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed frame payload",
+        )),
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let s = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor as IoCursor;
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::Hello {
+                node: "node-a".into(),
+                budget_bytes: 1 << 24,
+                workers: 4,
+            },
+            Message::RunJob {
+                job: 9,
+                line: "name=q1 alg=grace objects=2000 d=2 mem-pages=16 seed=7".into(),
+            },
+            Message::Ping { seq: 42 },
+            Message::Pong { seq: 42 },
+            Message::JobDone {
+                job: 9,
+                alg: "grace".into(),
+                pairs: 2000,
+                checksum: 0xC0FFEE,
+                ok: true,
+                error: String::new(),
+            },
+            Message::JobDone {
+                job: 10,
+                alg: "auto".into(),
+                pairs: 0,
+                checksum: 0,
+                ok: false,
+                error: "deadline exceeded".into(),
+            },
+            Message::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn round_trips_through_a_stream() {
+        let mut buf = Vec::new();
+        for msg in samples() {
+            write_msg(&mut buf, &msg).unwrap();
+        }
+        let mut r = IoCursor::new(buf);
+        for want in samples() {
+            let got = read_msg(&mut r).unwrap().expect("message present");
+            assert_eq!(got, want);
+        }
+        assert!(read_msg(&mut r).unwrap().is_none(), "clean EOF at the end");
+    }
+
+    #[test]
+    fn truncation_mid_frame_is_unexpected_eof() {
+        let wire = Message::RunJob {
+            job: 1,
+            line: "objects=1000".into(),
+        }
+        .encode();
+        for cut in 1..wire.len() {
+            let mut r = IoCursor::new(wire[..cut].to_vec());
+            let err = read_msg(&mut r).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corruption_is_invalid_data() {
+        let wire = Message::Ping { seq: 7 }.encode();
+        // Flip a payload bit: checksum mismatch.
+        let mut bad = wire.clone();
+        bad[6] ^= 1;
+        let err = read_msg(&mut IoCursor::new(bad)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Zero and oversized lengths are rejected before allocation.
+        for len in [0u32, (MAX_FRAME as u32) + 1] {
+            let mut framed = len.to_le_bytes().to_vec();
+            framed.extend_from_slice(&[0u8; 16]);
+            let err = read_msg(&mut IoCursor::new(framed)).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "len {len}");
+        }
+    }
+
+    #[test]
+    fn unknown_type_and_trailing_bytes_are_rejected() {
+        // Hand-build a frame with an unknown type byte but valid CRC.
+        let body = [200u8, 1, 2, 3];
+        let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&body);
+        wire.extend_from_slice(&crc32(&body).to_le_bytes());
+        let err = read_msg(&mut IoCursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // A valid message with a trailing payload byte: also rejected.
+        let mut body = Message::Ping { seq: 1 }.encode()[4..13].to_vec();
+        body.push(0xAB);
+        let mut wire = (body.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&body);
+        wire.extend_from_slice(&crc32(&body).to_le_bytes());
+        let err = read_msg(&mut IoCursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn connection_errors_classify_as_transient() {
+        // The contract the reconnect logic relies on: wire-level
+        // connection failures route into the retry layer as transient.
+        let e = io::Error::new(io::ErrorKind::ConnectionReset, "peer died");
+        assert!(mmjoin_env::EnvError::from(e).is_transient());
+        let e = io::Error::new(io::ErrorKind::UnexpectedEof, "mid-frame close");
+        assert!(mmjoin_env::EnvError::from(e).is_transient());
+        // Corruption is not: retrying a malformed frame cannot help.
+        let e = io::Error::new(io::ErrorKind::InvalidData, "crc");
+        assert!(!mmjoin_env::EnvError::from(e).is_transient());
+    }
+}

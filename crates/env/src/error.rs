@@ -45,9 +45,13 @@ impl EnvError {
     /// True if retrying the failed operation (or the enclosing pass) can
     /// be expected to succeed: injected transient faults, and the I/O
     /// error kinds an operating system reports for conditions that clear
-    /// on their own. `DiskFull` is deliberately *not* transient — it
-    /// needs intervention (a smaller footprint or freed space), which is
-    /// the service layer's graceful-degradation path.
+    /// on their own. Connection-level network errors (reset, aborted,
+    /// refused, broken pipe, unexpected EOF, ...) are transient too: the
+    /// cluster RPC layer maps socket failures into `EnvError::Io`, and a
+    /// dropped connection is exactly the condition its reconnect/re-queue
+    /// backoff is built to ride out. `DiskFull` is deliberately *not*
+    /// transient — it needs intervention (a smaller footprint or freed
+    /// space), which is the service layer's graceful-degradation path.
     pub fn is_transient(&self) -> bool {
         match self {
             EnvError::Faulted { transient, .. } => *transient,
@@ -56,6 +60,13 @@ impl EnvError {
                 std::io::ErrorKind::Interrupted
                     | std::io::ErrorKind::WouldBlock
                     | std::io::ErrorKind::TimedOut
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::ConnectionRefused
+                    | std::io::ErrorKind::NotConnected
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::UnexpectedEof
+                    | std::io::ErrorKind::AddrInUse
             ),
             _ => false,
         }
@@ -141,6 +152,21 @@ mod tests {
         let denied: EnvError =
             std::io::Error::new(std::io::ErrorKind::PermissionDenied, "no").into();
         assert!(!denied.is_transient());
+        // Connection drops are the cluster RPC layer's bread and butter:
+        // each must route into the existing retry machinery.
+        for kind in [
+            std::io::ErrorKind::ConnectionReset,
+            std::io::ErrorKind::ConnectionAborted,
+            std::io::ErrorKind::ConnectionRefused,
+            std::io::ErrorKind::NotConnected,
+            std::io::ErrorKind::BrokenPipe,
+            std::io::ErrorKind::UnexpectedEof,
+        ] {
+            let e: EnvError = std::io::Error::new(kind, "net").into();
+            assert!(e.is_transient(), "{kind:?} should be transient");
+        }
+        let data: EnvError = std::io::Error::new(std::io::ErrorKind::InvalidData, "crc").into();
+        assert!(!data.is_transient(), "protocol corruption is not transient");
         assert!(!EnvError::DiskFull(crate::DiskId(0)).is_transient());
         assert!(!EnvError::NotFound("x".into()).is_transient());
     }

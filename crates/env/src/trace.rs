@@ -213,6 +213,33 @@ pub enum TraceEvent {
         /// In-flight jobs re-submitted for execution.
         resumed_jobs: u64,
     },
+    /// A worker node registered with the cluster coordinator.
+    NodeJoined {
+        /// Node name (as registered in its hello).
+        node: String,
+        /// Budget bytes the node advertises for admission control.
+        budget: u64,
+        /// Worker threads the node runs.
+        workers: u32,
+    },
+    /// A worker node was declared dead (heartbeat timeout or connection
+    /// loss); its jobs are about to be re-queued.
+    NodeLost {
+        /// Node name.
+        node: String,
+        /// Jobs that were in flight on the node when it died.
+        in_flight: u64,
+    },
+    /// A job lost with its node was re-queued for dispatch to a
+    /// surviving node.
+    JobRequeued {
+        /// Cluster job id.
+        job: u64,
+        /// Node the job was dispatched to when it was lost.
+        from: String,
+        /// How many times this job has now been re-queued.
+        attempt: u32,
+    },
     /// A host-calibration probe began (mmjoin-calibrate).
     ProbeStart {
         /// Probe name (`dtt`, `map`, `mt`, `cs`, `cpu`).
@@ -262,6 +289,9 @@ impl TraceEvent {
             TraceEvent::JournalAppend { .. } => "journal_append",
             TraceEvent::Checkpoint { .. } => "checkpoint",
             TraceEvent::RecoveryReplayed { .. } => "recovery_replayed",
+            TraceEvent::NodeJoined { .. } => "node_joined",
+            TraceEvent::NodeLost { .. } => "node_lost",
+            TraceEvent::JobRequeued { .. } => "job_requeued",
             TraceEvent::ProbeStart { .. } => "probe_start",
             TraceEvent::ProbeEnd { .. } => "probe_end",
             TraceEvent::ProbeFit { .. } => "probe_fit",
@@ -557,6 +587,25 @@ pub fn encode(t: f64, event: &TraceEvent) -> String {
                 ",\"records\":{records},\"torn\":{torn},\"orphans_deleted\":{orphans_deleted},\"resumed_jobs\":{resumed_jobs}"
             );
         }
+        TraceEvent::NodeJoined {
+            node,
+            budget,
+            workers,
+        } => {
+            s.push_str(",\"node\":\"");
+            esc(node, &mut s);
+            let _ = write!(s, "\",\"budget\":{budget},\"workers\":{workers}");
+        }
+        TraceEvent::NodeLost { node, in_flight } => {
+            s.push_str(",\"node\":\"");
+            esc(node, &mut s);
+            let _ = write!(s, "\",\"in_flight\":{in_flight}");
+        }
+        TraceEvent::JobRequeued { job, from, attempt } => {
+            let _ = write!(s, ",\"job\":{job},\"from\":\"");
+            esc(from, &mut s);
+            let _ = write!(s, "\",\"attempt\":{attempt}");
+        }
         TraceEvent::ProbeStart { probe, reps } => {
             s.push_str(",\"probe\":\"");
             esc(probe, &mut s);
@@ -783,6 +832,41 @@ mod tests {
         assert!(replayed.contains("\"torn\":3"));
         assert!(replayed.contains("\"orphans_deleted\":2"));
         assert!(replayed.contains("\"resumed_jobs\":1"));
+    }
+
+    #[test]
+    fn cluster_events_encode_node_lifecycle() {
+        let joined = encode(
+            0.0,
+            &TraceEvent::NodeJoined {
+                node: "node-a".into(),
+                budget: 1 << 20,
+                workers: 2,
+            },
+        );
+        assert!(joined.contains("\"ev\":\"node_joined\""));
+        assert!(joined.contains("\"node\":\"node-a\""));
+        assert!(joined.contains("\"budget\":1048576") && joined.contains("\"workers\":2"));
+        let lost = encode(
+            1.0,
+            &TraceEvent::NodeLost {
+                node: "node-a".into(),
+                in_flight: 3,
+            },
+        );
+        assert!(lost.contains("\"ev\":\"node_lost\""));
+        assert!(lost.contains("\"in_flight\":3"));
+        let req = encode(
+            2.0,
+            &TraceEvent::JobRequeued {
+                job: 9,
+                from: "node-a".into(),
+                attempt: 1,
+            },
+        );
+        assert!(req.contains("\"ev\":\"job_requeued\""));
+        assert!(req.contains("\"job\":9"));
+        assert!(req.contains("\"from\":\"node-a\"") && req.contains("\"attempt\":1"));
     }
 
     #[test]

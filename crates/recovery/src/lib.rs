@@ -78,18 +78,25 @@ mod proptests {
                 job: a,
                 pass: (b % 4) as u32,
             },
-            _ => JournalRecord::JobCompleted {
+            4 => JournalRecord::JobCompleted {
                 job: a,
                 pairs: b,
                 checksum: c,
                 ok: flag,
+            },
+            5 => JournalRecord::JobDispatched {
+                job: a,
+                node: format!("node-{}", b % 5),
+            },
+            _ => JournalRecord::NodeLost {
+                node: format!("node-{}", a % 5),
             },
         }
     }
 
     fn arb_record() -> impl Strategy<Value = JournalRecord> {
         (
-            0u32..5,
+            0u32..7,
             0u64..u64::MAX,
             0u64..u64::MAX,
             0u64..u64::MAX,

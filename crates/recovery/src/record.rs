@@ -26,6 +26,8 @@ const T_AREA_DELETED: u8 = 2;
 const T_JOB_SUBMITTED: u8 = 3;
 const T_CHECKPOINT: u8 = 4;
 const T_JOB_COMPLETED: u8 = 5;
+const T_JOB_DISPATCHED: u8 = 6;
+const T_NODE_LOST: u8 = 7;
 
 /// One durable journal record.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -73,6 +75,21 @@ pub enum JournalRecord {
         /// Whether the result verified against the workload oracle.
         ok: bool,
     },
+    /// The cluster coordinator sent a job to a worker node. Dispatch is
+    /// at-least-once, so this record can repeat for one job (each
+    /// re-queue re-dispatches); the last one wins in replay.
+    JobDispatched {
+        /// Cluster job id.
+        job: u64,
+        /// Node the job was sent to.
+        node: String,
+    },
+    /// The coordinator declared a worker node dead. Jobs dispatched to
+    /// it and not completed revert to pending in replay.
+    NodeLost {
+        /// Node name.
+        node: String,
+    },
 }
 
 impl JournalRecord {
@@ -84,6 +101,8 @@ impl JournalRecord {
             JournalRecord::JobSubmitted { .. } => "job_submitted",
             JournalRecord::Checkpoint { .. } => "checkpoint",
             JournalRecord::JobCompleted { .. } => "job_completed",
+            JournalRecord::JobDispatched { .. } => "job_dispatched",
+            JournalRecord::NodeLost { .. } => "node_lost",
         }
     }
 
@@ -122,6 +141,15 @@ impl JournalRecord {
                 body.extend_from_slice(&pairs.to_le_bytes());
                 body.extend_from_slice(&checksum.to_le_bytes());
                 body.push(*ok as u8);
+            }
+            JournalRecord::JobDispatched { job, node } => {
+                body.push(T_JOB_DISPATCHED);
+                body.extend_from_slice(&job.to_le_bytes());
+                put_str(&mut body, node);
+            }
+            JournalRecord::NodeLost { node } => {
+                body.push(T_NODE_LOST);
+                put_str(&mut body, node);
             }
         }
         let mut out = Vec::with_capacity(body.len() + 8);
@@ -169,6 +197,13 @@ impl JournalRecord {
                 pairs: cur.u64()?,
                 checksum: cur.u64()?,
                 ok: cur.u8()? != 0,
+            },
+            T_JOB_DISPATCHED => JournalRecord::JobDispatched {
+                job: cur.u64()?,
+                node: cur.string()?,
+            },
+            T_NODE_LOST => JournalRecord::NodeLost {
+                node: cur.string()?,
             },
             _ => return None,
         };
@@ -242,6 +277,13 @@ mod tests {
                 pairs: 2000,
                 checksum: 0xDEAD_BEEF_CAFE,
                 ok: true,
+            },
+            JournalRecord::JobDispatched {
+                job: 7,
+                node: "node-1".into(),
+            },
+            JournalRecord::NodeLost {
+                node: "node-1".into(),
             },
         ]
     }

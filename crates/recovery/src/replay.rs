@@ -13,7 +13,11 @@
 //!   same id overwrites with identical content, since ids are unique);
 //! * `Checkpoint` advances the job's last-completed pass with `max`;
 //! * `JobCompleted` stores the terminal result, after which checkpoints
-//!   for that job are ignored.
+//!   for that job are ignored;
+//! * `JobDispatched` records (last-writer-wins) which cluster node holds
+//!   the job; `NodeLost` clears that assignment for every job on the
+//!   dead node, reverting them to undisposed-pending — replaying either
+//!   twice converges.
 //!
 //! So replaying any *prefix* of the journal yields a state the system
 //! actually passed through — which is exactly what a torn tail forces.
@@ -34,6 +38,9 @@ pub struct JobState {
     pub last_pass: Option<u32>,
     /// Terminal result, if the job completed: `(pairs, checksum, ok)`.
     pub completed: Option<(u64, u64, bool)>,
+    /// Cluster node the job was last dispatched to, if that node is
+    /// still considered alive (cleared by `NodeLost`).
+    pub dispatched: Option<String>,
 }
 
 /// The state a journal prefix folds into.
@@ -73,6 +80,16 @@ impl ReplayState {
                     ok,
                 } => {
                     st.jobs.entry(*job).or_default().completed = Some((*pairs, *checksum, *ok));
+                }
+                JournalRecord::JobDispatched { job, node } => {
+                    st.jobs.entry(*job).or_default().dispatched = Some(node.clone());
+                }
+                JournalRecord::NodeLost { node } => {
+                    for j in st.jobs.values_mut() {
+                        if j.dispatched.as_deref() == Some(node) {
+                            j.dispatched = None;
+                        }
+                    }
                 }
             }
         }
@@ -202,6 +219,55 @@ mod tests {
             // true by construction; assert the fold is total instead).
             assert!(st.live_areas.len() <= 2);
         }
+    }
+
+    #[test]
+    fn dispatch_and_node_loss_fold_idempotently() {
+        let recs = vec![
+            JournalRecord::JobSubmitted {
+                job: 1,
+                line: "name=a objects=100".into(),
+            },
+            JournalRecord::JobSubmitted {
+                job: 2,
+                line: "name=b objects=200".into(),
+            },
+            JournalRecord::JobDispatched {
+                job: 1,
+                node: "n0".into(),
+            },
+            JournalRecord::JobDispatched {
+                job: 2,
+                node: "n1".into(),
+            },
+            // Re-dispatch after a re-queue: last writer wins.
+            JournalRecord::JobDispatched {
+                job: 1,
+                node: "n1".into(),
+            },
+            JournalRecord::NodeLost { node: "n1".into() },
+        ];
+        let st = ReplayState::from_records(&recs);
+        assert_eq!(st.jobs[&1].dispatched, None);
+        assert_eq!(st.jobs[&2].dispatched, None);
+        assert_eq!(st.pending_jobs().len(), 2);
+        // Replaying the loss again converges to the same state.
+        let mut twice = recs.clone();
+        twice.push(JournalRecord::NodeLost { node: "n1".into() });
+        let st2 = ReplayState::from_records(&twice);
+        assert_eq!(st.jobs, st2.jobs);
+        // A completion after a lost dispatch still lands (the node got
+        // the result out before the coordinator declared it dead).
+        let mut done = recs;
+        done.push(JournalRecord::JobCompleted {
+            job: 2,
+            pairs: 9,
+            checksum: 1,
+            ok: true,
+        });
+        let st3 = ReplayState::from_records(&done);
+        assert_eq!(st3.pending_jobs().len(), 1);
+        assert_eq!(st3.jobs[&2].completed, Some((9, 1, true)));
     }
 
     #[test]
