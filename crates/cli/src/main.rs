@@ -515,11 +515,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"id\":{},\"name\":{:?},\"alg\":{:?},\"pairs\":{},\"checksum\":{},\
+                "{{\"id\":{},\"name\":{},\"alg\":{},\"pairs\":{},\"checksum\":{},\
                  \"ok\":{},\"resumed\":{}}}",
                 r.id,
-                r.name,
-                r.alg.name(),
+                json_str(&r.name),
+                json_str(r.alg.name()),
                 r.pairs,
                 r.checksum,
                 r.error.is_none() && r.verified,
@@ -544,6 +544,28 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         return Err(format!("{} job(s) failed", stats.failed));
     }
     Ok(())
+}
+
+/// Quote `s` as a JSON string: escape backslash, quote, and control
+/// characters; all other Unicode passes through verbatim. (`{:?}` is
+/// not JSON — it renders non-ASCII as `\u{e9}`-style escapes, which
+/// JSON parsers reject.)
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn cmd_coordinator(args: &Args) -> Result<(), String> {
@@ -669,9 +691,17 @@ fn cmd_coordinator(args: &Args) -> Result<(), String> {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"id\":{},\"name\":{:?},\"alg\":{:?},\"pairs\":{},\"checksum\":{},\
-                 \"ok\":{},\"resumed\":{},\"node\":{:?},\"requeues\":{}}}",
-                r.id, r.name, r.alg, r.pairs, r.checksum, r.ok, r.resumed, r.node, r.requeues
+                "{{\"id\":{},\"name\":{},\"alg\":{},\"pairs\":{},\"checksum\":{},\
+                 \"ok\":{},\"resumed\":{},\"node\":{},\"requeues\":{}}}",
+                r.id,
+                json_str(&r.name),
+                json_str(&r.alg),
+                r.pairs,
+                r.checksum,
+                r.ok,
+                r.resumed,
+                json_str(&r.node),
+                r.requeues
             ));
         }
         out.push_str("]\n");

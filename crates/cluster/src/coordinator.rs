@@ -10,6 +10,13 @@
 //! pending jobs that fit the node's advertised budget and free worker
 //! slots, send heartbeats, and absorb `Pong`/`JobDone` replies.
 //!
+//! A connection **drop** that still has reconnect budget re-queues the
+//! node's in-flight jobs before the reconnect attempt: a `RunJob`
+//! written into the dying connection may never have arrived, and the
+//! node cannot report while disconnected, so leaving the jobs in
+//! flight could strand them forever on an otherwise healthy node.
+//! Node-side dedup by job id absorbs the duplicate dispatch.
+//!
 //! A node is declared **dead** when its heartbeat goes unanswered for
 //! the configured timeout, when the connection drops and reconnect
 //! attempts are exhausted, or when the protocol stream is corrupt
@@ -58,7 +65,7 @@ use mmjoin_recovery::{Journal, JournalRecord, JournalStats, ReplayState};
 use mmjoin_serve::{JobRequest, PAGE};
 
 use crate::stats::ClusterStats;
-use crate::wire::{read_msg, write_msg, Message};
+use crate::wire::{write_msg, FrameReader, Message};
 
 /// Journal file name inside the coordinator's journal directory.
 const JOURNAL_FILE: &str = "coordinator.wal";
@@ -381,6 +388,52 @@ impl CoShared {
         self.done.notify_all();
     }
 
+    /// Re-queue node `idx`'s in-flight jobs before a reconnect attempt
+    /// after a transient connection drop. A `RunJob` written into the
+    /// dropped connection may never have reached the node, and the node
+    /// cannot report results while disconnected — without this, a lost
+    /// dispatch frame would strand its job in `in_flight` forever on a
+    /// node that stays healthy (heartbeats resume after reconnect, so
+    /// `declare_dead` never fires, and `drain` never returns). The
+    /// node-side dedup by job id makes the duplicate dispatch harmless:
+    /// a job the node *did* receive re-sends its cached result instead
+    /// of re-running. Because the resend is recovery, not failure, it
+    /// does not count against the job's dispatch attempts.
+    fn requeue_dropped(&self, idx: usize) {
+        let mut st = self.lock();
+        if st.nodes[idx].terminal {
+            return;
+        }
+        let in_flight = std::mem::take(&mut st.nodes[idx].in_flight);
+        // Release-once, exactly as in `declare_dead`: the re-dispatch
+        // re-reserves on whichever node admits the job next.
+        st.nodes[idx].reserved = 0;
+        if in_flight.is_empty() {
+            return;
+        }
+        let from = st.nodes[idx].display_name().to_string();
+        let now = Instant::now();
+        // Reverse so push_front leaves the jobs in ascending id order
+        // at the head of the queue.
+        for (id, fl) in in_flight.into_iter().rev() {
+            st.stats.requeued += 1;
+            self.trace(TraceEvent::JobRequeued {
+                job: id,
+                from: from.clone(),
+                attempt: fl.requeues,
+            });
+            st.pending.push_front(PendingJob {
+                id,
+                req: fl.req,
+                requeues: fl.requeues,
+                ready_at: now,
+                submitted: fl.submitted,
+            });
+        }
+        drop(st);
+        self.done.notify_all();
+    }
+
     /// Register a node's `Hello` (first connect or reconnect).
     fn register(&self, idx: usize, name: &str, budget: u64, workers: u32) {
         let mut st = self.lock();
@@ -485,9 +538,24 @@ impl CoShared {
                 node.reserved = node.reserved.saturating_sub(footprint);
                 (fl.req.name.clone(), fl.requeues, Some(fl.submitted))
             }
-            // A completion for a job this node no longer owns (e.g. it
-            // raced a re-queue decision): still a valid result.
-            None => (String::new(), 0, None),
+            // A completion for a job this node no longer owns — it was
+            // re-queued off this node after a connection drop and is
+            // either still pending or already re-dispatched elsewhere.
+            // Still a valid result; settle the queued copy so it is not
+            // dispatched again.
+            None => {
+                if let Some(pos) = st.pending.iter().position(|p| p.id == job) {
+                    let p = st.pending.remove(pos).expect("position just found");
+                    (p.req.name.clone(), p.requeues, Some(p.submitted))
+                } else if let Some(fl) = st.nodes.iter().find_map(|n| n.in_flight.get(&job)) {
+                    // In flight on another node: that node's own
+                    // completion (a duplicate by then) releases its
+                    // reservation.
+                    (fl.req.name.clone(), fl.requeues, Some(fl.submitted))
+                } else {
+                    (String::new(), 0, None)
+                }
+            }
         };
         // Durable before visible: a crash after this commit re-reports
         // the job instead of re-running it.
@@ -571,10 +639,14 @@ fn session(shared: &CoShared, idx: usize, mut stream: TcpStream) -> SessionEnd {
     {
         return SessionEnd::Dropped(e);
     }
+    // Per-connection frame state: a frame split across TCP segments can
+    // hit the poll timeout mid-frame, and the partial bytes must carry
+    // over to the next read instead of corrupting the stream.
+    let mut reader = FrameReader::new();
     // Registration: the node speaks first.
     let hello_deadline = Instant::now() + shared.cfg.timeout;
     loop {
-        match read_msg(&mut stream) {
+        match reader.read_msg(&mut stream) {
             Ok(Some(Message::Hello {
                 node,
                 budget_bytes,
@@ -627,7 +699,7 @@ fn session(shared: &CoShared, idx: usize, mut stream: TcpStream) -> SessionEnd {
             }
             last_ping = Instant::now();
         }
-        match read_msg(&mut stream) {
+        match reader.read_msg(&mut stream) {
             Ok(Some(Message::Pong { .. })) => last_heard = Instant::now(),
             Ok(Some(Message::JobDone {
                 job,
@@ -707,6 +779,11 @@ fn node_loop(shared: Arc<CoShared>, idx: usize) {
                     shared.declare_dead(idx, &format!("connection to {addr} lost"));
                     return;
                 }
+                // A RunJob written into the dropped connection may be
+                // lost: put this node's in-flight jobs back in the
+                // queue before reconnecting (node-side dedup absorbs
+                // the duplicates).
+                shared.requeue_dropped(idx);
                 std::thread::sleep(shared.cfg.retry.backoff(attempt));
             }
         }

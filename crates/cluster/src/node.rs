@@ -38,7 +38,7 @@ use std::time::Duration;
 
 use mmjoin_serve::{JobRequest, ServeConfig, Service};
 
-use crate::wire::{read_msg, write_msg, Message};
+use crate::wire::{write_msg, FrameReader, Message};
 
 /// Poll cadence of the per-connection loop: the read timeout that also
 /// paces the completion pump.
@@ -128,9 +128,14 @@ impl NodeShared {
                 false
             }
             Err(e) => {
-                // A submit-time rejection is this node's final answer;
-                // report it as a failed completion so the coordinator
-                // can re-queue or surface it.
+                // A submit-time rejection is reported as a failed
+                // completion, which the coordinator records as
+                // *terminal* — it does not re-queue failed results onto
+                // other nodes. That is sound here because the
+                // coordinator only dispatches jobs that fit this node's
+                // advertised budget, so a rejection means the request
+                // itself is bad (unparsable line, service shutting
+                // down), not a transient local condition.
                 jobs.done.insert(
                     job,
                     Message::JobDone {
@@ -166,6 +171,9 @@ impl NodeShared {
         // Completions sent on *this* connection; a reconnect starts
         // empty, so every cached completion is resent (at-least-once).
         let mut sent: BTreeSet<u64> = BTreeSet::new();
+        // Per-connection frame state: the poll-timeout read can cut in
+        // mid-frame, and the partial bytes must carry over.
+        let mut reader = FrameReader::new();
         loop {
             if !self.running.load(Ordering::SeqCst) {
                 return Ok(());
@@ -173,7 +181,7 @@ impl NodeShared {
             for msg in self.pump(&mut sent) {
                 write_msg(&mut stream, &msg)?;
             }
-            match read_msg(&mut stream) {
+            match reader.read_msg(&mut stream) {
                 Ok(Some(Message::RunJob { job, line })) => {
                     if self.accept_job(job, &line) {
                         sent.remove(&job);

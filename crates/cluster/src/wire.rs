@@ -199,28 +199,94 @@ pub fn write_msg<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
     w.flush()
 }
 
-/// Read one message from `r`. Returns `Ok(None)` on a clean EOF at a
-/// frame boundary (the peer closed the connection); EOF mid-frame is
-/// `UnexpectedEof`, a bad checksum or malformed payload `InvalidData`.
-pub fn read_msg<R: Read>(r: &mut R) -> io::Result<Option<Message>> {
-    let mut len_buf = [0u8; 4];
-    // A clean close before any byte of the next frame is a normal end
-    // of stream, not an error.
-    match r.read(&mut len_buf) {
-        Ok(0) => return Ok(None),
-        Ok(n) => r.read_exact(&mut len_buf[n..])?,
-        Err(e) => return Err(e),
+/// Incremental frame reader: one per connection, holding partial-frame
+/// state across calls.
+///
+/// The coordinator and node poll their sockets with short read
+/// timeouts, and a frame can arrive split across TCP segments — so a
+/// timeout can land after part of a frame has already been consumed.
+/// Bytes read so far are kept here, and the next [`FrameReader::read_msg`]
+/// call resumes where the timeout cut in. Without this state, a resumed
+/// read would parse from mid-frame and a healthy stream would look
+/// corrupt (checksum mismatch → the peer declared dead).
+#[derive(Default)]
+pub struct FrameReader {
+    /// Bytes of the in-progress frame, length prefix included.
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// A reader with no partial frame.
+    pub fn new() -> FrameReader {
+        FrameReader::default()
     }
-    let len = u32::from_le_bytes(len_buf) as usize;
-    if len == 0 || len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("bad frame length {len}"),
-        ));
+
+    /// Read one message from `r`, resuming any partial frame left by a
+    /// previous call. Returns `Ok(None)` on a clean EOF at a frame
+    /// boundary (the peer closed the connection); EOF mid-frame is
+    /// `UnexpectedEof`, a bad checksum or malformed payload
+    /// `InvalidData`. `WouldBlock`/`TimedOut` surface to the caller
+    /// with the partial frame preserved for the next call.
+    pub fn read_msg<R: Read>(&mut self, r: &mut R) -> io::Result<Option<Message>> {
+        loop {
+            let need = match self.frame_len()? {
+                Some(total) if self.buf.len() >= total => {
+                    let msg = parse_frame(&self.buf[4..]);
+                    self.buf.clear();
+                    return msg.map(Some);
+                }
+                Some(total) => total - self.buf.len(),
+                None => 4 - self.buf.len(),
+            };
+            let start = self.buf.len();
+            self.buf.resize(start + need, 0);
+            match r.read(&mut self.buf[start..]) {
+                Ok(0) => {
+                    self.buf.truncate(start);
+                    return if start == 0 {
+                        // A clean close before any byte of the next
+                        // frame is a normal end of stream.
+                        Ok(None)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        ))
+                    };
+                }
+                Ok(n) => self.buf.truncate(start + n),
+                Err(e) => {
+                    self.buf.truncate(start);
+                    if e.kind() == io::ErrorKind::Interrupted {
+                        continue;
+                    }
+                    return Err(e);
+                }
+            }
+        }
     }
-    let mut rest = vec![0u8; len + 4];
-    r.read_exact(&mut rest)?;
-    let (body, crc_bytes) = rest.split_at(len);
+
+    /// Total frame size (prefix + body + crc) once the length prefix is
+    /// complete, `None` while still inside it. A corrupt length fails
+    /// here, before any body allocation.
+    fn frame_len(&self) -> io::Result<Option<usize>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4-byte prefix")) as usize;
+        if len == 0 || len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad frame length {len}"),
+            ));
+        }
+        Ok(Some(4 + len + 4))
+    }
+}
+
+/// Verify and decode one complete frame (body + trailing crc).
+fn parse_frame(rest: &[u8]) -> io::Result<Message> {
+    let (body, crc_bytes) = rest.split_at(rest.len() - 4);
     let crc = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte split"));
     if crc32(body) != crc {
         return Err(io::Error::new(
@@ -229,12 +295,20 @@ pub fn read_msg<R: Read>(r: &mut R) -> io::Result<Option<Message>> {
         ));
     }
     match Message::decode_body(body) {
-        Some(msg) => Ok(Some(msg)),
+        Some(msg) => Ok(msg),
         None => Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "malformed frame payload",
         )),
     }
+}
+
+/// Read one message from `r` with no cross-call state: for in-memory
+/// streams and blocking sockets. On a socket with a read timeout, use a
+/// per-connection [`FrameReader`] instead — a timeout mid-frame here
+/// would lose the bytes already consumed.
+pub fn read_msg<R: Read>(r: &mut R) -> io::Result<Option<Message>> {
+    FrameReader::new().read_msg(r)
 }
 
 fn put_str(out: &mut Vec<u8>, s: &str) {
@@ -337,6 +411,55 @@ mod tests {
             let err = read_msg(&mut r).unwrap_err();
             assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
         }
+    }
+
+    /// Delivers one byte per read, with a `WouldBlock` between every
+    /// pair — the worst case of a frame split across TCP segments under
+    /// a poll-style read timeout.
+    struct Trickle {
+        data: Vec<u8>,
+        pos: usize,
+        starve: bool,
+    }
+
+    impl Read for Trickle {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            if self.starve {
+                self.starve = false;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "starved"));
+            }
+            self.starve = true;
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_reader_survives_byte_by_byte_delivery_with_timeouts() {
+        let mut wire = Vec::new();
+        for msg in samples() {
+            write_msg(&mut wire, &msg).unwrap();
+        }
+        let mut r = Trickle {
+            data: wire,
+            pos: 0,
+            starve: false,
+        };
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        loop {
+            match reader.read_msg(&mut r) {
+                Ok(Some(msg)) => got.push(msg),
+                Ok(None) => break,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(got, samples(), "partial frames must reassemble exactly");
     }
 
     #[test]

@@ -223,6 +223,100 @@ fn spawn_double_done_node() -> String {
     addr
 }
 
+/// A node whose first session swallows one dispatch and then drops the
+/// connection without a word; every later session completes jobs
+/// normally (idempotently, by formula, so redelivered dispatches are
+/// harmless). Models a `RunJob` frame lost in transit on a healthy
+/// node.
+fn spawn_flaky_then_healthy_node() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let mut first = true;
+        loop {
+            let Ok((mut stream, _)) = listener.accept() else {
+                return;
+            };
+            stream
+                .set_read_timeout(Some(Duration::from_millis(10)))
+                .unwrap();
+            if write_msg(
+                &mut stream,
+                &Message::Hello {
+                    node: "flaky".into(),
+                    budget_bytes: 1 << 30,
+                    workers: 4,
+                },
+            )
+            .is_err()
+            {
+                continue;
+            }
+            loop {
+                match read_msg(&mut stream) {
+                    Ok(Some(Message::RunJob { job, .. })) => {
+                        if first {
+                            first = false;
+                            // Swallow the dispatch and hang up abruptly.
+                            break;
+                        }
+                        let _ = write_msg(
+                            &mut stream,
+                            &Message::JobDone {
+                                job,
+                                alg: "grace".into(),
+                                pairs: job * 100,
+                                checksum: job * 7,
+                                ok: true,
+                                error: String::new(),
+                            },
+                        );
+                    }
+                    Ok(Some(Message::Ping { seq })) => {
+                        let _ = write_msg(&mut stream, &Message::Pong { seq });
+                    }
+                    Ok(Some(Message::Shutdown)) | Ok(None) => return,
+                    Ok(Some(_)) => {}
+                    Err(e)
+                        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+    });
+    addr
+}
+
+/// Regression: a dispatch swallowed by a dropped-but-reconnectable
+/// connection must be re-queued on the drop. Before the fix it stayed
+/// in the node's in-flight set forever — the reconnected node kept
+/// answering heartbeats, so the node was never declared dead, no
+/// re-queue ever fired, and `finish` hung.
+#[test]
+fn dropped_connection_requeues_in_flight_without_declaring_death() {
+    let reqs = jobs(5);
+    let co = Coordinator::start(fast_cfg(vec![spawn_flaky_then_healthy_node()])).unwrap();
+    for req in &reqs {
+        co.submit(req.clone()).unwrap();
+    }
+    let (results, stats) = co.finish();
+
+    assert_eq!(results.len(), 5, "every job must complete: {results:?}");
+    assert!(results.iter().all(|r| r.ok), "{results:?}");
+    let ids: BTreeSet<u64> = results.iter().map(|r| r.id).collect();
+    assert_eq!(ids.len(), 5, "each id exactly once");
+    assert_eq!(
+        stats.node_losses, 0,
+        "a reconnectable drop is not a death: {stats:?}"
+    );
+    assert!(
+        stats.requeued >= 1,
+        "the swallowed dispatch must be re-queued: {stats:?}"
+    );
+    assert_eq!(stats.budget_leak_bytes, 0);
+}
+
 #[test]
 fn duplicate_completions_are_dropped_by_id_dedup() {
     let reqs = jobs(6);

@@ -49,9 +49,11 @@ impl EnvError {
     /// refused, broken pipe, unexpected EOF, ...) are transient too: the
     /// cluster RPC layer maps socket failures into `EnvError::Io`, and a
     /// dropped connection is exactly the condition its reconnect/re-queue
-    /// backoff is built to ride out. `DiskFull` is deliberately *not*
-    /// transient — it needs intervention (a smaller footprint or freed
-    /// space), which is the service layer's graceful-degradation path.
+    /// backoff is built to ride out. `AddrInUse` is *not* transient: a
+    /// port held by another process needs intervention, not backoff.
+    /// `DiskFull` is deliberately not transient either — it needs
+    /// intervention (a smaller footprint or freed space), which is the
+    /// service layer's graceful-degradation path.
     pub fn is_transient(&self) -> bool {
         match self {
             EnvError::Faulted { transient, .. } => *transient,
@@ -66,7 +68,6 @@ impl EnvError {
                     | std::io::ErrorKind::NotConnected
                     | std::io::ErrorKind::BrokenPipe
                     | std::io::ErrorKind::UnexpectedEof
-                    | std::io::ErrorKind::AddrInUse
             ),
             _ => false,
         }
@@ -167,6 +168,11 @@ mod tests {
         }
         let data: EnvError = std::io::Error::new(std::io::ErrorKind::InvalidData, "crc").into();
         assert!(!data.is_transient(), "protocol corruption is not transient");
+        let in_use: EnvError = std::io::Error::new(std::io::ErrorKind::AddrInUse, "port").into();
+        assert!(
+            !in_use.is_transient(),
+            "a held port needs intervention, not backoff"
+        );
         assert!(!EnvError::DiskFull(crate::DiskId(0)).is_transient());
         assert!(!EnvError::NotFound("x".into()).is_transient());
     }
