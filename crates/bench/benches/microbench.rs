@@ -8,6 +8,7 @@ use std::hint::black_box;
 use mmjoin::{join, Algo, ExecMode, JoinSpec};
 use mmjoin_bench::{calibrated_machine, paper_workload, sim_env, PAGE};
 use mmjoin_env::SPtr;
+use mmjoin_mmstore::{MmapEnv, MmapEnvConfig};
 use mmjoin_model::{predict, Algorithm, JoinInputs};
 use mmjoin_relstore::build;
 use mmjoin_vmsim::{ContentionMode, Disk, DiskParams, PageKey, Pager, Policy};
@@ -112,6 +113,57 @@ fn bench_join_small(c: &mut Criterion) {
     }
 }
 
+/// The `modern` group: faithful vs cache-conscious kernels per
+/// algorithm on the real memory-mapped store, same workload and store
+/// layout, so the reported ratio is the tentpole's claimed speedup.
+fn bench_modern(c: &mut Criterion) {
+    let mut w = paper_workload(2, 7);
+    w.rel.r_size = 64;
+    w.rel.s_size = 64;
+    w.rel.r_objects = 20_000;
+    w.rel.s_objects = 20_000;
+    let mut group = c.benchmark_group("modern");
+    for alg in [
+        Algo::NestedLoops,
+        Algo::SortMerge,
+        Algo::Grace,
+        Algo::HybridHash,
+    ] {
+        for (label, mode) in [
+            ("faithful", ExecMode::Threaded),
+            ("modern", ExecMode::Modern),
+        ] {
+            let root = std::env::temp_dir().join(format!(
+                "mmjoin-microbench-{}-{}-{label}",
+                std::process::id(),
+                alg.name()
+            ));
+            let _ = std::fs::remove_dir_all(&root);
+            let env = MmapEnv::new(MmapEnvConfig {
+                root: root.clone(),
+                num_disks: w.rel.d,
+                page_size: PAGE,
+            })
+            .expect("mmap env");
+            let rels = build(&env, &w).expect("workload");
+            let mut rep = 0u64;
+            group.bench_function(format!("mmap_join_20k_{}_{label}", alg.name()), |b| {
+                b.iter(|| {
+                    // A fresh tag per repetition keeps the faithful
+                    // runners' temp-file names disjoint across iters.
+                    rep += 1;
+                    let spec = JoinSpec::new(256 * PAGE, 256 * PAGE)
+                        .with_mode(mode)
+                        .with_tag(&format!("r{rep}"));
+                    black_box(join(&env, &rels, alg, &spec).expect("join"))
+                })
+            });
+            let _ = std::fs::remove_dir_all(&root);
+        }
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     // Keep the whole suite under a couple of minutes: these are
@@ -120,6 +172,6 @@ criterion_group! {
         .sample_size(20)
         .measurement_time(std::time::Duration::from_secs(2))
         .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_heapsort, bench_model, bench_pager, bench_disk, bench_join_small
+    targets = bench_heapsort, bench_model, bench_pager, bench_disk, bench_join_small, bench_modern
 }
 criterion_main!(benches);

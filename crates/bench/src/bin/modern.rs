@@ -1,0 +1,171 @@
+//! Faithful vs `--modern` execution on the real memory-mapped store.
+//!
+//! Runs every algorithm twice over the same workload — once with the
+//! faithful 1996 inner loops (threaded), once through the
+//! cache-conscious modern kernels — on `MmapEnv`, where elapsed time is
+//! real wall-clock. Prints the per-algorithm speedup table, verifies
+//! both outputs against the workload oracle, and (with `--json`) writes
+//! `results/modern.json`.
+//!
+//! `--assert-speedup X` turns the table into a gate: exit nonzero if
+//! any paper algorithm's modern/faithful ratio lands below `X`. The
+//! naive baseline is reported but exempt — it has no re-partitioning
+//! pass for the kernels to accelerate, so its faithful loop is already
+//! a straight scan.
+//!
+//! ```sh
+//! cargo run --release -p mmjoin-bench --bin modern -- \
+//!     --objects 40000 --d 4 --reps 3 --json --assert-speedup 5
+//! ```
+
+use std::time::Instant;
+
+use mmjoin::{join, verify, Algo, ExecMode, JoinSpec};
+use mmjoin_bench::load::opt;
+use mmjoin_bench::PAGE;
+use mmjoin_mmstore::{MmapEnv, MmapEnvConfig};
+use mmjoin_relstore::{build, PointerDist, RelConfig, WorkloadSpec};
+
+struct Row {
+    alg: Algo,
+    faithful: f64,
+    modern: f64,
+    pairs: u64,
+    checksum: u64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.faithful / self.modern
+    }
+}
+
+/// Best-of-`reps` wall-clock seconds for one (algorithm, mode) pair on
+/// a fresh store, plus the verified output.
+fn measure(w: &WorkloadSpec, alg: Algo, mode: ExecMode, pages: u64, reps: u32) -> (f64, u64, u64) {
+    let root = std::env::temp_dir().join(format!(
+        "mmjoin-modern-bench-{}-{}-{mode:?}",
+        std::process::id(),
+        alg.name()
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let env = MmapEnv::new(MmapEnvConfig {
+        root: root.clone(),
+        num_disks: w.rel.d,
+        page_size: PAGE,
+    })
+    .expect("mmap env");
+    let rels = build(&env, w).expect("workload builds");
+    let mut best = f64::INFINITY;
+    let mut pairs = 0;
+    let mut checksum = 0;
+    for rep in 0..reps.max(1) {
+        let spec = JoinSpec::new(pages * PAGE, pages * PAGE)
+            .with_mode(mode)
+            .with_tag(&format!("rep{rep}"));
+        let t0 = Instant::now();
+        let out = join(&env, &rels, alg, &spec).expect("join runs");
+        best = best.min(t0.elapsed().as_secs_f64());
+        verify(&out, &rels).expect("join result matches oracle");
+        pairs = out.pairs;
+        checksum = out.checksum;
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    (best, pairs, checksum)
+}
+
+fn main() {
+    let objects: u64 = opt("--objects", 40_000);
+    let obj_size: u32 = opt("--obj-size", 64);
+    let d: u32 = opt("--d", 4);
+    let pages: u64 = opt("--mem-pages", 256);
+    let reps: u32 = opt("--reps", 3);
+    let seed: u64 = opt("--seed", 1996);
+    let assert_speedup: f64 = opt("--assert-speedup", 0.0);
+
+    let w = WorkloadSpec {
+        rel: RelConfig {
+            r_size: obj_size,
+            s_size: obj_size,
+            d,
+            r_objects: objects,
+            s_objects: objects,
+        },
+        dist: PointerDist::Uniform,
+        seed,
+        prefix: String::new(),
+    };
+
+    println!(
+        "modern vs faithful on MmapEnv: {objects} x {obj_size} B objects, \
+         d={d}, {pages} pages/proc, best of {reps}"
+    );
+    println!(
+        "{:>14} {:>13} {:>13} {:>9}",
+        "algorithm", "faithful (s)", "modern (s)", "speedup"
+    );
+    let mut rows = Vec::new();
+    for alg in Algo::ALL {
+        let (faithful, fp, fc) = measure(&w, alg, ExecMode::Threaded, pages, reps);
+        let (modern, mp, mc) = measure(&w, alg, ExecMode::Modern, pages, reps);
+        assert_eq!((fp, fc), (mp, mc), "{}: modes disagree", alg.name());
+        let row = Row {
+            alg,
+            faithful,
+            modern,
+            pairs: mp,
+            checksum: mc,
+        };
+        println!(
+            "{:>14} {:>13.4} {:>13.4} {:>8.1}x",
+            alg.name(),
+            row.faithful,
+            row.modern,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            concat!(
+                "{{\"alg\":\"{}\",\"faithful_seconds\":{:.6},",
+                "\"modern_seconds\":{:.6},\"speedup\":{:.4},",
+                "\"pairs\":{},\"checksum\":\"{:#x}\"}}"
+            ),
+            r.alg.name(),
+            r.faithful,
+            r.modern,
+            r.speedup(),
+            r.pairs,
+            r.checksum
+        ));
+    }
+    json.push(']');
+    mmjoin_bench::maybe_write_json("modern", &json);
+
+    if assert_speedup > 0.0 {
+        let worst = rows
+            .iter()
+            .filter(|r| r.alg != Algo::NaiveNestedLoops)
+            .min_by(|a, b| a.speedup().total_cmp(&b.speedup()))
+            .expect("nonempty");
+        if worst.speedup() < assert_speedup {
+            eprintln!(
+                "modern: FAILED speedup gate: {} at {:.1}x < required {assert_speedup}x",
+                worst.alg.name(),
+                worst.speedup()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "speedup gate OK: worst algorithm ({}) at {:.1}x >= {assert_speedup}x",
+            worst.alg.name(),
+            worst.speedup()
+        );
+    }
+}

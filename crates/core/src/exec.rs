@@ -18,6 +18,12 @@ pub enum ExecMode {
     /// mode for simulator experiments, whose clocks are per-process
     /// anyway.
     Sequential,
+    /// The post-1996 raw-speed path (`crate::modern`): one OS thread per
+    /// Rproc like [`ExecMode::Threaded`], but dispatched to the
+    /// cache-conscious kernels — bulk block scans, software-managed
+    /// radix partitioning, pre-sorted private runs with a multi-way
+    /// merge-scan, and batched S probes over reusable scratch arenas.
+    Modern,
 }
 
 /// Tunables of one join run.
@@ -229,7 +235,9 @@ where
             }
             Ok((states, times))
         }
-        ExecMode::Threaded => {
+        // Modern joins reuse the same thread-per-proc driver; the mode
+        // difference lives in which kernels the algorithm dispatches to.
+        ExecMode::Threaded | ExecMode::Modern => {
             let barrier = Barrier::new(d as usize);
             let failure: Mutex<Option<EnvError>> = Mutex::new(None);
             let mut out: Vec<Option<(S, Vec<f64>)>> = (0..d).map(|_| None).collect();
@@ -366,6 +374,19 @@ impl<T: Clone> SharedSlots<T> {
             .expect("slot lock")
             .clone()
             .expect("slot published before use")
+    }
+
+    /// Fallible retrieval: an unpublished (or poisoned) slot becomes an
+    /// [`EnvError`] the staged driver can propagate instead of a panic
+    /// that would take the whole Rproc thread down.
+    pub fn try_get(&self, i: u32) -> Result<T> {
+        self.slots
+            .get(i as usize)
+            .ok_or_else(|| EnvError::InvalidConfig(format!("no shared slot {i}")))?
+            .lock()
+            .map_err(|_| EnvError::InvalidConfig(format!("shared slot {i} poisoned")))?
+            .clone()
+            .ok_or_else(|| EnvError::InvalidConfig(format!("shared slot {i} not published")))
     }
 }
 

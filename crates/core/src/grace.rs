@@ -13,7 +13,7 @@
 //! share a chain (so each S-object is fetched while its page is hot),
 //! and the joins flow through the shared buffer.
 
-use mmjoin_env::{CpuOp, DiskId, Env, MoveKind, ProcId, Result, SPtr, TraceEvent};
+use mmjoin_env::{CpuOp, DiskId, Env, EnvError, MoveKind, ProcId, Result, SPtr, TraceEvent};
 use mmjoin_model::{choose_k, choose_tsize};
 use mmjoin_relstore::{chunked_capacity, names, r_key, r_sptr, ChunkedFile, ObjScan, Relations};
 
@@ -129,11 +129,17 @@ pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOut
                 }
                 1 => {
                     // ---- pass 0: split R_i, hashing R_(i,i) ----
-                    let rf = state.rf.clone().expect("setup ran");
+                    let rf = state.rf.clone().ok_or_else(|| {
+                        EnvError::InvalidConfig("grace: setup stage left no R file".into())
+                    })?;
                     let part_bytes = rels.rel.s_part_bytes();
                     let hash = RangeHash::new(part_bytes, k, 1);
-                    let rp = state.rp.as_ref().expect("setup ran").clone();
-                    let rs = state.rs.as_ref().expect("setup ran").clone();
+                    let rp = state.rp.clone().ok_or_else(|| {
+                        EnvError::InvalidConfig("grace: setup stage left no RP area".into())
+                    })?;
+                    let rs = state.rs.clone().ok_or_else(|| {
+                        EnvError::InvalidConfig("grace: setup stage left no RS area".into())
+                    })?;
                     env.trace(
                         proc,
                         TraceEvent::PassStart {
@@ -189,8 +195,10 @@ pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOut
                     );
                     let part_bytes = rels.rel.s_part_bytes();
                     let hash = RangeHash::new(part_bytes, k, 1);
-                    let rp = state.rp.as_ref().expect("pass 0 ran");
-                    let rs_j = slots.get(j);
+                    let rp = state.rp.as_ref().ok_or_else(|| {
+                        EnvError::InvalidConfig("grace: pass 0 left no RP area".into())
+                    })?;
+                    let rs_j = slots.try_get(j)?;
                     let mut reader = rp.stream_reader(j);
                     let mut obj = vec![0u8; r_size as usize];
                     let mut objects = 0u64;
@@ -245,7 +253,10 @@ fn bucket_join<E: Env>(
     state: &mut GraceState<E>,
 ) -> Result<()> {
     let proc = ProcId::rproc(i);
-    let rs = state.rs.take().expect("setup ran");
+    let rs = state
+        .rs
+        .take()
+        .ok_or_else(|| EnvError::InvalidConfig("grace: setup stage left no RS area".into()))?;
     let part_bytes = rels.rel.s_part_bytes();
     env.trace(
         proc,
@@ -260,6 +271,10 @@ fn bucket_join<E: Env>(
     let mut batcher = SBatcher::new(env, proc, i, rels, spec.g_buffer);
     let mut obj = vec![0u8; rels.rel.r_size as usize];
     let mut objects = 0u64;
+    // One chain table reused across every bucket: `clear()` keeps each
+    // chain's capacity, so the steady state allocates nothing per
+    // bucket (`choose_tsize` varies, so the table only ever grows).
+    let mut table: Vec<Vec<(SPtr, u64)>> = Vec::new();
     for bucket in 0..k as u32 {
         let len = rs.stream_len(bucket);
         if len == 0 {
@@ -268,7 +283,9 @@ fn bucket_join<E: Env>(
         objects += len;
         let tsize = choose_tsize(len);
         let hash = RangeHash::new(part_bytes, k, tsize);
-        let mut table: Vec<Vec<(SPtr, u64)>> = vec![Vec::new(); tsize as usize];
+        if table.len() < tsize as usize {
+            table.resize_with(tsize as usize, Vec::new);
+        }
         let mut reader = rs.stream_reader(bucket);
         while reader.next_into(proc, &mut obj)? {
             env.cpu(proc, CpuOp::Hash, 1);
@@ -278,7 +295,7 @@ fn bucket_join<E: Env>(
         // Process the table in order: slot ranges are disjoint and
         // ascending; sorting within a chain keeps common references
         // adjacent so each S-object is fetched while its page is hot.
-        for chain in &mut table {
+        for chain in &mut table[..tsize as usize] {
             if chain.is_empty() {
                 continue;
             }
@@ -286,6 +303,7 @@ fn bucket_join<E: Env>(
             for &(ptr, r_key) in chain.iter() {
                 batcher.add(r_key, ptr, &mut state.acc)?;
             }
+            chain.clear();
         }
     }
     batcher.flush(&mut state.acc)?;

@@ -18,7 +18,7 @@
 //! any phase, `S_j` (bucket-0 range included) is touched by exactly one
 //! Rproc.
 
-use mmjoin_env::{CpuOp, DiskId, Env, MoveKind, ProcId, Result, SPtr, TraceEvent};
+use mmjoin_env::{CpuOp, DiskId, Env, EnvError, MoveKind, ProcId, Result, SPtr, TraceEvent};
 use mmjoin_model::{choose_k, choose_tsize};
 use mmjoin_relstore::{chunked_capacity, names, r_key, r_sptr, ChunkedFile, ObjScan, Relations};
 
@@ -163,9 +163,15 @@ pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOut
                 1 => {
                     // ---- pass 0: split R_i; bucket-0 pointers into S_i
                     // join immediately, spill buckets go to RS_i ----
-                    let rf = state.rf.clone().expect("setup ran");
-                    let rp = state.rp.as_ref().expect("setup ran").clone();
-                    let rs = state.rs.as_ref().expect("setup ran").clone();
+                    let rf = state.rf.clone().ok_or_else(|| {
+                        EnvError::InvalidConfig("hybrid: setup stage left no R file".into())
+                    })?;
+                    let rp = state.rp.clone().ok_or_else(|| {
+                        EnvError::InvalidConfig("hybrid: setup stage left no RP area".into())
+                    })?;
+                    let rs = state.rs.clone().ok_or_else(|| {
+                        EnvError::InvalidConfig("hybrid: setup stage left no RS area".into())
+                    })?;
                     env.trace(
                         proc,
                         TraceEvent::PassStart {
@@ -229,8 +235,10 @@ pub fn run<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOut
                             area: format!("R({i},{j})"),
                         },
                     );
-                    let rp = state.rp.as_ref().expect("pass 0 ran");
-                    let rs_j = slots.get(j);
+                    let rp = state.rp.as_ref().ok_or_else(|| {
+                        EnvError::InvalidConfig("hybrid: pass 0 left no RP area".into())
+                    })?;
+                    let rs_j = slots.try_get(j)?;
                     let mut batcher = SBatcher::new(env, proc, j, rels, spec.g_buffer);
                     let mut reader = rp.stream_reader(j);
                     let mut obj = vec![0u8; r_size as usize];
@@ -291,7 +299,10 @@ fn spill_join<E: Env>(
     state: &mut HybridState<E>,
 ) -> Result<()> {
     let proc = ProcId::rproc(i);
-    let rs = state.rs.take().expect("setup ran");
+    let rs = state
+        .rs
+        .take()
+        .ok_or_else(|| EnvError::InvalidConfig("hybrid: setup stage left no RS area".into()))?;
     let part_bytes = rels.rel.s_part_bytes();
     env.trace(
         proc,
@@ -306,6 +317,9 @@ fn spill_join<E: Env>(
     let mut batcher = SBatcher::new(env, proc, i, rels, spec.g_buffer);
     let mut obj = vec![0u8; rels.rel.r_size as usize];
     let mut objects = 0u64;
+    // Chain table reused across buckets (see grace::bucket_join):
+    // `clear()` keeps capacity, so steady state allocates nothing.
+    let mut table: Vec<Vec<(SPtr, u64)>> = Vec::new();
     for bucket in 0..plan.k as u32 {
         let len = rs.stream_len(bucket);
         if len == 0 {
@@ -314,14 +328,16 @@ fn spill_join<E: Env>(
         objects += len;
         let tsize = choose_tsize(len);
         let hash = HybridHashFn::new(part_bytes, plan);
-        let mut table: Vec<Vec<(SPtr, u64)>> = vec![Vec::new(); tsize as usize];
+        if table.len() < tsize as usize {
+            table.resize_with(tsize as usize, Vec::new);
+        }
         let mut reader = rs.stream_reader(bucket);
         while reader.next_into(proc, &mut obj)? {
             env.cpu(proc, CpuOp::Hash, 1);
             let ptr = r_sptr(&obj);
             table[hash.chain(ptr, tsize) as usize].push((ptr, r_key(&obj)));
         }
-        for chain in &mut table {
+        for chain in &mut table[..tsize as usize] {
             if chain.is_empty() {
                 continue;
             }
@@ -329,6 +345,7 @@ fn spill_join<E: Env>(
             for &(ptr, key) in chain.iter() {
                 batcher.add(key, ptr, &mut state.acc)?;
             }
+            chain.clear();
         }
     }
     batcher.flush(&mut state.acc)?;

@@ -48,6 +48,7 @@
 pub mod exec;
 pub mod grace;
 pub mod hybrid;
+pub mod modern;
 pub mod naive;
 pub mod nested_loops;
 pub mod pheap;
@@ -136,14 +137,23 @@ impl From<mmjoin_model::Algorithm> for Algo {
 
 /// Run one join end to end: registers the S catalog, executes the `D`
 /// Rprocs, stops the Sproc service, and returns the verifiable output.
+///
+/// [`ExecMode::Modern`] routes every algorithm through the
+/// cache-conscious kernels in [`modern`]; the faithful 1996 inner loops
+/// run otherwise. Both produce the identical join pair set and
+/// checksum.
 pub fn join<E: Env>(env: &E, rels: &Relations, alg: Algo, spec: &JoinSpec) -> Result<JoinOutput> {
     env.register_s(rels.catalog.clone())?;
-    let result = match alg {
-        Algo::NestedLoops => nested_loops::run(env, rels, spec),
-        Algo::SortMerge => sort_merge::run(env, rels, spec),
-        Algo::Grace => grace::run(env, rels, spec),
-        Algo::HybridHash => hybrid::run(env, rels, spec),
-        Algo::NaiveNestedLoops => naive::run(env, rels, spec),
+    let result = if spec.mode == ExecMode::Modern {
+        modern::run(env, rels, alg, spec)
+    } else {
+        match alg {
+            Algo::NestedLoops => nested_loops::run(env, rels, spec),
+            Algo::SortMerge => sort_merge::run(env, rels, spec),
+            Algo::Grace => grace::run(env, rels, spec),
+            Algo::HybridHash => hybrid::run(env, rels, spec),
+            Algo::NaiveNestedLoops => naive::run(env, rels, spec),
+        }
     };
     env.shutdown_s();
     result

@@ -1,0 +1,696 @@
+//! The `--modern` execution path: post-1996 cache-conscious kernels for
+//! every join algorithm, selected with [`ExecMode::Modern`].
+//!
+//! The faithful modules (`nested_loops`, `sort_merge`, `grace`,
+//! `hybrid`) reproduce the paper's 1996 inner loops: object-at-a-time
+//! scans, per-tuple cost declarations, mutex-guarded chunked temp files,
+//! and ~30-object shared-buffer exchanges. This module keeps the paper's
+//! *schedule* — pass 0 scan/split, staggered pass-1 phases, a local
+//! join pass, every disk owned by one proc per phase — but replaces the
+//! inner loops wholesale:
+//!
+//! * **Bulk block scans**: `R_i` is read in [`BLOCK_BYTES`] chunks with
+//!   one `read_at` per block instead of one per object.
+//! * **Software-managed radix partitioning** (pass 0): per block, a
+//!   histogram over owner partitions sizes the scatter targets, then a
+//!   second sweep scatters fixed-width `(ptr, key)` pairs — no hash
+//!   maps, no per-tuple allocation ([`TraceEvent::KernelRadix`]).
+//! * **MPSM-style sort-merge** (Albutiu/Kemper/Neumann): each worker
+//!   sorts its *private* runs, publishes them through shared slots, and
+//!   the owning worker sequentially merge-scans the `D` remote runs
+//!   ([`TraceEvent::KernelMerge`]) — the repartitioning pass ships
+//!   sorted in-memory runs instead of chunked temp files.
+//! * **Batched probes**: S-objects are fetched [`PROBE_BATCH`] pointers
+//!   per `Sproc` exchange with a 16-byte `(key, ptr)` request record
+//!   ([`PROBE_REQ_BYTES`]) instead of whole R-objects, in ascending
+//!   pointer order so each `S` page is touched once while hot
+//!   ([`TraceEvent::KernelProbe`]).
+//! * **Reusable scratch arenas**: every worker owns an [`Arena`] of
+//!   buffers reused across blocks and batches; arenas are constructed
+//!   fresh per join attempt, so a retried join can never observe stale
+//!   kernel state.
+//!
+//! Cost declarations are batched the same way: kernels tally
+//! [`KernelOps`] while running and charge the environment once per
+//! kernel invocation, pricing the *same* six `CpuOp`s and four
+//! `MoveKind`s the analytical model knows.
+//!
+//! Output is bitwise-identical to the faithful modes: the same join
+//! pair set and order-independent checksum (`tests/modern_equiv.rs`
+//! proves it differentially across algorithms, environments, and skew).
+//!
+//! [`ExecMode::Modern`]: crate::ExecMode::Modern
+
+use std::sync::Arc;
+
+use mmjoin_env::{CpuOp, Env, FileOps, KernelOps, MoveKind, ProcId, Result, SPtr, TraceEvent};
+use mmjoin_relstore::{s_key, Relations};
+
+use crate::exec::{
+    finish, phase_partner, run_stages, stage_summary, JoinAcc, JoinOutput, JoinSpec, SharedSlots,
+};
+use crate::{grace, hybrid, Algo};
+
+/// Bytes read per bulk scan block (rounded down to whole R-objects).
+pub const BLOCK_BYTES: u64 = 256 * 1024;
+
+/// Pointers per batched `Sproc` exchange.
+pub const PROBE_BATCH: usize = 2048;
+
+/// R-side bytes accompanying each probe pointer: the 8-byte join key
+/// plus the 8-byte pointer — not the whole R-object the faithful
+/// batcher ships.
+pub const PROBE_REQ_BYTES: u64 = 16;
+
+/// A sorted (or to-be-sorted) private run of `(ptr, key)` pairs,
+/// published through [`SharedSlots`] for its owning partition.
+type Run = Arc<Vec<(u64, u64)>>;
+
+/// A `(ptr, key)` pair list before it is frozen into a shared [`Run`].
+type PairVec = Vec<(u64, u64)>;
+
+/// Per-worker scratch: every buffer the kernels need, allocated once per
+/// join attempt and reused across blocks, buckets, and batches.
+struct Arena {
+    /// Bulk scan buffer (one block of raw R-objects).
+    block: Vec<u8>,
+    /// Radix scatter targets: `(ptr, key)` pairs per owner partition.
+    parts: Vec<Vec<(u64, u64)>>,
+    /// Histogram scratch for the radix kernels.
+    hist: Vec<u64>,
+    /// Merged/concatenated pairs awaiting the probe kernel.
+    gathered: Vec<(u64, u64)>,
+    /// Pointer batch under construction for `s_fetch_batch`.
+    ptrs: Vec<SPtr>,
+    /// Fetched S-objects for the current batch.
+    fetch: Vec<u8>,
+    /// Batched cost declarations.
+    ops: KernelOps,
+}
+
+impl Arena {
+    fn new(d: u32) -> Self {
+        Arena {
+            block: Vec::new(),
+            parts: (0..d).map(|_| Vec::new()).collect(),
+            hist: vec![0; d as usize],
+            gathered: Vec::new(),
+            ptrs: Vec::with_capacity(PROBE_BATCH),
+            fetch: Vec::new(),
+            ops: KernelOps::new(),
+        }
+    }
+}
+
+/// Per-worker join state threaded through [`run_stages`].
+struct MState {
+    acc: JoinAcc,
+    arena: Arena,
+}
+
+/// Fixed-width little-endian read; the compiler turns this into one
+/// unaligned load.
+#[inline]
+fn le64(buf: &[u8], off: usize) -> u64 {
+    let mut w = [0u8; 8];
+    w.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(w)
+}
+
+fn pass_start<E: Env>(env: &E, i: u32, pass: u32, phase: u32, disk: u32, area: String) {
+    env.trace(
+        ProcId::rproc(i),
+        TraceEvent::PassStart {
+            proc: i,
+            pass,
+            phase,
+            disk,
+            area,
+        },
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pass_end<E: Env>(
+    env: &E,
+    i: u32,
+    pass: u32,
+    phase: u32,
+    disk: u32,
+    area: String,
+    objects: u64,
+    r_size: u32,
+) {
+    env.trace(
+        ProcId::rproc(i),
+        TraceEvent::PassEnd {
+            proc: i,
+            pass,
+            phase,
+            disk,
+            area,
+            bytes: objects * r_size as u64,
+            objects,
+        },
+    );
+}
+
+/// Pass-0 kernel: bulk-scan `R_i` block by block, radix-partitioning
+/// `(ptr, key)` pairs by owner partition (histogram + scatter per
+/// block). Returns the number of objects scanned.
+fn scan_radix<E: Env>(env: &E, rels: &Relations, i: u32, arena: &mut Arena) -> Result<u64> {
+    let proc = ProcId::rproc(i);
+    let rf = env.open_file(proc, &rels.r_files[i as usize])?;
+    let r_size = rels.rel.r_size as usize;
+    let part_bytes = rels.rel.s_part_bytes();
+    let n = rels.rel.r_per_part();
+    let d = rels.rel.d as usize;
+
+    let block_objs = (BLOCK_BYTES as usize / r_size).max(1);
+    arena.block.resize(block_objs * r_size, 0);
+    for p in arena.parts.iter_mut() {
+        p.clear();
+    }
+
+    let mut done = 0u64;
+    while done < n {
+        let take = block_objs.min((n - done) as usize);
+        let bytes = take * r_size;
+        rf.read_at(proc, done * r_size as u64, &mut arena.block[..bytes])?;
+        // Histogram sweep: size the scatter targets before touching them.
+        arena.hist.iter_mut().for_each(|h| *h = 0);
+        for k in 0..take {
+            let ptr = SPtr(le64(&arena.block, k * r_size + 8));
+            arena.hist[ptr.partition(part_bytes) as usize] += 1;
+        }
+        for (part, &count) in arena.parts.iter_mut().zip(arena.hist.iter()) {
+            part.reserve(count as usize);
+        }
+        // Scatter sweep: fixed-width pairs, no per-tuple allocation.
+        for k in 0..take {
+            let base = k * r_size;
+            let key = le64(&arena.block, base);
+            let ptr = le64(&arena.block, base + 8);
+            let owner = SPtr(ptr).partition(part_bytes) as usize;
+            arena.parts[owner].push((ptr, key));
+        }
+        done += take as u64;
+    }
+    // Two sweeps of MAP(ptr), one radix placement, and a 16-byte
+    // private move per pair — declared once for the whole scan.
+    arena.ops.op(CpuOp::Map, 2 * n);
+    arena.ops.op(CpuOp::Hash, n);
+    arena.ops.moved(MoveKind::PP, 16 * n);
+    arena.ops.charge(env, proc);
+    env.trace(
+        proc,
+        TraceEvent::KernelRadix {
+            proc: i,
+            area: format!("R_{i}"),
+            buckets: d as u32,
+            objects: n,
+        },
+    );
+    Ok(n)
+}
+
+/// Sort a run of `(ptr, key)` pairs in place (pointer order == `S`
+/// storage order), declaring an `n·log n` comparison/swap estimate.
+fn sort_pairs(run: &mut [(u64, u64)], ops: &mut KernelOps) {
+    let n = run.len() as u64;
+    run.sort_unstable();
+    if n > 1 {
+        let logn = (64 - (n - 1).leading_zeros()) as u64;
+        ops.op(CpuOp::Compare, n * logn);
+        ops.op(CpuOp::Swap, n * logn / 2);
+    }
+}
+
+/// Sequential multi-way merge-scan of sorted runs (MPSM): a linear
+/// min-pick over ≤ `D` cursors, output fully sorted by pointer.
+fn merge_runs(runs: &[Run], out: &mut Vec<(u64, u64)>, ops: &mut KernelOps) {
+    out.clear();
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    out.reserve(total);
+    let mut cursors = vec![0usize; runs.len()];
+    loop {
+        let mut best: Option<usize> = None;
+        for (r, run) in runs.iter().enumerate() {
+            if cursors[r] < run.len() {
+                best = match best {
+                    Some(b) if runs[b][cursors[b]] <= run[cursors[r]] => Some(b),
+                    _ => Some(r),
+                };
+            }
+        }
+        match best {
+            Some(b) => {
+                out.push(runs[b][cursors[b]]);
+                cursors[b] += 1;
+            }
+            None => break,
+        }
+    }
+    ops.op(CpuOp::Compare, total as u64 * runs.len().max(1) as u64);
+    ops.op(CpuOp::HeapTransfer, total as u64);
+}
+
+/// Batched probe kernel: fetch S-objects [`PROBE_BATCH`] pointers at a
+/// time and join each against its R key. `pairs` must all point into
+/// partition `spart`.
+fn probe<E: Env>(
+    env: &E,
+    i: u32,
+    spart: u32,
+    rels: &Relations,
+    pairs: &[(u64, u64)],
+    arena: &mut Arena,
+    acc: &mut JoinAcc,
+) -> Result<()> {
+    if pairs.is_empty() {
+        return Ok(());
+    }
+    let proc = ProcId::rproc(i);
+    let s_size = rels.rel.s_size as usize;
+    let mut batches = 0u64;
+    for chunk in pairs.chunks(PROBE_BATCH) {
+        arena.ptrs.clear();
+        arena.ptrs.extend(chunk.iter().map(|&(p, _)| SPtr(p)));
+        arena.fetch.clear();
+        env.s_fetch_batch(proc, spart, &arena.ptrs, PROBE_REQ_BYTES, &mut arena.fetch)?;
+        for (k, &(_, r_key)) in chunk.iter().enumerate() {
+            acc.add(r_key, s_key(&arena.fetch[k * s_size..(k + 1) * s_size]));
+        }
+        batches += 1;
+    }
+    // The environment prices the exchange itself (context switches +
+    // shared-buffer moves); the kernel adds only its key compares.
+    arena.ops.op(CpuOp::Compare, pairs.len() as u64);
+    arena.ops.charge(env, proc);
+    env.trace(
+        proc,
+        TraceEvent::KernelProbe {
+            proc: i,
+            spart,
+            batches,
+            objects: pairs.len() as u64,
+        },
+    );
+    Ok(())
+}
+
+/// Dispatch one modern-mode join.
+pub fn run<E: Env>(env: &E, rels: &Relations, alg: Algo, spec: &JoinSpec) -> Result<JoinOutput> {
+    match alg {
+        Algo::NestedLoops | Algo::NaiveNestedLoops => run_nested(env, rels, spec),
+        Algo::SortMerge => run_sort_merge(env, rels, spec),
+        Algo::Grace => run_grace(env, rels, spec),
+        Algo::HybridHash => run_hybrid(env, rels, spec),
+    }
+}
+
+/// Modern nested loops: scan + radix, probe the home partition inside
+/// the pass-0 window, then probe each partner partition in staggered
+/// phase order. No repartitioning files — the radix output *is* the
+/// probe input.
+fn run_nested<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOutput> {
+    let d = rels.rel.d;
+    let r_size = rels.rel.r_size;
+    let (states, times) = run_stages(
+        env,
+        d,
+        spec.mode,
+        1,
+        |_| MState {
+            acc: JoinAcc::default(),
+            arena: Arena::new(d),
+        },
+        |_stage, i, state: &mut MState| {
+            let arena = &mut state.arena;
+            pass_start(env, i, 0, 0, i, format!("R_{i}"));
+            let n = scan_radix(env, rels, i, arena)?;
+            let mut own = std::mem::take(&mut arena.parts[i as usize]);
+            sort_pairs(&mut own, &mut arena.ops);
+            probe(env, i, i, rels, &own, arena, &mut state.acc)?;
+            pass_end(env, i, 0, 0, i, format!("R_{i}"), n, r_size);
+            for t in 1..d {
+                let j = phase_partner(i, t, d);
+                let mut rn = std::mem::take(&mut arena.parts[j as usize]);
+                pass_start(env, i, 1, t, j, format!("R({i},{j})"));
+                sort_pairs(&mut rn, &mut arena.ops);
+                probe(env, i, j, rels, &rn, arena, &mut state.acc)?;
+                pass_end(
+                    env,
+                    i,
+                    1,
+                    t,
+                    j,
+                    format!("R({i},{j})"),
+                    rn.len() as u64,
+                    r_size,
+                );
+            }
+            Ok(())
+        },
+    )?;
+    let summary = stage_summary(&["join"], &times);
+    Ok(finish(
+        env,
+        d,
+        states.into_iter().map(|s| s.acc),
+        summary,
+        &times,
+    ))
+}
+
+/// Modern sort-merge (MPSM): stage 0 scans, radix-partitions, sorts each
+/// private run, and publishes it for its owner; stage 1 merge-scans the
+/// `D` remote runs and probes `S_i` in one ascending stream.
+fn run_sort_merge<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOutput> {
+    let d = rels.rel.d;
+    let r_size = rels.rel.r_size;
+    let slots: Arc<SharedSlots<Run>> = SharedSlots::new(d * d);
+    let (states, times) = run_stages(
+        env,
+        d,
+        spec.mode,
+        2,
+        |_| MState {
+            acc: JoinAcc::default(),
+            arena: Arena::new(d),
+        },
+        |stage, i, state: &mut MState| {
+            let proc = ProcId::rproc(i);
+            let arena = &mut state.arena;
+            if stage == 0 {
+                pass_start(env, i, 0, 0, i, format!("R_{i}"));
+                let n = scan_radix(env, rels, i, arena)?;
+                let mut own = std::mem::take(&mut arena.parts[i as usize]);
+                sort_pairs(&mut own, &mut arena.ops);
+                arena.ops.charge(env, proc);
+                slots.publish(i * d + i, Arc::new(own));
+                pass_end(env, i, 0, 0, i, format!("R_{i}"), n, r_size);
+                for t in 1..d {
+                    let j = phase_partner(i, t, d);
+                    let mut rn = std::mem::take(&mut arena.parts[j as usize]);
+                    pass_start(env, i, 1, t, j, format!("R({i},{j})"));
+                    sort_pairs(&mut rn, &mut arena.ops);
+                    let len = rn.len() as u64;
+                    // Private→shared hand-off of the sorted run.
+                    arena.ops.moved(MoveKind::PS, len * 16);
+                    arena.ops.charge(env, proc);
+                    slots.publish(i * d + j, Arc::new(rn));
+                    pass_end(env, i, 1, t, j, format!("R({i},{j})"), len, r_size);
+                }
+                Ok(())
+            } else {
+                pass_start(env, i, 2, 0, i, format!("RS_{i}"));
+                let runs: Vec<Run> = (0..d)
+                    .map(|j| slots.try_get(j * d + i))
+                    .collect::<Result<_>>()?;
+                let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
+                let mut merged = std::mem::take(&mut arena.gathered);
+                merge_runs(&runs, &mut merged, &mut arena.ops);
+                arena.ops.moved(MoveKind::SP, total * 16);
+                arena.ops.charge(env, proc);
+                env.trace(
+                    proc,
+                    TraceEvent::KernelMerge {
+                        proc: i,
+                        area: format!("RS_{i}"),
+                        runs: d,
+                        objects: total,
+                    },
+                );
+                probe(env, i, i, rels, &merged, arena, &mut state.acc)?;
+                arena.gathered = merged;
+                pass_end(env, i, 2, 0, i, format!("RS_{i}"), total, r_size);
+                Ok(())
+            }
+        },
+    )?;
+    let summary = stage_summary(&["scan+sort", "merge+join"], &times);
+    Ok(finish(
+        env,
+        d,
+        states.into_iter().map(|s| s.acc),
+        summary,
+        &times,
+    ))
+}
+
+/// Modern Grace: stage 0 publishes *unsorted* radix runs; stage 1
+/// gathers them, radix-partitions into Grace's `K` range buckets
+/// (second-level histogram + scatter), sorts each cache-sized bucket,
+/// and probes the concatenation — fully ascending because the buckets
+/// are range-partitioned.
+fn run_grace<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOutput> {
+    let d = rels.rel.d;
+    let r_size = rels.rel.r_size;
+    let part_bytes = rels.rel.s_part_bytes();
+    let k = grace::k_for(rels, spec).max(1);
+    let hash = grace::RangeHash::new(part_bytes, k, 1);
+    let slots: Arc<SharedSlots<Run>> = SharedSlots::new(d * d);
+    let (states, times) = run_stages(
+        env,
+        d,
+        spec.mode,
+        2,
+        |_| MState {
+            acc: JoinAcc::default(),
+            arena: Arena::new(d),
+        },
+        |stage, i, state: &mut MState| {
+            let proc = ProcId::rproc(i);
+            let arena = &mut state.arena;
+            if stage == 0 {
+                pass_start(env, i, 0, 0, i, format!("R_{i}"));
+                let n = scan_radix(env, rels, i, arena)?;
+                let own = std::mem::take(&mut arena.parts[i as usize]);
+                slots.publish(i * d + i, Arc::new(own));
+                pass_end(env, i, 0, 0, i, format!("R_{i}"), n, r_size);
+                for t in 1..d {
+                    let j = phase_partner(i, t, d);
+                    let rn = std::mem::take(&mut arena.parts[j as usize]);
+                    pass_start(env, i, 1, t, j, format!("R({i},{j})"));
+                    let len = rn.len() as u64;
+                    arena.ops.moved(MoveKind::PS, len * 16);
+                    arena.ops.charge(env, proc);
+                    slots.publish(i * d + j, Arc::new(rn));
+                    pass_end(env, i, 1, t, j, format!("R({i},{j})"), len, r_size);
+                }
+                Ok(())
+            } else {
+                pass_start(env, i, 2, 0, i, format!("RS_{i}"));
+                let runs: Vec<Run> = (0..d)
+                    .map(|j| slots.try_get(j * d + i))
+                    .collect::<Result<_>>()?;
+                let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
+                // Second-level radix: histogram + scatter into K range
+                // buckets (one per-stage allocation, reused per bucket).
+                let mut hist = vec![0u64; k as usize];
+                for run in &runs {
+                    for &(p, _) in run.iter() {
+                        hist[hash.bucket(SPtr(p)) as usize] += 1;
+                    }
+                }
+                let mut buckets: Vec<Vec<(u64, u64)>> = hist
+                    .iter()
+                    .map(|&c| Vec::with_capacity(c as usize))
+                    .collect();
+                for run in &runs {
+                    for &(p, key) in run.iter() {
+                        buckets[hash.bucket(SPtr(p)) as usize].push((p, key));
+                    }
+                }
+                arena.ops.op(CpuOp::Hash, 2 * total);
+                arena.ops.moved(MoveKind::SP, total * 16);
+                env.trace(
+                    proc,
+                    TraceEvent::KernelRadix {
+                        proc: i,
+                        area: format!("RS_{i}"),
+                        buckets: k as u32,
+                        objects: total,
+                    },
+                );
+                let mut merged = std::mem::take(&mut arena.gathered);
+                merged.clear();
+                merged.reserve(total as usize);
+                for bucket in buckets.iter_mut() {
+                    sort_pairs(bucket, &mut arena.ops);
+                    merged.extend_from_slice(bucket);
+                }
+                arena.ops.charge(env, proc);
+                probe(env, i, i, rels, &merged, arena, &mut state.acc)?;
+                arena.gathered = merged;
+                pass_end(env, i, 2, 0, i, format!("RS_{i}"), total, r_size);
+                Ok(())
+            }
+        },
+    )?;
+    let summary = stage_summary(&["scan+radix", "bucket-join"], &times);
+    Ok(finish(
+        env,
+        d,
+        states.into_iter().map(|s| s.acc),
+        summary,
+        &times,
+    ))
+}
+
+/// Modern hybrid hash: bucket-0 (`f₀`-range) pairs are probed
+/// immediately — home partition inside the pass-0 window, partner
+/// partitions in staggered phase order — while spill pairs ship through
+/// shared runs and take Grace's second-level radix in stage 1.
+fn run_hybrid<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<JoinOutput> {
+    let d = rels.rel.d;
+    let r_size = rels.rel.r_size;
+    let part_bytes = rels.rel.s_part_bytes();
+    let plan = hybrid::plan_for(rels, spec);
+    let hash = hybrid::HybridHashFn::new(part_bytes, &plan);
+    let slots: Arc<SharedSlots<Run>> = SharedSlots::new(d * d);
+    let (states, times) = run_stages(
+        env,
+        d,
+        spec.mode,
+        2,
+        |_| MState {
+            acc: JoinAcc::default(),
+            arena: Arena::new(d),
+        },
+        |stage, i, state: &mut MState| {
+            let proc = ProcId::rproc(i);
+            let arena = &mut state.arena;
+            if stage == 0 {
+                pass_start(env, i, 0, 0, i, format!("R_{i}"));
+                let n = scan_radix(env, rels, i, arena)?;
+                let own = std::mem::take(&mut arena.parts[i as usize]);
+                let (mut f0, spill) = split_f0(&hash, own, &mut arena.ops);
+                sort_pairs(&mut f0, &mut arena.ops);
+                probe(env, i, i, rels, &f0, arena, &mut state.acc)?;
+                slots.publish(i * d + i, Arc::new(spill));
+                pass_end(env, i, 0, 0, i, format!("R_{i}"), n, r_size);
+                for t in 1..d {
+                    let j = phase_partner(i, t, d);
+                    let rn = std::mem::take(&mut arena.parts[j as usize]);
+                    pass_start(env, i, 1, t, j, format!("R({i},{j})"));
+                    let len = rn.len() as u64;
+                    let (mut f0, spill) = split_f0(&hash, rn, &mut arena.ops);
+                    sort_pairs(&mut f0, &mut arena.ops);
+                    probe(env, i, j, rels, &f0, arena, &mut state.acc)?;
+                    arena.ops.moved(MoveKind::PS, spill.len() as u64 * 16);
+                    arena.ops.charge(env, proc);
+                    slots.publish(i * d + j, Arc::new(spill));
+                    pass_end(env, i, 1, t, j, format!("R({i},{j})"), len, r_size);
+                }
+                Ok(())
+            } else {
+                pass_start(env, i, 2, 0, i, format!("RS_{i}"));
+                let runs: Vec<Run> = (0..d)
+                    .map(|j| slots.try_get(j * d + i))
+                    .collect::<Result<_>>()?;
+                let total: u64 = runs.iter().map(|r| r.len() as u64).sum();
+                let k = plan.k.max(1) as usize;
+                let mut hist = vec![0u64; k];
+                for run in &runs {
+                    for &(p, _) in run.iter() {
+                        hist[hash.route(SPtr(p)).unwrap_or(0) as usize] += 1;
+                    }
+                }
+                let mut buckets: Vec<Vec<(u64, u64)>> = hist
+                    .iter()
+                    .map(|&c| Vec::with_capacity(c as usize))
+                    .collect();
+                for run in &runs {
+                    for &(p, key) in run.iter() {
+                        buckets[hash.route(SPtr(p)).unwrap_or(0) as usize].push((p, key));
+                    }
+                }
+                arena.ops.op(CpuOp::Hash, 2 * total);
+                arena.ops.moved(MoveKind::SP, total * 16);
+                env.trace(
+                    proc,
+                    TraceEvent::KernelRadix {
+                        proc: i,
+                        area: format!("RS_{i}"),
+                        buckets: k as u32,
+                        objects: total,
+                    },
+                );
+                let mut merged = std::mem::take(&mut arena.gathered);
+                merged.clear();
+                merged.reserve(total as usize);
+                for bucket in buckets.iter_mut() {
+                    sort_pairs(bucket, &mut arena.ops);
+                    merged.extend_from_slice(bucket);
+                }
+                arena.ops.charge(env, proc);
+                probe(env, i, i, rels, &merged, arena, &mut state.acc)?;
+                arena.gathered = merged;
+                pass_end(env, i, 2, 0, i, format!("RS_{i}"), total, r_size);
+                Ok(())
+            }
+        },
+    )?;
+    let summary = stage_summary(&["scan+f0-join", "spill-join"], &times);
+    Ok(finish(
+        env,
+        d,
+        states.into_iter().map(|s| s.acc),
+        summary,
+        &times,
+    ))
+}
+
+/// Split a run into (bucket-0, spill) halves per the hybrid router.
+fn split_f0(
+    hash: &hybrid::HybridHashFn,
+    run: PairVec,
+    ops: &mut KernelOps,
+) -> (PairVec, PairVec) {
+    ops.op(CpuOp::Hash, run.len() as u64);
+    run.into_iter()
+        .partition(|&(p, _)| hash.route(SPtr(p)).is_none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_runs_produces_sorted_union() {
+        let runs: Vec<Run> = vec![
+            Arc::new(vec![(1, 10), (5, 50), (9, 90)]),
+            Arc::new(vec![(2, 20), (5, 51)]),
+            Arc::new(vec![]),
+            Arc::new(vec![(0, 0), (7, 70)]),
+        ];
+        let mut out = Vec::new();
+        let mut ops = KernelOps::new();
+        merge_runs(&runs, &mut out, &mut ops);
+        assert_eq!(out.len(), 7);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+        assert!(out.contains(&(5, 50)) && out.contains(&(5, 51)));
+        assert!(!ops.is_empty());
+    }
+
+    #[test]
+    fn sort_pairs_charges_nothing_for_singletons() {
+        let mut ops = KernelOps::new();
+        sort_pairs(&mut [(3, 3)], &mut ops);
+        assert!(ops.is_empty());
+        let mut run = [(9u64, 1u64), (2, 2), (7, 3)];
+        sort_pairs(&mut run, &mut ops);
+        assert_eq!(run[0].0, 2);
+        assert!(!ops.is_empty());
+    }
+
+    #[test]
+    fn le64_reads_little_endian() {
+        let mut buf = vec![0u8; 24];
+        buf[8..16].copy_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
+        assert_eq!(le64(&buf, 8), 0xDEAD_BEEF);
+        assert_eq!(le64(&buf, 0), 0);
+    }
+}

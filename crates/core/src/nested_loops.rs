@@ -12,7 +12,7 @@
 //! default (§5.1 measured ≤0.5% difference); `JoinSpec::sync_phases`
 //! inserts barriers for that ablation.
 
-use mmjoin_env::{CpuOp, DiskId, Env, MoveKind, ProcId, Result, TraceEvent};
+use mmjoin_env::{CpuOp, DiskId, Env, EnvError, MoveKind, ProcId, Result, TraceEvent};
 use mmjoin_relstore::{chunked_capacity, names, r_key, r_sptr, ChunkedFile, ObjScan, Relations};
 
 use crate::exec::{
@@ -156,7 +156,10 @@ fn run_phase<E: Env>(
             area: format!("R({i},{j})"),
         },
     );
-    let rp = state.rp.as_ref().expect("pass 0 ran");
+    let rp = state
+        .rp
+        .as_ref()
+        .ok_or_else(|| EnvError::InvalidConfig("nested-loops: pass 0 left no RP area".into()))?;
     let mut batcher = SBatcher::new(env, proc, j, rels, spec.g_buffer);
     let mut reader = rp.stream_reader(j);
     let mut obj = vec![0u8; rels.rel.r_size as usize];

@@ -11,10 +11,25 @@ use mmjoin_env::machine::MachineParams;
 use mmjoin_model::{predict, Algorithm, CostBreakdown, JoinInputs};
 use mmjoin_relstore::{Relations, SPTR_SIZE};
 
-use crate::exec::JoinSpec;
+use crate::exec::{ExecMode, JoinSpec};
+use crate::modern;
 
 /// Build the model inputs corresponding to an executable join.
+///
+/// Mode-aware: the modern kernels exchange [`modern::PROBE_BATCH`]
+/// 16-byte `(key, ptr)` records per `Sproc` round trip instead of
+/// filling the faithful `G` buffer with whole R-objects, so the
+/// *effective* exchange buffer under [`ExecMode::Modern`] is
+/// `PROBE_BATCH × (req + s)` — that is what the model's per-batch
+/// context-switch amortization must see. (The kernels' constant-factor
+/// CPU gains are not modelled; `mmjoin validate-model` prints the
+/// resulting measured-vs-predicted gap per algorithm.)
 pub fn inputs_for(rels: &Relations, spec: &JoinSpec) -> JoinInputs {
+    let g_buffer = if spec.mode == ExecMode::Modern {
+        modern::PROBE_BATCH as u64 * (modern::PROBE_REQ_BYTES + rels.rel.s_size as u64)
+    } else {
+        spec.g_buffer
+    };
     JoinInputs {
         r_objects: rels.rel.r_objects,
         s_objects: rels.rel.s_objects,
@@ -25,7 +40,7 @@ pub fn inputs_for(rels: &Relations, spec: &JoinSpec) -> JoinInputs {
         skew: rels.skew,
         m_rproc: spec.m_rproc,
         m_sproc: spec.m_sproc,
-        g_buffer: spec.g_buffer,
+        g_buffer,
     }
 }
 

@@ -131,11 +131,20 @@ fn pass0<E: Env>(
     state: &mut SmState<E>,
 ) -> Result<()> {
     let proc = ProcId::rproc(i);
-    let rf = state.rf.clone().expect("setup ran");
+    let rf = state
+        .rf
+        .clone()
+        .ok_or_else(|| EnvError::InvalidConfig("sort-merge: setup stage left no R file".into()))?;
     let r_size = rels.rel.r_size;
     let part_bytes = rels.rel.s_part_bytes();
-    let rp = state.rp.as_ref().expect("setup ran").clone();
-    let rs = state.rs.as_ref().expect("setup ran").clone();
+    let rp = state
+        .rp
+        .clone()
+        .ok_or_else(|| EnvError::InvalidConfig("sort-merge: setup stage left no RP area".into()))?;
+    let rs = state
+        .rs
+        .clone()
+        .ok_or_else(|| EnvError::InvalidConfig("sort-merge: setup stage left no RS area".into()))?;
     env.trace(
         proc,
         TraceEvent::PassStart {
@@ -197,8 +206,11 @@ fn phase<E: Env>(
             area: format!("R({i},{j})"),
         },
     );
-    let rp = state.rp.as_ref().expect("pass 0 ran");
-    let rs_j = slots.get(j);
+    let rp = state
+        .rp
+        .as_ref()
+        .ok_or_else(|| EnvError::InvalidConfig("sort-merge: pass 0 left no RP area".into()))?;
+    let rs_j = slots.try_get(j)?;
     let mut reader = rp.stream_reader(j);
     let mut obj = vec![0u8; rels.rel.r_size as usize];
     let mut objects = 0u64;
@@ -231,7 +243,10 @@ fn local_sort_merge_join<E: Env>(
 ) -> Result<()> {
     let proc = ProcId::rproc(i);
     let r_size = rels.rel.r_size as usize;
-    let rs = state.rs.take().expect("setup ran");
+    let rs = state
+        .rs
+        .take()
+        .ok_or_else(|| EnvError::InvalidConfig("sort-merge: setup stage left no RS area".into()))?;
     let n = rs.stream_len(0);
     env.trace(
         proc,
@@ -371,19 +386,24 @@ fn merge_pass<E: Env>(
     let r_size = rels.rel.r_size as usize;
     let num_runs = n.div_ceil(run_len);
     let mut group_start_run = 0u64;
+    // Per-run scratch reused across merge groups: cursor ranges and the
+    // current object bytes grow to the widest fan-in once and are then
+    // recycled — no per-group reallocation in the steady state.
+    let mut cursors: Vec<(u64, u64)> = Vec::new();
+    let mut current: Vec<Vec<u8>> = Vec::new();
     while group_start_run < num_runs {
         let group_runs = fan_in.min(num_runs - group_start_run);
         // Cursor state per run: next index and end index in the stream.
-        let mut cursors: Vec<(u64, u64)> = (0..group_runs)
-            .map(|g| {
-                let run = group_start_run + g;
-                let lo = run * run_len;
-                let hi = ((run + 1) * run_len).min(n);
-                (lo, hi)
-            })
-            .collect();
-        // Current object bytes per run.
-        let mut current: Vec<Vec<u8>> = vec![vec![0u8; r_size]; group_runs as usize];
+        cursors.clear();
+        cursors.extend((0..group_runs).map(|g| {
+            let run = group_start_run + g;
+            let lo = run * run_len;
+            let hi = ((run + 1) * run_len).min(n);
+            (lo, hi)
+        }));
+        if current.len() < group_runs as usize {
+            current.resize_with(group_runs as usize, || vec![0u8; r_size]);
+        }
         let mut firsts: Vec<(SPtr, u32)> = Vec::with_capacity(group_runs as usize);
         for (g, cur) in cursors.iter_mut().enumerate() {
             if cur.0 < cur.1 {

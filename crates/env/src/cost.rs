@@ -83,6 +83,74 @@ impl MoveKind {
     }
 }
 
+/// Accumulated cost declarations for one modern-mode kernel invocation.
+///
+/// The faithful algorithms declare costs tuple-by-tuple
+/// (`env.cpu(proc, op, 1)` inside the inner loop), which is exactly the
+/// overhead the `--modern` kernels exist to avoid. A kernel instead
+/// tallies its operations into a `KernelOps` while it runs over a block
+/// or batch, then charges the environment **once** via
+/// [`KernelOps::charge`]. The vocabulary is unchanged — only the six
+/// [`CpuOp`]s and four [`MoveKind`]s the machine profile prices — so the
+/// analytical model needs no new measured parameter for modern mode.
+#[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KernelOps {
+    /// Per-[`CpuOp`] occurrence counts, indexed by [`CpuOp::index`].
+    pub cpu: [u64; 6],
+    /// Per-[`MoveKind`] byte counts, indexed by [`MoveKind::index`].
+    pub moved: [u64; 4],
+}
+
+impl KernelOps {
+    /// An empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `count` occurrences of `op`.
+    pub fn op(&mut self, op: CpuOp, count: u64) {
+        self.cpu[op.index()] += count;
+    }
+
+    /// Record a memory move of `bytes` bytes of kind `kind`.
+    pub fn moved(&mut self, kind: MoveKind, bytes: u64) {
+        self.moved[kind.index()] += bytes;
+    }
+
+    /// Fold another tally into this one.
+    pub fn absorb(&mut self, other: &KernelOps) {
+        for (a, b) in self.cpu.iter_mut().zip(other.cpu.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.moved.iter_mut().zip(other.moved.iter()) {
+            *a += b;
+        }
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.cpu.iter().all(|&c| c == 0) && self.moved.iter().all(|&b| b == 0)
+    }
+
+    /// Declare the whole tally to `env` on behalf of `proc` and reset it,
+    /// so a reused per-worker tally never double-charges.
+    pub fn charge<E: crate::traits::Env + ?Sized>(&mut self, env: &E, proc: crate::ids::ProcId) {
+        for op in CpuOp::ALL {
+            let n = self.cpu[op.index()];
+            if n > 0 {
+                env.cpu(proc, op, n);
+            }
+        }
+        for kind in MoveKind::ALL {
+            let b = self.moved[kind.index()];
+            if b > 0 {
+                env.move_bytes(proc, kind, b);
+            }
+        }
+        *self = KernelOps::default();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +161,23 @@ mod tests {
         let idx: HashSet<usize> = CpuOp::ALL.iter().map(|o| o.index()).collect();
         assert_eq!(idx.len(), CpuOp::ALL.len());
         assert_eq!(*idx.iter().max().unwrap(), CpuOp::ALL.len() - 1);
+    }
+
+    #[test]
+    fn kernel_ops_accumulate_and_absorb() {
+        let mut a = KernelOps::new();
+        assert!(a.is_empty());
+        a.op(CpuOp::Hash, 10);
+        a.op(CpuOp::Hash, 5);
+        a.moved(MoveKind::PP, 64);
+        let mut b = KernelOps::new();
+        b.op(CpuOp::Compare, 3);
+        b.moved(MoveKind::PP, 36);
+        a.absorb(&b);
+        assert_eq!(a.cpu[CpuOp::Hash.index()], 15);
+        assert_eq!(a.cpu[CpuOp::Compare.index()], 3);
+        assert_eq!(a.moved[MoveKind::PP.index()], 100);
+        assert!(!a.is_empty());
     }
 
     #[test]

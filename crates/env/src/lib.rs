@@ -33,7 +33,7 @@ pub mod stats;
 pub mod trace;
 pub mod traits;
 
-pub use cost::{CpuOp, MoveKind};
+pub use cost::{CpuOp, KernelOps, MoveKind};
 pub use error::{EnvError, Result};
 pub use faults::{FaultKind, FaultSpec, FaultStats, FaultyEnv, FaultyFile, Outcome};
 pub use hist::Histogram;

@@ -240,6 +240,44 @@ pub enum TraceEvent {
         /// How many times this job has now been re-queued.
         attempt: u32,
     },
+    /// A modern-mode radix partitioning kernel ran (histogram + scatter
+    /// of one block scan's `(ptr, key)` pairs into per-owner buckets).
+    KernelRadix {
+        /// Emitting process.
+        proc: u32,
+        /// Storage area the scan covered (`R_i`).
+        area: String,
+        /// Radix buckets scattered into (the fan-out `D`, or the
+        /// second-level bucket count `K` in Grace/Hybrid local joins).
+        buckets: u32,
+        /// `(ptr, key)` pairs partitioned.
+        objects: u64,
+    },
+    /// A modern-mode multi-way merge-scan kernel ran (MPSM-style: one
+    /// owner sequentially merging the sorted private runs every worker
+    /// published for its partition).
+    KernelMerge {
+        /// Emitting (owning) process.
+        proc: u32,
+        /// Area the merged output joins against (`RS_i`).
+        area: String,
+        /// Sorted runs merged.
+        runs: u32,
+        /// Total `(ptr, key)` pairs across all runs.
+        objects: u64,
+    },
+    /// A modern-mode batched S-probe kernel ran (fixed-width key
+    /// fetch + compare over `s_fetch_batch`).
+    KernelProbe {
+        /// Emitting process.
+        proc: u32,
+        /// S partition probed.
+        spart: u32,
+        /// `s_fetch_batch` round trips issued.
+        batches: u64,
+        /// Pointers probed.
+        objects: u64,
+    },
     /// A host-calibration probe began (mmjoin-calibrate).
     ProbeStart {
         /// Probe name (`dtt`, `map`, `mt`, `cs`, `cpu`).
@@ -292,6 +330,9 @@ impl TraceEvent {
             TraceEvent::NodeJoined { .. } => "node_joined",
             TraceEvent::NodeLost { .. } => "node_lost",
             TraceEvent::JobRequeued { .. } => "job_requeued",
+            TraceEvent::KernelRadix { .. } => "kernel_radix",
+            TraceEvent::KernelMerge { .. } => "kernel_merge",
+            TraceEvent::KernelProbe { .. } => "kernel_probe",
             TraceEvent::ProbeStart { .. } => "probe_start",
             TraceEvent::ProbeEnd { .. } => "probe_end",
             TraceEvent::ProbeFit { .. } => "probe_fit",
@@ -606,6 +647,37 @@ pub fn encode(t: f64, event: &TraceEvent) -> String {
             esc(from, &mut s);
             let _ = write!(s, "\",\"attempt\":{attempt}");
         }
+        TraceEvent::KernelRadix {
+            proc,
+            area,
+            buckets,
+            objects,
+        } => {
+            let _ = write!(s, ",\"proc\":{proc},\"area\":\"");
+            esc(area, &mut s);
+            let _ = write!(s, "\",\"buckets\":{buckets},\"objects\":{objects}");
+        }
+        TraceEvent::KernelMerge {
+            proc,
+            area,
+            runs,
+            objects,
+        } => {
+            let _ = write!(s, ",\"proc\":{proc},\"area\":\"");
+            esc(area, &mut s);
+            let _ = write!(s, "\",\"runs\":{runs},\"objects\":{objects}");
+        }
+        TraceEvent::KernelProbe {
+            proc,
+            spart,
+            batches,
+            objects,
+        } => {
+            let _ = write!(
+                s,
+                ",\"proc\":{proc},\"spart\":{spart},\"batches\":{batches},\"objects\":{objects}"
+            );
+        }
         TraceEvent::ProbeStart { probe, reps } => {
             s.push_str(",\"probe\":\"");
             esc(probe, &mut s);
@@ -867,6 +939,45 @@ mod tests {
         assert!(req.contains("\"ev\":\"job_requeued\""));
         assert!(req.contains("\"job\":9"));
         assert!(req.contains("\"from\":\"node-a\"") && req.contains("\"attempt\":1"));
+    }
+
+    #[test]
+    fn kernel_events_encode_their_fields() {
+        let radix = encode(
+            0.0,
+            &TraceEvent::KernelRadix {
+                proc: 1,
+                area: "R_1".into(),
+                buckets: 4,
+                objects: 1024,
+            },
+        );
+        assert!(radix.contains("\"ev\":\"kernel_radix\""));
+        assert!(radix.contains("\"area\":\"R_1\""));
+        assert!(radix.contains("\"buckets\":4") && radix.contains("\"objects\":1024"));
+        let merge = encode(
+            1.0,
+            &TraceEvent::KernelMerge {
+                proc: 0,
+                area: "RS_0".into(),
+                runs: 4,
+                objects: 4096,
+            },
+        );
+        assert!(merge.contains("\"ev\":\"kernel_merge\""));
+        assert!(merge.contains("\"runs\":4") && merge.contains("\"objects\":4096"));
+        let probe = encode(
+            2.0,
+            &TraceEvent::KernelProbe {
+                proc: 2,
+                spart: 2,
+                batches: 3,
+                objects: 5000,
+            },
+        );
+        assert!(probe.contains("\"ev\":\"kernel_probe\""));
+        assert!(probe.contains("\"spart\":2"));
+        assert!(probe.contains("\"batches\":3") && probe.contains("\"objects\":5000"));
     }
 
     #[test]

@@ -82,7 +82,8 @@ impl JobRequest {
     /// `key=value` tokens. Recognized keys: `name`, `alg` (an algorithm
     /// name or `auto`), `objects`, `obj-size`, `d`, `mem-pages`,
     /// `seed`, `dist` (`uniform` | `zipf:T` | `cross`), `mode`
-    /// (`seq` | `threads`). Blank lines and `#` comments yield `None`.
+    /// (`seq` | `threads` | `modern`). Blank lines and `#` comments
+    /// yield `None`.
     pub fn parse_line(line: &str) -> Result<Option<JobRequest>, String> {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -127,7 +128,10 @@ impl JobRequest {
                     req.mode = match value {
                         "seq" => ExecMode::Sequential,
                         "threads" => ExecMode::Threaded,
-                        other => return Err(format!("unknown mode '{other}' (seq | threads)")),
+                        "modern" => ExecMode::Modern,
+                        other => {
+                            return Err(format!("unknown mode '{other}' (seq | threads | modern)"))
+                        }
                     }
                 }
                 other => return Err(format!("unknown job key '{other}'")),
@@ -151,6 +155,7 @@ impl JobRequest {
         let mode = match self.mode {
             ExecMode::Sequential => "seq",
             ExecMode::Threaded => "threads",
+            ExecMode::Modern => "modern",
         };
         let alg = self.alg.map_or("auto", |a| a.name());
         let name = if self.name.is_empty() {
@@ -271,6 +276,7 @@ mod tests {
             "alg=auto objects=2000 obj-size=64 d=2 mem-pages=32 seed=9 dist=uniform mode=seq",
             "name=q1 alg=grace objects=2000 obj-size=64 d=2 mem-pages=32 seed=9 dist=zipf:0.8 mode=threads",
             "name=x alg=hybrid-hash objects=400 obj-size=32 d=4 mem-pages=8 seed=3 dist=cross mode=seq",
+            "name=m alg=sort-merge objects=800 obj-size=64 d=4 mem-pages=16 seed=5 dist=uniform mode=modern",
         ] {
             let req = JobRequest::parse_line(line).unwrap().unwrap();
             let encoded = req.to_line();

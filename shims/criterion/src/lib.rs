@@ -83,6 +83,37 @@ impl Criterion {
 
     /// Flush any pending state (no-op here).
     pub fn final_summary(&mut self) {}
+
+    /// Start a named group: benchmarks registered on it report as
+    /// `group/name`, mirroring criterion's `benchmark_group` surface.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            prefix: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing the parent's config.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark inside the group.
+    pub fn bench_function<N: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name.as_ref());
+        self.c.bench_function(&full, f);
+        self
+    }
+
+    /// End the group (no pending state to flush here).
+    pub fn finish(self) {}
 }
 
 /// Timer handle passed to each benchmark closure.

@@ -35,11 +35,17 @@ fn sim(d: u32, pages: usize) -> SimEnv {
     SimEnv::new(cfg).expect("valid test config")
 }
 
-/// Run one join on `env`, returning everything observable: the output
-/// and the full per-process counter set.
-fn observe<E: Env>(env: &E, w: &WorkloadSpec, alg: Algo, pages: u64) -> (u64, u64, f64, EnvStats) {
+/// Run one join on `env` in `mode`, returning everything observable:
+/// the output and the full per-process counter set.
+fn observe<E: Env>(
+    env: &E,
+    w: &WorkloadSpec,
+    alg: Algo,
+    pages: u64,
+    mode: ExecMode,
+) -> (u64, u64, f64, EnvStats) {
     let rels = build(env, w).expect("workload builds");
-    let spec = JoinSpec::new(pages * PAGE, pages * PAGE).with_mode(ExecMode::Sequential);
+    let spec = JoinSpec::new(pages * PAGE, pages * PAGE).with_mode(mode);
     let out = join(env, &rels, alg, &spec).expect("join runs");
     verify(&out, &rels).expect("join result matches oracle");
     (out.pairs, out.checksum, out.elapsed, env.stats())
@@ -66,12 +72,13 @@ proptest! {
         };
         let w = workload(200, d, seed, dist);
         for alg in [Algo::NestedLoops, Algo::SortMerge, Algo::Grace] {
-            let bare = observe(&sim(d, pages as usize), &w, alg, pages);
+            let bare = observe(&sim(d, pages as usize), &w, alg, pages, ExecMode::Sequential);
             let wrapped = observe(
                 &FaultyEnv::new(sim(d, pages as usize), FaultSpec::none()),
                 &w,
                 alg,
                 pages,
+                ExecMode::Sequential,
             );
             prop_assert_eq!(bare.0, wrapped.0, "pairs ({})", alg.name());
             prop_assert_eq!(bare.1, wrapped.1, "checksum ({})", alg.name());
@@ -79,6 +86,22 @@ proptest! {
             // ProcStats derives PartialEq: every counter and every
             // clock must agree exactly.
             prop_assert_eq!(&bare.3, &wrapped.3, "ProcStats ({})", alg.name());
+
+            // The modern kernels go through the same wrapped call
+            // surface (bulk read_at + s_fetch_batch), so the
+            // passthrough guarantee must hold for them too. Threaded
+            // scheduling makes virtual clocks nondeterministic across
+            // runs, so compare the join result, not EnvStats.
+            let bare_m = observe(&sim(d, pages as usize), &w, alg, pages, ExecMode::Modern);
+            let wrapped_m = observe(
+                &FaultyEnv::new(sim(d, pages as usize), FaultSpec::none()),
+                &w,
+                alg,
+                pages,
+                ExecMode::Modern,
+            );
+            prop_assert_eq!(bare_m.0, wrapped_m.0, "modern pairs ({})", alg.name());
+            prop_assert_eq!(bare_m.1, wrapped_m.1, "modern checksum ({})", alg.name());
         }
     }
 }
@@ -131,4 +154,46 @@ fn retry_heals_transient_faults_without_leaking_files() {
     assert!(report.retried(), "{report:?}");
     assert!(env.fault_stats().total() >= 2, "{:?}", env.fault_stats());
     assert_eq!(env.list_files(), reference_files, "leaked or lost files");
+}
+
+/// Modern-mode healing: inject a transient fault into the bulk scan
+/// (`read_at`) *and* two into the probe exchange (`s_fetch_batch`), and
+/// require the retried join to match a fault-free modern run exactly.
+/// This is the regression net for scratch-arena state leaking across
+/// attempts — arenas, runs, and shared slots are rebuilt per attempt,
+/// so a half-filled partition buffer or stale published run from a
+/// failed attempt would change the pair count or checksum here.
+#[test]
+fn modern_retry_heals_transient_faults_with_fresh_scratch() {
+    let w = workload(300, 2, 29, PointerDist::Zipf { theta: 0.8 });
+    let jspec = JoinSpec::new(8 * PAGE, 8 * PAGE).with_mode(ExecMode::Modern);
+    for alg in [Algo::SortMerge, Algo::Grace, Algo::HybridHash] {
+        let clean_env = sim(2, 8);
+        let clean_rels = build(&clean_env, &w).unwrap();
+        let clean_out = join(&clean_env, &clean_rels, alg, &jspec).unwrap();
+        verify(&clean_out, &clean_rels).unwrap();
+        let reference_files = clean_env.list_files();
+
+        let spec = FaultSpec::parse("seed=9;read:count=1:after=1;sfetch:count=2:after=3").unwrap();
+        let env = FaultyEnv::new(sim(2, 8), spec);
+        let rels = build(env.inner(), &w).unwrap();
+        let (out, report) = join_with_retry(&env, &rels, alg, &jspec, &RetryPolicy::attempts(8))
+            .unwrap_or_else(|e| panic!("{}: retry heals modern joins: {e}", alg.name()));
+        verify(&out, &rels).unwrap();
+        assert_eq!(out.pairs, clean_out.pairs, "{}", alg.name());
+        assert_eq!(out.checksum, clean_out.checksum, "{}", alg.name());
+        assert!(report.retried(), "{}: {report:?}", alg.name());
+        assert!(
+            env.fault_stats().total() >= 1,
+            "{}: {:?}",
+            alg.name(),
+            env.fault_stats()
+        );
+        assert_eq!(
+            env.list_files(),
+            reference_files,
+            "{}: leaked or lost files",
+            alg.name()
+        );
+    }
 }
