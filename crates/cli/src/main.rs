@@ -40,11 +40,16 @@
 
 use std::process::ExitCode;
 
-use mmjoin::{choose, explain, join_with_retry, verify, Algo, ExecMode, JoinSpec, RetryPolicy};
+use mmjoin::{
+    choose, choose_auto, explain, join_with_retry, verify, Algo, ExecMode, JoinSpec, RetryPolicy,
+    SampleSummary, HISTOGRAM_BUCKETS, SAMPLE_CAP,
+};
 use mmjoin_calibrate::{calibrate_host, CalibrateOptions, MachineProfile};
 use mmjoin_env::machine::MachineParams;
 use mmjoin_env::{FaultSpec, FaultyEnv, JsonlSink, TraceSink};
-use mmjoin_relstore::{build, PointerDist, RelConfig, WorkloadSpec};
+use mmjoin_relstore::{
+    build, sample_relation, sample_spec_pointers, PointerDist, RelConfig, WorkloadSpec,
+};
 use mmjoin_vmsim::{
     calibrated_params, measure_dtt, CalibrationSpec, DiskParams, SimConfig, SimEnv,
 };
@@ -166,6 +171,41 @@ fn machine_from(args: &Args) -> Result<MachineParams, String> {
     }
 }
 
+/// The pointer budget requested with `--sample`: bare `--sample` means
+/// the planner's default cap, `--sample N` draws exactly `N`, absent
+/// means no sampling.
+fn sample_cap_from(args: &Args) -> Result<Option<usize>, String> {
+    if args.flag("sample") {
+        return Ok(Some(SAMPLE_CAP));
+    }
+    match args.get("sample") {
+        None => Ok(None),
+        Some(v) => {
+            let cap: usize = v
+                .parse()
+                .map_err(|_| format!("--sample: cannot parse '{v}'"))?;
+            if cap == 0 {
+                return Err("--sample: must draw at least one pointer".to_string());
+            }
+            Ok(Some(cap))
+        }
+    }
+}
+
+/// Sample `cap` pointers from the workload's distribution and fold
+/// them into the planner's histogram summary — the same path `serve`
+/// takes for `plan=auto` job lines.
+fn summarize_spec(w: &WorkloadSpec, cap: usize) -> SampleSummary {
+    let pointers = sample_spec_pointers(w, cap);
+    SampleSummary::from_pointers(
+        &pointers,
+        w.rel.r_objects,
+        w.rel.s_objects,
+        w.rel.d,
+        HISTOGRAM_BUCKETS,
+    )
+}
+
 /// Open the JSONL trace sink requested with `--trace`, if any.
 fn trace_sink_from(args: &Args) -> Result<Option<std::sync::Arc<JsonlSink>>, String> {
     match args.get("trace") {
@@ -178,13 +218,40 @@ fn trace_sink_from(args: &Args) -> Result<Option<std::sync::Arc<JsonlSink>>, Str
 
 fn cmd_join(args: &Args) -> Result<(), String> {
     let w = workload_from(args)?;
-    let pages: u64 = args.get_or("mem-pages", 160)?;
-    let alg = parse_alg(args.get("alg").unwrap_or("grace"))?;
+    let mut pages: u64 = args.get_or("mem-pages", 160)?;
     let mode = match (args.flag("threads"), args.flag("modern")) {
         (true, true) => return Err("--threads and --modern are mutually exclusive".to_string()),
         (_, true) => ExecMode::Modern,
         (true, _) => ExecMode::Threaded,
         _ => ExecMode::Sequential,
+    };
+    let machine = machine_from(args)?;
+    // `--auto` hands algorithm and memory grant to the data-aware
+    // planner: sample the workload's pointers, estimate skew from the
+    // histogram, and take the plan — exactly what a `plan=auto` job
+    // line gets under serve.
+    let (alg, auto_plan) = if args.flag("auto") {
+        if args.get("alg").is_some() {
+            return Err("--alg and --auto are mutually exclusive".to_string());
+        }
+        let inputs = mmjoin_model::JoinInputs {
+            r_objects: w.rel.r_objects,
+            s_objects: w.rel.s_objects,
+            r_size: w.rel.r_size,
+            s_size: w.rel.s_size,
+            sptr_size: mmjoin_relstore::SPTR_SIZE,
+            d: w.rel.d,
+            skew: 1.0,
+            m_rproc: pages * 4096,
+            m_sproc: pages * 4096,
+            g_buffer: 4096,
+        };
+        let summary = summarize_spec(&w, sample_cap_from(args)?.unwrap_or(SAMPLE_CAP));
+        let auto = choose_auto(&machine, &inputs, Some(&summary));
+        pages = (auto.m_rproc / 4096).max(1);
+        (Algo::from(auto.choice.algorithm), Some(auto))
+    } else {
+        (parse_alg(args.get("alg").unwrap_or("grace"))?, None)
     };
     let fault_spec = FaultSpec::parse(args.get("fault-spec").unwrap_or(""))
         .map_err(|e| format!("--fault-spec: {e}"))?;
@@ -198,7 +265,6 @@ fn cmd_join(args: &Args) -> Result<(), String> {
     // domain); the join runs through the injecting wrapper.
     let (out, report, faults) = match env_kind {
         "sim" => {
-            let machine = machine_from(args)?;
             let mut cfg = SimConfig::waterloo96(w.rel.d);
             cfg.machine = machine;
             cfg.rproc_pages = pages as usize;
@@ -252,6 +318,13 @@ fn cmd_join(args: &Args) -> Result<(), String> {
         );
     }
     println!("algorithm:   {}", alg.name());
+    if let Some(auto) = &auto_plan {
+        println!(
+            "auto plan:   {} — predicted {:.1} s",
+            auto.describe(),
+            auto.predicted_seconds()
+        );
+    }
     println!(
         "workload:    |R| = |S| = {} x {} B over D = {}",
         w.rel.r_objects, w.rel.r_size, w.rel.d
@@ -308,6 +381,31 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
             ""
         };
         println!("  {:<14} {t:>10.1} s{marker}", alg.name());
+    }
+    if let Some(cap) = sample_cap_from(args)? {
+        // The data-aware path: draw pointers, estimate skew from the
+        // histogram, and re-rank at the planner's chosen grant.
+        let summary = summarize_spec(&w, cap);
+        let auto = choose_auto(&machine, &inputs, Some(&summary));
+        println!();
+        println!(
+            "sampled {} of {} pointers: histogram skew {:.2} \
+             (worst-case bound {:.1}), duplication {:.2}",
+            summary.sampled,
+            summary.population,
+            summary.estimated_skew(),
+            w.rel.d as f64,
+            summary.duplication
+        );
+        println!("auto plan: {}", auto.describe());
+        for (alg, t) in &auto.choice.ranking {
+            let marker = if *alg == auto.choice.algorithm {
+                "  <== pick"
+            } else {
+                ""
+            };
+            println!("  {:<14} {t:>10.1} s{marker}", alg.name());
+        }
     }
     if let Some(name) = args.get("explain") {
         let alg = mmjoin_model::Algorithm::ALL
@@ -919,18 +1017,6 @@ fn cmd_validate_model(args: &Args) -> Result<(), String> {
     let w = workload_from(args)?;
     let pages: u64 = args.get_or("mem-pages", 160)?;
     let machine = machine_from(args)?;
-    let inputs = mmjoin_model::JoinInputs {
-        r_objects: w.rel.r_objects,
-        s_objects: w.rel.s_objects,
-        r_size: w.rel.r_size,
-        s_size: w.rel.s_size,
-        sptr_size: mmjoin_relstore::SPTR_SIZE,
-        d: w.rel.d,
-        skew: 1.0,
-        m_rproc: pages * 4096,
-        m_sproc: pages * 4096,
-        g_buffer: 4096,
-    };
 
     let root = std::env::temp_dir().join(format!("mmjoin-validate-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
@@ -942,10 +1028,39 @@ fn cmd_validate_model(args: &Args) -> Result<(), String> {
     .map_err(|e| e.to_string())?;
     let rels = build(&env, &w).map_err(|e| e.to_string())?;
 
+    // Predictions below are priced with the histogram skew estimated
+    // from the *stored* relation — the same sampler serve's `plan=auto`
+    // uses, but reading real pages instead of the spec's distribution.
+    let pointers = sample_relation(&env, &rels, SAMPLE_CAP).map_err(|e| e.to_string())?;
+    let summary = SampleSummary::from_pointers(
+        &pointers,
+        w.rel.r_objects,
+        w.rel.s_objects,
+        w.rel.d,
+        HISTOGRAM_BUCKETS,
+    );
+    let inputs = mmjoin_model::JoinInputs {
+        r_objects: w.rel.r_objects,
+        s_objects: w.rel.s_objects,
+        r_size: w.rel.r_size,
+        s_size: w.rel.s_size,
+        sptr_size: mmjoin_relstore::SPTR_SIZE,
+        d: w.rel.d,
+        skew: summary.estimated_skew(),
+        m_rproc: pages * 4096,
+        m_sproc: pages * 4096,
+        g_buffer: 4096,
+    };
+
     println!(
         "model validation on the memory-mapped store: |R| = |S| = {} x {} B, \
          D = {}, {pages} pages/proc",
         w.rel.r_objects, w.rel.r_size, w.rel.d
+    );
+    println!(
+        "sampled {} pointers from the store: histogram skew {:.2}, \
+         duplication {:.2}",
+        summary.sampled, inputs.skew, summary.duplication
     );
     println!(
         "{:<14} {:<12} {:>12} {:>12} {:>9}",
@@ -1049,6 +1164,34 @@ fn cmd_validate_model(args: &Args) -> Result<(), String> {
             predicted
         );
     }
+    // What the skew term is worth: the uniform assumption, the
+    // worst-case bound (every pointer of a partition landing on one
+    // target partition, skew = D), and the histogram estimate the
+    // tables above were priced with.
+    println!();
+    println!(
+        "skew sensitivity (predicted total seconds; histogram = {:.2}, \
+         worst-case bound = {:.1}):",
+        inputs.skew, w.rel.d as f64
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "algorithm", "uniform", "histogram", "worst-case"
+    );
+    for alg in mmjoin_model::Algorithm::ALL {
+        let at = |skew: f64| {
+            let mut i = inputs;
+            i.skew = skew;
+            explain(&machine, &i, alg).total()
+        };
+        println!(
+            "{:<14} {:>12.3} {:>12.3} {:>12.3}",
+            alg.name(),
+            at(1.0),
+            at(inputs.skew),
+            at(w.rel.d as f64)
+        );
+    }
     drop(env);
     let _ = std::fs::remove_dir_all(&root);
     Ok(())
@@ -1058,13 +1201,14 @@ fn usage() {
     println!("mmjoin — parallel pointer-based joins in memory-mapped environments");
     println!();
     println!("usage:");
-    println!("  mmjoin join      [--alg A] [--objects N] [--d D] [--obj-size B]");
+    println!("  mmjoin join      [--alg A | --auto] [--objects N] [--d D] [--obj-size B]");
     println!("                   [--mem-pages P] [--seed S] [--dist uniform|zipf:T|cross]");
     println!("                   [--env sim|mmap] [--threads | --modern]");
     println!("                   [--fault-spec SPEC] [--retries N] [--trace FILE.jsonl]");
     println!("                   [--machine-profile FILE]");
     println!("  mmjoin plan      [--objects N] [--d D] [--obj-size B] [--mem-pages P]");
-    println!("                   [--skew X] [--explain A] [--machine-profile FILE]");
+    println!("                   [--skew X] [--sample [N]] [--explain A]");
+    println!("                   [--machine-profile FILE]");
     println!("  mmjoin serve     [--jobs FILE] [--budget-pages N] [--workers N]");
     println!("                   [--policy fifo|spf] [--shards N] [--placement rr|load|pred]");
     println!("                   [--env sim|mmap] [--modern] [--json] [--stats-json FILE]");
@@ -1075,7 +1219,7 @@ fn usage() {
     println!("                   (reads job lines from stdin");
     println!("                   without --jobs; one job per line, key=value tokens:");
     println!("                   name alg objects obj-size d mem-pages seed dist");
-    println!("                   mode=seq|threads|modern)");
+    println!("                   mode=seq|threads|modern plan=auto|fixed)");
     println!("  mmjoin serve --node [--listen ADDR] [--node-name NAME]");
     println!("                   [--budget-pages N] [--workers N] [--env sim|mmap]");
     println!("                   [--fault-spec SPEC] [--machine-profile FILE]");
@@ -1104,6 +1248,14 @@ fn usage() {
     println!();
     println!("--machine-profile FILE makes join/plan/serve/validate-model use a");
     println!("  calibrated profile instead of the built-in waterloo96 preset");
+    println!();
+    println!("data-aware planning: plan --sample [N] draws N pointers (default");
+    println!("  4096) from the workload's distribution, folds them into an");
+    println!("  equi-depth histogram, and prints the auto plan (algorithm,");
+    println!("  memory grant, partition count, skew provenance) next to the");
+    println!("  fixed-statistics ranking; join --auto runs that plan; serve job");
+    println!("  lines opt in per job with plan=auto (admission then budgets the");
+    println!("  chosen grant, not the submitted one)");
     println!();
     println!("--modern routes joins through the cache-conscious kernel path:");
     println!("  radix-partitioned scans, pre-sorted run exchange with one");
@@ -1246,6 +1398,27 @@ mod tests {
         }
         assert!(parse_dist("zipf:x").is_err());
         assert!(parse_dist("normal").is_err());
+    }
+
+    #[test]
+    fn sample_cap_is_flag_or_value() {
+        assert_eq!(sample_cap_from(&args(&[])).unwrap(), None);
+        assert_eq!(
+            sample_cap_from(&args(&["--sample"])).unwrap(),
+            Some(SAMPLE_CAP)
+        );
+        assert_eq!(
+            sample_cap_from(&args(&["--sample", "128"])).unwrap(),
+            Some(128)
+        );
+        assert!(sample_cap_from(&args(&["--sample", "0"])).is_err());
+        assert!(sample_cap_from(&args(&["--sample", "lots"])).is_err());
+    }
+
+    #[test]
+    fn join_rejects_alg_combined_with_auto() {
+        let err = cmd_join(&args(&["--auto", "--alg", "grace"])).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
     }
 
     #[test]

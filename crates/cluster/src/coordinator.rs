@@ -195,6 +195,10 @@ struct NodeState {
     terminal: bool,
     budget: u64,
     workers: u32,
+    /// Relative speed from the node's `Hello` (inverse predicted
+    /// seconds of a reference join under its calibrated profile);
+    /// 0.0 until registered. Only ratios between nodes matter.
+    speed: f64,
     reserved: u64,
     in_flight: std::collections::BTreeMap<u64, InFlight>,
 }
@@ -435,12 +439,20 @@ impl CoShared {
     }
 
     /// Register a node's `Hello` (first connect or reconnect).
-    fn register(&self, idx: usize, name: &str, budget: u64, workers: u32) {
+    fn register(&self, idx: usize, name: &str, budget: u64, workers: u32, speed: f64) {
         let mut st = self.lock();
         let node = &mut st.nodes[idx];
         node.name = name.to_string();
         node.budget = budget;
         node.workers = workers.max(1);
+        // Guard against a garbage profile on the wire: a non-finite or
+        // non-positive speed would make every comparison vacuous, so it
+        // degrades to "average" instead.
+        node.speed = if speed.is_finite() && speed > 0.0 {
+            speed
+        } else {
+            1.0
+        };
         node.registered = true;
         node.alive = true;
         st.stats.node_joins += 1;
@@ -476,6 +488,26 @@ impl CoShared {
             .pending
             .iter()
             .position(|p| p.ready_at <= now && p.req.footprint() <= free)?;
+        // Host-aware placement: when a strictly faster node could run
+        // this job *right now* (alive, free worker slot, free budget),
+        // leave it in the queue — that node's session loop claims
+        // within one poll interval. If the faster node dies or fills
+        // up, the condition lapses and this node takes the job, so
+        // nothing starves; a stalled-but-undeclared faster node delays
+        // a job by at most the failure-detection timeout.
+        let footprint = st.pending[pos].req.footprint();
+        let my_speed = st.nodes[idx].speed;
+        let faster_is_free = st.nodes.iter().enumerate().any(|(k, n)| {
+            k != idx
+                && n.alive
+                && n.speed > my_speed
+                && n.in_flight.len() < n.workers as usize
+                && n.budget.saturating_sub(n.reserved) >= footprint
+        });
+        if faster_is_free {
+            st.stats.deferred_claims += 1;
+            return None;
+        }
         let p = st.pending.remove(pos).expect("position just found");
         let node_name = st.nodes[idx].display_name().to_string();
         let line = p.req.to_line();
@@ -651,8 +683,9 @@ fn session(shared: &CoShared, idx: usize, mut stream: TcpStream) -> SessionEnd {
                 node,
                 budget_bytes,
                 workers,
+                speed,
             })) => {
-                shared.register(idx, &node, budget_bytes, workers);
+                shared.register(idx, &node, budget_bytes, workers, speed);
                 break;
             }
             Ok(Some(_)) => {}

@@ -37,7 +37,7 @@ const T_SHUTDOWN: u8 = 6;
 
 /// One RPC message. The coordinator sends `RunJob`/`Ping`/`Shutdown`;
 /// a node sends `Hello` (once, on connect) and `Pong`/`JobDone`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Message {
     /// A node's registration, sent immediately after the coordinator
     /// connects: its name and the capacity admission control plans
@@ -49,6 +49,12 @@ pub enum Message {
         budget_bytes: u64,
         /// Worker threads the node runs.
         workers: u32,
+        /// Relative execution speed under the node's calibrated machine
+        /// profile (inverse predicted seconds of a fixed reference
+        /// join). Dimensionless: the coordinator only compares ratios
+        /// between nodes when weighting placement. Carried as IEEE-754
+        /// bits on the wire, so the round trip is exact.
+        speed: f64,
     },
     /// Dispatch one job. At-least-once: the coordinator may resend a
     /// `RunJob` it is unsure about, and the node dedups by `job` id.
@@ -111,11 +117,13 @@ impl Message {
                 node,
                 budget_bytes,
                 workers,
+                speed,
             } => {
                 body.push(T_HELLO);
                 put_str(&mut body, node);
                 body.extend_from_slice(&budget_bytes.to_le_bytes());
                 body.extend_from_slice(&workers.to_le_bytes());
+                body.extend_from_slice(&speed.to_bits().to_le_bytes());
             }
             Message::RunJob { job, line } => {
                 body.push(T_RUN_JOB);
@@ -165,6 +173,7 @@ impl Message {
                 node: cur.string()?,
                 budget_bytes: cur.u64()?,
                 workers: cur.u32()?,
+                speed: f64::from_bits(cur.u64()?),
             },
             T_RUN_JOB => Message::RunJob {
                 job: cur.u64()?,
@@ -358,6 +367,7 @@ mod tests {
                 node: "node-a".into(),
                 budget_bytes: 1 << 24,
                 workers: 4,
+                speed: 2.5,
             },
             Message::RunJob {
                 job: 9,
@@ -397,6 +407,25 @@ mod tests {
             assert_eq!(got, want);
         }
         assert!(read_msg(&mut r).unwrap().is_none(), "clean EOF at the end");
+    }
+
+    #[test]
+    fn hello_speed_round_trips_bitwise() {
+        for speed in [0.0, 1.0 / 3.0, 1234.5678e-9, f64::MAX] {
+            let msg = Message::Hello {
+                node: "n".into(),
+                budget_bytes: 1,
+                workers: 1,
+                speed,
+            };
+            let got = read_msg(&mut IoCursor::new(msg.encode()))
+                .unwrap()
+                .expect("message present");
+            match got {
+                Message::Hello { speed: s, .. } => assert_eq!(s.to_bits(), speed.to_bits()),
+                other => panic!("decoded wrong variant: {other:?}"),
+            }
+        }
     }
 
     #[test]

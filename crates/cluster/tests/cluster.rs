@@ -107,6 +107,7 @@ fn spawn_silent_node(claim_before_silence: usize) -> (String, Arc<AtomicUsize>) 
                 node: "black-hole".into(),
                 budget_bytes: 1 << 30,
                 workers: 4,
+                speed: 1.0,
             },
         )
         .unwrap();
@@ -193,6 +194,7 @@ fn spawn_double_done_node() -> String {
                 node: "stutter".into(),
                 budget_bytes: 1 << 30,
                 workers: 4,
+                speed: 1.0,
             },
         )
         .unwrap();
@@ -223,6 +225,85 @@ fn spawn_double_done_node() -> String {
     addr
 }
 
+/// A scripted node that advertises the given relative speed and
+/// completes every dispatch instantly (by formula, idempotently).
+fn spawn_completing_node(name: &'static str, speed: f64, workers: u32) -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        let Ok((mut stream, _)) = listener.accept() else {
+            return;
+        };
+        stream
+            .set_read_timeout(Some(Duration::from_millis(10)))
+            .unwrap();
+        write_msg(
+            &mut stream,
+            &Message::Hello {
+                node: name.into(),
+                budget_bytes: 1 << 30,
+                workers,
+                speed,
+            },
+        )
+        .unwrap();
+        loop {
+            match read_msg(&mut stream) {
+                Ok(Some(Message::RunJob { job, .. })) => {
+                    let _ = write_msg(
+                        &mut stream,
+                        &Message::JobDone {
+                            job,
+                            alg: "grace".into(),
+                            pairs: job * 100,
+                            checksum: job * 7,
+                            ok: true,
+                            error: String::new(),
+                        },
+                    );
+                }
+                Ok(Some(Message::Ping { seq })) => {
+                    let _ = write_msg(&mut stream, &Message::Pong { seq });
+                }
+                Ok(Some(Message::Shutdown)) | Ok(None) => return,
+                Ok(Some(_)) => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(_) => return,
+            }
+        }
+    });
+    addr
+}
+
+/// Host-aware placement: with the whole speed table known before any
+/// job exists, every claim by the slower node must defer to the faster
+/// node while it has a free worker slot and budget — so the faster
+/// node wins every job.
+#[test]
+fn claims_defer_to_the_faster_free_node() {
+    let slow = NodeServer::start("127.0.0.1:0", "slow", ServeConfig::sim(64 * PAGE, 2)).unwrap();
+    let fast_addr = spawn_completing_node("fast", 1e12, 64);
+    let co = Coordinator::start(fast_cfg(vec![slow.local_addr().to_string(), fast_addr])).unwrap();
+    // Submit only after both nodes have registered, so the speed table
+    // is complete and placement is deterministic.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while co.stats().nodes_alive < 2 {
+        assert!(Instant::now() < deadline, "nodes did not register in time");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    for req in jobs(6) {
+        co.submit(req).unwrap();
+    }
+    let (results, stats) = co.finish();
+    assert_eq!(results.len(), 6);
+    assert!(
+        results.iter().all(|r| r.node == "fast"),
+        "every job must land on the faster node: {results:?}"
+    );
+    assert_eq!(slow.completed(), 0, "slow node must not win any claim");
+    assert_eq!(stats.budget_leak_bytes, 0);
+}
+
 /// A node whose first session swallows one dispatch and then drops the
 /// connection without a word; every later session completes jobs
 /// normally (idempotently, by formula, so redelivered dispatches are
@@ -246,6 +327,7 @@ fn spawn_flaky_then_healthy_node() -> String {
                     node: "flaky".into(),
                     budget_bytes: 1 << 30,
                     workers: 4,
+                    speed: 1.0,
                 },
             )
             .is_err()

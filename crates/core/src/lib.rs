@@ -55,16 +55,18 @@ pub mod pheap;
 pub mod planner;
 pub mod retry;
 pub mod sort_merge;
+pub mod stats;
 
 pub use exec::{
     finish, run_stages, stage_summary, ExecMode, JoinAcc, JoinOutput, JoinSpec, SBatcher,
     SharedSlots,
 };
-pub use planner::{choose, explain, inputs_for, PlanChoice};
+pub use planner::{choose, choose_auto, explain, inputs_for, AutoPlan, PlanChoice, SkewSource};
 pub use retry::{
     join_with_retry, join_with_retry_report, new_files_since, new_files_since_tagged, RetryPolicy,
     RetryReport,
 };
+pub use stats::{Reservoir, SampleSummary, HISTOGRAM_BUCKETS, SAMPLE_CAP};
 
 use mmjoin_env::{Env, Result};
 use mmjoin_relstore::Relations;

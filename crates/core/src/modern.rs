@@ -25,7 +25,7 @@
 //!   ([`PROBE_REQ_BYTES`]) instead of whole R-objects, in ascending
 //!   pointer order so each `S` page is touched once while hot
 //!   ([`TraceEvent::KernelProbe`]).
-//! * **Reusable scratch arenas**: every worker owns an [`Arena`] of
+//! * **Reusable scratch arenas**: every worker owns an `Arena` of
 //!   buffers reused across blocks and batches; arenas are constructed
 //!   fresh per join attempt, so a retried join can never observe stale
 //!   kernel state.
@@ -644,11 +644,7 @@ fn run_hybrid<E: Env>(env: &E, rels: &Relations, spec: &JoinSpec) -> Result<Join
 }
 
 /// Split a run into (bucket-0, spill) halves per the hybrid router.
-fn split_f0(
-    hash: &hybrid::HybridHashFn,
-    run: PairVec,
-    ops: &mut KernelOps,
-) -> (PairVec, PairVec) {
+fn split_f0(hash: &hybrid::HybridHashFn, run: PairVec, ops: &mut KernelOps) -> (PairVec, PairVec) {
     ops.op(CpuOp::Hash, run.len() as u64);
     run.into_iter()
         .partition(|&(p, _)| hash.route(SPtr(p)).is_none())

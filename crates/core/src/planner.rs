@@ -8,11 +8,12 @@
 //! can audit the decision.
 
 use mmjoin_env::machine::MachineParams;
-use mmjoin_model::{predict, Algorithm, CostBreakdown, JoinInputs};
+use mmjoin_model::{choose_k, predict, Algorithm, CostBreakdown, JoinInputs, HASH_ENTRY_OVERHEAD};
 use mmjoin_relstore::{Relations, SPTR_SIZE};
 
 use crate::exec::{ExecMode, JoinSpec};
 use crate::modern;
+use crate::stats::SampleSummary;
 
 /// Build the model inputs corresponding to an executable join.
 ///
@@ -93,6 +94,180 @@ pub fn explain(machine: &MachineParams, inputs: &JoinInputs, alg: Algorithm) -> 
     predict(alg, machine, inputs)
 }
 
+/// Where the skew factor a plan was priced with came from.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SkewSource {
+    /// The paper's uniform assumption (skew 1.0), no statistics at all.
+    Assumed,
+    /// The workload's distribution-level analytical estimate
+    /// (`WorkloadSpec::estimated_skew`), still a closed-form bound.
+    Estimated,
+    /// A histogram over actually sampled pointers
+    /// ([`SampleSummary::estimated_skew`]).
+    Sampled,
+}
+
+impl SkewSource {
+    /// Stable lowercase name for traces and JSON artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            SkewSource::Assumed => "assumed",
+            SkewSource::Estimated => "estimated",
+            SkewSource::Sampled => "sampled",
+        }
+    }
+}
+
+/// A data-aware plan: algorithm, memory grant, and partition count
+/// chosen from observed (or estimated) statistics rather than a fixed
+/// configuration, with the provenance of the skew term it was priced
+/// with.
+#[derive(Clone, Debug)]
+pub struct AutoPlan {
+    /// The ranked algorithm decision at the chosen memory grant.
+    pub choice: PlanChoice,
+    /// The chosen `M_Rproc_i` in bytes — never predicted slower than
+    /// the requested grant, and trimmed when the model says the extra
+    /// memory buys nothing.
+    pub m_rproc: u64,
+    /// The chosen `M_Sproc_i` in bytes (currently the requested grant;
+    /// shrinking it always costs hybrid hash its resident bucket 0).
+    pub m_sproc: u64,
+    /// The skew factor the plan was priced with.
+    pub skew: f64,
+    /// Plan-level partition count for the local join pass
+    /// (`choose_k` over the skew-adjusted worst `RS_i`).
+    pub partitions: u32,
+    /// Where [`AutoPlan::skew`] came from.
+    pub source: SkewSource,
+}
+
+impl AutoPlan {
+    /// The winner's predicted time at the chosen memory grant.
+    pub fn predicted_seconds(&self) -> f64 {
+        self.choice.predicted_seconds()
+    }
+
+    /// One-line provenance for logs: algorithm, grant, partitions,
+    /// skew and its source.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} m_rproc={} KiB K={} skew={:.2} ({})",
+            self.choice.algorithm.name(),
+            self.m_rproc / 1024,
+            self.partitions,
+            self.skew,
+            self.source.name()
+        )
+    }
+}
+
+/// Page size used to align chosen memory grants.
+const PLAN_PAGE: u64 = 4096;
+
+/// Smallest memory grant the auto-planner will choose.
+const PLAN_MIN_BYTES: u64 = 4 * PLAN_PAGE;
+
+/// Relative tolerance under which a smaller memory grant counts as
+/// "predicted no slower": only genuinely flat regions of the cost
+/// curve let the grant shrink.
+const PLAN_FLAT_EPS: f64 = 1e-9;
+
+/// The skew-adjusted worst per-process `RS_i` population.
+fn rs_worst(inputs: &JoinInputs, skew: f64) -> u64 {
+    let ri = inputs.r_objects / inputs.d as u64;
+    ((ri as f64 * skew).min(inputs.r_objects as f64)).ceil() as u64
+}
+
+/// A memory grant beyond which the model's curves are flat: the
+/// resident partition plus a `choose_k`-slack hash table over the
+/// skew-adjusted worst `RS_i`.
+fn useful_cap(inputs: &JoinInputs, skew: f64) -> u64 {
+    let ri = inputs.r_objects / inputs.d as u64;
+    let rs = rs_worst(inputs, skew);
+    let bytes = ri * inputs.r_size as u64 + rs * (inputs.r_size as u64 + HASH_ENTRY_OVERHEAD) * 3;
+    bytes.next_multiple_of(PLAN_PAGE).max(PLAN_MIN_BYTES)
+}
+
+/// Choose algorithm, memory grant, and partition count from statistics.
+///
+/// The skew term comes from `summary` when one is given (a histogram
+/// over sampled pointers), else from `base.skew` (the workload's
+/// analytical estimate), else it is the uniform assumption. The memory
+/// grant starts from `base.m_rproc` and is reduced to the smallest
+/// page-aligned candidate whose best predicted time is within
+/// `PLAN_FLAT_EPS` of the best overall — so the plan is never
+/// *predicted* slower than the fixed plan, and uniform inputs hand
+/// budget back to the admission controller while skewed inputs keep
+/// their grant.
+///
+/// A sampled summary additionally replaces `|S|` with its Chao1
+/// hot-set estimate ([`SampleSummary::estimated_distinct`]): heavily
+/// duplicated pointers mean the join only ever touches a small slice
+/// of S, and pricing against that slice is what lets the planner flip
+/// to pointer chasing on hot-key workloads.
+pub fn choose_auto(
+    machine: &MachineParams,
+    base: &JoinInputs,
+    summary: Option<&SampleSummary>,
+) -> AutoPlan {
+    let (skew, source) = match summary {
+        Some(s) => (s.estimated_skew(), SkewSource::Sampled),
+        None if (base.skew - 1.0).abs() > 1e-12 => (base.skew, SkewSource::Estimated),
+        None => (1.0, SkewSource::Assumed),
+    };
+    let mut inputs = *base;
+    inputs.skew = skew;
+    if let Some(s) = summary {
+        // Duplicated pointers shrink the S working set: price every
+        // algorithm against the Chao1-estimated hot set rather than the
+        // full target space. A hot set that fits in memory makes
+        // repeated pointer fetches cache hits, which is exactly the
+        // regime where pointer chasing beats the partitioning joins.
+        inputs.s_objects = inputs.s_objects.min(s.estimated_distinct().max(1));
+    }
+
+    let cap = useful_cap(&inputs, skew)
+        .min(base.m_rproc)
+        .max(PLAN_MIN_BYTES);
+    let mut candidates = vec![base.m_rproc, cap, cap / 2, cap / 4];
+    for c in &mut candidates {
+        *c = (*c / PLAN_PAGE * PLAN_PAGE).max(PLAN_MIN_BYTES);
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+
+    let predicted: Vec<(u64, f64)> = candidates
+        .iter()
+        .map(|&m| {
+            let mut w = inputs;
+            w.m_rproc = m;
+            (m, choose(machine, &w).predicted_seconds())
+        })
+        .collect();
+    let best = predicted
+        .iter()
+        .map(|&(_, t)| t)
+        .fold(f64::INFINITY, f64::min);
+    let m_rproc = predicted
+        .iter()
+        .find(|&&(_, t)| t <= best * (1.0 + PLAN_FLAT_EPS))
+        .map(|&(m, _)| m)
+        .unwrap_or(base.m_rproc);
+
+    inputs.m_rproc = m_rproc;
+    let choice = choose(machine, &inputs);
+    let partitions = choose_k(rs_worst(&inputs, skew), inputs.r_size, m_rproc).max(1) as u32;
+    AutoPlan {
+        choice,
+        m_rproc,
+        m_sproc: base.m_sproc,
+        skew,
+        partitions,
+        source,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +315,120 @@ mod tests {
             assert!(*t > 0.0);
         }
         assert_eq!(c.predicted_seconds(), c.ranking[0].1);
+    }
+
+    #[test]
+    fn auto_plan_differs_between_uniform_and_skewed_samples() {
+        let m = MachineParams::waterloo96();
+        let base = inputs(0.05);
+        // Uniform sample: every partition equally hit from every source.
+        let uni: Vec<(u32, u64)> = (0..4096u64)
+            .map(|k| ((k % 4) as u32, (k * 97) % base.s_objects))
+            .collect();
+        let uni_sum = SampleSummary::from_pointers(&uni, base.r_objects, base.s_objects, 4, 16);
+        // Cross-partition-like sample: every source hits one partition.
+        let per = base.s_objects / 4;
+        let skewed: Vec<(u32, u64)> = (0..4096u64)
+            .map(|k| ((k % 4) as u32, per + k % per))
+            .collect();
+        let skew_sum = SampleSummary::from_pointers(&skewed, base.r_objects, base.s_objects, 4, 16);
+
+        let a = choose_auto(&m, &base, Some(&uni_sum));
+        let b = choose_auto(&m, &base, Some(&skew_sum));
+        assert_eq!(a.source, SkewSource::Sampled);
+        assert!(a.skew < 1.2, "uniform sampled skew {}", a.skew);
+        assert_eq!(b.skew, 4.0, "concentrated sample saturates the factor");
+        // The skewed plan must differ: the skew-adjusted worst RS_i is
+        // ~4x larger, so the plan-level partition count grows (and the
+        // algorithm may flip too).
+        assert!(
+            b.partitions > a.partitions || b.choice.algorithm != a.choice.algorithm,
+            "skewed plan {:?}/{} == uniform plan {:?}/{}",
+            b.choice.algorithm,
+            b.partitions,
+            a.choice.algorithm,
+            a.partitions
+        );
+        assert!(b.m_rproc >= a.m_rproc, "skew never shrinks the grant more");
+    }
+
+    #[test]
+    fn hot_key_sample_flips_the_plan_to_pointer_chasing() {
+        let m = MachineParams::waterloo96();
+        let base = inputs(0.02);
+        // Fixed statistics at 2% of |R|: a partitioning join wins.
+        let fixed = choose(&m, &base);
+        assert_ne!(fixed.algorithm, Algorithm::NestedLoops);
+        // A closed hot set of 64 targets, evenly hit from every source:
+        // skew stays ~1 but the Chao1 estimate collapses |S| to 64, the
+        // repeated fetches become cache hits, and pointer chasing wins.
+        let hot: Vec<(u32, u64)> = (0..4096u64)
+            .map(|k| ((k % 4) as u32, (k * 13) % 64))
+            .collect();
+        let sum = SampleSummary::from_pointers(&hot, base.r_objects, base.s_objects, 4, 16);
+        assert_eq!(sum.estimated_distinct(), 64);
+        let auto = choose_auto(&m, &base, Some(&sum));
+        assert_eq!(
+            auto.choice.algorithm,
+            Algorithm::NestedLoops,
+            "hot set must flip the pick: {:?}",
+            auto.choice.ranking
+        );
+    }
+
+    #[test]
+    fn auto_plan_is_never_predicted_slower_than_fixed() {
+        let m = MachineParams::waterloo96();
+        for frac in [0.02, 0.05, 0.1, 0.3] {
+            for skew in [1.0, 2.0, 4.0] {
+                let mut base = inputs(frac);
+                base.skew = skew;
+                let fixed = choose(&m, &base);
+                let auto = choose_auto(&m, &base, None);
+                assert!(
+                    auto.predicted_seconds() <= fixed.predicted_seconds() * (1.0 + 1e-6),
+                    "auto {} > fixed {} at frac {frac} skew {skew}",
+                    auto.predicted_seconds(),
+                    fixed.predicted_seconds()
+                );
+                assert!(auto.m_rproc <= base.m_rproc);
+                assert!(auto.m_rproc >= 4 * 4096);
+            }
+        }
+    }
+
+    #[test]
+    fn auto_plan_trims_grants_the_model_calls_useless() {
+        let m = MachineParams::waterloo96();
+        // Request far more memory than the whole working set: the
+        // auto-planner must hand the surplus back.
+        let mut base = inputs(0.05);
+        base.m_rproc = 8 * base.r_objects * base.r_size as u64;
+        let auto = choose_auto(&m, &base, None);
+        assert!(
+            auto.m_rproc < base.m_rproc,
+            "grant {} not trimmed from {}",
+            auto.m_rproc,
+            base.m_rproc
+        );
+        assert_eq!(auto.m_rproc % 4096, 0, "grant is page aligned");
+    }
+
+    #[test]
+    fn auto_plan_is_deterministic() {
+        let m = MachineParams::waterloo96();
+        let base = inputs(0.05);
+        let ptrs: Vec<(u32, u64)> = (0..2048u64)
+            .map(|k| ((k % 4) as u32, (k * 31) % base.s_objects))
+            .collect();
+        let sum = SampleSummary::from_pointers(&ptrs, base.r_objects, base.s_objects, 4, 16);
+        let a = choose_auto(&m, &base, Some(&sum));
+        let b = choose_auto(&m, &base, Some(&sum));
+        assert_eq!(a.choice.algorithm, b.choice.algorithm);
+        assert_eq!(a.m_rproc, b.m_rproc);
+        assert_eq!(a.partitions, b.partitions);
+        assert_eq!(a.skew.to_bits(), b.skew.to_bits());
+        assert!(a.describe().contains("sampled"));
     }
 
     #[test]

@@ -134,6 +134,34 @@ pub enum TraceEvent {
         /// Backoff sleep in milliseconds.
         millis: u64,
     },
+    /// The planner sampled a job's join pointers at submit time
+    /// (`plan=auto`).
+    PlanSampled {
+        /// Service job id.
+        job: u64,
+        /// Pointers sampled.
+        sampled: u64,
+        /// Histogram-derived skew factor.
+        skew: f64,
+        /// Pointer duplication factor (`sampled / distinct`).
+        duplication: f64,
+    },
+    /// The planner chose a job's plan from statistics (`plan=auto`).
+    PlanChosen {
+        /// Service job id.
+        job: u64,
+        /// Chosen algorithm name.
+        algorithm: String,
+        /// Chosen `M_Rproc_i` in bytes.
+        m_rproc: u64,
+        /// Plan-level partition count for the local join pass.
+        partitions: u32,
+        /// Skew factor the plan was priced with.
+        skew: f64,
+        /// Where the skew came from (`assumed` | `estimated` |
+        /// `sampled`).
+        source: String,
+    },
     /// A job entered the service queue.
     JobSubmitted {
         /// Service job id.
@@ -319,6 +347,8 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::RetryAttempt { .. } => "retry_attempt",
             TraceEvent::RetryBackoff { .. } => "retry_backoff",
+            TraceEvent::PlanSampled { .. } => "plan_sampled",
+            TraceEvent::PlanChosen { .. } => "plan_chosen",
             TraceEvent::JobSubmitted { .. } => "job_submitted",
             TraceEvent::JobAdmitted { .. } => "job_admitted",
             TraceEvent::JobStolen { .. } => "job_stolen",
@@ -572,6 +602,36 @@ pub fn encode(t: f64, event: &TraceEvent) -> String {
         TraceEvent::RetryBackoff { attempt, millis } => {
             let _ = write!(s, ",\"attempt\":{attempt},\"millis\":{millis}");
         }
+        TraceEvent::PlanSampled {
+            job,
+            sampled,
+            skew,
+            duplication,
+        } => {
+            // Plain Display keeps the floats' shortest round-trip
+            // representation, so replayed plans re-read identical bits.
+            let _ = write!(
+                s,
+                ",\"job\":{job},\"sampled\":{sampled},\"skew\":{skew},\"duplication\":{duplication}"
+            );
+        }
+        TraceEvent::PlanChosen {
+            job,
+            algorithm,
+            m_rproc,
+            partitions,
+            skew,
+            source,
+        } => {
+            let _ = write!(s, ",\"job\":{job},\"algorithm\":\"");
+            esc(algorithm, &mut s);
+            let _ = write!(
+                s,
+                "\",\"m_rproc\":{m_rproc},\"partitions\":{partitions},\"skew\":{skew},\"source\":\""
+            );
+            esc(source, &mut s);
+            s.push('"');
+        }
         TraceEvent::JobSubmitted {
             job,
             footprint,
@@ -805,6 +865,37 @@ mod tests {
         }
         assert!(lines[1].contains("\"ok\":true"));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn plan_events_encode_provenance() {
+        let sampled = encode(
+            0.0,
+            &TraceEvent::PlanSampled {
+                job: 5,
+                sampled: 4096,
+                skew: 3.5,
+                duplication: 1.25,
+            },
+        );
+        assert!(sampled.contains("\"ev\":\"plan_sampled\""));
+        assert!(sampled.contains("\"job\":5") && sampled.contains("\"sampled\":4096"));
+        assert!(sampled.contains("\"skew\":3.5") && sampled.contains("\"duplication\":1.25"));
+        let chosen = encode(
+            1.0,
+            &TraceEvent::PlanChosen {
+                job: 5,
+                algorithm: "grace".into(),
+                m_rproc: 64 * 4096,
+                partitions: 7,
+                skew: 3.5,
+                source: "sampled".into(),
+            },
+        );
+        assert!(chosen.contains("\"ev\":\"plan_chosen\""));
+        assert!(chosen.contains("\"algorithm\":\"grace\""));
+        assert!(chosen.contains("\"m_rproc\":262144") && chosen.contains("\"partitions\":7"));
+        assert!(chosen.contains("\"source\":\"sampled\""));
     }
 
     #[test]

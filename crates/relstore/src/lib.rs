@@ -19,4 +19,6 @@ pub use object::{
     SPTR_SIZE,
 };
 pub use scan::ObjScan;
-pub use workload::{build, PointerDist, Relations, WorkloadSpec, Zipf};
+pub use workload::{
+    build, sample_relation, sample_spec_pointers, PointerDist, Relations, WorkloadSpec, Zipf,
+};

@@ -10,6 +10,19 @@ pub type JobId = u64;
 /// Default page size used for budget arithmetic (the paper's 4 KB).
 pub const PAGE: u64 = 4096;
 
+/// How the job's plan (algorithm, memory grant, partitions) is chosen.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// Run with exactly the submitted configuration.
+    #[default]
+    Fixed,
+    /// Sample the workload's pointer distribution at submit time and
+    /// let [`mmjoin::choose_auto`] pick algorithm, `m_rproc`, and
+    /// partition count; admission control then budgets against the
+    /// *chosen* grant.
+    Auto,
+}
+
 /// One join job as submitted by a client.
 #[derive(Clone, Debug)]
 pub struct JobRequest {
@@ -26,6 +39,9 @@ pub struct JobRequest {
     pub alg: Option<Algo>,
     /// Execution mode of the D Rprocs inside this job.
     pub mode: ExecMode,
+    /// Whether the service may re-plan this job from sampled
+    /// statistics (`plan=auto`) or must take it as-is (`plan=fixed`).
+    pub plan: PlanMode,
 }
 
 impl JobRequest {
@@ -50,6 +66,7 @@ impl JobRequest {
             m_sproc: mem_pages * PAGE,
             alg: None,
             mode: ExecMode::Sequential,
+            plan: PlanMode::Fixed,
         }
     }
 
@@ -82,8 +99,8 @@ impl JobRequest {
     /// `key=value` tokens. Recognized keys: `name`, `alg` (an algorithm
     /// name or `auto`), `objects`, `obj-size`, `d`, `mem-pages`,
     /// `seed`, `dist` (`uniform` | `zipf:T` | `cross`), `mode`
-    /// (`seq` | `threads` | `modern`). Blank lines and `#` comments
-    /// yield `None`.
+    /// (`seq` | `threads` | `modern`), `plan` (`fixed` | `auto`).
+    /// Blank lines and `#` comments yield `None`.
     pub fn parse_line(line: &str) -> Result<Option<JobRequest>, String> {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -134,6 +151,13 @@ impl JobRequest {
                         }
                     }
                 }
+                "plan" => {
+                    req.plan = match value {
+                        "fixed" => PlanMode::Fixed,
+                        "auto" => PlanMode::Auto,
+                        other => return Err(format!("unknown plan '{other}' (fixed | auto)")),
+                    }
+                }
                 other => return Err(format!("unknown job key '{other}'")),
             }
         }
@@ -163,8 +187,15 @@ impl JobRequest {
         } else {
             format!("name={} ", self.name)
         };
+        // `plan=fixed` is the default and is omitted so pre-existing
+        // journals and fixtures round-trip byte-identically.
+        let plan = if self.plan == PlanMode::Auto {
+            " plan=auto"
+        } else {
+            ""
+        };
         format!(
-            "{name}alg={alg} objects={} obj-size={} d={} mem-pages={} seed={} dist={dist} mode={mode}",
+            "{name}alg={alg} objects={} obj-size={} d={} mem-pages={} seed={} dist={dist} mode={mode}{plan}",
             self.workload.rel.r_objects,
             self.workload.rel.r_size,
             self.workload.rel.d,
@@ -277,6 +308,7 @@ mod tests {
             "name=q1 alg=grace objects=2000 obj-size=64 d=2 mem-pages=32 seed=9 dist=zipf:0.8 mode=threads",
             "name=x alg=hybrid-hash objects=400 obj-size=32 d=4 mem-pages=8 seed=3 dist=cross mode=seq",
             "name=m alg=sort-merge objects=800 obj-size=64 d=4 mem-pages=16 seed=5 dist=uniform mode=modern",
+            "name=a alg=auto objects=2000 obj-size=64 d=2 mem-pages=32 seed=9 dist=cross mode=seq plan=auto",
         ] {
             let req = JobRequest::parse_line(line).unwrap().unwrap();
             let encoded = req.to_line();
@@ -288,7 +320,21 @@ mod tests {
             assert_eq!(back.workload.seed, req.workload.seed);
             assert_eq!(back.m_rproc, req.m_rproc);
             assert_eq!(back.mode, req.mode);
+            assert_eq!(back.plan, req.plan);
         }
+    }
+
+    #[test]
+    fn plan_key_parses_and_defaults_to_fixed() {
+        let fixed = JobRequest::parse_line("alg=auto").unwrap().unwrap();
+        assert_eq!(fixed.plan, PlanMode::Fixed);
+        assert!(!fixed.to_line().contains("plan="), "default omitted");
+        let auto = JobRequest::parse_line("alg=auto plan=auto")
+            .unwrap()
+            .unwrap();
+        assert_eq!(auto.plan, PlanMode::Auto);
+        assert!(auto.to_line().ends_with(" plan=auto"));
+        assert!(JobRequest::parse_line("plan=maybe").is_err());
     }
 
     #[test]

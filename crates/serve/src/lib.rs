@@ -64,13 +64,14 @@
 pub mod admission;
 pub mod job;
 pub mod placement;
+mod plan;
 mod recovery;
 pub mod service;
 pub mod shard;
 pub mod stats;
 
 pub use admission::{AdmissionPolicy, Candidate};
-pub use job::{JobId, JobRequest, JobResult, PAGE};
+pub use job::{JobId, JobRequest, JobResult, PlanMode, PAGE};
 pub use placement::{
     LeastLoaded, Placement, PlacementKind, PredictedBalanced, RoundRobin, ShardLoad,
 };

@@ -27,6 +27,7 @@ use mmjoin_vmsim::{calibrated_params, DiskParams, SimConfig, SimEnv};
 
 use crate::admission::{AdmissionPolicy, Candidate};
 use crate::job::{JobId, JobRequest, JobResult, PAGE};
+use crate::plan::resolve_auto;
 use crate::recovery::{plan_resume, CheckpointSink, ResumeOutcome, ServiceJournal};
 use crate::stats::ServiceStats;
 use mmjoin_recovery::JournalRecord;
@@ -338,9 +339,15 @@ fn apply_resume(shared: &Shared, outcome: ResumeOutcome) -> Result<(), String> {
             st.stats.record(&r, None, None);
             st.results.push(r);
         }
-        for (id, req) in outcome.pending {
-            let plan = choose(shared.cfg.machine()?, &req.planner_inputs());
-            submitted_traces.push((id, req.footprint()));
+        for (id, mut req) in outcome.pending {
+            // Journaled `plan=auto` lines re-resolve to the identical
+            // plan here: the sampler is seeded from the workload seed.
+            let resolved = resolve_auto(&shared.cfg, &mut req)?;
+            let plan = match &resolved {
+                Some(r) => r.auto.choice.clone(),
+                None => choose(shared.cfg.machine()?, &req.planner_inputs()),
+            };
+            submitted_traces.push((id, req.footprint(), resolved));
             st.stats.submitted += 1;
             st.pending.push_back(Queued {
                 id,
@@ -350,7 +357,12 @@ fn apply_resume(shared: &Shared, outcome: ResumeOutcome) -> Result<(), String> {
             });
         }
     }
-    for (id, footprint) in submitted_traces {
+    for (id, footprint, resolved) in submitted_traces {
+        if let Some(r) = &resolved {
+            for ev in r.trace_events(id) {
+                shared.trace(ev);
+            }
+        }
         shared.trace(TraceEvent::JobSubmitted {
             job: id,
             footprint,
@@ -455,9 +467,19 @@ impl Service {
     /// could *never* run: a footprint above the whole budget would sit
     /// in the queue forever (and under FIFO starve everything behind
     /// it), so it is refused here instead.
-    pub fn submit(&self, req: JobRequest) -> Result<JobId, String> {
+    pub fn submit(&self, mut req: JobRequest) -> Result<JobId, String> {
+        // Capture the submitted form before auto-planning mutates the
+        // grants: the journal must store the original `plan=auto` line
+        // so a resumed service re-resolves it (deterministically, the
+        // sampler is seeded) instead of re-trimming a trimmed grant.
+        let original_line = req.to_line();
+        let resolved = resolve_auto(&self.shared.cfg, &mut req)?;
+        // Everything below budgets against the *chosen* grants.
         let footprint = req.footprint();
-        let plan = choose(self.shared.cfg.machine()?, &req.planner_inputs());
+        let plan = match &resolved {
+            Some(r) => r.auto.choice.clone(),
+            None => choose(self.shared.cfg.machine()?, &req.planner_inputs()),
+        };
         let mut st = self.shared.lock();
         if footprint > self.shared.cfg.budget_bytes {
             st.stats.rejected += 1;
@@ -474,7 +496,7 @@ impl Service {
         if let Some(j) = &self.shared.journal {
             j.append_commit(&JournalRecord::JobSubmitted {
                 job: id,
-                line: req.to_line(),
+                line: original_line,
             });
         }
         st.stats.submitted += 1;
@@ -485,6 +507,11 @@ impl Service {
             enqueued: Instant::now(),
         });
         drop(st);
+        if let Some(r) = &resolved {
+            for ev in r.trace_events(id) {
+                self.shared.trace(ev);
+            }
+        }
         self.shared.trace(TraceEvent::JobSubmitted {
             job: id,
             footprint,
@@ -951,6 +978,28 @@ mod tests {
         assert!(results.is_empty());
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.submitted, 0);
+    }
+
+    #[test]
+    fn admission_reserves_the_auto_chosen_grant_not_the_submitted_one() {
+        let budget = 4 * 1024 * PAGE; // 16 MiB
+        let svc = Service::start(ServeConfig::sim(budget, 1)).unwrap();
+        // A grossly over-granted request: 4096 pages × 4 disks = 64 MiB
+        // footprint, four times the global budget. Under the default
+        // fixed plan, admission budgets the submitted grant and rejects.
+        let mut req = JobRequest::new(8_000, 64, 4, 4_096, 7);
+        let err = svc.submit(req.clone()).unwrap_err();
+        assert!(err.contains("exceeds the global budget"), "{err}");
+        // The same request under plan=auto is trimmed to the planner's
+        // chosen grant *before* admission sees it, so it fits and runs.
+        req.plan = crate::job::PlanMode::Auto;
+        svc.submit(req).unwrap();
+        let (results, stats) = svc.finish();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].verified, "{:?}", results[0].error);
+        assert_eq!(stats.rejected, 1);
+        assert!(stats.peak_budget_bytes > 0);
+        assert!(stats.peak_budget_bytes <= budget);
     }
 
     #[test]

@@ -302,9 +302,18 @@ impl JoinService for ShardedService {
     /// sharded analogue of the single-queue submit-time rejection
     /// (note it is stricter: the threshold is the largest slice, not
     /// the whole budget).
-    fn submit(&self, req: JobRequest) -> Result<JobId, String> {
+    fn submit(&self, mut req: JobRequest) -> Result<JobId, String> {
+        // Capture the submitted form before auto-planning mutates the
+        // grants (see the single-queue submit): the journal stores the
+        // original `plan=auto` line; footprint, placement, and
+        // admission all see the *chosen* grants.
+        let original_line = req.to_line();
+        let resolved = crate::plan::resolve_auto(&self.inner.cfg, &mut req)?;
         let footprint = req.footprint();
-        let plan = choose(self.inner.cfg.machine()?, &req.planner_inputs());
+        let plan = match &resolved {
+            Some(r) => r.auto.choice.clone(),
+            None => choose(self.inner.cfg.machine()?, &req.planner_inputs()),
+        };
         let cand = Candidate {
             footprint,
             predicted_seconds: plan.predicted_seconds(),
@@ -327,7 +336,7 @@ impl JoinService for ShardedService {
             if let Some(j) = &self.inner.journal {
                 j.append_commit(&JournalRecord::JobSubmitted {
                     job: id,
-                    line: req.to_line(),
+                    line: original_line,
                 });
             }
             id
@@ -343,6 +352,11 @@ impl JoinService for ShardedService {
             st.queued_bytes += footprint;
             st.backlog_seconds += cand.predicted_seconds;
             st.stats.submitted += 1;
+        }
+        if let Some(r) = &resolved {
+            for ev in r.trace_events(id) {
+                self.inner.trace(ev);
+            }
         }
         self.inner.trace(TraceEvent::JobSubmitted {
             job: id,
@@ -429,9 +443,15 @@ fn apply_resume(inner: &ShardedInner, outcome: ResumeOutcome) -> Result<(), Stri
     for r in outcome.finished {
         finish(r);
     }
-    for (id, req) in outcome.pending {
+    for (id, mut req) in outcome.pending {
+        // Journaled `plan=auto` lines re-resolve to the identical plan
+        // here: the sampler is seeded from the workload seed.
+        let resolved = crate::plan::resolve_auto(&inner.cfg, &mut req)?;
         let footprint = req.footprint();
-        let plan = choose(inner.cfg.machine()?, &req.planner_inputs());
+        let plan = match &resolved {
+            Some(r) => r.auto.choice.clone(),
+            None => choose(inner.cfg.machine()?, &req.planner_inputs()),
+        };
         let cand = Candidate {
             footprint,
             predicted_seconds: plan.predicted_seconds(),
@@ -459,6 +479,11 @@ fn apply_resume(inner: &ShardedInner, outcome: ResumeOutcome) -> Result<(), Stri
             st.queued_bytes += footprint;
             st.backlog_seconds += cand.predicted_seconds;
             st.stats.submitted += 1;
+        }
+        if let Some(r) = &resolved {
+            for ev in r.trace_events(id) {
+                inner.trace(ev);
+            }
         }
         inner.trace(TraceEvent::JobSubmitted {
             job: id,
