@@ -36,6 +36,49 @@ use mmjoin_serve::{
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// Deterministic splitmix64 step. The arrival process must reproduce
+/// exactly for a given seed — independent of the `rand` shim's stream,
+/// which the job mix already consumes.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Parse `--arrival`: `closed` (the default — submit jobs back to
+/// back) or `poisson:RATE` (open loop: exponential inter-arrival gaps
+/// at RATE jobs/s, pre-drawn from a seeded splitmix64 stream so two
+/// runs with the same seed see the identical arrival schedule).
+fn arrival_gaps(mode: &str, seed: u64, jobs: u64) -> Result<Option<Vec<Duration>>, String> {
+    if mode == "closed" {
+        return Ok(None);
+    }
+    let Some(rate_str) = mode.strip_prefix("poisson:") else {
+        return Err(format!(
+            "unknown arrival mode '{mode}' (closed | poisson:RATE)"
+        ));
+    };
+    let rate: f64 = rate_str
+        .parse()
+        .map_err(|e| format!("poisson rate '{rate_str}': {e}"))?;
+    if !rate.is_finite() || rate <= 0.0 {
+        return Err(format!("poisson rate must be positive, got {rate}"));
+    }
+    let mut state = seed ^ 0x5851_f42d_4c95_7f2d;
+    Ok(Some(
+        (0..jobs)
+            .map(|_| {
+                // Inverse-CDF draw; the u53 mantissa is in [0, 1), so
+                // 1-u is in (0, 1] and the log is finite.
+                let u = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+                Duration::from_secs_f64(-(1.0 - u).ln() / rate)
+            })
+            .collect(),
+    ))
+}
+
 /// One run's worth of reportable numbers.
 struct RunSummary {
     label: String,
@@ -184,6 +227,15 @@ fn main() {
         return;
     }
 
+    let arrival: String = opt("--arrival", "closed".to_string());
+    let gaps = match arrival_gaps(&arrival, seed, jobs) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("--arrival: {e}");
+            std::process::exit(2);
+        }
+    };
+
     let mut rng = StdRng::seed_from_u64(seed);
     let mut start_cfg = ServeConfig::sim(budget_pages * PAGE, workers).with_policy(policy);
     if let Some(m) = machine {
@@ -199,6 +251,11 @@ fn main() {
     let started = std::time::Instant::now();
     let mut accepted = 0u64;
     for i in 0..jobs {
+        if let Some(g) = &gaps {
+            // Open loop: arrivals follow the pre-drawn schedule, not
+            // the service's completion pace.
+            std::thread::sleep(g[i as usize]);
+        }
         match svc.submit(random_job(&mut rng, i + 1)) {
             Ok(_) => accepted += 1,
             Err(e) => eprintln!("job {i}: {e}"),
@@ -215,7 +272,7 @@ fn main() {
     let lat = &stats.latency_hist;
 
     println!(
-        "loadgen: {accepted}/{jobs} jobs accepted, policy {}",
+        "loadgen: {accepted}/{jobs} jobs accepted, policy {}, arrivals {arrival}",
         policy.name()
     );
     println!(
@@ -244,6 +301,7 @@ fn main() {
         &format!(
             concat!(
                 "{{\"jobs\":{},\"accepted\":{},\"failed\":{},\"policy\":\"{}\",",
+                "\"arrival\":\"{}\",",
                 "\"budget_pages\":{},\"workers\":{},\"wall_seconds\":{:.6},",
                 "\"throughput_jobs_per_sec\":{:.3},",
                 "\"latency\":{},",
@@ -253,6 +311,7 @@ fn main() {
             accepted,
             failed,
             policy.name(),
+            arrival,
             budget_pages,
             workers,
             wall,
@@ -609,4 +668,35 @@ fn cluster_sweep(
         scaling > 1.3,
         "1 -> {nodes} node scaling {scaling:.2}x is below the 1.3x floor"
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_mode_has_no_gaps() {
+        assert!(arrival_gaps("closed", 1, 8).unwrap().is_none());
+    }
+
+    #[test]
+    fn poisson_gaps_are_seed_deterministic_with_the_right_mean() {
+        let a = arrival_gaps("poisson:200", 42, 4096).unwrap().unwrap();
+        let b = arrival_gaps("poisson:200", 42, 4096).unwrap().unwrap();
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = arrival_gaps("poisson:200", 43, 4096).unwrap().unwrap();
+        assert_ne!(a, c, "different seed, different schedule");
+        let mean = a.iter().map(|d| d.as_secs_f64()).sum::<f64>() / a.len() as f64;
+        // Exp(200) has mean 5 ms; 4096 draws put the sample mean well
+        // within 20% of it.
+        assert!((mean - 0.005).abs() < 0.001, "mean gap {mean}");
+    }
+
+    #[test]
+    fn malformed_arrival_modes_are_rejected() {
+        assert!(arrival_gaps("poisson:0", 1, 8).is_err());
+        assert!(arrival_gaps("poisson:-3", 1, 8).is_err());
+        assert!(arrival_gaps("poisson:x", 1, 8).is_err());
+        assert!(arrival_gaps("uniform:5", 1, 8).is_err());
+    }
 }

@@ -419,6 +419,11 @@ fn cmd_plan(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_serve(args: &Args) -> Result<(), String> {
+    if args.flag("stream") {
+        // The streaming tier shares the serve front door but has its
+        // own session machinery (resident S, micro-batch ops).
+        return cmd_stream(args);
+    }
     use mmjoin_serve::{
         AdmissionPolicy, EnvKind, JoinService, PlacementKind, ServeConfig, Service, ShardedService,
         PAGE,
@@ -664,6 +669,382 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     if stats.failed > 0 {
         return Err(format!("{} job(s) failed", stats.failed));
+    }
+    Ok(())
+}
+
+/// Set by the SIGTERM handler; polled by the stream intake loop.
+static TERM_REQUESTED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_sig: libc::c_int) {
+    // Only an atomic store: anything else is not async-signal-safe.
+    TERM_REQUESTED.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// Install the graceful-shutdown handler (stream mode only; everywhere
+/// else SIGTERM keeps its default immediate-kill disposition).
+fn install_sigterm() {
+    unsafe {
+        libc::signal(libc::SIGTERM, on_sigterm as *const () as libc::sighandler_t);
+    }
+}
+
+fn term_requested() -> bool {
+    TERM_REQUESTED.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// Where a stream's script lines come from: a finite `--jobs` file, or
+/// live stdin via a reader thread. Both stop yielding once SIGTERM is
+/// requested — the channel indirection exists precisely so an idle
+/// stream blocked "between lines" still notices the signal within one
+/// poll interval instead of sitting in an uninterruptible read.
+enum LineFeed {
+    Fixed(std::vec::IntoIter<String>),
+    Live(std::sync::mpsc::Receiver<String>),
+}
+
+impl LineFeed {
+    fn next(&mut self) -> Option<String> {
+        match self {
+            LineFeed::Fixed(it) => {
+                if term_requested() {
+                    return None;
+                }
+                it.next()
+            }
+            LineFeed::Live(rx) => loop {
+                if term_requested() {
+                    return None;
+                }
+                match rx.recv_timeout(std::time::Duration::from_millis(50)) {
+                    Ok(line) => return Some(line),
+                    Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return None,
+                }
+            },
+        }
+    }
+}
+
+/// `serve --stream`: the streaming join tier. The inner relation S is
+/// loaded and indexed once (the *resident set*); an unbounded sequence
+/// of R micro-batches probes it, with `append=` / `delete=` lines
+/// maintaining S incrementally. The script's first meaningful line is
+/// the `resident=` header; every following line is one op. With
+/// `--jobs FILE` the script is finite; without it, ops stream in on
+/// stdin until EOF or SIGTERM. SIGTERM stops intake and drains every
+/// accepted op before exiting, so a supervisor's `kill -TERM` never
+/// loses a batch the stream already acknowledged.
+fn cmd_stream(args: &Args) -> Result<(), String> {
+    use mmjoin_stream::{StreamConfig, StreamHeader};
+
+    install_sigterm();
+    let queue_bound: usize = args.get_or("queue-bound", 64)?;
+    let journal_dir = args.get("journal").map(std::path::PathBuf::from);
+    let resume = args.flag("resume");
+    if resume && journal_dir.is_none() {
+        return Err("--resume requires --journal DIR".to_string());
+    }
+    let machine = machine_from(args)?;
+    let sink = trace_sink_from(args)?;
+
+    let mut feed = match args.get("jobs") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read '{path}': {e}"))?;
+            LineFeed::Fixed(
+                text.lines()
+                    .map(|l| l.to_string())
+                    .collect::<Vec<_>>()
+                    .into_iter(),
+            )
+        }
+        None => {
+            let (tx, rx) = std::sync::mpsc::channel();
+            std::thread::spawn(move || {
+                use std::io::BufRead as _;
+                for line in std::io::stdin().lock().lines() {
+                    let Ok(line) = line else { break };
+                    if tx.send(line).is_err() {
+                        break;
+                    }
+                }
+            });
+            LineFeed::Live(rx)
+        }
+    };
+
+    // The first meaningful line is the resident= header. A resumed
+    // stream may run purely from its journal: give it a header-only
+    // script (resume refuses a mismatched header) and no ops.
+    let mut header = loop {
+        let Some(line) = feed.next() else {
+            return Err("stream script ended before a 'resident=' header line".to_string());
+        };
+        match StreamHeader::parse_line(&line).map_err(|e| format!("header: {e}"))? {
+            Some(h) => break h,
+            None => continue,
+        }
+    };
+    if args.flag("modern") {
+        header.modern = true;
+    }
+
+    let cfg = StreamConfig {
+        queue_bound,
+        machine: machine.clone(),
+        journal_dir: journal_dir.clone(),
+        resume,
+    };
+    match args.get("env").unwrap_or("sim") {
+        "sim" => {
+            let mut sim = SimConfig::waterloo96(header.d);
+            sim.machine = machine;
+            sim.rproc_pages = header.mem_pages as usize;
+            sim.sproc_pages = header.mem_pages as usize;
+            let env = SimEnv::new(sim).map_err(|e| e.to_string())?;
+            if let Some(s) = &sink {
+                env.set_trace_sink(s.clone());
+            }
+            println!("environment: simulator (virtual 1996-like machine)");
+            run_stream(std::sync::Arc::new(env), header, cfg, feed, args, &sink)
+        }
+        "mmap" => {
+            let root = match &journal_dir {
+                // Pin the store next to the journal so a restarted
+                // stream recovers the previous life's segments.
+                Some(dir) => dir.join("store"),
+                None => std::env::temp_dir().join(format!("mmjoin-stream-{}", std::process::id())),
+            };
+            let mm_cfg = mmjoin_mmstore::MmapEnvConfig {
+                root: root.clone(),
+                num_disks: header.d,
+                page_size: 4096,
+            };
+            let env = if resume {
+                mmjoin_mmstore::MmapEnv::recover(mm_cfg)
+                    .map_err(|e| e.to_string())?
+                    .0
+            } else {
+                let _ = std::fs::remove_dir_all(&root);
+                mmjoin_mmstore::MmapEnv::new(mm_cfg).map_err(|e| e.to_string())?
+            };
+            if let Some(s) = &sink {
+                env.set_trace_sink(s.clone());
+            }
+            println!("environment: real memory-mapped store ({})", root.display());
+            run_stream(std::sync::Arc::new(env), header, cfg, feed, args, &sink)
+        }
+        other => Err(format!("unknown env '{other}' (sim | mmap)")),
+    }
+}
+
+/// Drive an open stream session: submit ops from `feed`, report each
+/// completion on stdout as it lands, drain, and summarize.
+fn run_stream<E: mmjoin_env::Env + 'static>(
+    env: std::sync::Arc<E>,
+    header: mmjoin_stream::StreamHeader,
+    cfg: mmjoin_stream::StreamConfig,
+    mut feed: LineFeed,
+    args: &Args,
+    sink: &Option<std::sync::Arc<JsonlSink>>,
+) -> Result<(), String> {
+    use mmjoin_stream::{StreamOp, StreamSession};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let budget_pages = header.mem_pages;
+    let sess = Arc::new(StreamSession::open(env, header.clone(), cfg).map_err(|e| e.to_string())?);
+    println!(
+        "stream {}: |S| = {} x {} B resident over D = {} ({} index), \
+         budget {budget_pages} pages, {} journaled op(s) re-reported",
+        header.name,
+        header.s_objects,
+        header.s_size,
+        header.d,
+        if header.modern {
+            "modern sorted-run"
+        } else {
+            "radix hash"
+        },
+        sess.results().len()
+    );
+
+    // Per-op progress lines go out as results land, not at the end: a
+    // supervisor tailing stdout sees exactly which ops are durable
+    // (the line prints only after the journal commit), which is what
+    // the kill/resume smoke counts before delivering its SIGKILL.
+    let done = Arc::new(AtomicBool::new(false));
+    let reporter = {
+        let sess = Arc::clone(&sess);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut printed = 0usize;
+            loop {
+                // Order matters: read the flag *before* the results so
+                // the post-drain sweep cannot miss a late completion.
+                let finishing = done.load(Ordering::SeqCst);
+                let results = sess.results();
+                for r in &results[printed..] {
+                    println!(
+                        "done seq={} kind={} name={} rows={} pairs={} misses={} ok={}{}",
+                        r.seq,
+                        r.kind,
+                        if r.name.is_empty() { "-" } else { &r.name },
+                        r.rows,
+                        r.pairs,
+                        r.misses,
+                        r.ok,
+                        if r.resumed { " resumed" } else { "" }
+                    );
+                }
+                printed = results.len();
+                if finishing {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        })
+    };
+
+    let mut intake_error = None;
+    while let Some(line) = feed.next() {
+        match StreamOp::parse_line(&line) {
+            Ok(Some(op)) => {
+                if let Err(e) = sess.submit(op) {
+                    intake_error = Some(format!("submit: {e}"));
+                    break;
+                }
+            }
+            Ok(None) => {}
+            Err(e) => {
+                intake_error = Some(format!("op line {line:?}: {e}"));
+                break;
+            }
+        }
+    }
+    let terminated = term_requested();
+    if terminated {
+        println!("SIGTERM: stopping intake, draining accepted op(s)");
+    }
+    sess.drain();
+    done.store(true, Ordering::SeqCst);
+    let _ = reporter.join();
+    if let Some(e) = intake_error {
+        return Err(e);
+    }
+
+    let results = sess.results();
+    let stats = sess.stats();
+    if terminated {
+        println!(
+            "drained cleanly after SIGTERM: {} op(s) completed, {} failed",
+            stats.completed + stats.mutations,
+            stats.failed
+        );
+    }
+    println!(
+        "{:>4} {:<10} {:<7} {:>8} {:>10} {:>8} {:>9} {:>9} {:>9}  status",
+        "seq", "name", "kind", "rows", "pairs", "misses", "pred(s)", "wait(s)", "exec(s)"
+    );
+    for r in &results {
+        let mut status = match &r.error {
+            None => "ok".to_string(),
+            Some(e) => format!("FAILED: {e}"),
+        };
+        if r.resumed {
+            status.push_str(" (resumed)");
+        }
+        println!(
+            "{:>4} {:<10} {:<7} {:>8} {:>10} {:>8} {:>9.2} {:>9.3} {:>9.3}  {status}",
+            r.seq,
+            if r.name.is_empty() { "-" } else { &r.name },
+            r.kind,
+            r.rows,
+            r.pairs,
+            r.misses,
+            r.predicted_seconds,
+            r.queue_wait,
+            r.exec_wall
+        );
+    }
+    println!(
+        "completed {} batch(es) + {} mutation(s) / failed {} — resident {} live of {} \
+         object(s), {} build(s), {} patched, {} backpressure stall(s)",
+        stats.completed,
+        stats.mutations,
+        stats.failed,
+        stats.live_objects,
+        stats.resident_objects,
+        stats.resident_builds,
+        stats.patched_objects,
+        stats.backpressure
+    );
+    if stats.journal_appended_records + stats.journal_replayed_records > 0 {
+        println!(
+            "journal: {} record(s) appended in {} commit(s); replay saw {} record(s) \
+             ({} torn byte(s)), resumed {} op(s)",
+            stats.journal_appended_records,
+            stats.journal_commits,
+            stats.journal_replayed_records,
+            stats.journal_torn_bytes,
+            stats.resumed_batches
+        );
+    }
+    if let Some(path) = args.get("results-json") {
+        let mut out = String::from("[");
+        for (i, r) in results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&r.to_json());
+        }
+        out.push_str("]\n");
+        std::fs::write(path, out).map_err(|e| format!("cannot write '{path}': {e}"))?;
+        println!("results written to {path}");
+    }
+    if args.get("stats-json").is_some() || args.flag("json") {
+        // Streaming runs report through the same ServiceStats JSON as
+        // the batch service, so dashboards and the schema goldens see
+        // one shape: the stream section carries the tier's counters.
+        let svc = mmjoin_serve::ServiceStats {
+            submitted: stats.submitted,
+            completed: stats.completed + stats.mutations,
+            failed: stats.failed,
+            budget_bytes: header.budget_bytes(),
+            peak_budget_bytes: header.budget_bytes(),
+            queue_wait_seconds: results.iter().map(|r| r.queue_wait).sum(),
+            exec_wall_seconds: stats.exec_seconds,
+            env_elapsed_seconds: results.iter().map(|r| r.env_elapsed).sum(),
+            journal_appended_records: stats.journal_appended_records,
+            journal_commits: stats.journal_commits,
+            journal_replayed_records: stats.journal_replayed_records,
+            journal_torn_bytes: stats.journal_torn_bytes,
+            journal_resumed_jobs: stats.resumed_batches,
+            stream_batches: stats.completed,
+            stream_mutations: stats.mutations,
+            stream_misses: stats.misses,
+            stream_backpressure: stats.backpressure,
+            stream_resumed: stats.resumed_batches,
+            latency_hist: stats.batch_hist.clone(),
+            batch_hist: stats.batch_hist.clone(),
+            queue_hist: stats.queue_hist.clone(),
+            ..Default::default()
+        };
+        if let Some(path) = args.get("stats-json") {
+            std::fs::write(path, svc.to_json())
+                .map_err(|e| format!("cannot write '{path}': {e}"))?;
+            println!("stats written to {path}");
+        } else {
+            println!("{}", svc.to_json());
+        }
+    }
+    if let Some(s) = sink {
+        s.flush()
+            .map_err(|e| format!("--trace: flush failed: {e}"))?;
+    }
+    if stats.failed > 0 {
+        return Err(format!("{} op(s) failed", stats.failed));
     }
     Ok(())
 }
@@ -1220,6 +1601,15 @@ fn usage() {
     println!("                   without --jobs; one job per line, key=value tokens:");
     println!("                   name alg objects obj-size d mem-pages seed dist");
     println!("                   mode=seq|threads|modern plan=auto|fixed)");
+    println!("  mmjoin serve --stream [--jobs FILE] [--queue-bound N]");
+    println!("                   [--env sim|mmap] [--modern] [--json] [--stats-json FILE]");
+    println!("                   [--journal DIR] [--resume] [--results-json FILE]");
+    println!("                   [--trace FILE.jsonl] [--machine-profile FILE]");
+    println!("                   (script: first line 'resident=NAME objects=N");
+    println!("                   obj-size=B d=D mem-pages=P seed=S [mode=modern]',");
+    println!("                   then one op per line: batch=NAME objects=N seed=S,");
+    println!("                   append=N seed=S, delete=N seed=S; stdin when no");
+    println!("                   --jobs, until EOF or SIGTERM)");
     println!("  mmjoin serve --node [--listen ADDR] [--node-name NAME]");
     println!("                   [--budget-pages N] [--workers N] [--env sim|mmap]");
     println!("                   [--fault-spec SPEC] [--machine-profile FILE]");
@@ -1263,6 +1653,16 @@ fn usage() {
     println!("  the join output is bitwise-identical to the faithful loops");
     println!("  (join --modern runs one join; serve --modern makes modern the");
     println!("  default mode for job lines that carry no mode= of their own)");
+    println!();
+    println!("serve --stream keeps the inner relation S resident: the header's");
+    println!("  relation is loaded and indexed once (radix hash faithful, sorted");
+    println!("  runs under --modern), then every batch= line probes it without");
+    println!("  re-partitioning; append=/delete= patch S in place. Intake blocks");
+    println!("  once --queue-bound ops are pending (backpressure). --journal");
+    println!("  DIR logs every accepted op and its result; --resume re-reports");
+    println!("  completed ops and re-runs the torn suffix exactly once (give");
+    println!("  the resumed stream a header-only script). SIGTERM stops intake");
+    println!("  and drains accepted ops before exiting");
     println!();
     println!("serve --node turns the service into one cluster worker: it listens");
     println!("  on --listen (default 127.0.0.1:0, the chosen port is printed),");

@@ -1,0 +1,68 @@
+//! `serve --stream` graceful shutdown: a SIGTERM delivered while the
+//! stream is live (stdin still open, ops in flight) must stop intake,
+//! drain every accepted op, print the results, and exit 0.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::{Command, Stdio};
+
+const HEADER: &str = "resident=drain objects=512 obj-size=64 d=2 mem-pages=64 seed=11\n";
+
+#[test]
+fn sigterm_drains_accepted_ops_and_exits_cleanly() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_mmjoin"))
+        .args(["serve", "--stream"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn serve --stream");
+    let mut stdin = child.stdin.take().expect("stdin");
+    let stdout = child.stdout.take().expect("stdout");
+    let mut lines = BufReader::new(stdout);
+
+    stdin.write_all(HEADER.as_bytes()).expect("write header");
+    for i in 0..4 {
+        stdin
+            .write_all(format!("batch=b{i} objects=64 seed={i}\n").as_bytes())
+            .expect("write op");
+    }
+    stdin.flush().expect("flush");
+
+    // Wait until the stream has acknowledged some completions so the
+    // signal provably arrives while the session is up and running.
+    let mut seen = 0;
+    let mut line = String::new();
+    while seen < 2 {
+        line.clear();
+        assert_ne!(
+            lines.read_line(&mut line).expect("read stdout"),
+            0,
+            "stream exited before completing any ops"
+        );
+        if line.starts_with("done seq=") {
+            seen += 1;
+        }
+    }
+
+    // stdin stays OPEN: without the signal the stream would block
+    // waiting for more ops. SIGTERM alone must get it to exit.
+    let status = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("run kill");
+    assert!(status.success(), "kill -TERM failed");
+
+    let mut rest = String::new();
+    lines.read_to_string(&mut rest).expect("drain stdout");
+    let out = child.wait().expect("wait");
+    assert!(out.success(), "stream exited with {out:?}\n{rest}");
+    assert!(
+        rest.contains("SIGTERM: stopping intake"),
+        "missing SIGTERM notice:\n{rest}"
+    );
+    assert!(
+        rest.contains("drained cleanly after SIGTERM: 4 op(s) completed, 0 failed"),
+        "missing drain summary (all 4 accepted ops must complete):\n{rest}"
+    );
+    drop(stdin);
+}

@@ -906,6 +906,24 @@ impl Coordinator {
         Ok(Coordinator { shared, threads })
     }
 
+    /// The node a streaming session's micro-batches belong on: the
+    /// rendezvous home ([`crate::resident_route`]) of `stream` among
+    /// the nodes not yet declared permanently dead. The address is the
+    /// routing key, so the answer is stable across coordinator
+    /// restarts; when the home node dies only its streams re-home (the
+    /// resident set rebuilds on the survivor), every other stream
+    /// keeps its warm index.
+    pub fn stream_home(&self, stream: &str) -> Option<String> {
+        let st = self.shared.lock();
+        let live: Vec<String> = st
+            .nodes
+            .iter()
+            .filter(|n| !n.terminal)
+            .map(|n| n.addr.clone())
+            .collect();
+        crate::route::resident_route(stream, &live).map(|i| live[i].clone())
+    }
+
     /// Enqueue one job. Rejected when its footprint exceeds every
     /// live node's budget (optimistically accepted while nodes are
     /// still registering).

@@ -23,15 +23,23 @@
 //!   (reusing [`mmjoin_recovery`]) makes coordinator crash-restart
 //!   resume dispatch without re-running or double-reporting finished
 //!   jobs.
+//! * **Resident-stream routing** — [`resident_route`] gives a
+//!   coordinator a shared-nothing sticky map from a streaming
+//!   session's name (`mmjoin serve --stream`) to the node holding its
+//!   resident index: rendezvous hashing, so losing a node re-homes
+//!   only that node's streams (they re-build on a survivor) while
+//!   every other stream keeps probing its warm resident set.
 //!
 //! [`Service`]: mmjoin_serve::Service
 
 mod coordinator;
 mod node;
+pub mod route;
 mod stats;
 pub mod wire;
 
 pub use coordinator::{ClusterConfig, ClusterJobResult, Coordinator, ResumeReport};
 pub use node::NodeServer;
+pub use route::resident_route;
 pub use stats::ClusterStats;
 pub use wire::Message;

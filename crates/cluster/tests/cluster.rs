@@ -569,6 +569,47 @@ fn wire_rejects_oversized_and_corrupt_frames_without_killing_the_node() {
     assert!(results[0].ok);
 }
 
+#[test]
+fn stream_home_is_sticky_and_rehomes_only_the_dead_nodes_streams() {
+    let a = NodeServer::start("127.0.0.1:0", "home-a", ServeConfig::sim(64 * PAGE, 2)).unwrap();
+    let b = NodeServer::start("127.0.0.1:0", "home-b", ServeConfig::sim(64 * PAGE, 2)).unwrap();
+    let addrs = vec![a.local_addr().to_string(), b.local_addr().to_string()];
+    let co = Coordinator::start(fast_cfg(addrs.clone())).unwrap();
+
+    // Find one stream homed on each node; the answer must be sticky.
+    let (mut on_a, mut on_b) = (None, None);
+    for i in 0..256 {
+        let s = format!("stream{i}");
+        let home = co.stream_home(&s).expect("two live nodes");
+        assert_eq!(co.stream_home(&s).as_ref(), Some(&home), "sticky");
+        if home == addrs[0] {
+            on_a.get_or_insert(s);
+        } else {
+            assert_eq!(home, addrs[1], "home must be a configured node");
+            on_b.get_or_insert(s);
+        }
+        if on_a.is_some() && on_b.is_some() {
+            break;
+        }
+    }
+    let (on_a, on_b) = (on_a.expect("a stream on a"), on_b.expect("a stream on b"));
+
+    // Kill a's node. Once the heartbeat declares it dead, a's stream
+    // re-homes to the survivor — and b's stream must never move, so
+    // its resident index stays warm through the membership change.
+    a.kill();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while co.stream_home(&on_a).as_ref() != Some(&addrs[1]) {
+        assert!(Instant::now() < deadline, "dead node never left the route");
+        assert_eq!(co.stream_home(&on_b), Some(addrs[1].clone()));
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(co.stream_home(&on_b), Some(addrs[1].clone()));
+    // (node_losses is not asserted: the kill may race the node's
+    // registration, and only registered nodes count as losses.)
+    let _ = co.finish();
+}
+
 mod proptests {
     use super::*;
     use proptest::prelude::*;

@@ -61,7 +61,9 @@ pub use exec::{
     finish, run_stages, stage_summary, ExecMode, JoinAcc, JoinOutput, JoinSpec, SBatcher,
     SharedSlots,
 };
-pub use planner::{choose, choose_auto, explain, inputs_for, AutoPlan, PlanChoice, SkewSource};
+pub use planner::{
+    choose, choose_auto, explain, inputs_for, probe_cost, AutoPlan, PlanChoice, SkewSource,
+};
 pub use retry::{
     join_with_retry, join_with_retry_report, new_files_since, new_files_since_tagged, RetryPolicy,
     RetryReport,

@@ -8,6 +8,8 @@
 //! can audit the decision.
 
 use mmjoin_env::machine::MachineParams;
+use mmjoin_env::{CpuOp, MoveKind};
+use mmjoin_model::breakdown::CostKind;
 use mmjoin_model::{choose_k, predict, Algorithm, CostBreakdown, JoinInputs, HASH_ENTRY_OVERHEAD};
 use mmjoin_relstore::{Relations, SPTR_SIZE};
 
@@ -92,6 +94,74 @@ pub fn choose(machine: &MachineParams, inputs: &JoinInputs) -> PlanChoice {
 /// Full prediction (itemized) for one algorithm at these inputs.
 pub fn explain(machine: &MachineParams, inputs: &JoinInputs, alg: Algorithm) -> CostBreakdown {
     predict(alg, machine, inputs)
+}
+
+/// Predicted cost of probing `batch_rows` R-rows against an *already
+/// resident* S: the steady-state unit of the streaming tier.
+///
+/// A resident-S probe batch pays none of the one-shot join's setup —
+/// no `newMap`/`openMap`, no pass-0 scatter of `RP_{i,j}` areas, and
+/// no S partitioning (the resident index was built once and is
+/// amortized over the stream). What remains, per the §5.3 vocabulary:
+///
+/// * hash/map the batch's join attributes (`CpuOp::Map` + `Hash`);
+/// * exchange fetch requests with the Sprocs through the shared
+///   buffer (`2·CS` per G-buffer batch, §5.2);
+/// * move `sptr + s` bytes per row private↔shared (`MT_PS`);
+/// * fault in whatever slice of S the resident buffer does not hold.
+///   The stream paid Mackert–Lohman's warm-up term `t(1 − qˣ)` once,
+///   at open; what a steady-state batch pays is the *marginal* term,
+///   whose per-access miss probability is `qⁿ = 1 − b/t` (the buffer
+///   holds `b` of S's `t` pages). Applied to the *worst* per-partition
+///   share, `skew · rows / D`, priced at `dttr(P_Si)`.
+///
+/// The admission controller prices every `batch=` line with this
+/// instead of the full-join model, so SPJF ordering and `pred`
+/// placement keep working on streams.
+pub fn probe_cost(machine: &MachineParams, base: &JoinInputs, batch_rows: u64) -> CostBreakdown {
+    let b = machine.page_size;
+    let d = base.d as f64;
+    let rows = batch_rows as f64;
+    // Worst per-partition share of the batch, skew-adjusted like the
+    // one-shot model's R_(i,i) term but never more than the batch.
+    let worst = (rows / d * base.skew.max(1.0)).min(rows);
+    let p_si = base.p_si(b);
+    let msproc_pages = (base.m_sproc / b) as f64;
+
+    let mut out = CostBreakdown::default();
+    out.push(
+        "probe",
+        CostKind::Cpu,
+        format!("map + hash {rows:.0} batch join attributes"),
+        rows * (machine.op(CpuOp::Map) + machine.op(CpuOp::Hash)),
+    );
+    out.push(
+        "probe",
+        CostKind::Ctx,
+        format!("G-buffer exchanges for worst partition share {worst:.0}"),
+        base.ctx_switches_for(worst) * machine.cs,
+    );
+    out.push(
+        "probe",
+        CostKind::Move,
+        format!("move {rows:.0} × (sptr+s) via shared buffer"),
+        rows * (base.sptr_size as u64 + base.s_size as u64) as f64 * machine.mt(MoveKind::PS),
+    );
+    let miss = (1.0 - msproc_pages / p_si.max(1.0)).clamp(0.0, 1.0);
+    let faults = worst * miss;
+    out.push(
+        "probe",
+        CostKind::DiskRead,
+        format!("fault resident S via Ylru: {faults:.0} faults @ dttr({p_si:.0})"),
+        faults * machine.dttr.eval(p_si),
+    );
+    out.push(
+        "probe",
+        CostKind::Cpu,
+        "page-fault overhead",
+        faults * machine.op(CpuOp::FaultOverhead),
+    );
+    out
 }
 
 /// Where the skew factor a plan was priced with came from.
@@ -429,6 +499,56 @@ mod tests {
         assert_eq!(a.partitions, b.partitions);
         assert_eq!(a.skew.to_bits(), b.skew.to_bits());
         assert!(a.describe().contains("sampled"));
+    }
+
+    #[test]
+    fn probe_cost_is_far_below_a_full_join_of_the_same_rows() {
+        // The streaming claim: once S is resident, a batch costs a
+        // small multiple of its fetch I/O, not a full join's setup +
+        // pass-0 + partitioning. Require a wide margin (the acceptance
+        // bar is 3×; the model should show much more).
+        let m = MachineParams::waterloo96();
+        for batch in [256u64, 2048, 16_384] {
+            // The streaming regime: the resident budget holds S, so
+            // steady-state probes fault nothing while each independent
+            // full join still re-pays setup and its own warm-up.
+            let mut w = inputs(0.05);
+            w.r_objects = batch;
+            w.m_sproc = w.s_objects * w.s_size as u64;
+            let full = choose(&m, &w).predicted_seconds();
+            let probe = probe_cost(&m, &w, batch).total();
+            assert!(
+                probe * 3.0 < full,
+                "batch {batch}: probe {probe:.4}s not 3x below full {full:.4}s"
+            );
+        }
+        // Even at 5% residency a probe undercuts the full join (no
+        // setup, no scatter), just not by the steady-state margin.
+        let mut w = inputs(0.05);
+        w.r_objects = 2048;
+        let full = choose(&m, &w).predicted_seconds();
+        let probe = probe_cost(&m, &w, 2048).total();
+        assert!(probe < full, "probe {probe:.4}s vs full {full:.4}s");
+    }
+
+    #[test]
+    fn probe_cost_scales_with_rows_and_skew() {
+        let m = MachineParams::waterloo96();
+        let w = inputs(0.05);
+        let small = probe_cost(&m, &w, 512).total();
+        let big = probe_cost(&m, &w, 8192).total();
+        assert!(big > small, "more rows must cost more: {small} vs {big}");
+        let mut skewed = w;
+        skewed.skew = 4.0;
+        assert!(
+            probe_cost(&m, &skewed, 8192).total() >= big,
+            "skew concentrates the worst partition share"
+        );
+        // No setup or write terms: probes never create areas.
+        let b = probe_cost(&m, &w, 2048);
+        assert_eq!(b.total_kind(CostKind::Setup), 0.0);
+        assert_eq!(b.total_kind(CostKind::DiskWrite), 0.0);
+        assert_eq!(b.passes(), vec!["probe"]);
     }
 
     #[test]

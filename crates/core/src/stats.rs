@@ -492,6 +492,85 @@ mod tests {
     }
 
     #[test]
+    fn empty_relation_yields_neutral_statistics() {
+        // An empty relation sampled through the reservoir: no items
+        // offered, and the summary must fall back to the planner's
+        // neutral assumptions rather than divide by zero.
+        let r: Reservoir<(u32, u64)> = Reservoir::new(SAMPLE_CAP, 9);
+        assert_eq!(r.seen(), 0);
+        assert!(r.items().is_empty());
+        let s = SampleSummary::from_pointers(r.items(), 40_000, 40_000, 4, 16);
+        assert_eq!(s.sampled, 0);
+        assert_eq!(s.estimated_skew(), 1.0, "no evidence: assume uniform");
+        assert_eq!(s.estimated_distinct(), 40_000, "no evidence: full |S|");
+        assert_eq!(s.duplication, 1.0);
+        assert_eq!(s.part_counts, vec![0, 0, 0, 0]);
+        assert!(s.cells.iter().all(|&c| c == 0));
+        // And it still round-trips through JSON.
+        assert_eq!(SampleSummary::from_json(&s.to_json()).unwrap(), s);
+    }
+
+    #[test]
+    fn single_key_relation_collapses_to_one_target() {
+        // Every pointer hits one S-object: the degenerate hot set.
+        let ptrs: Vec<(u32, u64)> = (0..500u64).map(|k| ((k % 4) as u32, 123)).collect();
+        let s = SampleSummary::from_pointers(&ptrs, 5_000, 400, 4, 8);
+        assert_eq!(s.distinct, 1);
+        assert_eq!((s.singletons, s.doubletons), (0, 0));
+        assert_eq!(s.estimated_distinct(), 1, "closed single-key hot set");
+        assert!((s.duplication - 500.0).abs() < 1e-12);
+        assert_eq!(
+            s.estimated_skew(),
+            4.0,
+            "one target means every row concentrates on its partition"
+        );
+        // The equi-depth histogram degenerates to buckets that all end
+        // at the single key, never an empty or out-of-order bound.
+        assert!(s.bounds.iter().all(|&b| b == 123));
+        assert_eq!(s.depths.iter().sum::<u64>(), 500);
+    }
+
+    #[test]
+    fn reservoir_behaves_exactly_at_the_cap_boundary() {
+        // Stream length == cap: everything kept, in order, no
+        // replacement randomness consumed.
+        let mut at = Reservoir::new(SAMPLE_CAP, 3);
+        for v in 0..SAMPLE_CAP as u64 {
+            at.push(v);
+        }
+        assert_eq!(at.items().len(), SAMPLE_CAP);
+        assert_eq!(at.items(), (0..SAMPLE_CAP as u64).collect::<Vec<_>>());
+        // One more element: size stays pinned at cap and the sample is
+        // still a permutation-free subset of the stream.
+        let mut over = Reservoir::new(SAMPLE_CAP, 3);
+        for v in 0..SAMPLE_CAP as u64 + 1 {
+            over.push(v);
+        }
+        assert_eq!(over.items().len(), SAMPLE_CAP);
+        assert_eq!(over.seen(), SAMPLE_CAP as u64 + 1);
+        assert!(over.items().iter().all(|&v| v <= SAMPLE_CAP as u64));
+        // The element at seen = cap+1 is accepted with probability
+        // cap/(cap+1): across seeds, both accept and reject happen.
+        let mut kept = 0;
+        for seed in 0..32u64 {
+            let mut r = Reservoir::new(4, seed);
+            for v in 0..5u64 {
+                r.push(v);
+            }
+            if r.items().contains(&4) {
+                kept += 1;
+            }
+        }
+        assert!(kept > 0 && kept < 32, "boundary element kept {kept}/32");
+        // A cap of 0 is clamped to 1, never a zero-capacity panic.
+        let mut tiny = Reservoir::new(0, 1);
+        for v in 0..100u64 {
+            tiny.push(v);
+        }
+        assert_eq!(tiny.items().len(), 1);
+    }
+
+    #[test]
     fn from_json_rejects_garbage() {
         assert!(SampleSummary::from_json("{}").is_err());
         assert!(SampleSummary::from_json("not json").is_err());

@@ -334,6 +334,52 @@ pub enum TraceEvent {
         /// RMS residual of the fit in seconds.
         residual: f64,
     },
+    /// A resident S index finished building (streaming tier warmup —
+    /// the only point the stream pays pass-0 partitioning cost).
+    ResidentBuilt {
+        /// Resident partitions built (one per disk).
+        parts: u32,
+        /// Live S objects indexed.
+        objects: u64,
+        /// Index layout: `"hash"` (faithful) or `"sorted"` (modern).
+        layout: String,
+    },
+    /// An `append=`/`delete=` mutation patched the resident index in
+    /// place (no rebuild).
+    ResidentPatched {
+        /// `"append"` or `"delete"`.
+        op: String,
+        /// Objects appended or tombstoned by this mutation.
+        objects: u64,
+        /// Live objects after the patch.
+        live: u64,
+    },
+    /// An R micro-batch entered the stream queue.
+    BatchSubmitted {
+        /// Stream sequence number.
+        batch: u64,
+        /// R rows in the batch.
+        rows: u64,
+    },
+    /// An R micro-batch finished probing the resident index.
+    BatchCompleted {
+        /// Stream sequence number.
+        batch: u64,
+        /// Join pairs produced.
+        pairs: u64,
+        /// Rows whose target was not live at probe time.
+        misses: u64,
+        /// Whether the batch completed without error.
+        ok: bool,
+    },
+    /// The stream queue exceeded its bound; the submitter blocked until
+    /// the worker drained below it.
+    StreamBackpressure {
+        /// Ops queued when the submitter blocked.
+        queued: u64,
+        /// The configured queue bound.
+        bound: u64,
+    },
 }
 
 impl TraceEvent {
@@ -366,6 +412,11 @@ impl TraceEvent {
             TraceEvent::ProbeStart { .. } => "probe_start",
             TraceEvent::ProbeEnd { .. } => "probe_end",
             TraceEvent::ProbeFit { .. } => "probe_fit",
+            TraceEvent::ResidentBuilt { .. } => "resident_built",
+            TraceEvent::ResidentPatched { .. } => "resident_patched",
+            TraceEvent::BatchSubmitted { .. } => "batch_submitted",
+            TraceEvent::BatchCompleted { .. } => "batch_completed",
+            TraceEvent::StreamBackpressure { .. } => "stream_backpressure",
         }
     }
 }
@@ -765,6 +816,37 @@ pub fn encode(t: f64, event: &TraceEvent) -> String {
                 "\",\"base\":{base:.12},\"slope\":{slope:.12},\"residual\":{residual:.12}"
             );
         }
+        TraceEvent::ResidentBuilt {
+            parts,
+            objects,
+            layout,
+        } => {
+            let _ = write!(s, ",\"parts\":{parts},\"objects\":{objects},\"layout\":\"");
+            esc(layout, &mut s);
+            s.push('"');
+        }
+        TraceEvent::ResidentPatched { op, objects, live } => {
+            s.push_str(",\"op\":\"");
+            esc(op, &mut s);
+            let _ = write!(s, "\",\"objects\":{objects},\"live\":{live}");
+        }
+        TraceEvent::BatchSubmitted { batch, rows } => {
+            let _ = write!(s, ",\"batch\":{batch},\"rows\":{rows}");
+        }
+        TraceEvent::BatchCompleted {
+            batch,
+            pairs,
+            misses,
+            ok,
+        } => {
+            let _ = write!(
+                s,
+                ",\"batch\":{batch},\"pairs\":{pairs},\"misses\":{misses},\"ok\":{ok}"
+            );
+        }
+        TraceEvent::StreamBackpressure { queued, bound } => {
+            let _ = write!(s, ",\"queued\":{queued},\"bound\":{bound}");
+        }
     }
     s.push('}');
     s
@@ -1069,6 +1151,60 @@ mod tests {
         assert!(probe.contains("\"ev\":\"kernel_probe\""));
         assert!(probe.contains("\"spart\":2"));
         assert!(probe.contains("\"batches\":3") && probe.contains("\"objects\":5000"));
+    }
+
+    #[test]
+    fn stream_events_encode_their_fields() {
+        let built = encode(
+            0.0,
+            &TraceEvent::ResidentBuilt {
+                parts: 4,
+                objects: 40_000,
+                layout: "hash".into(),
+            },
+        );
+        assert!(built.contains("\"ev\":\"resident_built\""));
+        assert!(built.contains("\"parts\":4") && built.contains("\"layout\":\"hash\""));
+        let patched = encode(
+            1.0,
+            &TraceEvent::ResidentPatched {
+                op: "delete".into(),
+                objects: 32,
+                live: 39_968,
+            },
+        );
+        assert!(patched.contains("\"ev\":\"resident_patched\""));
+        assert!(patched.contains("\"op\":\"delete\"") && patched.contains("\"live\":39968"));
+        let sub = encode(
+            2.0,
+            &TraceEvent::BatchSubmitted {
+                batch: 7,
+                rows: 256,
+            },
+        );
+        assert!(sub.contains("\"ev\":\"batch_submitted\""));
+        assert!(sub.contains("\"batch\":7") && sub.contains("\"rows\":256"));
+        let done = encode(
+            3.0,
+            &TraceEvent::BatchCompleted {
+                batch: 7,
+                pairs: 250,
+                misses: 6,
+                ok: true,
+            },
+        );
+        assert!(done.contains("\"ev\":\"batch_completed\""));
+        assert!(done.contains("\"pairs\":250") && done.contains("\"misses\":6"));
+        assert!(done.contains("\"ok\":true"));
+        let bp = encode(
+            4.0,
+            &TraceEvent::StreamBackpressure {
+                queued: 65,
+                bound: 64,
+            },
+        );
+        assert!(bp.contains("\"ev\":\"stream_backpressure\""));
+        assert!(bp.contains("\"queued\":65") && bp.contains("\"bound\":64"));
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod replay;
 pub use crc::crc32;
 pub use journal::{Journal, JournalStats, Replayed, DEFAULT_CAPACITY, HEADER_SIZE};
 pub use record::JournalRecord;
-pub use replay::{gc_orphans, JobState, ReplayState};
+pub use replay::{gc_orphans, BatchState, JobState, ReplayState};
 
 #[cfg(test)]
 mod proptests {
@@ -88,15 +88,34 @@ mod proptests {
                 job: a,
                 node: format!("node-{}", b % 5),
             },
-            _ => JournalRecord::NodeLost {
+            6 => JournalRecord::NodeLost {
                 node: format!("node-{}", a % 5),
+            },
+            7 => JournalRecord::StreamOpened {
+                line: format!(
+                    "resident=s{} objects={} d={} seed={}",
+                    a % 9,
+                    b % 100_000,
+                    b % 8,
+                    c
+                ),
+            },
+            8 => JournalRecord::BatchSubmitted {
+                batch: a,
+                line: format!("batch=b{} objects={} seed={}", a % 50, b % 10_000, c),
+            },
+            _ => JournalRecord::BatchCompleted {
+                batch: a,
+                pairs: b,
+                checksum: c,
+                misses: b % 7,
             },
         }
     }
 
     fn arb_record() -> impl Strategy<Value = JournalRecord> {
         (
-            0u32..7,
+            0u32..10,
             0u64..u64::MAX,
             0u64..u64::MAX,
             0u64..u64::MAX,

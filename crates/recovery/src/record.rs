@@ -28,6 +28,9 @@ const T_CHECKPOINT: u8 = 4;
 const T_JOB_COMPLETED: u8 = 5;
 const T_JOB_DISPATCHED: u8 = 6;
 const T_NODE_LOST: u8 = 7;
+const T_STREAM_OPENED: u8 = 8;
+const T_BATCH_SUBMITTED: u8 = 9;
+const T_BATCH_COMPLETED: u8 = 10;
 
 /// One durable journal record.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -90,6 +93,35 @@ pub enum JournalRecord {
         /// Node name.
         node: String,
     },
+    /// A streaming session opened against a resident relation; `line`
+    /// is the `resident=` header re-encoded in the stream grammar, so
+    /// replay can rebuild the identical resident index.
+    StreamOpened {
+        /// `key=value` header line reproducing the resident spec.
+        line: String,
+    },
+    /// A stream operation (batch / append / delete) was accepted with
+    /// this sequence number; `line` is the op re-encoded in the stream
+    /// grammar. Mutations replay by re-applying the line; batches
+    /// without a matching completion re-execute.
+    BatchSubmitted {
+        /// Monotonic stream sequence number.
+        batch: u64,
+        /// `key=value` op line reproducing the operation.
+        line: String,
+    },
+    /// A stream batch finished; its result is durable here, so a
+    /// resumed stream re-reports it exactly once instead of re-probing.
+    BatchCompleted {
+        /// Monotonic stream sequence number.
+        batch: u64,
+        /// Joined pairs produced by the batch.
+        pairs: u64,
+        /// Order-independent join checksum contribution.
+        checksum: u64,
+        /// Rows whose target was not live at probe time.
+        misses: u64,
+    },
 }
 
 impl JournalRecord {
@@ -103,6 +135,9 @@ impl JournalRecord {
             JournalRecord::JobCompleted { .. } => "job_completed",
             JournalRecord::JobDispatched { .. } => "job_dispatched",
             JournalRecord::NodeLost { .. } => "node_lost",
+            JournalRecord::StreamOpened { .. } => "stream_opened",
+            JournalRecord::BatchSubmitted { .. } => "batch_submitted",
+            JournalRecord::BatchCompleted { .. } => "batch_completed",
         }
     }
 
@@ -150,6 +185,27 @@ impl JournalRecord {
             JournalRecord::NodeLost { node } => {
                 body.push(T_NODE_LOST);
                 put_str(&mut body, node);
+            }
+            JournalRecord::StreamOpened { line } => {
+                body.push(T_STREAM_OPENED);
+                put_str(&mut body, line);
+            }
+            JournalRecord::BatchSubmitted { batch, line } => {
+                body.push(T_BATCH_SUBMITTED);
+                body.extend_from_slice(&batch.to_le_bytes());
+                put_str(&mut body, line);
+            }
+            JournalRecord::BatchCompleted {
+                batch,
+                pairs,
+                checksum,
+                misses,
+            } => {
+                body.push(T_BATCH_COMPLETED);
+                body.extend_from_slice(&batch.to_le_bytes());
+                body.extend_from_slice(&pairs.to_le_bytes());
+                body.extend_from_slice(&checksum.to_le_bytes());
+                body.extend_from_slice(&misses.to_le_bytes());
             }
         }
         let mut out = Vec::with_capacity(body.len() + 8);
@@ -204,6 +260,19 @@ impl JournalRecord {
             },
             T_NODE_LOST => JournalRecord::NodeLost {
                 node: cur.string()?,
+            },
+            T_STREAM_OPENED => JournalRecord::StreamOpened {
+                line: cur.string()?,
+            },
+            T_BATCH_SUBMITTED => JournalRecord::BatchSubmitted {
+                batch: cur.u64()?,
+                line: cur.string()?,
+            },
+            T_BATCH_COMPLETED => JournalRecord::BatchCompleted {
+                batch: cur.u64()?,
+                pairs: cur.u64()?,
+                checksum: cur.u64()?,
+                misses: cur.u64()?,
             },
             _ => return None,
         };
@@ -284,6 +353,19 @@ mod tests {
             },
             JournalRecord::NodeLost {
                 node: "node-1".into(),
+            },
+            JournalRecord::StreamOpened {
+                line: "resident=s0 objects=4000 d=2 seed=5".into(),
+            },
+            JournalRecord::BatchSubmitted {
+                batch: 12,
+                line: "batch=b12 objects=256 seed=12".into(),
+            },
+            JournalRecord::BatchCompleted {
+                batch: 12,
+                pairs: 250,
+                checksum: 0xFEED_F00D,
+                misses: 6,
             },
         ]
     }

@@ -43,6 +43,20 @@ pub struct JobState {
     pub dispatched: Option<String>,
 }
 
+/// Recovered per-stream-operation state (batches and resident-index
+/// mutations share one sequence-number space).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchState {
+    /// The stream-grammar op line recorded at submission.
+    pub line: String,
+    /// Terminal result: `(pairs, checksum, misses)` for probe batches,
+    /// `(slots patched, 0, 0)` for mutations (`append=`/`delete=`). A
+    /// completed mutation is still re-applied in sequence order on
+    /// replay — the resident set is rebuilt from scratch, and only the
+    /// op list reconstructs its state — but it is not re-journaled.
+    pub completed: Option<(u64, u64, u64)>,
+}
+
 /// The state a journal prefix folds into.
 #[derive(Clone, Debug, Default)]
 pub struct ReplayState {
@@ -50,6 +64,11 @@ pub struct ReplayState {
     pub live_areas: BTreeMap<String, (u32, u64)>,
     /// Every job the journal knows about, keyed by id.
     pub jobs: BTreeMap<u64, JobState>,
+    /// The streaming session's `resident=` header line, if one opened.
+    pub stream_line: Option<String>,
+    /// Every stream op the journal knows about, keyed by sequence
+    /// number.
+    pub batches: BTreeMap<u64, BatchState>,
 }
 
 impl ReplayState {
@@ -90,6 +109,21 @@ impl ReplayState {
                             j.dispatched = None;
                         }
                     }
+                }
+                JournalRecord::StreamOpened { line } => {
+                    st.stream_line = Some(line.clone());
+                }
+                JournalRecord::BatchSubmitted { batch, line } => {
+                    st.batches.entry(*batch).or_default().line = line.clone();
+                }
+                JournalRecord::BatchCompleted {
+                    batch,
+                    pairs,
+                    checksum,
+                    misses,
+                } => {
+                    st.batches.entry(*batch).or_default().completed =
+                        Some((*pairs, *checksum, *misses));
                 }
             }
         }

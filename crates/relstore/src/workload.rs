@@ -363,6 +363,114 @@ pub fn build<E: Env>(env: &E, spec: &WorkloadSpec) -> Result<Relations> {
     })
 }
 
+/// Build relations from *explicit* content: a key for every S slot and
+/// an explicit `(key, target S-index)` row list for R, partitioned in
+/// order (`R_i` holds rows `i*|R|/D .. (i+1)*|R|/D`).
+///
+/// [`build`] assumes S-object `k`'s key is `k`; the streaming tier
+/// breaks that assumption the moment an `append=` or `delete=` mutates
+/// a slot, so its differential oracle needs a one-shot builder that
+/// materializes the *final* mutated S image (tombstoned slots carry
+/// sentinel keys no row targets) and prices the checksum with the real
+/// per-slot keys.
+pub fn build_explicit<E: Env>(
+    env: &E,
+    rel: RelConfig,
+    prefix: &str,
+    s_keys: &[u64],
+    r_rows: &[(u64, u64)],
+) -> Result<Relations> {
+    rel.validate()?;
+    if s_keys.len() as u64 != rel.s_objects {
+        return Err(mmjoin_env::EnvError::InvalidConfig(format!(
+            "build_explicit: {} S keys for {} slots",
+            s_keys.len(),
+            rel.s_objects
+        )));
+    }
+    if r_rows.len() as u64 != rel.r_objects {
+        return Err(mmjoin_env::EnvError::InvalidConfig(format!(
+            "build_explicit: {} R rows for |R| = {}",
+            r_rows.len(),
+            rel.r_objects
+        )));
+    }
+    let d = rel.d;
+    let proc = ProcId(0);
+
+    let mut sub_counts = vec![vec![0u64; d as usize]; d as usize];
+    let mut checksum = 0u64;
+    for (n, &(r_key, s_idx)) in r_rows.iter().enumerate() {
+        if s_idx >= rel.s_objects {
+            return Err(mmjoin_env::EnvError::InvalidConfig(format!(
+                "build_explicit: row {n} targets S-index {s_idx} >= {}",
+                rel.s_objects
+            )));
+        }
+        checksum = checksum.wrapping_add(pair_digest(r_key, s_keys[s_idx as usize]));
+        let i = n as u64 / rel.r_per_part();
+        sub_counts[i as usize][(s_idx / rel.s_per_part()) as usize] += 1;
+    }
+    let per = rel.r_per_part() as f64 / d as f64;
+    let skew = sub_counts
+        .iter()
+        .flatten()
+        .map(|&c| c as f64 / per)
+        .fold(0.0, f64::max);
+
+    let mut r_files = Vec::with_capacity(d as usize);
+    let mut s_files = Vec::with_capacity(d as usize);
+    for i in 0..d {
+        let r_name = names::scoped(prefix, &names::r_part(i));
+        let s_name = names::scoped(prefix, &names::s_part(i));
+        env.create_file(proc, &r_name, DiskId(i), rel.r_part_bytes())?;
+        env.create_file(proc, &s_name, DiskId(i), rel.s_part_bytes())?;
+
+        let mut s_data = vec![0u8; rel.s_part_bytes() as usize];
+        for k in 0..rel.s_per_part() {
+            let idx = (i as u64 * rel.s_per_part() + k) as usize;
+            let off = (k * rel.s_size as u64) as usize;
+            encode_s(&mut s_data[off..off + rel.s_size as usize], s_keys[idx]);
+        }
+        env.preload(&s_name, 0, &s_data)?;
+
+        let mut r_data = vec![0u8; rel.r_part_bytes() as usize];
+        let base = (i as u64 * rel.r_per_part()) as usize;
+        for k in 0..rel.r_per_part() as usize {
+            let (key, s_idx) = r_rows[base + k];
+            let off = k * rel.r_size as usize;
+            encode_r(
+                &mut r_data[off..off + rel.r_size as usize],
+                key,
+                rel.sptr_of(s_idx),
+            );
+        }
+        env.preload(&r_name, 0, &r_data)?;
+
+        r_files.push(r_name);
+        s_files.push(s_name);
+    }
+
+    let catalog = SCatalog {
+        part_files: s_files.clone(),
+        part_bytes: rel.s_part_bytes(),
+        s_obj_size: rel.s_size,
+    };
+    env.reset_stats();
+
+    Ok(Relations {
+        rel,
+        r_files,
+        s_files,
+        catalog,
+        expected_pairs: rel.r_objects,
+        expected_checksum: checksum,
+        sub_counts,
+        skew,
+        prefix: prefix.to_string(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -567,6 +675,70 @@ mod tests {
         }
         // ...and the scan covers all four partitions evenly.
         assert_eq!(counts, [20, 20, 20, 20]);
+    }
+
+    #[test]
+    fn build_explicit_matches_implicit_build_on_identity_keys() {
+        // With identity S keys and build()'s own (key, target) rows,
+        // the explicit builder must reproduce build()'s oracle exactly.
+        let e = env();
+        let spec = small_spec();
+        let implicit = build(&e, &spec).unwrap();
+        let rel = spec.rel;
+        let s_keys: Vec<u64> = (0..rel.s_objects).collect();
+        // sample_relation at full cap walks partitions in order with
+        // stride 1, so row n has key n and build()'s target for it.
+        let sample = sample_relation(&e, &implicit, usize::MAX).unwrap();
+        let rows: Vec<(u64, u64)> = sample
+            .iter()
+            .enumerate()
+            .map(|(n, &(_, s))| (n as u64, s))
+            .collect();
+        let e2 = env();
+        let explicit = build_explicit(&e2, rel, "x", &s_keys, &rows).unwrap();
+        assert_eq!(explicit.expected_checksum, implicit.expected_checksum);
+        assert_eq!(explicit.expected_pairs, implicit.expected_pairs);
+        assert_eq!(explicit.sub_counts, implicit.sub_counts);
+    }
+
+    #[test]
+    fn build_explicit_prices_checksum_with_slot_keys() {
+        let e = env();
+        let rel = RelConfig {
+            r_size: 32,
+            s_size: 32,
+            d: 2,
+            r_objects: 4,
+            s_objects: 4,
+        };
+        // Non-identity S keys: slot 2 carries key 900.
+        let s_keys = vec![100u64, 101, 900, 103];
+        let rows = vec![(7u64, 0u64), (8, 2), (9, 2), (10, 3)];
+        let rels = build_explicit(&e, rel, "", &s_keys, &rows).unwrap();
+        let want = pair_digest(7, 100)
+            .wrapping_add(pair_digest(8, 900))
+            .wrapping_add(pair_digest(9, 900))
+            .wrapping_add(pair_digest(10, 103));
+        assert_eq!(rels.expected_checksum, want);
+        assert_eq!(rels.sub_counts, vec![vec![1, 1], vec![0, 2]]);
+        // Stored S-objects really carry the explicit keys.
+        let sf = e.open_file(ProcId(0), &rels.s_files[1]).unwrap();
+        let mut buf = vec![0u8; 32];
+        sf.read_at(ProcId(0), 0, &mut buf).unwrap();
+        assert_eq!(s_key(&buf), 900);
+    }
+
+    #[test]
+    fn build_explicit_rejects_shape_mismatches() {
+        let e = env();
+        let rel = small_spec().rel;
+        let s_keys: Vec<u64> = (0..rel.s_objects).collect();
+        let rows: Vec<(u64, u64)> = (0..rel.r_objects).map(|n| (n, 0)).collect();
+        assert!(build_explicit(&e, rel, "", &s_keys[..10], &rows).is_err());
+        assert!(build_explicit(&e, rel, "", &s_keys, &rows[..10]).is_err());
+        let mut bad = rows.clone();
+        bad[3].1 = rel.s_objects; // out of range
+        assert!(build_explicit(&e, rel, "", &s_keys, &bad).is_err());
     }
 
     #[test]

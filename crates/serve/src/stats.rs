@@ -61,6 +61,18 @@ pub struct ServiceStats {
     pub journal_orphans_deleted: u64,
     /// In-flight jobs re-submitted from the journal at startup.
     pub journal_resumed_jobs: u64,
+    /// Streaming tier: probe micro-batches completed (`serve --stream`;
+    /// 0 on the one-shot job service).
+    pub stream_batches: u64,
+    /// Streaming tier: `append=`/`delete=` maintenance ops applied.
+    pub stream_mutations: u64,
+    /// Streaming tier: probe rows that hit a tombstoned resident slot.
+    pub stream_misses: u64,
+    /// Streaming tier: times a submitter blocked on the queue bound.
+    pub stream_backpressure: u64,
+    /// Streaming tier: batches re-reported from the journal by
+    /// `--resume` instead of re-executed.
+    pub stream_resumed: u64,
     /// Every process counter of every job, folded into one set
     /// ([`mmjoin_env::EnvStats::folded`] summed across jobs).
     pub agg: ProcStats,
@@ -73,6 +85,8 @@ pub struct ServiceStats {
     /// Per-pass (stage) durations across every job, merged from each
     /// job's `JoinOutput::pass_seconds`.
     pub pass_hist: Histogram,
+    /// Streaming tier: client-observed per-batch latency.
+    pub batch_hist: Histogram,
 }
 
 impl ServiceStats {
@@ -162,11 +176,17 @@ impl ServiceStats {
         self.journal_torn_bytes += other.journal_torn_bytes;
         self.journal_orphans_deleted += other.journal_orphans_deleted;
         self.journal_resumed_jobs += other.journal_resumed_jobs;
+        self.stream_batches += other.stream_batches;
+        self.stream_mutations += other.stream_mutations;
+        self.stream_misses += other.stream_misses;
+        self.stream_backpressure += other.stream_backpressure;
+        self.stream_resumed += other.stream_resumed;
         self.agg.absorb(&other.agg);
         self.latency_hist.merge(&other.latency_hist);
         self.queue_hist.merge(&other.queue_hist);
         self.exec_hist.merge(&other.exec_hist);
         self.pass_hist.merge(&other.pass_hist);
+        self.batch_hist.merge(&other.batch_hist);
     }
 
     /// Snapshot as a JSON object (hand-rolled: every value is a number,
@@ -185,7 +205,9 @@ impl ServiceStats {
                 "\"journal\":{{\"appended_records\":{},\"commits\":{},",
                 "\"replayed_records\":{},\"torn_bytes\":{},\"orphans_deleted\":{},",
                 "\"resumed_jobs\":{}}},",
-                "\"latency\":{},\"queue\":{},\"exec\":{},\"pass\":{}}}"
+                "\"stream\":{{\"batches\":{},\"mutations\":{},\"misses\":{},",
+                "\"backpressure\":{},\"resumed\":{}}},",
+                "\"latency\":{},\"queue\":{},\"exec\":{},\"pass\":{},\"batch\":{}}}"
             ),
             self.submitted,
             self.rejected,
@@ -215,10 +237,16 @@ impl ServiceStats {
             self.journal_torn_bytes,
             self.journal_orphans_deleted,
             self.journal_resumed_jobs,
+            self.stream_batches,
+            self.stream_mutations,
+            self.stream_misses,
+            self.stream_backpressure,
+            self.stream_resumed,
             self.latency_hist.to_json(),
             self.queue_hist.to_json(),
             self.exec_hist.to_json(),
             self.pass_hist.to_json(),
+            self.batch_hist.to_json(),
         )
     }
 }
@@ -316,15 +344,16 @@ mod tests {
         assert!(j.contains("\"leak_bytes\":0"));
         assert!(j.contains("\"recovery\":{\"faults_injected\":0"));
         assert!(j.contains("\"journal\":{\"appended_records\":0"));
-        for key in ["latency", "queue", "exec", "pass"] {
+        assert!(j.contains("\"stream\":{\"batches\":0"));
+        for key in ["latency", "queue", "exec", "pass", "batch"] {
             assert!(j.contains(&format!("\"{key}\":{{\"count\":")), "{key}: {j}");
         }
         assert!(j.contains("\"p999\":"));
         // Balanced braces — cheap structural sanity without a parser.
         let open = j.matches('{').count();
         assert_eq!(open, j.matches('}').count());
-        // Seven section objects plus four histogram objects.
-        assert_eq!(open, 11);
+        // Eight section objects plus five histogram objects.
+        assert_eq!(open, 13);
     }
 
     #[test]

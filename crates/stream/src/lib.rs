@@ -1,0 +1,271 @@
+//! # mmjoin-stream — the streaming join tier
+//!
+//! The paper's joins are one-shot: build both relations, run the three
+//! passes, report. This crate adds the *continuous* variant the same
+//! machinery supports naturally once `S` is memory-resident: load the
+//! inner relation once into mmstore partitions, build a partitioned
+//! resident index (radix hash areas faithful, sorted runs `--modern`,
+//! chosen by the sampled-histogram planner), then serve an unbounded
+//! sequence of R micro-batches — each a short probe-only job priced by
+//! [`mmjoin::probe_cost`] — plus incremental `append=`/`delete=`
+//! maintenance that patches the resident index in place.
+//!
+//! The module split:
+//!
+//! * [`grammar`] — the `resident=`/`batch=`/`append=`/`delete=` line
+//!   grammar (`mmjoin serve --stream` scripts and the journal's wire
+//!   lines);
+//! * [`resident`] — the resident set: build (the stream's only pass-0
+//!   cost), probe through the Sproc shared-buffer exchange, in-place
+//!   patch;
+//! * [`session`] — the ordered worker, backpressure, write-ahead
+//!   journaling, and exactly-once `--resume`.
+//!
+//! The invariants the tests in `tests/` enforce:
+//!
+//! * **differential** — streamed batches with interleaved mutations
+//!   produce exactly the pairs/checksum a one-shot [`mmjoin::join`]
+//!   produces over the equivalent final inputs, on `SimEnv` and
+//!   `MmapEnv`, faithful and modern;
+//! * **steady state** — after warmup no `pass=0` event appears in the
+//!   trace, and a micro-batch is far cheaper than an independent full
+//!   join of the same rows;
+//! * **exactly-once** — a killed session resumed from its journal
+//!   re-reports completed batches without re-executing them and
+//!   continues the suffix.
+
+pub mod grammar;
+pub mod resident;
+pub mod session;
+
+pub use grammar::{StreamHeader, StreamOp, PAGE};
+pub use resident::{BatchOutput, Layout, ResidentSet, DEAD_BIT, PROBE_BATCH};
+pub use session::{BatchResult, StreamConfig, StreamSession, StreamStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmjoin_env::machine::MachineParams;
+    use mmjoin_env::Env;
+    use mmjoin_vmsim::{SimConfig, SimEnv};
+    use std::sync::Arc;
+
+    fn header(d: u32, objects: u64, modern: bool) -> StreamHeader {
+        StreamHeader {
+            name: "t".into(),
+            s_objects: objects,
+            s_size: 64,
+            d,
+            mem_pages: 64,
+            seed: 7,
+            modern,
+        }
+    }
+
+    fn sim(d: u32) -> Arc<SimEnv> {
+        let mut cfg = SimConfig::waterloo96(d);
+        cfg.rproc_pages = 64;
+        cfg.sproc_pages = 64;
+        Arc::new(SimEnv::new(cfg).unwrap())
+    }
+
+    fn machine() -> MachineParams {
+        MachineParams::waterloo96()
+    }
+
+    #[test]
+    fn resident_probe_matches_the_oracle() {
+        let env = sim(2);
+        let h = header(2, 512, false);
+        let set = ResidentSet::build(Arc::clone(&env), &h, &machine()).unwrap();
+        let rows = set.gen_batch(200, 3);
+        let expected = set.expected(&rows);
+        let got = set.probe(&rows).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(got.pairs, 200, "all slots live at build time");
+        assert_eq!(got.misses, 0);
+        assert!(got.checksum != 0);
+    }
+
+    #[test]
+    fn mutations_patch_storage_and_probes_see_them() {
+        let env = sim(2);
+        let h = header(2, 128, false);
+        let mut set = ResidentSet::build(Arc::clone(&env), &h, &machine()).unwrap();
+        let deleted = set.delete(32, 9).unwrap();
+        assert_eq!(deleted.len(), 32);
+        assert_eq!(set.live_count(), 96);
+        // A probe that targets only deleted slots misses everywhere —
+        // and discovers that from the *stored* tombstone bytes.
+        let rows: Vec<(u64, u64)> = deleted.iter().map(|&s| (1000 + s, s)).collect();
+        let got = set.probe(&rows).unwrap();
+        assert_eq!(got.pairs, 0);
+        assert_eq!(got.misses, 32);
+        // Refill: fresh keys (monotone counter, never reused) go into
+        // the lowest tombstoned slots.
+        let appended = set.append(8).unwrap();
+        assert_eq!(appended.len(), 8);
+        assert_eq!(set.live_count(), 104);
+        let rows: Vec<(u64, u64)> = appended.iter().map(|&s| (2000 + s, s)).collect();
+        let got = set.probe(&rows).unwrap();
+        assert_eq!(got.pairs, 8);
+        assert_eq!(got, set.expected(&rows));
+        for &s in &appended {
+            assert!(set.keys()[s as usize] >= 128, "fresh key, not a reuse");
+        }
+        // Over-deleting and over-appending are refused.
+        assert!(set.delete(4096, 1).is_err());
+        assert!(set.append(1000).is_err());
+    }
+
+    #[test]
+    fn batch_generation_is_deterministic_and_respects_liveness() {
+        let env = sim(2);
+        let h = header(2, 256, false);
+        let mut set = ResidentSet::build(Arc::clone(&env), &h, &machine()).unwrap();
+        let a = set.gen_batch(100, 42);
+        let b = set.gen_batch(100, 42);
+        assert_eq!(a, b, "same seed, same state, same batch");
+        assert_ne!(a, set.gen_batch(100, 43));
+        set.delete(64, 5).unwrap();
+        let dead: std::collections::BTreeSet<u64> = (0..256)
+            .filter(|&s| set.keys()[s as usize] & DEAD_BIT != 0)
+            .collect();
+        for &(_, slot) in &set.gen_batch(500, 42) {
+            assert!(!dead.contains(&slot), "generated batches target live slots");
+        }
+    }
+
+    #[test]
+    fn modern_header_forces_the_sorted_layout() {
+        let env = sim(2);
+        let set = ResidentSet::build(Arc::clone(&env), &header(2, 128, true), &machine()).unwrap();
+        assert_eq!(set.layout(), Layout::Sorted);
+        assert!(set.index_partitions >= 1);
+    }
+
+    #[test]
+    fn session_runs_a_script_in_order_and_verifies_every_batch() {
+        let env = sim(2);
+        let h = header(2, 512, false);
+        let sess =
+            StreamSession::open(Arc::clone(&env), h, StreamConfig::ephemeral(machine())).unwrap();
+        let script = "\
+batch=b0 objects=128 seed=1
+delete=64 seed=2
+batch=b1 objects=128 seed=3
+append=16 seed=4
+batch=b2 objects=128 seed=5
+";
+        let seqs = sess.submit_script(script).unwrap();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        sess.drain();
+        let results = sess.results();
+        assert_eq!(results.len(), 5);
+        assert!(results.iter().all(|r| r.ok), "{results:?}");
+        assert_eq!(results[0].pairs, 128, "pre-delete batch sees all slots");
+        assert_eq!(results[1].rows, 64);
+        assert_eq!(results[1].live_after, 448);
+        assert_eq!(results[2].pairs, 128, "batches draw over live slots only");
+        assert_eq!(results[3].live_after, 464);
+        let stats = sess.stats();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.mutations, 2);
+        assert_eq!(stats.pairs, 3 * 128);
+        assert_eq!(stats.live_objects, 464);
+        assert_eq!(stats.batch_hist.count(), 3);
+        assert!(stats.predicted_seconds > 0.0);
+        let j = stats.to_json();
+        assert!(j.contains("\"submitted\":5"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        sess.shutdown();
+    }
+
+    #[test]
+    fn batch_results_serialize_to_well_formed_json() {
+        let env = sim(2);
+        let sess = StreamSession::open(
+            Arc::clone(&env),
+            header(2, 128, false),
+            StreamConfig::ephemeral(machine()),
+        )
+        .unwrap();
+        sess.submit(StreamOp::Batch {
+            name: "j\"x".into(),
+            objects: 16,
+            seed: 1,
+        })
+        .unwrap();
+        sess.drain();
+        let j = sess.results()[0].to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"kind\":\"batch\""));
+        assert!(j.contains("\"name\":\"jx\""), "quote stripped: {j}");
+        assert!(j.contains("\"resumed\":false"));
+    }
+
+    #[test]
+    fn backpressure_blocks_submitters_at_the_bound() {
+        let env = sim(2);
+        let h = header(2, 128, false);
+        let mut cfg = StreamConfig::ephemeral(machine());
+        cfg.queue_bound = 2;
+        let sess = Arc::new(StreamSession::open(Arc::clone(&env), h, cfg).unwrap());
+        // Flood from a second thread; the bound forces it to block at
+        // least once while the single worker drains.
+        let flood = {
+            let sess = Arc::clone(&sess);
+            std::thread::spawn(move || {
+                for i in 0..64 {
+                    sess.submit(StreamOp::Batch {
+                        name: format!("b{i}"),
+                        objects: 64,
+                        seed: i,
+                    })
+                    .unwrap();
+                }
+            })
+        };
+        flood.join().unwrap();
+        sess.drain();
+        let stats = sess.stats();
+        assert_eq!(stats.completed, 64);
+        assert!(
+            stats.backpressure > 0,
+            "a 64-op flood against bound 2 must block at least once"
+        );
+    }
+
+    #[test]
+    fn explicit_rows_probe_exact_targets() {
+        let env = sim(2);
+        let sess = StreamSession::open(
+            Arc::clone(&env),
+            header(2, 128, false),
+            StreamConfig::ephemeral(machine()),
+        )
+        .unwrap();
+        sess.submit(StreamOp::Delete { count: 1, seed: 0 }).unwrap();
+        sess.drain();
+        let dead_probe = StreamOp::BatchRows {
+            name: "x".into(),
+            rows: vec![(5, 0), (6, 1), (7, 2)],
+        };
+        sess.submit(dead_probe).unwrap();
+        sess.drain();
+        let r = &sess.results()[1];
+        assert!(r.ok);
+        assert_eq!(r.pairs + r.misses, 3);
+        sess.shutdown();
+    }
+
+    #[test]
+    fn env_file_table_is_clean_after_teardown() {
+        let env = sim(2);
+        let h = header(2, 128, false);
+        let set = ResidentSet::build(Arc::clone(&env), &h, &machine()).unwrap();
+        assert_eq!(env.list_files().len(), 4, "2 S parts + 2 index areas");
+        set.teardown().unwrap();
+        assert!(env.list_files().is_empty());
+    }
+}

@@ -1,0 +1,441 @@
+//! The resident inner relation: `S` loaded once into partitioned store
+//! files, indexed once (the stream's only pass-0 cost), then probed by
+//! an unbounded sequence of R micro-batches and patched in place by
+//! `append=`/`delete=` maintenance ops.
+//!
+//! Faithful to the paper's split of labor: the resident set *is* the
+//! Sproc side — S partitions live one per disk, every probe goes
+//! through [`Env::s_fetch_batch`]'s shared-buffer exchange, and the
+//! partitioned index is built with pass-0 scatter costs declared up
+//! front. Steady-state probes charge only pass-2-style work (hash/
+//! compare per row plus the buffer exchanges); the differential and
+//! trace tests in this crate hold that line.
+//!
+//! Storage is authoritative: a tombstoned slot's bytes carry a key with
+//! [`DEAD_BIT`] set, so a probe discovers liveness from the fetched
+//! S-object itself, not from session-local bookkeeping. The in-memory
+//! key table exists to *generate* batches over the live set and to
+//! price the per-batch verification oracle.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use mmjoin::{choose_auto, Reservoir, SampleSummary, HISTOGRAM_BUCKETS, SAMPLE_CAP};
+use mmjoin_env::machine::MachineParams;
+use mmjoin_env::{CpuOp, DiskId, Env, FileOps, ProcId, Result, SCatalog, SPtr, TraceEvent};
+use mmjoin_model::JoinInputs;
+use mmjoin_relstore::SPTR_SIZE;
+use mmjoin_relstore::{encode_s, names, pair_digest, s_key, RelConfig};
+
+use crate::grammar::StreamHeader;
+
+/// High bit marking a tombstoned slot's stored key. Live keys (slot
+/// indices at build time, a monotone counter afterwards) never reach it.
+pub const DEAD_BIT: u64 = 1 << 63;
+
+/// S-objects requested per shared-buffer exchange while probing (same
+/// granularity as the modern kernels' probe pipeline).
+pub const PROBE_BATCH: usize = 2048;
+
+/// Bytes per resident index entry: `(key u64, slot u64)`.
+const IDX_ENTRY: u64 = 16;
+
+/// How the resident index lays out its per-partition entries.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Layout {
+    /// Radix-partitioned hash areas (faithful Grace/hybrid-style).
+    Hash,
+    /// Sorted runs (the `--modern` cache-conscious layout).
+    Sorted,
+}
+
+impl Layout {
+    /// Stable name used in [`TraceEvent::ResidentBuilt`].
+    pub fn name(self) -> &'static str {
+        match self {
+            Layout::Hash => "hash",
+            Layout::Sorted => "sorted",
+        }
+    }
+}
+
+/// What one probe micro-batch produced.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchOutput {
+    /// Join pairs (rows whose target slot was live).
+    pub pairs: u64,
+    /// Order-independent checksum over the produced pairs.
+    pub checksum: u64,
+    /// Rows whose target slot was tombstoned at probe time.
+    pub misses: u64,
+}
+
+/// The resident S relation plus its partitioned index.
+pub struct ResidentSet<E: Env> {
+    env: Arc<E>,
+    rel: RelConfig,
+    prefix: String,
+    layout: Layout,
+    /// Planner partition count the index was built with (per disk).
+    pub index_partitions: u32,
+    /// Current key of every slot; `DEAD_BIT` marks tombstones.
+    keys: Vec<u64>,
+    /// Slots currently live, kept sorted for deterministic draws.
+    live: BTreeSet<u64>,
+    /// Next fresh key handed to `append=`.
+    next_key: u64,
+    s_files: Vec<String>,
+    idx_files: Vec<String>,
+}
+
+impl<E: Env> ResidentSet<E> {
+    /// Load S (slot `k` starts with key `k`, matching
+    /// `mmjoin_relstore::build`), sample its key distribution, let the
+    /// planner pick the index shape, scatter the index (pass 0), and
+    /// start the Sproc service.
+    pub fn build(env: Arc<E>, header: &StreamHeader, machine: &MachineParams) -> Result<Self> {
+        let rel = header.rel();
+        rel.validate()?;
+        let d = rel.d;
+
+        // Sample S's key distribution and let the planner price the
+        // layouts: the paper's partitioning algorithms become the hash
+        // index, sort-merge the sorted runs. `mode=modern` forces the
+        // cache-conscious layout.
+        let mut res = Reservoir::<u64>::new(SAMPLE_CAP, header.seed);
+        for slot in 0..rel.s_objects {
+            res.push(slot);
+        }
+        let ptrs: Vec<(u32, u64)> = res
+            .items()
+            .iter()
+            .map(|&slot| ((slot / rel.s_per_part()) as u32, slot))
+            .collect();
+        let summary =
+            SampleSummary::from_pointers(&ptrs, rel.s_objects, rel.s_objects, d, HISTOGRAM_BUCKETS);
+        let plan = choose_auto(
+            machine,
+            &probe_inputs(&rel, header, rel.s_objects, 1.0),
+            Some(&summary),
+        );
+        let layout = if header.modern {
+            Layout::Sorted
+        } else {
+            match plan.choice.algorithm {
+                mmjoin_model::Algorithm::SortMerge => Layout::Sorted,
+                _ => Layout::Hash,
+            }
+        };
+
+        let proc = ProcId(0);
+        let mut s_files = Vec::with_capacity(d as usize);
+        let mut idx_files = Vec::with_capacity(d as usize);
+        for j in 0..d {
+            // The S partitions themselves: pre-existing data, loaded
+            // outside measurement (the paper's relations exist before a
+            // join begins).
+            let s_name = names::scoped(&header.name, &names::s_part(j));
+            env.create_file(proc, &s_name, DiskId(j), rel.s_part_bytes())?;
+            let mut s_data = vec![0u8; rel.s_part_bytes() as usize];
+            for k in 0..rel.s_per_part() {
+                let slot = j as u64 * rel.s_per_part() + k;
+                let off = (k * rel.s_size as u64) as usize;
+                encode_s(&mut s_data[off..off + rel.s_size as usize], slot);
+            }
+            env.preload(&s_name, 0, &s_data)?;
+            s_files.push(s_name);
+
+            // The resident index: built *now*, at measured cost — the
+            // stream's pass 0. Entries are slot-ordered within the
+            // partition so a maintenance op can patch one entry in
+            // place; the layout choice decides the declared CPU work
+            // (radix scatter vs run formation).
+            let idx_name = names::scoped(&header.name, &format!("IDX_{j}"));
+            let idx_bytes = rel.s_per_part() * IDX_ENTRY;
+            let idx = env.create_file(proc, &idx_name, DiskId(j), idx_bytes)?;
+            let mut idx_data = vec![0u8; idx_bytes as usize];
+            for k in 0..rel.s_per_part() {
+                let slot = j as u64 * rel.s_per_part() + k;
+                let off = (k * IDX_ENTRY) as usize;
+                idx_data[off..off + 8].copy_from_slice(&slot.to_le_bytes());
+                idx_data[off + 8..off + 16].copy_from_slice(&slot.to_le_bytes());
+            }
+            idx.write_at(proc, 0, &idx_data)?;
+            match layout {
+                Layout::Hash => env.cpu(proc, CpuOp::Hash, rel.s_per_part()),
+                Layout::Sorted => env.cpu(
+                    proc,
+                    CpuOp::Compare,
+                    rel.s_per_part() * (rel.s_per_part().max(2) as f64).log2().ceil() as u64,
+                ),
+            }
+            env.trace(
+                proc,
+                TraceEvent::PassEnd {
+                    proc: 0,
+                    pass: 0,
+                    phase: 0,
+                    disk: j,
+                    area: idx_name.clone(),
+                    bytes: idx_bytes,
+                    objects: rel.s_per_part(),
+                },
+            );
+            idx_files.push(idx_name);
+        }
+
+        env.register_s(SCatalog {
+            part_files: s_files.clone(),
+            part_bytes: rel.s_part_bytes(),
+            s_obj_size: rel.s_size,
+        })?;
+        env.trace(
+            proc,
+            TraceEvent::ResidentBuilt {
+                parts: d,
+                objects: rel.s_objects,
+                layout: layout.name().to_string(),
+            },
+        );
+
+        Ok(ResidentSet {
+            env,
+            rel,
+            prefix: header.name.clone(),
+            layout,
+            index_partitions: plan.partitions,
+            keys: (0..rel.s_objects).collect(),
+            live: (0..rel.s_objects).collect(),
+            next_key: rel.s_objects,
+            s_files,
+            idx_files,
+        })
+    }
+
+    /// The chosen index layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Live (non-tombstoned) slots.
+    pub fn live_count(&self) -> u64 {
+        self.live.len() as u64
+    }
+
+    /// Current key of every slot (`DEAD_BIT` set on tombstones).
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Relation shape of the resident set.
+    pub fn rel(&self) -> &RelConfig {
+        &self.rel
+    }
+
+    /// Planner inputs for a probe-only batch of `rows` rows against the
+    /// current live set.
+    pub fn batch_inputs(&self, header: &StreamHeader, rows: u64) -> JoinInputs {
+        let mut inputs = probe_inputs(&self.rel, header, rows.max(1), 1.0);
+        inputs.s_objects = self.live_count().max(1);
+        inputs
+    }
+
+    /// Deterministically draw a `objects`-row micro-batch over the
+    /// *current* live slots: row keys and targets are pure functions of
+    /// `seed` and the live set, so a resumed session that replays the
+    /// op sequence regenerates byte-identical batches.
+    pub fn gen_batch(&self, objects: u64, seed: u64) -> Vec<(u64, u64)> {
+        let live: Vec<u64> = self.live.iter().copied().collect();
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut rows = Vec::with_capacity(objects as usize);
+        for n in 0..objects {
+            state = splitmix64(state.wrapping_add(n));
+            let slot = live[(state % live.len() as u64) as usize];
+            state = splitmix64(state);
+            // Row keys stay clear of DEAD_BIT so digests can't collide
+            // with tombstone sentinels in tests.
+            rows.push((state & !DEAD_BIT, slot));
+        }
+        rows
+    }
+
+    /// What a probe of `rows` *should* produce, priced from the
+    /// in-memory key table — the per-batch verification oracle.
+    pub fn expected(&self, rows: &[(u64, u64)]) -> BatchOutput {
+        let mut out = BatchOutput::default();
+        for &(r_key, slot) in rows {
+            let key = self.keys[slot as usize];
+            if key & DEAD_BIT != 0 {
+                out.misses += 1;
+            } else {
+                out.pairs += 1;
+                out.checksum = out.checksum.wrapping_add(pair_digest(r_key, key));
+            }
+        }
+        out
+    }
+
+    /// Probe one micro-batch through the Sproc shared-buffer exchange.
+    /// Liveness comes from the fetched bytes (tombstones carry
+    /// [`DEAD_BIT`]), so storage — not session state — is authoritative.
+    pub fn probe(&self, rows: &[(u64, u64)]) -> Result<BatchOutput> {
+        let d = self.rel.d as usize;
+        // Group rows by target partition, preserving per-row keys.
+        let mut parts: Vec<(Vec<SPtr>, Vec<u64>)> = vec![(Vec::new(), Vec::new()); d];
+        for &(r_key, slot) in rows {
+            let j = (slot / self.rel.s_per_part()) as usize;
+            parts[j].0.push(self.rel.sptr_of(slot));
+            parts[j].1.push(r_key);
+        }
+        let req_bytes = (self.rel.r_size + SPTR_SIZE) as u64;
+        let mut out = BatchOutput::default();
+        let mut fetched = Vec::new();
+        for (j, (ptrs, keys)) in parts.iter().enumerate() {
+            let proc = ProcId(j as u32);
+            self.env.cpu(proc, CpuOp::Map, ptrs.len() as u64);
+            self.env.cpu(
+                proc,
+                match self.layout {
+                    Layout::Hash => CpuOp::Hash,
+                    Layout::Sorted => CpuOp::Compare,
+                },
+                ptrs.len() as u64,
+            );
+            for (chunk, kchunk) in ptrs.chunks(PROBE_BATCH).zip(keys.chunks(PROBE_BATCH)) {
+                fetched.clear();
+                self.env
+                    .s_fetch_batch(proc, j as u32, chunk, req_bytes, &mut fetched)?;
+                for (n, obj) in fetched.chunks(self.rel.s_size as usize).enumerate() {
+                    let key = s_key(obj);
+                    if key & DEAD_BIT != 0 {
+                        out.misses += 1;
+                    } else {
+                        out.pairs += 1;
+                        out.checksum = out.checksum.wrapping_add(pair_digest(kchunk[n], key));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Tombstone `count` live slots drawn deterministically with
+    /// `seed`. Returns the patched slots.
+    pub fn delete(&mut self, count: u64, seed: u64) -> Result<Vec<u64>> {
+        if count > self.live.len() as u64 {
+            return Err(mmjoin_env::EnvError::InvalidConfig(format!(
+                "delete={count} but only {} slots live",
+                self.live.len()
+            )));
+        }
+        let mut state = seed ^ 0xD1B5_4A32_D192_ED03;
+        let mut slots = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let live: Vec<u64> = self.live.iter().copied().collect();
+            state = splitmix64(state);
+            let slot = live[(state % live.len() as u64) as usize];
+            self.live.remove(&slot);
+            self.keys[slot as usize] = DEAD_BIT | slot;
+            slots.push(slot);
+        }
+        self.patch_slots(&slots, "delete")?;
+        Ok(slots)
+    }
+
+    /// Refill the `count` lowest tombstoned slots with fresh keys from
+    /// the monotone counter. Returns the patched slots.
+    pub fn append(&mut self, count: u64) -> Result<Vec<u64>> {
+        let dead: Vec<u64> = (0..self.rel.s_objects)
+            .filter(|s| !self.live.contains(s))
+            .take(count as usize)
+            .collect();
+        if (dead.len() as u64) < count {
+            return Err(mmjoin_env::EnvError::InvalidConfig(format!(
+                "append={count} but only {} slots free",
+                dead.len()
+            )));
+        }
+        for &slot in &dead {
+            self.keys[slot as usize] = self.next_key;
+            self.next_key += 1;
+            self.live.insert(slot);
+        }
+        self.patch_slots(&dead, "append")?;
+        Ok(dead)
+    }
+
+    /// Write the current key of each patched slot into its S partition
+    /// and its index entry — an in-place patch, never a rebuild. The
+    /// writes go through charged `write_at`, so maintenance cost is
+    /// measured, and the trace records the patch for the steady-state
+    /// ("no pass 0 after warmup") check.
+    fn patch_slots(&self, slots: &[u64], op: &str) -> Result<()> {
+        let proc = ProcId(0);
+        let mut obj = vec![0u8; self.rel.s_size as usize];
+        for &slot in slots {
+            let j = (slot / self.rel.s_per_part()) as usize;
+            let local = slot % self.rel.s_per_part();
+            let key = self.keys[slot as usize];
+            encode_s(&mut obj, key);
+            let s = self.env.open_file(proc, &self.s_files[j])?;
+            s.write_at(proc, local * self.rel.s_size as u64, &obj)?;
+            let idx = self.env.open_file(proc, &self.idx_files[j])?;
+            let mut entry = [0u8; IDX_ENTRY as usize];
+            entry[..8].copy_from_slice(&key.to_le_bytes());
+            entry[8..].copy_from_slice(&slot.to_le_bytes());
+            idx.write_at(proc, local * IDX_ENTRY, &entry)?;
+            self.env.cpu(
+                proc,
+                match self.layout {
+                    Layout::Hash => CpuOp::Hash,
+                    Layout::Sorted => CpuOp::Compare,
+                },
+                1,
+            );
+        }
+        self.env.trace(
+            proc,
+            TraceEvent::ResidentPatched {
+                op: op.to_string(),
+                objects: slots.len() as u64,
+                live: self.live_count(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Stop the Sproc service and delete the resident files.
+    pub fn teardown(self) -> Result<()> {
+        self.env.shutdown_s();
+        let proc = ProcId(0);
+        for name in self.s_files.iter().chain(self.idx_files.iter()) {
+            self.env.delete_file(proc, name)?;
+        }
+        let _ = self.prefix;
+        Ok(())
+    }
+}
+
+/// Probe-only planner inputs: `rows` outer rows against the resident
+/// set under the header's budgets.
+fn probe_inputs(rel: &RelConfig, header: &StreamHeader, rows: u64, skew: f64) -> JoinInputs {
+    JoinInputs {
+        r_objects: rows,
+        s_objects: rel.s_objects,
+        r_size: rel.r_size,
+        s_size: rel.s_size,
+        sptr_size: SPTR_SIZE,
+        d: rel.d,
+        skew,
+        m_rproc: header.budget_bytes(),
+        m_sproc: header.budget_bytes(),
+        g_buffer: PROBE_BATCH as u64 * (rel.r_size + SPTR_SIZE + rel.s_size) as u64,
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

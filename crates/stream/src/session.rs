@@ -1,0 +1,722 @@
+//! The streaming session: one resident set, one ordered worker, an
+//! unbounded op queue with backpressure, write-ahead journaling of
+//! every op, and exactly-once resume.
+//!
+//! Ordering is the correctness backbone: `append=`/`delete=` mutate the
+//! resident set, so batches must observe exactly the mutations that
+//! preceded them in submission order. A single worker executes ops in
+//! sequence, which also makes the journal's completion records a prefix
+//! of its submission records — resume re-applies the op list in order
+//! on a freshly rebuilt resident set, re-reports completed batches from
+//! their journaled outputs (exactly once, no re-execution), and
+//! re-executes only the suffix that never completed.
+//!
+//! The journal commit points mirror the serve tier:
+//!
+//! * `StreamOpened` — at open, committed (pins the header line so a
+//!   resume with a different shape is refused);
+//! * `BatchSubmitted` — before the op is queued, committed (a caller
+//!   that got a sequence number back will find the op after a crash);
+//! * `BatchCompleted` — before the result is visible, committed, and
+//!   only for ops that verified clean (a failed op re-runs on resume).
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+use mmjoin::probe_cost;
+use mmjoin_env::machine::MachineParams;
+use mmjoin_env::{Env, EnvError, Histogram, ProcId, Result, TraceEvent};
+use mmjoin_mmstore::{MmapEnv, MmapEnvConfig};
+use mmjoin_recovery::{Journal, JournalRecord, ReplayState};
+
+use crate::grammar::{StreamHeader, StreamOp, PAGE};
+use crate::resident::{BatchOutput, ResidentSet};
+
+/// Journal file name inside the stream journal directory.
+const JOURNAL_FILE: &str = "stream.wal";
+
+/// Journal capacity: generous for tens of thousands of op records.
+const JOURNAL_CAPACITY: u64 = 4 << 20;
+
+/// Process identity journal operations are attributed to.
+const PROC: ProcId = ProcId(0);
+
+/// Session configuration.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Backpressure bound: `submit` blocks while this many ops queue.
+    pub queue_bound: usize,
+    /// Machine parameters pricing per-batch admission.
+    pub machine: MachineParams,
+    /// Journal directory; `None` disables journaling (and resume).
+    pub journal_dir: Option<PathBuf>,
+    /// Replay an existing journal instead of starting fresh.
+    pub resume: bool,
+}
+
+impl StreamConfig {
+    /// Journaling disabled, default bound.
+    pub fn ephemeral(machine: MachineParams) -> StreamConfig {
+        StreamConfig {
+            queue_bound: 64,
+            machine,
+            journal_dir: None,
+            resume: false,
+        }
+    }
+}
+
+/// One finished op, batch or mutation.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// Stream sequence number.
+    pub seq: u64,
+    /// Batch name, or `"append"`/`"delete"`.
+    pub name: String,
+    /// `"batch"`, `"append"` or `"delete"`.
+    pub kind: &'static str,
+    /// R rows probed (batches) or slots patched (mutations).
+    pub rows: u64,
+    /// Join pairs produced (0 for mutations).
+    pub pairs: u64,
+    /// Order-independent checksum over the pairs.
+    pub checksum: u64,
+    /// Rows that hit a tombstoned slot.
+    pub misses: u64,
+    /// Output matched the session's oracle.
+    pub ok: bool,
+    /// Planner-predicted probe seconds (0 for mutations).
+    pub predicted_seconds: f64,
+    /// Wall seconds queued before the worker picked the op up.
+    pub queue_wait: f64,
+    /// Wall seconds executing.
+    pub exec_wall: f64,
+    /// Environment-reported seconds (virtual on `SimEnv`): worst
+    /// per-partition clock advance during the op.
+    pub env_elapsed: f64,
+    /// Live slots after the op.
+    pub live_after: u64,
+    /// Re-reported from the journal by `--resume`, not re-executed.
+    pub resumed: bool,
+    /// Error text when `ok` is false.
+    pub error: Option<String>,
+}
+
+impl BatchResult {
+    /// Client-observed latency.
+    pub fn latency(&self) -> f64 {
+        self.queue_wait + self.exec_wall
+    }
+
+    /// One JSON object (names come from the `key=value` grammar, so the
+    /// only escaping needed is defensive).
+    pub fn to_json(&self) -> String {
+        let esc: String = self
+            .name
+            .chars()
+            .filter(|c| !matches!(c, '"' | '\\'))
+            .collect();
+        format!(
+            concat!(
+                "{{\"seq\":{},\"name\":\"{}\",\"kind\":\"{}\",\"rows\":{},",
+                "\"pairs\":{},\"checksum\":{},\"misses\":{},\"ok\":{},",
+                "\"predicted_seconds\":{:.6},\"queue_wait\":{:.6},",
+                "\"exec_wall\":{:.6},\"env_elapsed\":{:.6},\"live_after\":{},",
+                "\"resumed\":{}}}"
+            ),
+            self.seq,
+            esc,
+            self.kind,
+            self.rows,
+            self.pairs,
+            self.checksum,
+            self.misses,
+            self.ok,
+            self.predicted_seconds,
+            self.queue_wait,
+            self.exec_wall,
+            self.env_elapsed,
+            self.live_after,
+            self.resumed,
+        )
+    }
+}
+
+/// Aggregated session counters.
+#[derive(Clone, Debug, Default)]
+pub struct StreamStats {
+    /// Ops accepted (batches + mutations).
+    pub submitted: u64,
+    /// Batches that completed and verified.
+    pub completed: u64,
+    /// Ops that failed verification or errored.
+    pub failed: u64,
+    /// Maintenance ops applied.
+    pub mutations: u64,
+    /// Join pairs across every batch.
+    pub pairs: u64,
+    /// Tombstone hits across every batch.
+    pub misses: u64,
+    /// Times a submitter blocked on the queue bound.
+    pub backpressure: u64,
+    /// Resident S slots (live + tombstoned).
+    pub resident_objects: u64,
+    /// Live slots right now.
+    pub live_objects: u64,
+    /// Resident builds this process paid (1, plus 1 per resume).
+    pub resident_builds: u64,
+    /// Slots patched in place by mutations.
+    pub patched_objects: u64,
+    /// Batches re-reported from the journal instead of re-executed.
+    pub resumed_batches: u64,
+    /// Journal records appended by this process.
+    pub journal_appended_records: u64,
+    /// Journal commits performed.
+    pub journal_commits: u64,
+    /// CRC-valid records replayed at startup.
+    pub journal_replayed_records: u64,
+    /// Committed bytes lost to a torn tail at startup.
+    pub journal_torn_bytes: u64,
+    /// Predicted probe seconds summed over batches.
+    pub predicted_seconds: f64,
+    /// Wall seconds executing, summed.
+    pub exec_seconds: f64,
+    /// Client-observed per-batch latency.
+    pub batch_hist: Histogram,
+    /// Per-op queue wait.
+    pub queue_hist: Histogram,
+}
+
+impl StreamStats {
+    /// Fold one finished op in.
+    fn record(&mut self, r: &BatchResult) {
+        if r.ok {
+            if r.kind == "batch" {
+                self.completed += 1;
+            } else {
+                self.mutations += 1;
+                self.patched_objects += r.rows;
+            }
+        } else {
+            self.failed += 1;
+        }
+        self.pairs += r.pairs;
+        self.misses += r.misses;
+        self.exec_seconds += r.exec_wall;
+        self.predicted_seconds += r.predicted_seconds;
+        self.live_objects = r.live_after;
+        if r.resumed {
+            self.resumed_batches += 1;
+        }
+        if r.kind == "batch" {
+            self.batch_hist.record(r.latency());
+        }
+        self.queue_hist.record(r.queue_wait);
+    }
+
+    /// Snapshot as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"ops\":{{\"submitted\":{},\"completed\":{},\"failed\":{},",
+                "\"mutations\":{},\"resumed\":{}}},",
+                "\"probe\":{{\"pairs\":{},\"misses\":{},\"predicted_seconds\":{:.6},",
+                "\"exec_seconds\":{:.6}}},",
+                "\"resident\":{{\"objects\":{},\"live\":{},\"builds\":{},\"patched\":{}}},",
+                "\"flow\":{{\"backpressure\":{}}},",
+                "\"journal\":{{\"appended_records\":{},\"commits\":{},",
+                "\"replayed_records\":{},\"torn_bytes\":{}}},",
+                "\"batch\":{},\"queue\":{}}}"
+            ),
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.mutations,
+            self.resumed_batches,
+            self.pairs,
+            self.misses,
+            self.predicted_seconds,
+            self.exec_seconds,
+            self.resident_objects,
+            self.live_objects,
+            self.resident_builds,
+            self.patched_objects,
+            self.backpressure,
+            self.journal_appended_records,
+            self.journal_commits,
+            self.journal_replayed_records,
+            self.journal_torn_bytes,
+            self.batch_hist.to_json(),
+            self.queue_hist.to_json(),
+        )
+    }
+}
+
+struct QueuedOp {
+    seq: u64,
+    op: StreamOp,
+    enqueued: Instant,
+}
+
+#[derive(Default)]
+struct SessState {
+    queue: VecDeque<QueuedOp>,
+    busy: bool,
+    shutdown: bool,
+    next_seq: u64,
+    results: Vec<BatchResult>,
+    stats: StreamStats,
+}
+
+struct Shared<E: Env> {
+    env: Arc<E>,
+    header: StreamHeader,
+    machine: MachineParams,
+    journal: Option<Mutex<Journal<MmapEnv>>>,
+    state: Mutex<SessState>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    idle: Condvar,
+    bound: usize,
+}
+
+impl<E: Env> Shared<E> {
+    fn lock(&self) -> MutexGuard<'_, SessState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn journal_commit(&self, rec: &JournalRecord) {
+        if let Some(j) = &self.journal {
+            let mut j = j.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = j.append_commit(rec) {
+                eprintln!("mmjoin-stream: journal commit ({}) failed: {e}", rec.kind());
+            }
+        }
+    }
+}
+
+/// A running streaming session over environment `E`.
+pub struct StreamSession<E: Env + 'static> {
+    shared: Arc<Shared<E>>,
+    worker: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<E: Env + 'static> StreamSession<E> {
+    /// Open a stream: set up (or replay) the journal, build the
+    /// resident set, re-apply any replayed ops, and start the worker.
+    pub fn open(env: Arc<E>, header: StreamHeader, cfg: StreamConfig) -> Result<StreamSession<E>> {
+        header.rel().validate()?;
+        let mut replayed: Option<ReplayState> = None;
+        let mut journal_stats = (0u64, 0u64); // (replayed records, torn bytes)
+        let journal = match &cfg.journal_dir {
+            None => None,
+            Some(dir) => {
+                let jcfg = MmapEnvConfig {
+                    root: dir.clone(),
+                    num_disks: 1,
+                    page_size: PAGE,
+                };
+                if cfg.resume {
+                    let (jenv, adopted) = MmapEnv::recover(jcfg)?;
+                    if adopted.iter().any(|n| n == JOURNAL_FILE) {
+                        let (journal, rep) = Journal::open(jenv, JOURNAL_FILE, PROC)?;
+                        journal_stats = (rep.records.len() as u64, rep.torn_bytes);
+                        replayed = Some(ReplayState::from_records(&rep.records));
+                        Some(Mutex::new(journal))
+                    } else {
+                        Some(Mutex::new(Journal::create(
+                            jenv,
+                            JOURNAL_FILE,
+                            JOURNAL_CAPACITY,
+                            PROC,
+                        )?))
+                    }
+                } else {
+                    let _ = std::fs::remove_dir_all(dir);
+                    let jenv = MmapEnv::new(jcfg)?;
+                    Some(Mutex::new(Journal::create(
+                        jenv,
+                        JOURNAL_FILE,
+                        JOURNAL_CAPACITY,
+                        PROC,
+                    )?))
+                }
+            }
+        };
+
+        // A resumed stream must be the same stream: the journaled
+        // header line pins the resident shape.
+        if let Some(state) = &replayed {
+            if let Some(line) = &state.stream_line {
+                if *line != header.to_line() {
+                    return Err(EnvError::InvalidConfig(format!(
+                        "resume header mismatch: journal has {line:?}, caller has {:?}",
+                        header.to_line()
+                    )));
+                }
+            }
+        }
+
+        // Leftover resident files from the crashed process would make
+        // the rebuild's create_file fail; they carry nothing a rebuild
+        // cannot reproduce.
+        let prefix = format!("{}.", header.name);
+        for name in env.list_files() {
+            if name.starts_with(&prefix) {
+                env.delete_file(PROC, &name)?;
+            }
+        }
+
+        let mut resident = ResidentSet::build(Arc::clone(&env), &header, &cfg.machine)?;
+
+        let shared = Arc::new(Shared {
+            env: Arc::clone(&env),
+            header: header.clone(),
+            machine: cfg.machine,
+            journal,
+            state: Mutex::new(SessState::default()),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            idle: Condvar::new(),
+            bound: cfg.queue_bound.max(1),
+        });
+
+        {
+            let mut st = shared.lock();
+            st.stats.resident_objects = header.s_objects;
+            st.stats.live_objects = header.s_objects;
+            st.stats.resident_builds = 1;
+            st.stats.journal_replayed_records = journal_stats.0;
+            st.stats.journal_torn_bytes = journal_stats.1;
+        }
+
+        if replayed.is_none() {
+            shared.journal_commit(&JournalRecord::StreamOpened {
+                line: header.to_line(),
+            });
+        }
+
+        // Re-apply the replayed op list in sequence order on the fresh
+        // resident set: completed mutations replay their state effect,
+        // completed batches re-report exactly once, everything else
+        // queues for normal execution.
+        if let Some(state) = replayed {
+            let mut st = shared.lock();
+            for (seq, bs) in &state.batches {
+                let op = match StreamOp::parse_line(&bs.line) {
+                    Ok(Some(op)) => op,
+                    _ => {
+                        eprintln!(
+                            "mmjoin-stream: journal op {seq} has unusable line {:?}; dropped",
+                            bs.line
+                        );
+                        continue;
+                    }
+                };
+                st.stats.submitted += 1;
+                st.next_seq = st.next_seq.max(seq + 1);
+                match &bs.completed {
+                    Some((pairs, checksum, misses)) => {
+                        if op.is_mutation() {
+                            apply_mutation(&mut resident, &op)?;
+                        }
+                        let r = BatchResult {
+                            seq: *seq,
+                            name: op.label().to_string(),
+                            kind: op_kind(&op),
+                            rows: op_rows(&op),
+                            pairs: *pairs,
+                            checksum: *checksum,
+                            misses: *misses,
+                            ok: true,
+                            predicted_seconds: 0.0,
+                            queue_wait: 0.0,
+                            exec_wall: 0.0,
+                            env_elapsed: 0.0,
+                            live_after: resident.live_count(),
+                            resumed: true,
+                            error: None,
+                        };
+                        st.stats.record(&r);
+                        st.results.push(r);
+                    }
+                    None => st.queue.push_back(QueuedOp {
+                        seq: *seq,
+                        op,
+                        enqueued: Instant::now(),
+                    }),
+                }
+            }
+        }
+
+        let worker = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mmjoin-stream-worker".into())
+                .spawn(move || worker_loop(shared, resident))
+                .map_err(|e| EnvError::InvalidConfig(format!("worker spawn: {e}")))?
+        };
+
+        Ok(StreamSession {
+            shared,
+            worker: Some(worker),
+        })
+    }
+
+    /// Submit one op; blocks while the queue is at the bound
+    /// (backpressure). Returns the op's sequence number.
+    pub fn submit(&self, op: StreamOp) -> Result<u64> {
+        let mut st = self.shared.lock();
+        let mut blocked = false;
+        while st.queue.len() >= self.shared.bound && !st.shutdown {
+            if !blocked {
+                blocked = true;
+                st.stats.backpressure += 1;
+                self.shared.env.trace(
+                    PROC,
+                    TraceEvent::StreamBackpressure {
+                        queued: st.queue.len() as u64,
+                        bound: self.shared.bound as u64,
+                    },
+                );
+            }
+            st = self
+                .shared
+                .not_full
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        if st.shutdown {
+            return Err(EnvError::InvalidConfig("stream is shut down".into()));
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.stats.submitted += 1;
+        self.shared.journal_commit(&JournalRecord::BatchSubmitted {
+            batch: seq,
+            line: op.to_line(),
+        });
+        self.shared.env.trace(
+            PROC,
+            TraceEvent::BatchSubmitted {
+                batch: seq,
+                rows: op_rows(&op),
+            },
+        );
+        st.queue.push_back(QueuedOp {
+            seq,
+            op,
+            enqueued: Instant::now(),
+        });
+        self.shared.not_empty.notify_one();
+        Ok(seq)
+    }
+
+    /// Submit every op line of a script (blank/comment lines skipped).
+    pub fn submit_script(&self, script: &str) -> Result<Vec<u64>> {
+        let mut seqs = Vec::new();
+        for line in script.lines() {
+            if let Some(op) = StreamOp::parse_line(line).map_err(EnvError::InvalidConfig)? {
+                seqs.push(self.submit(op)?);
+            }
+        }
+        Ok(seqs)
+    }
+
+    /// Block until the queue is empty and the worker idle.
+    pub fn drain(&self) {
+        let mut st = self.shared.lock();
+        while !st.queue.is_empty() || st.busy {
+            st = self.shared.idle.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Results so far, submission order.
+    pub fn results(&self) -> Vec<BatchResult> {
+        let mut r = self.shared.lock().results.clone();
+        r.sort_by_key(|x| x.seq);
+        r
+    }
+
+    /// Counter snapshot (journal counters folded in live).
+    pub fn stats(&self) -> StreamStats {
+        let mut s = self.shared.lock().stats.clone();
+        if let Some(j) = &self.shared.journal {
+            let js = j.lock().unwrap_or_else(|e| e.into_inner()).stats();
+            s.journal_appended_records = js.appended_records;
+            s.journal_commits = js.commits;
+        }
+        s
+    }
+
+    /// Drain, stop the worker, and tear the resident set down.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut st = self.shared.lock();
+            st.shutdown = true;
+        }
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+impl<E: Env + 'static> Drop for StreamSession<E> {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn op_kind(op: &StreamOp) -> &'static str {
+    match op {
+        StreamOp::Batch { .. } | StreamOp::BatchRows { .. } => "batch",
+        StreamOp::Append { .. } => "append",
+        StreamOp::Delete { .. } => "delete",
+    }
+}
+
+fn op_rows(op: &StreamOp) -> u64 {
+    match op {
+        StreamOp::Batch { objects, .. } => *objects,
+        StreamOp::BatchRows { rows, .. } => rows.len() as u64,
+        StreamOp::Append { count, .. } | StreamOp::Delete { count, .. } => *count,
+    }
+}
+
+fn apply_mutation<E: Env>(resident: &mut ResidentSet<E>, op: &StreamOp) -> Result<Vec<u64>> {
+    match op {
+        StreamOp::Append { count, .. } => resident.append(*count),
+        StreamOp::Delete { count, seed } => resident.delete(*count, *seed),
+        _ => Ok(Vec::new()),
+    }
+}
+
+fn worker_loop<E: Env + 'static>(shared: Arc<Shared<E>>, mut resident: ResidentSet<E>) {
+    loop {
+        let item = {
+            let mut st = shared.lock();
+            loop {
+                if let Some(item) = st.queue.pop_front() {
+                    st.busy = true;
+                    break Some(item);
+                }
+                if st.shutdown {
+                    break None;
+                }
+                st = shared.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        shared.not_full.notify_all();
+        let Some(item) = item else { break };
+
+        let queue_wait = item.enqueued.elapsed().as_secs_f64();
+        let started = Instant::now();
+        let t0: Vec<f64> = (0..resident.rel().d)
+            .map(|j| shared.env.now(ProcId(j)))
+            .collect();
+
+        let (rows, output, predicted, error) = execute(&shared, &mut resident, &item.op);
+
+        let env_elapsed = (0..resident.rel().d)
+            .map(|j| shared.env.now(ProcId(j)) - t0[j as usize])
+            .fold(0.0, f64::max);
+        let ok = error.is_none();
+        let result = BatchResult {
+            seq: item.seq,
+            name: item.op.label().to_string(),
+            kind: op_kind(&item.op),
+            rows,
+            pairs: output.pairs,
+            checksum: output.checksum,
+            misses: output.misses,
+            ok,
+            predicted_seconds: predicted,
+            queue_wait,
+            exec_wall: started.elapsed().as_secs_f64(),
+            env_elapsed,
+            live_after: resident.live_count(),
+            resumed: false,
+            error,
+        };
+        // Completion commits before the result becomes visible, and
+        // only for clean ops: a failed op re-runs after a crash.
+        if ok {
+            shared.journal_commit(&JournalRecord::BatchCompleted {
+                batch: item.seq,
+                pairs: result.pairs,
+                checksum: result.checksum,
+                misses: result.misses,
+            });
+        }
+        shared.env.trace(
+            PROC,
+            TraceEvent::BatchCompleted {
+                batch: item.seq,
+                pairs: result.pairs,
+                misses: result.misses,
+                ok,
+            },
+        );
+        {
+            let mut st = shared.lock();
+            st.stats.record(&result);
+            st.results.push(result);
+            st.busy = false;
+        }
+        shared.idle.notify_all();
+    }
+    shared.env.shutdown_s();
+    shared.idle.notify_all();
+}
+
+/// Run one op against the resident set. Returns
+/// `(rows, output, predicted_seconds, error)`.
+fn execute<E: Env>(
+    shared: &Shared<E>,
+    resident: &mut ResidentSet<E>,
+    op: &StreamOp,
+) -> (u64, BatchOutput, f64, Option<String>) {
+    match op {
+        StreamOp::Batch { .. } | StreamOp::BatchRows { .. } => {
+            let rows = match op {
+                StreamOp::Batch { objects, seed, .. } => resident.gen_batch(*objects, *seed),
+                StreamOp::BatchRows { rows, .. } => rows.clone(),
+                _ => unreachable!(),
+            };
+            let inputs = resident.batch_inputs(&shared.header, rows.len() as u64);
+            let predicted = probe_cost(&shared.machine, &inputs, rows.len() as u64).total();
+            let expected = resident.expected(&rows);
+            match resident.probe(&rows) {
+                Ok(out) if out == expected => (rows.len() as u64, out, predicted, None),
+                Ok(out) => (
+                    rows.len() as u64,
+                    out,
+                    predicted,
+                    Some(format!(
+                        "verification failed: got {out:?}, expected {expected:?}"
+                    )),
+                ),
+                Err(e) => (
+                    rows.len() as u64,
+                    BatchOutput::default(),
+                    predicted,
+                    Some(e.to_string()),
+                ),
+            }
+        }
+        StreamOp::Append { count, .. } | StreamOp::Delete { count, .. } => {
+            match apply_mutation(resident, op) {
+                Ok(slots) => (slots.len() as u64, BatchOutput::default(), 0.0, None),
+                Err(e) => (*count, BatchOutput::default(), 0.0, Some(e.to_string())),
+            }
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Steady-state guarantees of the streaming tier, on the simulator's
+//! measured clock:
+//!
+//! * after warmup the stream never re-pays the resident build — no
+//!   `pass=0` partitioning event and no `resident_built` event appears
+//!   in the trace once batches are flowing;
+//! * a steady-state micro-batch is at least 3× cheaper in environment
+//!   time than an independent full join of the same rows against the
+//!   same inner relation — the whole point of keeping S resident.
+
+use std::sync::Arc;
+
+use mmjoin::{join, Algo, ExecMode, JoinSpec};
+use mmjoin_env::machine::MachineParams;
+use mmjoin_env::{CollectingSink, TraceEvent};
+use mmjoin_relstore::{build, PointerDist, RelConfig, WorkloadSpec};
+use mmjoin_stream::{StreamConfig, StreamHeader, StreamOp, StreamSession};
+use mmjoin_vmsim::{SimConfig, SimEnv};
+
+const D: u32 = 2;
+const S_OBJECTS: u64 = 4096;
+const BATCH_ROWS: u64 = 256;
+
+fn sim(pages: usize) -> Arc<SimEnv> {
+    let mut cfg = SimConfig::waterloo96(D);
+    cfg.rproc_pages = pages;
+    cfg.sproc_pages = pages;
+    Arc::new(SimEnv::new(cfg).unwrap())
+}
+
+#[test]
+fn no_pass_zero_events_after_warmup_and_batches_beat_full_joins() {
+    let env = sim(64);
+    let sink = CollectingSink::new();
+    env.set_trace_sink(sink.clone());
+
+    let header = StreamHeader {
+        name: "steady".into(),
+        s_objects: S_OBJECTS,
+        s_size: 64,
+        d: D,
+        mem_pages: 64,
+        seed: 3,
+        modern: false,
+    };
+    let sess = StreamSession::open(
+        Arc::clone(&env),
+        header,
+        StreamConfig::ephemeral(MachineParams::waterloo96()),
+    )
+    .unwrap();
+
+    // Warmup: the build itself plus one batch that pays the cold-cache
+    // faults on S.
+    sess.submit(StreamOp::Batch {
+        name: "warmup".into(),
+        objects: BATCH_ROWS,
+        seed: 0,
+    })
+    .unwrap();
+    sess.drain();
+    let warmup_events = sink.records().len();
+
+    // Steady state: many batches and a couple of in-place mutations.
+    for i in 0..10u64 {
+        sess.submit(StreamOp::Batch {
+            name: format!("b{i}"),
+            objects: BATCH_ROWS,
+            seed: i + 1,
+        })
+        .unwrap();
+        if i == 3 {
+            sess.submit(StreamOp::Delete { count: 64, seed: 9 })
+                .unwrap();
+        }
+        if i == 6 {
+            sess.submit(StreamOp::Append { count: 32, seed: 0 })
+                .unwrap();
+        }
+    }
+    sess.drain();
+
+    // The stream's whole warmup thesis: every pass-0 event (and the
+    // resident build marker) happened before steady state began.
+    let records = sink.records();
+    assert!(
+        records
+            .iter()
+            .take(warmup_events)
+            .any(|r| matches!(r.event, TraceEvent::ResidentBuilt { .. })),
+        "warmup contains the resident build"
+    );
+    for r in &records[warmup_events..] {
+        match &r.event {
+            TraceEvent::PassStart { pass, .. } | TraceEvent::PassEnd { pass, .. } => {
+                assert_ne!(*pass, 0, "pass-0 partitioning after warmup: {:?}", r.event);
+            }
+            TraceEvent::ResidentBuilt { .. } => {
+                panic!("resident rebuilt after warmup: {:?}", r.event)
+            }
+            _ => {}
+        }
+    }
+    // Mutations patched in place (visible in the steady-state stream).
+    assert!(records[warmup_events..]
+        .iter()
+        .any(|r| matches!(r.event, TraceEvent::ResidentPatched { .. })));
+
+    // Steady-state batches: environment time per batch must be at
+    // least 3x below an independent full join of the same row count
+    // against the same |S| on the same machine.
+    let results = sess.results();
+    let steady: Vec<f64> = results
+        .iter()
+        .filter(|r| r.kind == "batch" && r.name != "warmup")
+        .map(|r| r.env_elapsed)
+        .collect();
+    assert_eq!(steady.len(), 10);
+
+    let full_env = sim(64);
+    let spec = WorkloadSpec {
+        rel: RelConfig {
+            r_size: 16,
+            s_size: 64,
+            d: D,
+            r_objects: BATCH_ROWS,
+            s_objects: S_OBJECTS,
+        },
+        dist: PointerDist::Uniform,
+        seed: 3,
+        prefix: String::new(),
+    };
+    let rels = build(&*full_env, &spec).unwrap();
+    let jspec = JoinSpec::new(64 * 4096, 64 * 4096).with_mode(ExecMode::Sequential);
+    let full = join(&*full_env, &rels, Algo::Grace, &jspec).unwrap();
+    for (i, &batch_seconds) in steady.iter().enumerate() {
+        assert!(
+            batch_seconds * 3.0 <= full.elapsed,
+            "steady batch {i} took {batch_seconds:.6}s, full join {:.6}s — amortization lost",
+            full.elapsed
+        );
+    }
+
+    let stats = sess.stats();
+    assert_eq!(stats.resident_builds, 1, "the build is paid exactly once");
+    sess.shutdown();
+}

@@ -46,6 +46,18 @@ pub const MS_ASYNC: c_int = 1;
 /// `sysconf` selector for the VM page size (Linux value).
 pub const _SC_PAGESIZE: c_int = 30;
 
+/// Termination request (`kill -TERM`).
+pub const SIGTERM: c_int = 15;
+/// Interactive interrupt (`^C`).
+pub const SIGINT: c_int = 2;
+
+/// Signal disposition: a handler address, `SIG_DFL` (0) or `SIG_IGN`
+/// (1).
+pub type sighandler_t = usize;
+
+/// `signal`'s error return.
+pub const SIG_ERR: sighandler_t = usize::MAX;
+
 extern "C" {
     pub fn mmap(
         addr: *mut c_void,
@@ -58,6 +70,7 @@ extern "C" {
     pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
     pub fn msync(addr: *mut c_void, len: size_t, flags: c_int) -> c_int;
     pub fn sysconf(name: c_int) -> c_long;
+    pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
 }
 
 #[cfg(test)]
@@ -69,6 +82,18 @@ mod tests {
         let ps = unsafe { sysconf(_SC_PAGESIZE) };
         assert!(ps >= 4096, "page size {ps}");
         assert_eq!(ps & (ps - 1), 0, "page size is a power of two");
+    }
+
+    #[test]
+    fn signal_installs_and_restores_a_handler() {
+        extern "C" fn noop(_: c_int) {}
+        let noop_addr = noop as *const () as sighandler_t;
+        unsafe {
+            let prev = signal(SIGTERM, noop_addr);
+            assert_ne!(prev, SIG_ERR);
+            let back = signal(SIGTERM, prev);
+            assert_eq!(back, noop_addr);
+        }
     }
 
     #[test]
